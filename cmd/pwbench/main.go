@@ -1,0 +1,39 @@
+// Command pwbench regenerates the paper's figures as text reports (the
+// per-experiment index of DESIGN.md; reference output in EXPERIMENTS.md).
+//
+// Usage:
+//
+//	pwbench [-full] [-only F3]
+//
+// -full widens the sweeps (slower); -only runs a single experiment by id.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pw/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "widen sweeps (slower, used for EXPERIMENTS.md)")
+	only := flag.String("only", "", "run a single experiment by id (e.g. F3)")
+	flag.Parse()
+
+	start := time.Now()
+	ran := 0
+	for _, e := range experiments.Registry() {
+		if *only != "" && e.ID != *only {
+			continue
+		}
+		fmt.Println(e.Run(*full).String())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "pwbench: no experiment matches -only=%s\n", *only)
+		os.Exit(1)
+	}
+	fmt.Printf("pwbench: %d experiments in %s (full=%v)\n", ran, time.Since(start).Round(time.Millisecond), *full)
+}

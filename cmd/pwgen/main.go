@@ -1,0 +1,72 @@
+// Command pwgen generates random workloads in .pw format: tables of every
+// representation kind plus matching member instances, for feeding pwq and
+// external experiments.
+//
+// Usage:
+//
+//	pwgen -kind codd|e|i|g|c -rows 64 -arity 2 -seed 1 [-member]
+//
+// The database goes to stdout; with -member a sampled member instance is
+// printed after it, separated by a "# instance" comment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pw/internal/gen"
+	"pw/internal/parse"
+	"pw/internal/table"
+)
+
+func main() {
+	kind := flag.String("kind", "codd", "representation kind: codd|e|i|g|c")
+	rows := flag.Int("rows", 32, "row count")
+	arity := flag.Int("arity", 2, "arity")
+	consts := flag.Int("consts", 0, "constant pool (default 2×rows)")
+	nulls := flag.Float64("nulls", 0.3, "null density")
+	seed := flag.Int64("seed", 1, "random seed")
+	member := flag.Bool("member", false, "also emit a sampled member instance")
+	flag.Parse()
+
+	cp := *consts
+	if cp == 0 {
+		cp = 2 * *rows
+	}
+	var t *table.Table
+	switch *kind {
+	case "codd":
+		t = gen.CoddTable(*seed, "T", *rows, *arity, cp, *nulls)
+	case "e":
+		t = gen.ETable(*seed, "T", *rows, *arity, cp, max(2, *rows/4), *nulls)
+	case "i":
+		t = gen.ITable(*seed, "T", *rows, *arity, cp, max(1, *rows/8), *nulls)
+	case "g":
+		t = gen.ETable(*seed, "T", *rows, *arity, cp, max(2, *rows/4), *nulls)
+		i := gen.ITable(*seed+1, "X", *rows, *arity, cp, max(1, *rows/8), *nulls)
+		t.Global = append(t.Global, i.Global...)
+	case "c":
+		t = gen.CTable(*seed, "T", *rows, *arity, cp, max(2, *rows/4), *nulls, 0.5)
+	default:
+		fmt.Fprintf(os.Stderr, "pwgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	d := table.DB(t)
+	if err := parse.PrintDatabase(os.Stdout, d); err != nil {
+		fmt.Fprintln(os.Stderr, "pwgen:", err)
+		os.Exit(1)
+	}
+	if *member {
+		inst, ok := gen.MemberInstance(*seed+7, d)
+		if !ok {
+			fmt.Fprintln(os.Stderr, "pwgen: no member instance found (unsatisfiable conditions?)")
+			os.Exit(1)
+		}
+		fmt.Println("\n# instance")
+		if err := parse.PrintInstance(os.Stdout, inst); err != nil {
+			fmt.Fprintln(os.Stderr, "pwgen:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Command pwq decides the paper's five problems on .pw files.
+//
+// Usage:
+//
+//	pwq memb    -db tables.pw -inst instance.pw
+//	pwq uniq    -db tables.pw -inst instance.pw
+//	pwq cont    -db subset.pw -db2 superset.pw
+//	pwq poss    -db tables.pw -facts p.pw
+//	pwq cert    -db tables.pw -facts p.pw
+//	pwq worlds  -db tables.pw [-limit 20]
+//	pwq kind    -db tables.pw
+//
+// Files use the .pw format of internal/parse. All commands exit 0 with
+// "yes"/"no" on stdout; structural problems exit 2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pw/internal/decide"
+	"pw/internal/parse"
+	"pw/internal/query"
+	"pw/internal/rel"
+	"pw/internal/table"
+	"pw/internal/worlds"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	dbPath := fs.String("db", "", "conditioned-table database (.pw)")
+	db2Path := fs.String("db2", "", "second database for cont (.pw)")
+	instPath := fs.String("inst", "", "complete instance (.pw)")
+	factsPath := fs.String("facts", "", "fact set for poss/cert (.pw)")
+	limit := fs.Int("limit", 20, "world limit for the worlds command")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		fatal(err)
+	}
+
+	d := mustDB(*dbPath)
+	switch cmd {
+	case "kind":
+		fmt.Println(d.Kind())
+	case "worlds":
+		n := 0
+		worlds.Each(d, nil, func(i *rel.Instance) bool {
+			fmt.Printf("-- world %d --\n%s\n", n+1, i)
+			n++
+			return n >= *limit
+		})
+		fmt.Printf("(%d worlds shown; canonical domain)\n", n)
+	case "memb":
+		i := mustInstance(*instPath)
+		answer(decide.Membership(i, query.Identity{}, d))
+	case "uniq":
+		i := mustInstance(*instPath)
+		answer(decide.Uniqueness(query.Identity{}, d, i))
+	case "cont":
+		d2 := mustDB(*db2Path)
+		answer(decide.Containment(query.Identity{}, d, query.Identity{}, d2))
+	case "poss":
+		p := mustInstance(*factsPath)
+		answer(decide.Possible(p, query.Identity{}, d))
+	case "cert":
+		p := mustInstance(*factsPath)
+		answer(decide.Certain(p, query.Identity{}, d))
+	default:
+		usage()
+	}
+}
+
+func mustDB(path string) *table.Database {
+	if path == "" {
+		fatal(fmt.Errorf("missing -db"))
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	d, err := parse.ParseDatabase(f)
+	if err != nil {
+		fatal(err)
+	}
+	return d
+}
+
+func mustInstance(path string) *rel.Instance {
+	if path == "" {
+		fatal(fmt.Errorf("missing instance/fact file"))
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	i, err := parse.ParseInstance(f)
+	if err != nil {
+		fatal(err)
+	}
+	return i
+}
+
+func answer(yes bool, err error) {
+	if err != nil {
+		fatal(err)
+	}
+	if yes {
+		fmt.Println("yes")
+	} else {
+		fmt.Println("no")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pwq:", err)
+	os.Exit(2)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: pwq {memb|uniq|cont|poss|cert|worlds|kind} -db FILE [...]")
+	os.Exit(2)
+}

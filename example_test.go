@@ -1,0 +1,131 @@
+package pw_test
+
+import (
+	"fmt"
+	"sort"
+
+	"pw"
+	"pw/internal/algebra"
+	"pw/internal/query"
+)
+
+// ExampleWorlds builds the simplest incomplete table — one null — and
+// enumerates its possible worlds over the canonical domain.
+func ExampleWorlds() {
+	t := pw.NewTable("R", 1)
+	t.AddTuple(pw.Const("1"))
+	t.AddTuple(pw.Var("x"))
+	db := pw.NewDatabase(t)
+
+	var lines []string
+	for _, w := range pw.Worlds(db) {
+		lines = append(lines, fmt.Sprint(w.Relation("R").Facts()))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	// Output:
+	// [(1) (~z0)]
+	// [(1)]
+}
+
+// ExampleMember asks whether a complete database is one of the worlds a
+// g-table represents (the MEMB problem, Theorem 3.1).
+func ExampleMember() {
+	t := pw.NewTable("R", 2)
+	t.AddTuple(pw.Const("a"), pw.Var("x"))
+	t.Global = pw.Conjunction{pw.Neq(pw.Var("x"), pw.Const("banned"))}
+	db := pw.NewDatabase(t)
+
+	good := pw.NewInstance()
+	r := pw.NewRelation("R", 2)
+	r.Add(pw.Fact{"a", "ok"})
+	good.AddRelation(r)
+
+	bad := pw.NewInstance()
+	rb := pw.NewRelation("R", 2)
+	rb.Add(pw.Fact{"a", "banned"})
+	bad.AddRelation(rb)
+
+	in1, _ := pw.Member(good, db)
+	in2, _ := pw.Member(bad, db)
+	fmt.Println(in1, in2)
+	// Output: true false
+}
+
+// ExampleCertainFact shows possibility vs certainty on a c-table with a
+// conditioned row.
+func ExampleCertainFact() {
+	t := pw.NewTable("On", 1)
+	t.AddTuple(pw.Const("base"))
+	t.Add(pw.Row{
+		Values: pw.Tuple{pw.Const("backup")},
+		Cond:   pw.Conjunction{pw.Eq(pw.Var("mode"), pw.Const("failover"))},
+	})
+	db := pw.NewDatabase(t)
+
+	certBase, _ := pw.CertainFact("On", pw.Fact{"base"}, pw.Identity(), db)
+	certBackup, _ := pw.CertainFact("On", pw.Fact{"backup"}, pw.Identity(), db)
+	possBackup, _ := pw.PossibleFact("On", pw.Fact{"backup"}, pw.Identity(), db)
+	fmt.Println(certBase, certBackup, possBackup)
+	// Output: true false true
+}
+
+// ExampleApply evaluates a positive existential query directly on a
+// c-table: the result is again a c-table representing the view's worlds
+// (the Imielinski–Lipski representation-system property).
+func ExampleApply() {
+	t := pw.NewTable("R", 2)
+	t.AddTuple(pw.Const("1"), pw.Var("x"))
+	db := pw.NewDatabase(t)
+
+	q := query.NewAlgebra("diag", query.Out{
+		Name: "Q",
+		Expr: algebra.Project{
+			E:    algebra.Where(algebra.Scan("R", "a", "b"), algebra.EqP(algebra.Col("a"), algebra.Col("b"))),
+			Cols: []string{"a"},
+		},
+	})
+	lifted, _ := pw.Apply(q, db)
+	fmt.Println(lifted.Table("Q"))
+	// Output:
+	// @table Q(1)
+	//   row: 1 | 1 = ?x
+}
+
+// ExampleContained compares the information content of two incomplete
+// databases (the CONT problem, §4 of the paper).
+func ExampleContained() {
+	precise := pw.NewTable("R", 1)
+	precise.AddTuple(pw.Const("7"))
+	vague := pw.NewTable("R", 1)
+	vague.AddTuple(pw.Var("x"))
+
+	sub, _ := pw.Contained(pw.NewDatabase(precise), pw.NewDatabase(vague))
+	sup, _ := pw.Contained(pw.NewDatabase(vague), pw.NewDatabase(precise))
+	fmt.Println(sub, sup)
+	// Output: true false
+}
+
+// ExampleCertainAnswers computes all certain answers of a join view over
+// an incomplete database.
+func ExampleCertainAnswers() {
+	emp := pw.NewTable("Emp", 2)
+	emp.AddTuple(pw.Const("ada"), pw.Const("eng"))
+	emp.AddTuple(pw.Const("bob"), pw.Var("d"))
+	dept := pw.NewTable("Dept", 2)
+	dept.AddTuple(pw.Const("eng"), pw.Const("2"))
+	db := pw.NewDatabase(emp, dept)
+
+	q := query.NewAlgebra("located", query.Out{
+		Name: "Loc",
+		Expr: algebra.Project{
+			E:    algebra.Join{L: algebra.Scan("Emp", "n", "d"), R: algebra.Scan("Dept", "d", "f")},
+			Cols: []string{"n", "f"},
+		},
+	})
+	ans, _ := pw.CertainAnswers(q, db)
+	fmt.Println(ans.Relation("Loc").Facts())
+	// Output: [(ada, 2)]
+}

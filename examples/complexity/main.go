@@ -1,0 +1,65 @@
+// Complexity: a miniature live rendition of Fig. 2 — the same decision
+// problem gets polynomially easier or exponentially harder depending only
+// on the representation. The example runs MEMB on each table kind at
+// growing sizes and prints the timings side by side.
+//
+//	go run ./examples/complexity
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"pw"
+	"pw/internal/decide"
+	"pw/internal/gen"
+	"pw/internal/graph"
+	"pw/internal/query"
+	"pw/internal/reduce"
+)
+
+func main() {
+	fmt.Println("MEMB(-) on Codd-tables: polynomial (Theorem 3.1(1))")
+	fmt.Println("rows   time")
+	for _, n := range []int{128, 256, 512, 1024} {
+		tb := gen.CoddTable(int64(n), "T", n, 3, 2*n, 0.3)
+		d := pw.NewDatabase(tb)
+		inst, ok := gen.MemberInstance(int64(n), d)
+		if !ok {
+			continue
+		}
+		start := time.Now()
+		if _, err := pw.Member(inst, d); err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-6d %v\n", n, time.Since(start).Round(time.Microsecond))
+	}
+
+	fmt.Println("\nMEMB(-) on e-tables from 3-colorability: NP-complete (Theorem 3.1(2))")
+	fmt.Println("the instance encodes K4 plus a growing 3-colorable tail;")
+	fmt.Println("each extra vertex multiplies the search space")
+	fmt.Println("vertices  answer  time")
+	for _, n := range []int{4, 6, 8, 10} {
+		g := graph.Complete(4)
+		// Grow a path glued to vertex 0: keeps non-3-colorability, adds
+		// variables.
+		grown := graph.New(n)
+		for _, e := range g.Edges {
+			grown.MustEdge(e.A, e.B)
+		}
+		for v := 4; v < n; v++ {
+			grown.MustEdge(v-1, v)
+		}
+		inst := reduce.MembETableFrom3Col(grown)
+		start := time.Now()
+		yes, err := decide.Membership(inst.I0, query.Identity{}, inst.D)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-9d %-7v %v\n", n, yes, time.Since(start).Round(time.Microsecond))
+	}
+
+	fmt.Println("\nsame data, represented as an i-table (Theorem 3.1(3)): also NP-complete,")
+	fmt.Println("but the very same worlds as a plain Codd-table are polynomial —")
+	fmt.Println("the cost lives in the representation, not the data. That is Fig. 2.")
+}

@@ -1,0 +1,72 @@
+// Quickstart: build a c-table, enumerate its possible worlds, and ask the
+// five decision questions of the paper.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pw"
+)
+
+func main() {
+	// A c-table describing what we know about a small lab assignment
+	// sheet: the room of "ada" is unknown (?r), "bob" is in room 101
+	// only if ada is NOT in 101 (they refuse to share), and "eve" shows
+	// up only if ada took room 102.
+	t := pw.NewTable("Assign", 2)
+	t.AddTuple(pw.Const("ada"), pw.Var("r"))
+	t.Add(pw.Row{
+		Values: pw.Tuple{pw.Const("bob"), pw.Const("101")},
+		Cond:   pw.Conjunction{pw.Neq(pw.Var("r"), pw.Const("101"))},
+	})
+	t.Add(pw.Row{
+		Values: pw.Tuple{pw.Const("eve"), pw.Const("103")},
+		Cond:   pw.Conjunction{pw.Eq(pw.Var("r"), pw.Const("102"))},
+	})
+	db := pw.NewDatabase(t)
+	fmt.Println("the c-table:")
+	fmt.Println(t)
+	fmt.Printf("\nrepresentation kind: %v\n", db.Kind())
+
+	// Enumerate the possible worlds over the canonical domain.
+	fmt.Println("\npossible worlds (canonical domain):")
+	for i, w := range pw.Worlds(db) {
+		fmt.Printf("  world %d: %v\n", i+1, w.Relation("Assign").Facts())
+	}
+
+	// Possibility and certainty of single facts.
+	for _, q := range []struct {
+		fact pw.Fact
+		desc string
+	}{
+		{pw.Fact{"bob", "101"}, "bob in 101"},
+		{pw.Fact{"ada", "102"}, "ada in 102"},
+		{pw.Fact{"eve", "103"}, "eve in 103"},
+	} {
+		poss, err := pw.PossibleFact("Assign", q.fact, pw.Identity(), db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cert, err := pw.CertainFact("Assign", q.fact, pw.Identity(), db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s possible=%-5v certain=%v\n", q.desc+":", poss, cert)
+	}
+
+	// Membership: is this exact sheet one of the possible worlds?
+	inst := pw.NewInstance()
+	a := pw.NewRelation("Assign", 2)
+	a.Add(pw.Fact{"ada", "102"})
+	a.Add(pw.Fact{"bob", "101"})
+	a.Add(pw.Fact{"eve", "103"})
+	inst.AddRelation(a)
+	member, err := pw.Member(inst, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n{ada→102, bob→101, eve→103} is a possible world: %v\n", member)
+}

@@ -1,0 +1,124 @@
+package cond
+
+import "strings"
+
+// Formula is a positive boolean combination (and/or) of atoms. The paper's
+// c-tables only carry conjunctions, but query application builds and/or
+// structures internally (see the remark (*) in the proof of Theorem 3.2(2):
+// "the local conditions are kept as formulas with both ors and ands" before
+// being put in disjunctive normal form). Formula is that intermediate
+// representation.
+type Formula interface {
+	// DNF returns the disjunctive normal form as a slice of conjunctions.
+	// An empty slice is the constant false; a slice containing an empty
+	// conjunction is the constant true.
+	DNF() []Conjunction
+	// FormulaString renders the formula.
+	FormulaString() string
+}
+
+// AtomF wraps an atom as a formula.
+type AtomF struct{ A Atom }
+
+// DNF implements Formula.
+func (f AtomF) DNF() []Conjunction {
+	if f.A.TriviallyFalse() {
+		return nil
+	}
+	if f.A.TriviallyTrue() {
+		return []Conjunction{{}}
+	}
+	return []Conjunction{{f.A}}
+}
+
+// FormulaString implements Formula.
+func (f AtomF) FormulaString() string { return f.A.String() }
+
+// AndF is the conjunction of sub-formulas. The empty AndF is true.
+type AndF []Formula
+
+// DNF implements Formula by distributing and over or.
+func (f AndF) DNF() []Conjunction {
+	out := []Conjunction{{}}
+	for _, sub := range f {
+		ds := sub.DNF()
+		next := make([]Conjunction, 0, len(out)*len(ds))
+		for _, a := range out {
+			for _, b := range ds {
+				merged := a.And(b)
+				if merged.Satisfiable() {
+					next = append(next, merged.Normalize())
+				}
+			}
+		}
+		out = dedupeConjunctions(next)
+		if len(out) == 0 {
+			return nil
+		}
+	}
+	return out
+}
+
+// FormulaString implements Formula.
+func (f AndF) FormulaString() string {
+	if len(f) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(f))
+	for i, s := range f {
+		parts[i] = "(" + s.FormulaString() + ")"
+	}
+	return strings.Join(parts, " and ")
+}
+
+// OrF is the disjunction of sub-formulas. The empty OrF is false.
+type OrF []Formula
+
+// DNF implements Formula.
+func (f OrF) DNF() []Conjunction {
+	var out []Conjunction
+	for _, sub := range f {
+		out = append(out, sub.DNF()...)
+	}
+	return dedupeConjunctions(out)
+}
+
+// FormulaString implements Formula.
+func (f OrF) FormulaString() string {
+	if len(f) == 0 {
+		return "false"
+	}
+	parts := make([]string, len(f))
+	for i, s := range f {
+		parts[i] = "(" + s.FormulaString() + ")"
+	}
+	return strings.Join(parts, " or ")
+}
+
+// ConjF lifts a conjunction to a formula.
+type ConjF struct{ C Conjunction }
+
+// DNF implements Formula.
+func (f ConjF) DNF() []Conjunction {
+	if !f.C.Satisfiable() {
+		return nil
+	}
+	return []Conjunction{f.C.Normalize()}
+}
+
+// FormulaString implements Formula.
+func (f ConjF) FormulaString() string { return f.C.String() }
+
+func dedupeConjunctions(cs []Conjunction) []Conjunction {
+	seen := make(map[string]bool, len(cs))
+	out := cs[:0]
+	for _, c := range cs {
+		n := c.Normalize()
+		k := n.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package decide
+
+import (
+	"fmt"
+
+	"pw/internal/cond"
+	"pw/internal/query"
+	"pw/internal/rel"
+	"pw/internal/table"
+	"pw/internal/value"
+)
+
+// CertainAnswers computes the set of certain facts of q(rep(d)) — the
+// facts present in every world — for a liftable (positive existential,
+// possibly with ≠) query.
+//
+// The candidate set comes from one distinguished world: freeze every
+// variable of the normalized lifted database to a distinct fresh constant
+// (this valuation satisfies the residual global inequalities, so it
+// denotes a world). Every certain fact lies in that world and mentions
+// only the constants of d and q — a fact with a fresh constant would
+// change under a different valuation. Each candidate is then confirmed or
+// refuted by the per-fact equality-logic test of certainIdentity.
+//
+// For homomorphism-preserved queries on g-tables, every candidate passes
+// immediately (Theorem 5.3(1)); the refutation step is what extends the
+// computation soundly to ≠-conditions and local conditions.
+func CertainAnswers(q query.Query, d *table.Database) (*rel.Instance, error) {
+	l, ok := query.AsLiftable(q)
+	if !ok {
+		return nil, fmt.Errorf("decide: CertainAnswers requires a liftable query, got %s", q.Label())
+	}
+	lifted, err := l.EvalLifted(d)
+	if err != nil {
+		return nil, err
+	}
+	nd, okN := table.Normalize(lifted)
+	if !okN {
+		// rep(d) = ∅: certainty is vacuous; there is no canonical answer
+		// set. Report the empty schema-shaped instance.
+		return lifted.EmptyInstance(), nil
+	}
+
+	// Constants allowed in answers: those of the database and the query.
+	allowed := map[string]bool{}
+	for _, c := range nd.Consts(nil, map[string]bool{}) {
+		allowed[c] = true
+	}
+	for _, c := range q.Consts() {
+		allowed[c] = true
+	}
+
+	// The frozen world.
+	pool := nd.ConstNames()
+	w0 := frozenWorld(nd, table.FreshPrefix(pool))
+
+	out := rel.NewInstance()
+	for _, t := range nd.Tables() {
+		r := rel.NewRelation(t.Name, t.Arity)
+		out.AddRelation(r)
+		src := w0.Relation(t.Name)
+	candidates:
+		for _, u := range src.Facts() {
+			for _, c := range u {
+				if !allowed[c] {
+					continue candidates
+				}
+			}
+			if certainFactIn(nd, t, u) {
+				r.Add(u)
+			}
+		}
+	}
+	return out, nil
+}
+
+// frozenWorld applies the all-distinct-fresh valuation to d, keeping only
+// rows whose local condition it satisfies (unlike table.Freeze, which
+// ignores conditions).
+func frozenWorld(d *table.Database, prefix string) *rel.Instance {
+	names := d.VarNames()
+	v := make(map[string]string, len(names))
+	for i, n := range names {
+		v[n] = fmt.Sprintf("%s%d", prefix, i)
+	}
+	get := func(x value.Value) string {
+		if x.IsConst() {
+			return x.Name()
+		}
+		return v[x.Name()]
+	}
+	inst := rel.NewInstance()
+	for _, t := range d.Tables() {
+		r := rel.NewRelation(t.Name, t.Arity)
+		inst.AddRelation(r)
+	rows:
+		for _, row := range t.Rows {
+			for _, a := range row.Cond {
+				l, rr := get(a.L), get(a.R)
+				if (a.Op == cond.Eq) != (l == rr) {
+					continue rows
+				}
+			}
+			f := make(rel.Fact, len(row.Values))
+			for j, x := range row.Values {
+				f[j] = get(x)
+			}
+			r.Add(f)
+		}
+	}
+	return inst
+}

@@ -1,0 +1,115 @@
+package decide
+
+import (
+	"pw/internal/query"
+	"pw/internal/rel"
+	"pw/internal/table"
+	"pw/internal/valuation"
+)
+
+// Certain decides CERT(∗, q): are all facts of p true in every world of
+// q(rep(d))? By Proposition 2.1(6) this is k independent single-fact
+// questions. Dispatch:
+//
+//   - q preserved under homomorphisms (DATALOG, positive existential
+//     without ≠, identity) and d without local conditions (kind ≤
+//     g-table): frozen-instance evaluation — normalize, freeze variables
+//     to distinct fresh constants, evaluate q once, test p ⊆ q(K0). This
+//     is Theorem 5.3(1) (after [10,17]) and runs in polynomial time.
+//   - q liftable: rewrite the view into a c-table database; a fact u is
+//     certain iff no valuation satisfying the global condition avoids
+//     producing u from every row — one equality-logic system per fact
+//     (the coNP procedure matching Theorem 5.3(3)).
+//   - otherwise (first-order — the coNP-hard case of Theorem 5.3(2)):
+//     exhaustive valuation search for a violating world.
+func Certain(p *rel.Instance, q query.Query, d *table.Database) (bool, error) {
+	if query.IsHomPreserved(q) && !hasLocalConds(d) {
+		return certainFrozen(p, q, d)
+	}
+	if l, ok := query.AsLiftable(q); ok {
+		lifted, err := l.EvalLifted(d)
+		if err != nil {
+			return false, err
+		}
+		return certainIdentity(p, lifted)
+	}
+	return certainGeneric(p, q, d)
+}
+
+// certainFrozen implements Theorem 5.3(1): for a homomorphism-preserved
+// query on a g-table, a ground fact is certain iff it is an answer on the
+// frozen table. Soundness: the frozen world K0 is a member of rep(d)
+// (after normalization its distinct fresh constants satisfy the residual
+// inequalities), and for every world σ(d) the map h: a_x ↦ σ(x) is a
+// homomorphism K0 → σ(d) fixing p's constants, so u ∈ q(K0) implies
+// u = h(u) ∈ q(σ(d)). Completeness: a certain fact in particular holds in
+// the world K0.
+func certainFrozen(p *rel.Instance, q query.Query, d *table.Database) (bool, error) {
+	nd, ok := table.Normalize(d)
+	if !ok {
+		return true, nil // rep(d) = ∅: vacuously certain
+	}
+	seen := map[string]bool{}
+	pool := nd.Consts(nil, seen)
+	pool = p.Consts(pool, seen)
+	pool = append(pool, q.Consts()...)
+	k0 := table.Freeze(nd, table.FreshPrefix(pool))
+	out, err := q.Eval(k0)
+	if err != nil {
+		return false, err
+	}
+	return p.SubsetOf(out), nil
+}
+
+// certainIdentity decides whether every world of rep(d) contains all facts
+// of p, one equality-logic refutation per fact.
+func certainIdentity(p *rel.Instance, d *table.Database) (bool, error) {
+	if err := factsCheck(p, d); err != nil {
+		return false, err
+	}
+	nd, ok := table.Normalize(d)
+	if !ok {
+		return true, nil // rep(d) = ∅: vacuously certain
+	}
+	for _, r := range p.Relations() {
+		t := nd.Table(r.Name)
+		for _, u := range r.Facts() {
+			if !certainFactIn(nd, t, u) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// certainGeneric is the Proposition 2.1(5) search for arbitrary queries.
+func certainGeneric(p *rel.Instance, q query.Query, d *table.Database) (bool, error) {
+	base, prefix := genericDomain(d, q, p)
+	var evalErr error
+	violated := valuation.EnumerateCanonical(d.VarNames(), base, prefix, func(v valuation.V) bool {
+		w := applyValuation(v, d)
+		if w == nil {
+			return false
+		}
+		out, err := q.Eval(w)
+		if err != nil {
+			evalErr = err
+			return true
+		}
+		return !p.SubsetOf(out)
+	})
+	if evalErr != nil {
+		return false, evalErr
+	}
+	return !violated, nil
+}
+
+// CertainFact decides CERT(1, q) for a single fact (the primitive that
+// CERT(∗, q) reduces to, Proposition 2.1(6)).
+func CertainFact(relName string, f rel.Fact, q query.Query, d *table.Database) (bool, error) {
+	p := rel.NewInstance()
+	r := rel.NewRelation(relName, len(f))
+	r.Add(f)
+	p.AddRelation(r)
+	return Certain(p, q, d)
+}

@@ -1,0 +1,150 @@
+// Package decide implements the five decision problems of §2.3 —
+// membership (MEMB), uniqueness (UNIQ), containment (CONT), possibility
+// (POSS) and certainty (CERT) — over the representation hierarchy of
+// internal/table and the query fragments of internal/query.
+//
+// Each procedure dispatches on the syntactic class of its inputs, exactly
+// following the paper's classification (Fig. 2):
+//
+//   - the PTIME cells run the paper's polynomial algorithms (bipartite
+//     matching for MEMB on Codd-tables, Theorem 3.1(1); normalization for
+//     UNIQ on g-tables, Theorem 3.2(1); the freeze claim for CONT of
+//     g-tables in e-tables, Theorem 4.1(2,3); lifted-algebra possibility,
+//     Theorem 5.2(1); frozen-instance certainty, Theorem 5.3(1));
+//   - the NP/coNP/Π₂ᵖ cells run backtracking searches over row↔fact
+//     assignments whose residual constraints are discharged by
+//     internal/eqlogic, with worst-case exponential time as the paper's
+//     completeness results require, but far better behaviour than the
+//     brute-force valuation enumeration of internal/worlds (ablation A2).
+package decide
+
+import (
+	"fmt"
+	"sort"
+
+	"pw/internal/cond"
+	"pw/internal/query"
+	"pw/internal/rel"
+	"pw/internal/table"
+	"pw/internal/valuation"
+	"pw/internal/value"
+)
+
+// SchemaCheck verifies that the instance provides exactly one relation per
+// table of d, with matching arities.
+func SchemaCheck(i *rel.Instance, d *table.Database) error {
+	if len(i.Relations()) != len(d.Tables()) {
+		return fmt.Errorf("decide: instance has %d relations, database has %d tables",
+			len(i.Relations()), len(d.Tables()))
+	}
+	for _, t := range d.Tables() {
+		r := i.Relation(t.Name)
+		if r == nil {
+			return fmt.Errorf("decide: instance lacks relation %s", t.Name)
+		}
+		if r.Arity != t.Arity {
+			return fmt.Errorf("decide: relation %s has arity %d, table expects %d",
+				t.Name, r.Arity, t.Arity)
+		}
+	}
+	return nil
+}
+
+// factsCheck verifies that every relation of the fact set p names a table
+// of d with the right arity (p may omit relations).
+func factsCheck(p *rel.Instance, d *table.Database) error {
+	for _, r := range p.Relations() {
+		t := d.Table(r.Name)
+		if t == nil {
+			return fmt.Errorf("decide: fact set names unknown relation %s", r.Name)
+		}
+		if t.Arity != r.Arity {
+			return fmt.Errorf("decide: fact set relation %s has arity %d, table expects %d",
+				r.Name, r.Arity, t.Arity)
+		}
+	}
+	return nil
+}
+
+// genericDomain is the Δ of Proposition 2.1 extended with the query's
+// constants (database constants, instance constants, query constants)
+// plus a prefix for the fresh constants Δ′; generic searches pair it with
+// valuation.EnumerateCanonical.
+func genericDomain(d *table.Database, q query.Query, extra ...*rel.Instance) (base []string, prefix string) {
+	seen := map[string]bool{}
+	consts := d.Consts(nil, seen)
+	for _, e := range extra {
+		if e != nil {
+			consts = e.Consts(consts, seen)
+		}
+	}
+	if q != nil {
+		for _, c := range q.Consts() {
+			if !seen[c] {
+				seen[c] = true
+				consts = append(consts, c)
+			}
+		}
+	}
+	sort.Strings(consts)
+	return consts, table.FreshPrefix(consts)
+}
+
+// unifyTuple matches row values against a ground fact under the current
+// bindings, returning the variables newly bound (for undo) and whether the
+// unification succeeds. Constants must match exactly; variables must agree
+// with their binding or become bound.
+func unifyTuple(vals value.Tuple, f rel.Fact, bind map[string]string) ([]string, bool) {
+	var bound []string
+	for i, v := range vals {
+		if v.IsConst() {
+			if v.Name() != f[i] {
+				undo(bind, bound)
+				return nil, false
+			}
+			continue
+		}
+		if c, ok := bind[v.Name()]; ok {
+			if c != f[i] {
+				undo(bind, bound)
+				return nil, false
+			}
+			continue
+		}
+		bind[v.Name()] = f[i]
+		bound = append(bound, v.Name())
+	}
+	return bound, true
+}
+
+func undo(bind map[string]string, bound []string) {
+	for _, b := range bound {
+		delete(bind, b)
+	}
+}
+
+// substBindings turns a binding map into a substitution for conditions.
+func substBindings(bind map[string]string) map[string]value.Value {
+	s := make(map[string]value.Value, len(bind))
+	for k, v := range bind {
+		s[k] = value.Const(v)
+	}
+	return s
+}
+
+// bindAtoms returns the equality atoms equating row values with the
+// components of a ground fact (used where unification is deferred to the
+// equality-logic solver instead of an eager binding map).
+func bindAtoms(vals value.Tuple, f rel.Fact) cond.Conjunction {
+	out := make(cond.Conjunction, 0, len(vals))
+	for i, v := range vals {
+		out = append(out, cond.EqAtom(v, value.Const(f[i])))
+	}
+	return out
+}
+
+// applyValuation produces the world σ(d), or nil when σ violates the
+// global condition.
+func applyValuation(v valuation.V, d *table.Database) *rel.Instance {
+	return v.Database(d)
+}

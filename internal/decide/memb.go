@@ -1,0 +1,344 @@
+package decide
+
+import (
+	"sort"
+
+	"fmt"
+
+	"pw/internal/cond"
+	"pw/internal/eqlogic"
+	"pw/internal/matching"
+	"pw/internal/query"
+	"pw/internal/rel"
+	"pw/internal/table"
+	"pw/internal/valuation"
+)
+
+// Membership decides MEMB(q): is i0 ∈ q(rep(d))? Dispatch:
+//
+//   - q identity (or positive-existential, lifted first) and the resulting
+//     database a vector of Codd-tables: the bipartite-matching algorithm of
+//     Theorem 3.1(1), polynomial time;
+//   - q liftable: the backtracking row↔fact solver with an equality-logic
+//     residual (NP as Theorem 3.1(2,3) and Proposition 2.1(2) require);
+//   - otherwise (first-order, DATALOG): exhaustive valuation search over
+//     Δ ∪ Δ′ comparing q(σ(d)) with i0.
+func Membership(i0 *rel.Instance, q query.Query, d *table.Database) (bool, error) {
+	if l, ok := query.AsLiftable(q); ok {
+		lifted, err := l.EvalLifted(d)
+		if err != nil {
+			return false, err
+		}
+		return membershipIdentity(i0, lifted)
+	}
+	return membershipGeneric(i0, q, d)
+}
+
+// membershipIdentity decides i0 ∈ rep(d).
+func membershipIdentity(i0 *rel.Instance, d *table.Database) (bool, error) {
+	if err := SchemaCheck(i0, d); err != nil {
+		return false, err
+	}
+	nd, ok := table.Normalize(d)
+	if !ok {
+		return false, nil // rep(d) = ∅
+	}
+	if nd.Kind() == table.KindCodd {
+		return membCodd(i0, nd), nil
+	}
+	return membSearch(i0, nd), nil
+}
+
+// membCodd implements the algorithm of Theorem 3.1(1): for each table,
+// build the bipartite graph between the facts of i0 (left) and the rows of
+// the table (right); answer yes iff every row is connected to some fact
+// and a maximum matching saturates all facts. Tables in a vector have
+// pairwise disjoint variables, so per-relation tests are independent.
+func membCodd(i0 *rel.Instance, d *table.Database) bool {
+	for _, t := range d.Tables() {
+		facts := i0.Relation(t.Name).Facts()
+		n, m := len(facts), len(t.Rows)
+		g := matching.NewGraph(n, m)
+		deg := make([]int, m)
+		for ai, u := range facts {
+			for bj, row := range t.Rows {
+				if rowMatchesFact(row, u) {
+					g.AddEdge(ai, bj)
+					deg[bj]++
+				}
+			}
+		}
+		// Step (c): a row that can produce no fact of i0 makes σ(T) ⊄ i0.
+		for _, dg := range deg {
+			if dg == 0 {
+				return false
+			}
+		}
+		// Steps (d)-(e): the matching must saturate all facts.
+		if _, _, size := matching.HopcroftKarp(g); size != n {
+			return false
+		}
+	}
+	return true
+}
+
+// rowMatchesFact reports whether some valuation maps the row onto the
+// fact in isolation: constants agree positionally and repeated variables
+// within the row agree. Allocation-free for the common small arities —
+// this is the inner loop of the matching-based MEMB/POSS algorithms,
+// called once per (row, fact) pair.
+func rowMatchesFact(row table.Row, f rel.Fact) bool {
+	var names, vals [8]string
+	n := 0
+	for i, v := range row.Values {
+		if v.IsConst() {
+			if v.Name() != f[i] {
+				return false
+			}
+			continue
+		}
+		name := v.Name()
+		seen := false
+		for j := 0; j < n; j++ {
+			if names[j] == name {
+				if vals[j] != f[i] {
+					return false
+				}
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			if n == len(names) {
+				// Arity beyond the fast path: fall back to a map.
+				bind := make(map[string]string, len(row.Values))
+				for j := 0; j < n; j++ {
+					bind[names[j]] = vals[j]
+				}
+				_, ok := unifyTuple(row.Values[i:], f[i:], bind)
+				return ok
+			}
+			names[n], vals[n] = name, f[i]
+			n++
+		}
+	}
+	return true
+}
+
+// membSearch is the backtracking solver for i0 ∈ rep(d) on general
+// c-tables: each row is either mapped onto a fact of its relation (its
+// local condition must hold) or dropped (its local condition must fail);
+// every fact must be covered by at least one mapped row; the residual
+// condition system is discharged by internal/eqlogic.
+func membSearch(i0 *rel.Instance, d *table.Database) bool {
+	s := newMembState(i0, d)
+	if s == nil {
+		return false
+	}
+	return s.search(0)
+}
+
+type membRow struct {
+	row        table.Row
+	relIdx     int
+	candidates []int // facts (indices into facts[relIdx]) the row can unify with
+	canDrop    bool
+}
+
+type membState struct {
+	global    cond.Conjunction
+	rows      []membRow
+	facts     [][]rel.Fact
+	coverCnt  [][]int // per relation, per fact: mapped rows covering it
+	remaining [][]int // per relation, per fact: unprocessed rows that could cover it
+	uncovered int
+	bind      map[string]string
+	mustTrue  []cond.Conjunction
+	mustFalse []cond.Conjunction
+}
+
+func newMembState(i0 *rel.Instance, d *table.Database) *membState {
+	s := &membState{
+		global: d.GlobalConjunction(),
+		bind:   map[string]string{},
+	}
+	for ri, t := range d.Tables() {
+		fs := i0.Relation(t.Name).Facts()
+		s.facts = append(s.facts, fs)
+		s.coverCnt = append(s.coverCnt, make([]int, len(fs)))
+		s.remaining = append(s.remaining, make([]int, len(fs)))
+		s.uncovered += len(fs)
+		for _, row := range t.Rows {
+			mr := membRow{row: row, relIdx: ri, canDrop: len(row.Cond) > 0}
+			for fi, f := range fs {
+				if rowMatchesFact(row, f) {
+					mr.candidates = append(mr.candidates, fi)
+					s.remaining[ri][fi]++
+				}
+			}
+			if len(mr.candidates) == 0 && !mr.canDrop {
+				return nil // unconditioned row that fits no fact: immediate no
+			}
+			s.rows = append(s.rows, mr)
+		}
+	}
+	// Most-constrained-first: rows with the fewest options fail fast and
+	// bind variables early, which is what makes the search practical on
+	// the lifted-view workloads.
+	sort.SliceStable(s.rows, func(i, j int) bool {
+		return s.rows[i].options() < s.rows[j].options()
+	})
+	return s
+}
+
+// options counts a row's branching factor (mapping choices plus drop).
+func (r membRow) options() int {
+	n := len(r.candidates)
+	if r.canDrop {
+		n++
+	}
+	return n
+}
+
+// search processes rows[k:]; rows[0:k] have been assigned.
+func (s *membState) search(k int) bool {
+	if k == len(s.rows) {
+		if s.uncovered > 0 {
+			return false
+		}
+		return s.residualSatisfiable()
+	}
+	r := s.rows[k]
+	// A fact that only this row can still cover forces pruning bookkeeping:
+	// decrement remaining counts first.
+	for _, fi := range r.candidates {
+		s.remaining[r.relIdx][fi]--
+	}
+	defer func() {
+		for _, fi := range r.candidates {
+			s.remaining[r.relIdx][fi]++
+		}
+	}()
+
+	for _, fi := range r.candidates {
+		bound, ok := unifyTuple(r.row.Values, s.facts[r.relIdx][fi], s.bind)
+		if !ok {
+			continue
+		}
+		s.coverCnt[r.relIdx][fi]++
+		if s.coverCnt[r.relIdx][fi] == 1 {
+			s.uncovered--
+		}
+		s.mustTrue = append(s.mustTrue, r.row.Cond)
+		if s.quickConsistent() && !s.doomed() && s.search(k+1) {
+			return true
+		}
+		s.mustTrue = s.mustTrue[:len(s.mustTrue)-1]
+		if s.coverCnt[r.relIdx][fi] == 1 {
+			s.uncovered++
+		}
+		s.coverCnt[r.relIdx][fi]--
+		undo(s.bind, bound)
+	}
+	if r.canDrop {
+		s.mustFalse = append(s.mustFalse, r.row.Cond)
+		if !s.doomed() && s.search(k+1) {
+			return true
+		}
+		s.mustFalse = s.mustFalse[:len(s.mustFalse)-1]
+	}
+	return false
+}
+
+// doomed reports that some uncovered fact has no remaining row able to
+// cover it.
+func (s *membState) doomed() bool {
+	for ri := range s.facts {
+		for fi := range s.facts[ri] {
+			if s.coverCnt[ri][fi] == 0 && s.remaining[ri][fi] == 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// quickConsistent cheaply checks that the global condition plus the chosen
+// local conditions remain satisfiable under the current bindings.
+func (s *membState) quickConsistent() bool {
+	sub := substBindings(s.bind)
+	all := s.global.Subst(sub)
+	for _, c := range s.mustTrue {
+		all = append(all, c.Subst(sub)...)
+	}
+	return all.Satisfiable()
+}
+
+// residualSatisfiable solves the final constraint system: global and
+// selected local conditions must hold, dropped local conditions must fail.
+func (s *membState) residualSatisfiable() bool {
+	sub := substBindings(s.bind)
+	p := &eqlogic.Problem{}
+	p.RequireAll(s.global.Subst(sub))
+	for _, c := range s.mustTrue {
+		p.RequireAll(c.Subst(sub))
+	}
+	for _, c := range s.mustFalse {
+		p.Forbid(c.Subst(sub))
+	}
+	return p.Satisfiable()
+}
+
+// membershipGeneric decides MEMB(q) for arbitrary QPTIME queries by the
+// Proposition 2.1(2) search: guess a valuation over Δ ∪ Δ′ and compare
+// q(σ(d)) with i0. Exponential in the number of variables.
+func membershipGeneric(i0 *rel.Instance, q query.Query, d *table.Database) (bool, error) {
+	base, prefix := genericDomain(d, q, i0)
+	vars := d.VarNames()
+	var evalErr error
+	found := valuation.EnumerateCanonical(vars, base, prefix, func(v valuation.V) bool {
+		w := applyValuation(v, d)
+		if w == nil {
+			return false
+		}
+		out, err := q.Eval(w)
+		if err != nil {
+			evalErr = err
+			return true
+		}
+		return out.Equal(i0)
+	})
+	if evalErr != nil {
+		return false, fmt.Errorf("membership(%s): %w", q.Label(), evalErr)
+	}
+	return found, nil
+}
+
+// MembershipWitness returns a world of q(rep(d)) equal to i0 together with
+// the verdict; the witness is nil when the answer is no. It always uses
+// the generic search, so reserve it for small inputs and diagnostics.
+func MembershipWitness(i0 *rel.Instance, q query.Query, d *table.Database) (*rel.Instance, bool, error) {
+	base, prefix := genericDomain(d, q, i0)
+	var witness *rel.Instance
+	var evalErr error
+	found := valuation.EnumerateCanonical(d.VarNames(), base, prefix, func(v valuation.V) bool {
+		w := applyValuation(v, d)
+		if w == nil {
+			return false
+		}
+		out, err := q.Eval(w)
+		if err != nil {
+			evalErr = err
+			return true
+		}
+		if out.Equal(i0) {
+			witness = out
+			return true
+		}
+		return false
+	})
+	if evalErr != nil {
+		return nil, false, evalErr
+	}
+	return witness, found, nil
+}

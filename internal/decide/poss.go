@@ -1,0 +1,185 @@
+package decide
+
+import (
+	"sort"
+
+	"pw/internal/cond"
+	"pw/internal/eqlogic"
+	"pw/internal/matching"
+	"pw/internal/query"
+	"pw/internal/rel"
+	"pw/internal/table"
+	"pw/internal/valuation"
+)
+
+// Possible decides POSS(∗, q): is there a world I ∈ q(rep(d)) containing
+// every fact of p? With |p| bounded by a constant k this is POSS(k, q).
+// Dispatch:
+//
+//   - q liftable (identity or positive existential): the view is rewritten
+//     into a c-table database (the Theorem 5.2(1) route — polynomial growth
+//     by the algebraic completeness of c-tables) and possibility is decided
+//     on it: by bipartite matching when the result is a vector of
+//     Codd-tables (Theorem 5.1(1)), else by the backtracking fact↔row
+//     solver, which for |p| = k fixed visits O(rowsᵏ) nodes — the paper's
+//     polynomial bound for bounded possibility — and in the unbounded case
+//     is the NP search of Theorem 5.1(2,3).
+//   - otherwise (first-order, DATALOG — the NP-hard cases of Theorem
+//     5.2(2,3)): exhaustive valuation search over Δ ∪ Δ′.
+func Possible(p *rel.Instance, q query.Query, d *table.Database) (bool, error) {
+	if l, ok := query.AsLiftable(q); ok {
+		lifted, err := l.EvalLifted(d)
+		if err != nil {
+			return false, err
+		}
+		return possibleIdentity(p, lifted)
+	}
+	return possibleGeneric(p, q, d)
+}
+
+// possibleIdentity decides ∃I ∈ rep(d): facts(p) ⊆ I.
+func possibleIdentity(p *rel.Instance, d *table.Database) (bool, error) {
+	if err := factsCheck(p, d); err != nil {
+		return false, err
+	}
+	nd, ok := table.Normalize(d)
+	if !ok {
+		return false, nil // rep(d) = ∅
+	}
+	if nd.Kind() == table.KindCodd {
+		return possCodd(p, nd), nil
+	}
+	return possSearch(p, nd), nil
+}
+
+// possCodd is the Theorem 5.1(1) variation of the matching algorithm:
+// since σ(T) ⊇ p (not equality), only the facts of p need to be matched —
+// injectively, because one row instantiates to exactly one fact — and
+// every row is free to produce extra facts.
+func possCodd(p *rel.Instance, d *table.Database) bool {
+	for _, r := range p.Relations() {
+		t := d.Table(r.Name)
+		facts := r.Facts()
+		g := matching.NewGraph(len(facts), len(t.Rows))
+		for ai, u := range facts {
+			for bj, row := range t.Rows {
+				if rowMatchesFact(row, u) {
+					g.AddEdge(ai, bj)
+				}
+			}
+		}
+		if !matching.Perfect(g) {
+			return false
+		}
+	}
+	return true
+}
+
+// possSearch assigns each fact of p to a distinct row of its table
+// (backtracking with eager bindings); chosen rows' local conditions join
+// the global condition in the final equality-logic check.
+func possSearch(p *rel.Instance, d *table.Database) bool {
+	type need struct {
+		fact rel.Fact
+		t    *table.Table
+		cand []int // candidate row indices in t
+	}
+	var needs []need
+	for _, r := range p.Relations() {
+		t := d.Table(r.Name)
+		for _, u := range r.Facts() {
+			n := need{fact: u, t: t}
+			for ri := range t.Rows {
+				if rowMatchesFact(t.Rows[ri], u) {
+					n.cand = append(n.cand, ri)
+				}
+			}
+			if len(n.cand) == 0 {
+				return false
+			}
+			needs = append(needs, n)
+		}
+	}
+	// Most-constrained-first: facts with the fewest compatible rows first.
+	sort.SliceStable(needs, func(i, j int) bool {
+		return len(needs[i].cand) < len(needs[j].cand)
+	})
+	global := d.GlobalConjunction()
+	bind := map[string]string{}
+	used := map[*table.Row]bool{}
+	var must []cond.Conjunction
+
+	consistent := func() bool {
+		sub := substBindings(bind)
+		all := global.Subst(sub)
+		for _, c := range must {
+			all = append(all, c.Subst(sub)...)
+		}
+		return all.Satisfiable()
+	}
+
+	var try func(k int) bool
+	try = func(k int) bool {
+		if k == len(needs) {
+			sub := substBindings(bind)
+			pr := &eqlogic.Problem{}
+			pr.RequireAll(global.Subst(sub))
+			for _, c := range must {
+				pr.RequireAll(c.Subst(sub))
+			}
+			return pr.Satisfiable()
+		}
+		n := needs[k]
+		for _, ri := range n.cand {
+			row := &n.t.Rows[ri]
+			if used[row] {
+				continue
+			}
+			bound, ok := unifyTuple(row.Values, n.fact, bind)
+			if !ok {
+				continue
+			}
+			used[row] = true
+			must = append(must, row.Cond)
+			if consistent() && try(k+1) {
+				return true
+			}
+			must = must[:len(must)-1]
+			used[row] = false
+			undo(bind, bound)
+		}
+		return false
+	}
+	return try(0)
+}
+
+// possibleGeneric is the Proposition 2.1(4) search for arbitrary queries.
+func possibleGeneric(p *rel.Instance, q query.Query, d *table.Database) (bool, error) {
+	base, prefix := genericDomain(d, q, p)
+	var evalErr error
+	found := valuation.EnumerateCanonical(d.VarNames(), base, prefix, func(v valuation.V) bool {
+		w := applyValuation(v, d)
+		if w == nil {
+			return false
+		}
+		out, err := q.Eval(w)
+		if err != nil {
+			evalErr = err
+			return true
+		}
+		return p.SubsetOf(out)
+	})
+	if evalErr != nil {
+		return false, evalErr
+	}
+	return found, nil
+}
+
+// PossibleFact decides POSS(1, q) for a single fact.
+func PossibleFact(relName string, f rel.Fact, q query.Query, d *table.Database) (bool, error) {
+	p := rel.NewInstance()
+	r := rel.NewRelation(relName, len(f))
+	r.Add(f)
+	p.AddRelation(r)
+	return Possible(p, q, d)
+}

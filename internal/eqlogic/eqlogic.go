@@ -1,0 +1,184 @@
+// Package eqlogic decides satisfiability of systems over the equality
+// logic of the paper's conditions: a conjunction of literals (=/≠ atoms
+// that must hold) together with clauses (disjunctions of atoms, of which at
+// least one must hold), interpreted over the infinite constant domain 𝒟.
+//
+// Systems of this shape are the residual constraint problems left by the
+// backtracking decision procedures in internal/decide:
+//
+//   - "row t is dropped" contributes the clause ¬φ_t, i.e. the disjunction
+//     of the negations of φ_t's atoms;
+//   - "fact u is not produced by any row" contributes one such clause per
+//     row (the core of the uniqueness and certainty procedures);
+//   - global and selected local conditions contribute must-literals.
+//
+// Satisfiability is decided by DPLL-style branching over clauses with a
+// union–find consistency check at each node; a model over fresh constants
+// can be extracted from any satisfiable system.
+package eqlogic
+
+import (
+	"fmt"
+
+	"pw/internal/cond"
+	"pw/internal/valuation"
+	"pw/internal/value"
+)
+
+// Clause is a disjunction of atoms: at least one must hold. The empty
+// clause is false.
+type Clause []cond.Atom
+
+// NegationOf returns the clause ¬(c): the disjunction of the negations of
+// the conjunction's atoms. An empty conjunction (true) yields the empty
+// clause (false).
+func NegationOf(c cond.Conjunction) Clause {
+	out := make(Clause, len(c))
+	for i, a := range c {
+		out[i] = a.Negate()
+	}
+	return out
+}
+
+// Problem is a conjunction of must-hold literals plus a set of clauses.
+type Problem struct {
+	Must    cond.Conjunction
+	Clauses []Clause
+}
+
+// Require appends atoms that must hold.
+func (p *Problem) Require(atoms ...cond.Atom) { p.Must = append(p.Must, atoms...) }
+
+// RequireAll appends a whole conjunction.
+func (p *Problem) RequireAll(c cond.Conjunction) { p.Must = append(p.Must, c...) }
+
+// Forbid adds the clause ¬(c), requiring the conjunction c to be false.
+func (p *Problem) Forbid(c cond.Conjunction) { p.Clauses = append(p.Clauses, NegationOf(c)) }
+
+// AddClause appends a raw clause.
+func (p *Problem) AddClause(cl Clause) { p.Clauses = append(p.Clauses, cl) }
+
+// Clone returns an independent copy of the problem.
+func (p *Problem) Clone() *Problem {
+	c := &Problem{Must: p.Must.Clone(), Clauses: make([]Clause, len(p.Clauses))}
+	for i, cl := range p.Clauses {
+		c.Clauses[i] = append(Clause(nil), cl...)
+	}
+	return c
+}
+
+// Satisfiable reports whether some valuation over 𝒟 satisfies the system.
+func (p *Problem) Satisfiable() bool {
+	c, ok := p.solve()
+	_ = c
+	return ok
+}
+
+// Solution returns a satisfying conjunction extension (Must plus one chosen
+// atom per clause, consistent) if one exists.
+func (p *Problem) Solution() (cond.Conjunction, bool) { return p.solve() }
+
+func (p *Problem) solve() (cond.Conjunction, bool) {
+	if !p.Must.Satisfiable() {
+		return nil, false
+	}
+	return dpll(p.Must, p.Clauses)
+}
+
+// dpll branches over the first clause not already entailed; clause atom
+// choices are added to the must-conjunction and consistency is rechecked.
+func dpll(must cond.Conjunction, clauses []Clause) (cond.Conjunction, bool) {
+	// Find the first clause not trivially satisfied by must; branch on it.
+	for i, cl := range clauses {
+		satisfied := false
+		var open []cond.Atom
+		for _, a := range cl {
+			if a.TriviallyTrue() || must.Implies(a) {
+				satisfied = true
+				break
+			}
+			if a.TriviallyFalse() || must.Implies(a.Negate()) {
+				continue // this disjunct cannot help
+			}
+			open = append(open, a)
+		}
+		if satisfied {
+			continue
+		}
+		if len(open) == 0 {
+			return nil, false
+		}
+		rest := clauses[i+1:]
+		for _, a := range open {
+			next := append(must.Clone(), a)
+			if !next.Satisfiable() {
+				continue
+			}
+			if sol, ok := dpll(next, rest); ok {
+				return sol, true
+			}
+		}
+		return nil, false
+	}
+	return must, true
+}
+
+// Model produces a concrete valuation of vars satisfying the system: the
+// implied bindings of a solution conjunction, with every remaining
+// unconstrained variable (or variable class) mapped to a distinct fresh
+// constant prefix0, prefix1, … Choose the prefix outside every relevant
+// active domain (see table.FreshPrefix).
+func (p *Problem) Model(vars []string, prefix string) (valuation.V, bool) {
+	sol, ok := p.solve()
+	if !ok {
+		return nil, false
+	}
+	return ModelOf(sol, vars, prefix)
+}
+
+// ModelOf builds a model of a satisfiable conjunction as described at
+// Model. It returns ok=false when the conjunction is unsatisfiable.
+func ModelOf(sol cond.Conjunction, vars []string, prefix string) (valuation.V, bool) {
+	sub, ok := sol.ImpliedBindings()
+	if !ok {
+		return nil, false
+	}
+	v := make(valuation.V, len(vars))
+	fresh := make(map[string]string) // class-representative var -> fresh const
+	n := 0
+	freshFor := func(rep string) string {
+		c, ok := fresh[rep]
+		if !ok {
+			c = fmt.Sprintf("%s%d", prefix, n)
+			n++
+			fresh[rep] = c
+		}
+		return c
+	}
+	for _, name := range vars {
+		b, bound := sub[name]
+		switch {
+		case !bound:
+			v[name] = freshFor(name)
+		case b.IsConst():
+			v[name] = b.Name()
+		default:
+			v[name] = freshFor(b.Name())
+		}
+	}
+	// Distinct fresh constants satisfy all residual inequalities because
+	// any two terms forced equal share a class (hence a fresh constant) and
+	// no inequality connects two members of one class in a satisfiable
+	// conjunction. Inequalities against domain constants hold since fresh
+	// constants are outside the domain.
+	return v, true
+}
+
+// Value re-exports the value package's constructor pair for convenience of
+// callers assembling atoms inline.
+func Value(name string, isVar bool) value.Value {
+	if isVar {
+		return value.Var(name)
+	}
+	return value.Const(name)
+}

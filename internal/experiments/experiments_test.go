@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuickExperimentsRun smoke-tests the fast experiments end to end:
+// each must produce a header plus at least one data row, and the
+// correctness columns asserted inside the reports must agree (spot-checked
+// here through the rendered text).
+func TestQuickExperimentsRun(t *testing.T) {
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			r := e.Run(false)
+			if r.ID != e.ID {
+				t.Errorf("report id %q, registry id %q", r.ID, e.ID)
+			}
+			if len(r.Rows) < 2 {
+				t.Fatalf("experiment %s produced no data rows", e.ID)
+			}
+			s := r.String()
+			if !strings.Contains(s, r.Title) {
+				t.Error("rendered report lacks its title")
+			}
+		})
+	}
+}
+
+// TestFig1WorldCounts pins the Fig. 1 canonical world counts (regression
+// guard: these depend only on the semantics and the canonical domain).
+func TestFig1WorldCounts(t *testing.T) {
+	r := Fig1()
+	want := map[string]string{
+		"Ta": "2400",
+		"Tb": "25",
+		"Td": "20",
+		"Te": "23",
+	}
+	for _, row := range r.Rows[1:] {
+		if w, ok := want[row[0]]; ok && row[3] != w {
+			t.Errorf("%s world count = %s, want %s", row[0], row[3], w)
+		}
+	}
+	found := false
+	for _, n := range r.Notes {
+		if strings.Contains(n, "Ia ∈ rep(Ta) = true") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("example 2.1 note missing or false")
+	}
+}
+
+// TestFig4ColumnsAgree checks that the three reduction columns equal the
+// ground-truth column in the rendered Fig. 4 report.
+func TestFig4ColumnsAgree(t *testing.T) {
+	r := Fig4()
+	for _, row := range r.Rows[1:] {
+		for c := 2; c <= 4; c++ {
+			if row[c] != row[1] {
+				t.Errorf("graph %s: column %d = %s, want %s", row[0], c, row[c], row[1])
+			}
+		}
+	}
+}
+
+func TestVerdictBands(t *testing.T) {
+	if verdict(2) != "polynomial-like" {
+		t.Error("ratio 2 should be polynomial-like")
+	}
+	if verdict(30) != "superpolynomial" {
+		t.Error("ratio 30 should be superpolynomial")
+	}
+	if verdict(1000) != "exponential-like" {
+		t.Error("ratio 1000 should be exponential-like")
+	}
+}

@@ -1,0 +1,194 @@
+// Package gen generates random workloads for benchmarks and property
+// tests: tables of every kind with tunable size and null density, matching
+// member instances (by sampling a valuation), and near-miss instances
+// (members with one fact perturbed). All generation is seeded and
+// deterministic.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pw/internal/cond"
+	"pw/internal/rel"
+	"pw/internal/table"
+	"pw/internal/valuation"
+	"pw/internal/value"
+)
+
+// Config tunes the random table generator.
+type Config struct {
+	Rows        int     // number of rows
+	Arity       int     // tuple width
+	Consts      int     // size of the constant pool
+	NullDensity float64 // probability that a cell is a variable
+	VarPool     int     // for e/g/c-tables: number of distinct variables to draw from (0 = all fresh, Codd style)
+	NeqAtoms    int     // global inequality atoms (i/g/c-tables)
+	LocalConds  float64 // probability that a row gets a local condition (c-tables)
+	Seed        int64
+}
+
+// Generator produces tables and instances from a Config.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+	nv  int
+}
+
+// New returns a generator for the configuration.
+func New(cfg Config) *Generator {
+	if cfg.Arity == 0 {
+		cfg.Arity = 2
+	}
+	if cfg.Consts == 0 {
+		cfg.Consts = 8
+	}
+	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+func (g *Generator) constant() value.Value {
+	return value.Const(fmt.Sprintf("c%d", g.rng.Intn(g.cfg.Consts)))
+}
+
+func (g *Generator) variable() value.Value {
+	if g.cfg.VarPool > 0 {
+		return value.Var(fmt.Sprintf("v%d", g.rng.Intn(g.cfg.VarPool)))
+	}
+	g.nv++
+	return value.Var(fmt.Sprintf("v%d", g.nv))
+}
+
+func (g *Generator) cell() value.Value {
+	if g.rng.Float64() < g.cfg.NullDensity {
+		return g.variable()
+	}
+	return g.constant()
+}
+
+// Table generates one random table named name.
+func (g *Generator) Table(name string) *table.Table {
+	t := table.New(name, g.cfg.Arity)
+	for i := 0; i < g.cfg.Rows; i++ {
+		vals := make(value.Tuple, g.cfg.Arity)
+		for j := range vals {
+			vals[j] = g.cell()
+		}
+		row := table.Row{Values: vals}
+		if g.rng.Float64() < g.cfg.LocalConds {
+			row.Cond = cond.Conj(g.atom())
+		}
+		t.Add(row)
+	}
+	for i := 0; i < g.cfg.NeqAtoms; i++ {
+		t.Global = append(t.Global, cond.NeqAtom(g.anyValue(), g.anyValue()))
+	}
+	return t
+}
+
+func (g *Generator) anyValue() value.Value {
+	if g.rng.Intn(2) == 0 {
+		return g.constant()
+	}
+	return g.variable()
+}
+
+func (g *Generator) atom() cond.Atom {
+	op := cond.Eq
+	if g.rng.Intn(2) == 0 {
+		op = cond.Neq
+	}
+	return cond.Atom{Op: op, L: g.anyValue(), R: g.anyValue()}
+}
+
+// CoddTable generates a Codd-table: every variable occurrence fresh, no
+// conditions.
+func CoddTable(seed int64, name string, rows, arity, consts int, nullDensity float64) *table.Table {
+	g := New(Config{Rows: rows, Arity: arity, Consts: consts,
+		NullDensity: nullDensity, Seed: seed})
+	return g.Table(name)
+}
+
+// ETable generates an e-table: repeated variables from a pool, no
+// conditions.
+func ETable(seed int64, name string, rows, arity, consts, varPool int, nullDensity float64) *table.Table {
+	g := New(Config{Rows: rows, Arity: arity, Consts: consts,
+		NullDensity: nullDensity, VarPool: varPool, Seed: seed})
+	return g.Table(name)
+}
+
+// ITable generates an i-table: fresh variables plus global inequalities.
+func ITable(seed int64, name string, rows, arity, consts, neqAtoms int, nullDensity float64) *table.Table {
+	g := New(Config{Rows: rows, Arity: arity, Consts: consts,
+		NullDensity: nullDensity, NeqAtoms: neqAtoms, Seed: seed})
+	t := g.Table(name)
+	// Rebuild the global over variables that actually occur in rows, so
+	// the inequalities bite.
+	vars := t.Vars(nil, map[string]bool{})
+	t.Global = nil
+	rng := rand.New(rand.NewSource(seed + 1))
+	for i := 0; i < neqAtoms && len(vars) > 0; i++ {
+		l := value.Var(vars[rng.Intn(len(vars))])
+		var r value.Value
+		if rng.Intn(2) == 0 && len(vars) > 1 {
+			r = value.Var(vars[rng.Intn(len(vars))])
+		} else {
+			r = value.Const(fmt.Sprintf("c%d", rng.Intn(consts)))
+		}
+		t.Global = append(t.Global, cond.NeqAtom(l, r))
+	}
+	return t
+}
+
+// CTable generates a c-table with local conditions.
+func CTable(seed int64, name string, rows, arity, consts, varPool int, nullDensity, localConds float64) *table.Table {
+	g := New(Config{Rows: rows, Arity: arity, Consts: consts,
+		NullDensity: nullDensity, VarPool: varPool, LocalConds: localConds, Seed: seed})
+	return g.Table(name)
+}
+
+// MemberInstance samples a world of d (by drawing a random satisfying-ish
+// valuation and retrying) and returns it; ok is false if no world was
+// found within the attempt budget — callers should treat that as "skip".
+func MemberInstance(seed int64, d *table.Database) (*rel.Instance, bool) {
+	rng := rand.New(rand.NewSource(seed))
+	vars := d.VarNames()
+	seen := map[string]bool{}
+	consts := d.Consts(nil, seen)
+	prefix := table.FreshPrefix(consts)
+	domain := append([]string(nil), consts...)
+	for i := range vars {
+		domain = append(domain, fmt.Sprintf("%s%d", prefix, i))
+	}
+	if len(domain) == 0 {
+		domain = []string{"c0"}
+	}
+	for attempt := 0; attempt < 64; attempt++ {
+		v := make(valuation.V, len(vars))
+		for _, x := range vars {
+			v[x] = domain[rng.Intn(len(domain))]
+		}
+		if w := v.Database(d); w != nil {
+			return w, true
+		}
+	}
+	return nil, false
+}
+
+// PerturbedInstance returns a copy of i with one fact replaced by a fresh
+// fact over a junk constant — a near-miss workload for negative
+// membership tests. The second return is false when i is empty.
+func PerturbedInstance(seed int64, i *rel.Instance) (*rel.Instance, bool) {
+	out := i.Clone()
+	for _, r := range out.Relations() {
+		fs := r.Facts()
+		if len(fs) == 0 {
+			continue
+		}
+		rng := rand.New(rand.NewSource(seed))
+		f := fs[rng.Intn(len(fs))].Clone()
+		f[rng.Intn(len(f))] = fmt.Sprintf("junk%d", rng.Intn(1<<30))
+		r.Add(f)
+		return out, true
+	}
+	return nil, false
+}

@@ -1,0 +1,105 @@
+package gen
+
+import (
+	"testing"
+
+	"pw/internal/cond"
+	"pw/internal/table"
+	"pw/internal/worlds"
+)
+
+func TestCoddTableIsCodd(t *testing.T) {
+	tb := CoddTable(1, "T", 20, 3, 5, 0.4)
+	if got := tb.Kind(); got != table.KindCodd {
+		t.Errorf("kind = %v, want table", got)
+	}
+	if len(tb.Rows) != 20 || tb.Arity != 3 {
+		t.Error("dimensions wrong")
+	}
+}
+
+func TestETableKind(t *testing.T) {
+	tb := ETable(2, "T", 30, 2, 5, 3, 0.6)
+	k := tb.Kind()
+	if k != table.KindE && k != table.KindCodd {
+		t.Errorf("kind = %v, want e-table (or degenerate table)", k)
+	}
+}
+
+func TestITableKind(t *testing.T) {
+	tb := ITable(3, "T", 20, 2, 5, 4, 0.5)
+	k := tb.Kind()
+	if k != table.KindI && k != table.KindCodd {
+		t.Errorf("kind = %v, want i-table", k)
+	}
+}
+
+func TestCTableKind(t *testing.T) {
+	tb := CTable(4, "T", 20, 2, 5, 4, 0.5, 1.0)
+	if got := tb.Kind(); got != table.KindC {
+		t.Errorf("kind = %v, want c-table", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := CoddTable(7, "T", 10, 2, 5, 0.5)
+	b := CoddTable(7, "T", 10, 2, 5, 0.5)
+	if a.String() != b.String() {
+		t.Error("same seed must give identical tables")
+	}
+	c := CoddTable(8, "T", 10, 2, 5, 0.5)
+	if a.String() == c.String() {
+		t.Error("different seeds should differ (overwhelmingly)")
+	}
+}
+
+func TestMemberInstanceIsMember(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		tb := CoddTable(seed, "T", 4, 2, 4, 0.5)
+		d := table.DB(tb)
+		i, ok := MemberInstance(seed, d)
+		if !ok {
+			t.Fatalf("seed %d: no member instance found", seed)
+		}
+		if !worlds.Member(i, d) {
+			t.Errorf("seed %d: generated instance is not a member", seed)
+		}
+	}
+}
+
+func TestMemberInstanceUnsatisfiableGlobal(t *testing.T) {
+	tb := CoddTable(1, "T", 2, 2, 4, 0.5)
+	d := table.DB(tb)
+	// Force an unsatisfiable global condition.
+	d2, _ := worldsafeUnsat(d)
+	if _, ok := MemberInstance(1, d2); ok {
+		t.Error("no world exists, MemberInstance must report not-ok")
+	}
+}
+
+// worldsafeUnsat clones d with a contradictory global condition.
+func worldsafeUnsat(d *table.Database) (*table.Database, bool) {
+	c := d.Clone()
+	t := c.Tables()[0]
+	t.Global = append(t.Global, cond.False())
+	return c, true
+}
+
+func TestPerturbedInstanceDiffers(t *testing.T) {
+	tb := CoddTable(5, "T", 5, 2, 4, 0.3)
+	d := table.DB(tb)
+	i, ok := MemberInstance(5, d)
+	if !ok {
+		t.Skip("no member sample")
+	}
+	p, ok := PerturbedInstance(5, i)
+	if !ok {
+		t.Skip("empty instance")
+	}
+	if p.Equal(i) {
+		t.Error("perturbation must change the instance")
+	}
+	if p.Size() != i.Size()+1 {
+		t.Errorf("perturbation should add one junk fact: %d vs %d", p.Size(), i.Size())
+	}
+}

@@ -1,0 +1,171 @@
+// Package graph provides the undirected-graph substrate of the paper's
+// 3-colorability reductions (Theorems 3.1(2,3,4) and 3.2(4)): a graph type
+// with an arbitrary-but-fixed edge orientation (the reductions list each
+// edge once, oriented), a brute-force 3-coloring decider as ground truth,
+// and random generators for benchmark workloads.
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Edge is an oriented listing of an undirected edge: the reduction
+// constructions need each edge exactly once with a fixed orientation.
+type Edge struct {
+	A, B int
+}
+
+// G is an undirected graph over vertices 0..N-1 whose edges carry an
+// arbitrary fixed orientation.
+type G struct {
+	N     int
+	Edges []Edge
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *G { return &G{N: n} }
+
+// AddEdge inserts the (oriented) edge a→b; self-loops are rejected because
+// the reductions assume loop-freeness (a self-loop is trivially
+// non-colorable anyway).
+func (g *G) AddEdge(a, b int) error {
+	if a == b {
+		return fmt.Errorf("graph: self-loop at %d not allowed", a)
+	}
+	if a < 0 || b < 0 || a >= g.N || b >= g.N {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", a, b, g.N)
+	}
+	g.Edges = append(g.Edges, Edge{A: a, B: b})
+	return nil
+}
+
+// MustEdge is AddEdge for static test/benchmark graphs.
+func (g *G) MustEdge(a, b int) *G {
+	if err := g.AddEdge(a, b); err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Colorable3 decides 3-colorability by backtracking over vertices in
+// degree order — exponential worst case; ground truth for the reductions.
+func (g *G) Colorable3() bool {
+	_, ok := g.Coloring3()
+	return ok
+}
+
+// Coloring3 returns a valid 3-coloring (colors 1..3 per the paper's
+// convention) if one exists.
+func (g *G) Coloring3() ([]int, bool) {
+	adj := make([][]int, g.N)
+	for _, e := range g.Edges {
+		adj[e.A] = append(adj[e.A], e.B)
+		adj[e.B] = append(adj[e.B], e.A)
+	}
+	order := make([]int, g.N)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return len(adj[order[i]]) > len(adj[order[j]]) })
+	color := make([]int, g.N)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == g.N {
+			return true
+		}
+		u := order[i]
+		for c := 1; c <= 3; c++ {
+			ok := true
+			for _, w := range adj[u] {
+				if color[w] == c {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				color[u] = c
+				if rec(i + 1) {
+					return true
+				}
+				color[u] = 0
+			}
+		}
+		return false
+	}
+	if !rec(0) {
+		return nil, false
+	}
+	return color, true
+}
+
+// ValidColoring reports whether color (1-based colors, index = vertex) is
+// a proper coloring.
+func (g *G) ValidColoring(color []int) bool {
+	if len(color) != g.N {
+		return false
+	}
+	for _, e := range g.Edges {
+		if color[e.A] == color[e.B] {
+			return false
+		}
+	}
+	return true
+}
+
+// Paper returns the example graph of Fig. 4(a): vertices 1..5 (0-indexed
+// here as 0..4) with edges 1→2, 2→3, 3→4, 4→1, 3→5.
+func Paper() *G {
+	g := New(5)
+	g.MustEdge(0, 1)
+	g.MustEdge(1, 2)
+	g.MustEdge(2, 3)
+	g.MustEdge(3, 0)
+	g.MustEdge(2, 4)
+	return g
+}
+
+// Random returns a random loop-free graph on n vertices where each of the
+// n(n-1)/2 candidate edges is present with probability p.
+func Random(rng *rand.Rand, n int, p float64) *G {
+	g := New(n)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if rng.Float64() < p {
+				g.MustEdge(a, b)
+			}
+		}
+	}
+	return g
+}
+
+// Cycle returns the n-cycle (3-colorable always; 2-colorable iff n even).
+func Cycle(n int) *G {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.MustEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+// Complete returns K_n (3-colorable iff n ≤ 3).
+func Complete(n int) *G {
+	g := New(n)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			g.MustEdge(a, b)
+		}
+	}
+	return g
+}
+
+// String renders the graph compactly.
+func (g *G) String() string {
+	parts := make([]string, len(g.Edges))
+	for i, e := range g.Edges {
+		parts[i] = fmt.Sprintf("%d-%d", e.A, e.B)
+	}
+	return fmt.Sprintf("G(n=%d; %s)", g.N, strings.Join(parts, " "))
+}

@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnownColorability(t *testing.T) {
+	cases := []struct {
+		g    *G
+		want bool
+	}{
+		{Complete(3), true},
+		{Complete(4), false},
+		{Complete(5), false},
+		{Cycle(4), true},
+		{Cycle(5), true},
+		{Cycle(7), true},
+		{New(3), true}, // no edges
+		{Paper(), true},
+	}
+	for i, tc := range cases {
+		if got := tc.g.Colorable3(); got != tc.want {
+			t.Errorf("case %d (%v): colorable = %v, want %v", i, tc.g, got, tc.want)
+		}
+	}
+}
+
+func TestColoringIsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := Random(rng, 2+rng.Intn(8), 0.4)
+		color, ok := g.Coloring3()
+		if !ok {
+			return true // validity of "no" checked by brute force below
+		}
+		for _, c := range color {
+			if c < 1 || c > 3 {
+				return false
+			}
+		}
+		return g.ValidColoring(color)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestColorable3MatchesExhaustive validates the backtracking decider
+// against full enumeration on small graphs.
+func TestColorable3MatchesExhaustive(t *testing.T) {
+	exhaustive := func(g *G) bool {
+		color := make([]int, g.N)
+		var rec func(i int) bool
+		rec = func(i int) bool {
+			if i == g.N {
+				return g.ValidColoring(color)
+			}
+			for c := 1; c <= 3; c++ {
+				color[i] = c
+				if rec(i + 1) {
+					return true
+				}
+			}
+			return false
+		}
+		return rec(0)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		g := Random(rng, 1+rng.Intn(7), 0.5)
+		if g.Colorable3() != exhaustive(g) {
+			t.Fatalf("disagreement on %v", g)
+		}
+	}
+}
+
+func TestSelfLoopRejected(t *testing.T) {
+	g := New(2)
+	if err := g.AddEdge(0, 0); err == nil {
+		t.Error("self-loop must be rejected")
+	}
+	if err := g.AddEdge(0, 5); err == nil {
+		t.Error("out-of-range edge must be rejected")
+	}
+}
+
+func TestPaperGraphShape(t *testing.T) {
+	g := Paper()
+	if g.N != 5 || len(g.Edges) != 5 {
+		t.Errorf("paper graph: n=%d m=%d", g.N, len(g.Edges))
+	}
+	if !g.Colorable3() {
+		t.Error("the paper's Fig. 4(a) graph is 3-colorable")
+	}
+}
+
+func TestValidColoringRejectsBadInput(t *testing.T) {
+	g := Cycle(3)
+	if g.ValidColoring([]int{1, 2}) {
+		t.Error("wrong length must be invalid")
+	}
+	if g.ValidColoring([]int{1, 1, 2}) {
+		t.Error("monochrome edge must be invalid")
+	}
+	if !g.ValidColoring([]int{1, 2, 3}) {
+		t.Error("proper coloring rejected")
+	}
+}

@@ -1,0 +1,182 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSmallMatchings(t *testing.T) {
+	// Perfect matching on a 2x2 complete graph.
+	g := NewGraph(2, 2)
+	g.AddEdge(0, 0)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(1, 1)
+	if _, _, size := HopcroftKarp(g); size != 2 {
+		t.Errorf("complete 2x2 matching = %d", size)
+	}
+	if !Perfect(g) {
+		t.Error("Perfect should hold")
+	}
+}
+
+func TestBottleneck(t *testing.T) {
+	// Two left vertices compete for one right vertex.
+	g := NewGraph(2, 1)
+	g.AddEdge(0, 0)
+	g.AddEdge(1, 0)
+	if _, _, size := HopcroftKarp(g); size != 1 {
+		t.Errorf("bottleneck matching = %d, want 1", size)
+	}
+	if Perfect(g) {
+		t.Error("Perfect must fail")
+	}
+}
+
+func TestAugmentingPathNeeded(t *testing.T) {
+	// Classic case where greedy fails but augmenting succeeds:
+	// L0-{R0,R1}, L1-{R0}. Greedy L0→R0 blocks L1; augmenting flips L0→R1.
+	g := NewGraph(2, 2)
+	g.AddEdge(0, 0)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	ml, mr, size := HopcroftKarp(g)
+	if size != 2 {
+		t.Fatalf("size = %d, want 2", size)
+	}
+	if ml[0] != 1 || ml[1] != 0 || mr[0] != 1 || mr[1] != 0 {
+		t.Errorf("matching = %v / %v", ml, mr)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewGraph(0, 0)
+	if _, _, size := HopcroftKarp(g); size != 0 {
+		t.Error("empty graph must have empty matching")
+	}
+	if !Perfect(g) {
+		t.Error("empty graph has a (vacuously) perfect matching")
+	}
+	g2 := NewGraph(3, 0)
+	if Perfect(g2) {
+		t.Error("no right vertices cannot saturate the left")
+	}
+}
+
+func TestMatchingValidity(t *testing.T) {
+	// A matching must be a set of disjoint edges drawn from the graph.
+	check := func(g *Graph, ml, mr []int, size int) bool {
+		cnt := 0
+		for u, vtx := range ml {
+			if vtx == -1 {
+				continue
+			}
+			cnt++
+			if mr[vtx] != u {
+				return false
+			}
+			found := false
+			for _, w := range g.Adj[u] {
+				if w == vtx {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return cnt == size
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n, m := 1+rng.Intn(8), 1+rng.Intn(8)
+		g := NewGraph(n, m)
+		for u := 0; u < n; u++ {
+			for vtx := 0; vtx < m; vtx++ {
+				if rng.Intn(3) == 0 {
+					g.AddEdge(u, vtx)
+				}
+			}
+		}
+		ml, mr, size := HopcroftKarp(g)
+		if !check(g, ml, mr, size) {
+			t.Fatalf("invalid matching on trial %d", trial)
+		}
+	}
+}
+
+// TestHopcroftKarpMatchesSimple: both algorithms must agree on maximum
+// matching size for random graphs.
+func TestHopcroftKarpMatchesSimple(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 1+rng.Intn(10), 1+rng.Intn(10)
+		g := NewGraph(n, m)
+		for u := 0; u < n; u++ {
+			for vtx := 0; vtx < m; vtx++ {
+				if rng.Intn(3) == 0 {
+					g.AddEdge(u, vtx)
+				}
+			}
+		}
+		_, _, hk := HopcroftKarp(g)
+		_, _, sm := Simple(g)
+		return hk == sm
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAgainstBruteForce compares against exhaustive subset search on tiny
+// graphs.
+func TestAgainstBruteForce(t *testing.T) {
+	brute := func(g *Graph) int {
+		type edge struct{ u, v int }
+		var edges []edge
+		for u := range g.Adj {
+			for _, v := range g.Adj[u] {
+				edges = append(edges, edge{u, v})
+			}
+		}
+		best := 0
+		for mask := 0; mask < 1<<len(edges); mask++ {
+			usedL := map[int]bool{}
+			usedR := map[int]bool{}
+			ok, cnt := true, 0
+			for i, e := range edges {
+				if mask&(1<<i) == 0 {
+					continue
+				}
+				if usedL[e.u] || usedR[e.v] {
+					ok = false
+					break
+				}
+				usedL[e.u], usedR[e.v] = true, true
+				cnt++
+			}
+			if ok && cnt > best {
+				best = cnt
+			}
+		}
+		return best
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n, m := 1+rng.Intn(4), 1+rng.Intn(4)
+		g := NewGraph(n, m)
+		for u := 0; u < n; u++ {
+			for v := 0; v < m; v++ {
+				if rng.Intn(2) == 0 {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		_, _, hk := HopcroftKarp(g)
+		if want := brute(g); hk != want {
+			t.Fatalf("trial %d: HK=%d brute=%d", trial, hk, want)
+		}
+	}
+}

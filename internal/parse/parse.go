@@ -1,0 +1,240 @@
+// Package parse implements the .pw text format for conditioned-table
+// databases and instances, so the cmd tools can read and write problem
+// instances. The grammar (one directive per line, '#' comments):
+//
+//	@table NAME(ARITY)
+//	  global: ATOM, ATOM, ...
+//	  row: VAL VAL ... [| ATOM, ATOM, ...]
+//
+//	@relation NAME(ARITY)
+//	  fact: CONST CONST ...
+//
+// Values are bare constants or ?variables; atoms are "VAL = VAL" or
+// "VAL != VAL". Printing is Table.String / Instance-compatible; ParseDatabase
+// and ParseInstance invert it.
+package parse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"pw/internal/cond"
+	"pw/internal/rel"
+	"pw/internal/table"
+	"pw/internal/value"
+)
+
+// ParseDatabase reads a .pw database (a sequence of @table blocks).
+func ParseDatabase(r io.Reader) (*table.Database, error) {
+	d := table.NewDatabase()
+	var cur *table.Table
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "@table "):
+			name, arity, err := parseHeader(strings.TrimPrefix(line, "@table "))
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			cur = table.New(name, arity)
+			d.AddTable(cur)
+		case strings.HasPrefix(line, "global:"):
+			if cur == nil {
+				return nil, fmt.Errorf("line %d: global before @table", lineNo)
+			}
+			c, err := ParseConjunction(strings.TrimPrefix(line, "global:"))
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			cur.Global = append(cur.Global, c...)
+		case strings.HasPrefix(line, "row:"):
+			if cur == nil {
+				return nil, fmt.Errorf("line %d: row before @table", lineNo)
+			}
+			row, err := parseRow(strings.TrimPrefix(line, "row:"), cur.Arity)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			cur.Add(row)
+		default:
+			return nil, fmt.Errorf("line %d: unrecognized directive %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ParseInstance reads a .pw instance (a sequence of @relation blocks).
+func ParseInstance(r io.Reader) (*rel.Instance, error) {
+	inst := rel.NewInstance()
+	var cur *rel.Relation
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "@relation "):
+			name, arity, err := parseHeader(strings.TrimPrefix(line, "@relation "))
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			cur = rel.NewRelation(name, arity)
+			inst.AddRelation(cur)
+		case strings.HasPrefix(line, "fact:"):
+			if cur == nil {
+				return nil, fmt.Errorf("line %d: fact before @relation", lineNo)
+			}
+			fields := strings.Fields(strings.TrimPrefix(line, "fact:"))
+			if len(fields) != cur.Arity {
+				return nil, fmt.Errorf("line %d: fact has %d fields, relation %s expects %d",
+					lineNo, len(fields), cur.Name, cur.Arity)
+			}
+			for _, f := range fields {
+				if strings.HasPrefix(f, "?") {
+					return nil, fmt.Errorf("line %d: facts must be ground, got %s", lineNo, f)
+				}
+			}
+			cur.Add(rel.Fact(fields))
+		default:
+			return nil, fmt.Errorf("line %d: unrecognized directive %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+func parseHeader(s string) (string, int, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return "", 0, fmt.Errorf("want NAME(ARITY), got %q", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	if name == "" {
+		return "", 0, fmt.Errorf("empty name in %q", s)
+	}
+	arity, err := strconv.Atoi(strings.TrimSpace(s[open+1 : len(s)-1]))
+	if err != nil || arity < 0 {
+		return "", 0, fmt.Errorf("bad arity in %q", s)
+	}
+	return name, arity, nil
+}
+
+func parseRow(s string, arity int) (table.Row, error) {
+	valPart, condPart, hasCond := strings.Cut(s, "|")
+	fields := strings.Fields(valPart)
+	if len(fields) != arity {
+		return table.Row{}, fmt.Errorf("row has %d values, want %d", len(fields), arity)
+	}
+	vals := make(value.Tuple, arity)
+	for i, f := range fields {
+		vals[i] = ParseValue(f)
+	}
+	row := table.Row{Values: vals}
+	if hasCond {
+		c, err := ParseConjunction(condPart)
+		if err != nil {
+			return table.Row{}, err
+		}
+		row.Cond = c
+	}
+	return row, nil
+}
+
+// ParseValue parses a bare constant or ?variable.
+func ParseValue(s string) value.Value {
+	if strings.HasPrefix(s, "?") {
+		return value.Var(s[1:])
+	}
+	return value.Const(s)
+}
+
+// ParseConjunction parses a comma-separated conjunction of atoms; the
+// literal "true" (or empty input) yields the empty conjunction.
+func ParseConjunction(s string) (cond.Conjunction, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "true" {
+		return nil, nil
+	}
+	var out cond.Conjunction
+	for _, part := range strings.Split(s, ",") {
+		a, err := ParseAtom(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// ParseAtom parses "VAL = VAL" or "VAL != VAL".
+func ParseAtom(s string) (cond.Atom, error) {
+	s = strings.TrimSpace(s)
+	op := cond.Eq
+	var l, r string
+	if i := strings.Index(s, "!="); i >= 0 {
+		op = cond.Neq
+		l, r = s[:i], s[i+2:]
+	} else if i := strings.Index(s, "="); i >= 0 {
+		l, r = s[:i], s[i+1:]
+	} else {
+		return cond.Atom{}, fmt.Errorf("atom %q lacks = or !=", s)
+	}
+	lf, rf := strings.Fields(l), strings.Fields(r)
+	if len(lf) != 1 || len(rf) != 1 {
+		return cond.Atom{}, fmt.Errorf("atom %q malformed", s)
+	}
+	return cond.Atom{Op: op, L: ParseValue(lf[0]), R: ParseValue(rf[0])}, nil
+}
+
+// PrintDatabase renders d in .pw syntax (parsable by ParseDatabase).
+func PrintDatabase(w io.Writer, d *table.Database) error {
+	for i, t := range d.Tables() {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w, t.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PrintInstance renders i in .pw syntax (parsable by ParseInstance).
+func PrintInstance(w io.Writer, inst *rel.Instance) error {
+	for i, r := range inst.Relations() {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "@relation %s(%d)\n", r.Name, r.Arity); err != nil {
+			return err
+		}
+		for _, f := range r.Facts() {
+			if _, err := fmt.Fprintf(w, "  fact: %s\n", strings.Join(f, " ")); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,306 @@
+// Package rel implements complete-information databases (§2.1 of the
+// paper): relations of ground facts and instances, i.e. named vectors of
+// relations. Relations have set semantics with a canonical sorted order for
+// printing and comparison.
+package rel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Fact is a ground tuple: a fixed-arity sequence of constant names.
+type Fact []string
+
+// Key returns a canonical encoding of the fact usable as a map key. The
+// separator 0x00 cannot occur in constant names produced by this library.
+func (f Fact) Key() string { return strings.Join(f, "\x00") }
+
+// Clone returns a copy of f.
+func (f Fact) Clone() Fact {
+	c := make(Fact, len(f))
+	copy(c, f)
+	return c
+}
+
+// Equal reports component-wise equality.
+func (f Fact) Equal(g Fact) bool {
+	if len(f) != len(g) {
+		return false
+	}
+	for i := range f {
+		if f[i] != g[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the fact as (a, b, c).
+func (f Fact) String() string { return "(" + strings.Join(f, ", ") + ")" }
+
+// Compare orders facts lexicographically.
+func (f Fact) Compare(g Fact) int {
+	n := min(len(f), len(g))
+	for i := 0; i < n; i++ {
+		if f[i] < g[i] {
+			return -1
+		}
+		if f[i] > g[i] {
+			return 1
+		}
+	}
+	switch {
+	case len(f) < len(g):
+		return -1
+	case len(f) > len(g):
+		return 1
+	}
+	return 0
+}
+
+// Relation is a named finite set of facts of a fixed arity.
+type Relation struct {
+	Name  string
+	Arity int
+	facts map[string]Fact
+}
+
+// NewRelation returns an empty relation with the given name and arity.
+func NewRelation(name string, arity int) *Relation {
+	return &Relation{Name: name, Arity: arity, facts: make(map[string]Fact)}
+}
+
+// Add inserts the fact; it panics on arity mismatch (a programming error,
+// not a data error: arities are fixed parameters in the data-complexity
+// setting).
+func (r *Relation) Add(f Fact) {
+	if len(f) != r.Arity {
+		panic(fmt.Sprintf("rel: fact %v has arity %d, relation %s expects %d",
+			f, len(f), r.Name, r.Arity))
+	}
+	r.facts[f.Key()] = f.Clone()
+}
+
+// AddRow is a convenience wrapper turning its arguments into a fact.
+func (r *Relation) AddRow(vals ...string) { r.Add(Fact(vals)) }
+
+// Has reports membership.
+func (r *Relation) Has(f Fact) bool {
+	_, ok := r.facts[f.Key()]
+	return ok
+}
+
+// Len returns the number of facts.
+func (r *Relation) Len() int { return len(r.facts) }
+
+// Facts returns the facts in canonical sorted order.
+func (r *Relation) Facts() []Fact {
+	out := make([]Fact, 0, len(r.facts))
+	for _, f := range r.facts {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	c := NewRelation(r.Name, r.Arity)
+	for k, f := range r.facts {
+		c.facts[k] = f.Clone()
+	}
+	return c
+}
+
+// Equal reports set equality of facts (names and arities must also match).
+func (r *Relation) Equal(s *Relation) bool {
+	if r.Name != s.Name || r.Arity != s.Arity || len(r.facts) != len(s.facts) {
+		return false
+	}
+	for k := range r.facts {
+		if _, ok := s.facts[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every fact of r is in s.
+func (r *Relation) SubsetOf(s *Relation) bool {
+	if len(r.facts) > len(s.facts) {
+		return false
+	}
+	for k := range r.facts {
+		if _, ok := s.facts[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionWith adds every fact of s to r. Arities must match.
+func (r *Relation) UnionWith(s *Relation) {
+	for _, f := range s.facts {
+		r.Add(f)
+	}
+}
+
+// Consts appends every constant occurring in r to dst (dedup via seen).
+func (r *Relation) Consts(dst []string, seen map[string]bool) []string {
+	for _, f := range r.facts {
+		for _, c := range f {
+			if !seen[c] {
+				seen[c] = true
+				dst = append(dst, c)
+			}
+		}
+	}
+	return dst
+}
+
+// String renders the relation as Name(arity){fact, fact, ...} with facts in
+// canonical order.
+func (r *Relation) String() string {
+	fs := r.Facts()
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = f.String()
+	}
+	return fmt.Sprintf("%s/%d{%s}", r.Name, r.Arity, strings.Join(parts, " "))
+}
+
+// Instance is a complete-information database: an ordered vector of named
+// relations (§2.1). Relation names are unique within an instance.
+type Instance struct {
+	rels  []*Relation
+	index map[string]int
+}
+
+// NewInstance returns an empty instance.
+func NewInstance() *Instance {
+	return &Instance{index: make(map[string]int)}
+}
+
+// AddRelation inserts r; it panics if a relation with the same name exists.
+func (i *Instance) AddRelation(r *Relation) *Relation {
+	if _, ok := i.index[r.Name]; ok {
+		panic("rel: duplicate relation " + r.Name)
+	}
+	i.index[r.Name] = len(i.rels)
+	i.rels = append(i.rels, r)
+	return r
+}
+
+// EnsureRelation returns the relation named name, creating it with the
+// given arity if absent.
+func (i *Instance) EnsureRelation(name string, arity int) *Relation {
+	if r := i.Relation(name); r != nil {
+		return r
+	}
+	return i.AddRelation(NewRelation(name, arity))
+}
+
+// Relation returns the relation named name, or nil.
+func (i *Instance) Relation(name string) *Relation {
+	if idx, ok := i.index[name]; ok {
+		return i.rels[idx]
+	}
+	return nil
+}
+
+// Relations returns the relations in insertion order.
+func (i *Instance) Relations() []*Relation { return i.rels }
+
+// Clone returns a deep copy.
+func (i *Instance) Clone() *Instance {
+	c := NewInstance()
+	for _, r := range i.rels {
+		c.AddRelation(r.Clone())
+	}
+	return c
+}
+
+// Equal reports equality: same relation names (order-insensitive) with
+// equal fact sets. Missing relations are treated as empty only if both
+// sides omit them, i.e. schemas must match.
+func (i *Instance) Equal(j *Instance) bool {
+	if len(i.rels) != len(j.rels) {
+		return false
+	}
+	for _, r := range i.rels {
+		s := j.Relation(r.Name)
+		if s == nil || !r.Equal(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every relation of i is a subset of the relation
+// of the same name in j. Relations absent from j count as empty.
+func (i *Instance) SubsetOf(j *Instance) bool {
+	for _, r := range i.rels {
+		s := j.Relation(r.Name)
+		if s == nil {
+			if r.Len() > 0 {
+				return false
+			}
+			continue
+		}
+		if !r.SubsetOf(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// Size returns the total number of facts.
+func (i *Instance) Size() int {
+	n := 0
+	for _, r := range i.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// Consts appends every constant occurring in the instance to dst (dedup
+// via seen): the active domain adom(I).
+func (i *Instance) Consts(dst []string, seen map[string]bool) []string {
+	for _, r := range i.rels {
+		dst = r.Consts(dst, seen)
+	}
+	return dst
+}
+
+// Key returns a canonical encoding of the whole instance, usable to
+// deduplicate possible worlds.
+func (i *Instance) Key() string {
+	names := make([]string, len(i.rels))
+	for k, r := range i.rels {
+		names[k] = r.Name
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		r := i.Relation(n)
+		b.WriteString(n)
+		b.WriteByte('\x01')
+		for _, f := range r.Facts() {
+			b.WriteString(f.Key())
+			b.WriteByte('\x02')
+		}
+		b.WriteByte('\x03')
+	}
+	return b.String()
+}
+
+// String renders each relation on its own line.
+func (i *Instance) String() string {
+	parts := make([]string, len(i.rels))
+	for k, r := range i.rels {
+		parts[k] = r.String()
+	}
+	return strings.Join(parts, "\n")
+}

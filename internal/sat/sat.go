@@ -1,0 +1,290 @@
+// Package sat provides the propositional substrate of the paper's
+// reductions: 3CNF formulas (satisfiability, Theorems 5.1(2,3), 5.2(3)),
+// 3DNF formulas (tautology, Theorems 3.2(3), 4.2(4), 5.2(2), 5.3(2)) and
+// ∀∃3CNF instances (Theorems 4.2(1,2,5)), each with a brute-force decider
+// used as ground truth and with random generators for benchmarks.
+package sat
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Lit is a literal: variable index (0-based) with a sign.
+type Lit struct {
+	Var int
+	Neg bool
+}
+
+// String renders the literal as x3 or ¬x3.
+func (l Lit) String() string {
+	if l.Neg {
+		return fmt.Sprintf("-x%d", l.Var)
+	}
+	return fmt.Sprintf("x%d", l.Var)
+}
+
+// Clause3 is a width-3 clause (disjunction in CNF, conjunction in DNF).
+type Clause3 [3]Lit
+
+// String renders the clause with the given connective.
+func (c Clause3) join(sep string) string {
+	return c[0].String() + sep + c[1].String() + sep + c[2].String()
+}
+
+// CNF is a conjunction of width-3 or-clauses over variables 0..NVars-1.
+type CNF struct {
+	NVars   int
+	Clauses []Clause3
+}
+
+// Eval reports whether the assignment (len = NVars) satisfies the formula.
+func (f CNF) Eval(assign []bool) bool {
+	for _, c := range f.Clauses {
+		ok := false
+		for _, l := range c {
+			if assign[l.Var] != l.Neg {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Satisfiable decides 3CNF-SAT by exhaustive assignment (ground truth).
+func (f CNF) Satisfiable() bool {
+	_, ok := f.SatisfyingAssignment()
+	return ok
+}
+
+// SatisfyingAssignment returns a witness assignment if one exists.
+func (f CNF) SatisfyingAssignment() ([]bool, bool) {
+	assign := make([]bool, f.NVars)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == f.NVars {
+			return f.Eval(assign)
+		}
+		assign[i] = false
+		if rec(i + 1) {
+			return true
+		}
+		assign[i] = true
+		return rec(i + 1)
+	}
+	if !rec(0) {
+		return nil, false
+	}
+	return assign, true
+}
+
+// String renders the CNF.
+func (f CNF) String() string {
+	parts := make([]string, len(f.Clauses))
+	for i, c := range f.Clauses {
+		parts[i] = "(" + c.join(" v ") + ")"
+	}
+	return strings.Join(parts, " ^ ")
+}
+
+// DNF is a disjunction of width-3 and-clauses.
+type DNF struct {
+	NVars   int
+	Clauses []Clause3
+}
+
+// Eval reports whether the assignment satisfies the formula.
+func (f DNF) Eval(assign []bool) bool {
+	for _, c := range f.Clauses {
+		ok := true
+		for _, l := range c {
+			if assign[l.Var] == l.Neg {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Tautology decides 3DNF-TAUT by exhaustive assignment (ground truth).
+func (f DNF) Tautology() bool {
+	_, ok := f.FalsifyingAssignment()
+	return !ok
+}
+
+// FalsifyingAssignment returns an assignment falsifying the formula, if
+// one exists (i.e. a witness of non-tautology).
+func (f DNF) FalsifyingAssignment() ([]bool, bool) {
+	assign := make([]bool, f.NVars)
+	var rec func(i int) ([]bool, bool)
+	rec = func(i int) ([]bool, bool) {
+		if i == f.NVars {
+			if !f.Eval(assign) {
+				out := make([]bool, len(assign))
+				copy(out, assign)
+				return out, true
+			}
+			return nil, false
+		}
+		assign[i] = false
+		if out, ok := rec(i + 1); ok {
+			return out, ok
+		}
+		assign[i] = true
+		return rec(i + 1)
+	}
+	return rec(0)
+}
+
+// Negate converts the CNF ¬f into DNF by De Morgan (used to relate SAT and
+// TAUT in tests: f satisfiable iff ¬f not a tautology).
+func (f CNF) Negate() DNF {
+	out := DNF{NVars: f.NVars, Clauses: make([]Clause3, len(f.Clauses))}
+	for i, c := range f.Clauses {
+		for j, l := range c {
+			out.Clauses[i][j] = Lit{Var: l.Var, Neg: !l.Neg}
+		}
+	}
+	return out
+}
+
+// String renders the DNF.
+func (f DNF) String() string {
+	parts := make([]string, len(f.Clauses))
+	for i, c := range f.Clauses {
+		parts[i] = "(" + c.join(" ^ ") + ")"
+	}
+	return strings.Join(parts, " v ")
+}
+
+// ForallExists is a ∀X∃Y 3CNF instance: variables 0..NX-1 are universal,
+// NX..NX+NY-1 existential.
+type ForallExists struct {
+	NX, NY  int
+	Clauses []Clause3
+}
+
+// cnf views the matrix as a CNF over NX+NY variables.
+func (q ForallExists) cnf() CNF {
+	return CNF{NVars: q.NX + q.NY, Clauses: q.Clauses}
+}
+
+// Valid decides the ∀∃ question by double exhaustion (ground truth; the
+// problem is Π₂ᵖ-complete, Theorem 4.2 uses it for hardness).
+func (q ForallExists) Valid() bool {
+	f := q.cnf()
+	assign := make([]bool, q.NX+q.NY)
+	var existsY func(i int) bool
+	existsY = func(i int) bool {
+		if i == q.NX+q.NY {
+			return f.Eval(assign)
+		}
+		assign[i] = false
+		if existsY(i + 1) {
+			return true
+		}
+		assign[i] = true
+		return existsY(i + 1)
+	}
+	var forallX func(i int) bool
+	forallX = func(i int) bool {
+		if i == q.NX {
+			return existsY(q.NX)
+		}
+		assign[i] = false
+		if !forallX(i + 1) {
+			return false
+		}
+		assign[i] = true
+		return forallX(i + 1)
+	}
+	return forallX(0)
+}
+
+// String renders the instance.
+func (q ForallExists) String() string {
+	return fmt.Sprintf("forall x0..x%d exists x%d..x%d: %s",
+		q.NX-1, q.NX, q.NX+q.NY-1, q.cnf())
+}
+
+// PaperCNF returns the 3CNF example of Fig. 5:
+//
+//	c1 = x1∨x2∨x3, c2 = x1∨¬x2∨x4, c3 = x1∨x4∨x5,
+//	c4 = x2∨¬x1∨x5, c5 = ¬x1∨¬x2∨¬x5
+//
+// with 0-based variables x1..x5 ↦ 0..4.
+func PaperCNF() CNF {
+	l := func(v int, neg bool) Lit { return Lit{Var: v - 1, Neg: neg} }
+	return CNF{NVars: 5, Clauses: []Clause3{
+		{l(1, false), l(2, false), l(3, false)},
+		{l(1, false), l(2, true), l(4, false)},
+		{l(1, false), l(4, false), l(5, false)},
+		{l(2, false), l(1, true), l(5, false)},
+		{l(1, true), l(2, true), l(5, true)},
+	}}
+}
+
+// PaperDNF returns the 3DNF example of Fig. 5 (the same clauses read as
+// and-clauses).
+func PaperDNF() DNF {
+	c := PaperCNF()
+	return DNF{NVars: c.NVars, Clauses: c.Clauses}
+}
+
+// PaperForallExists returns the ∀∃ example of Fig. 5: X = {x1,x2},
+// Y = {x3,x4,x5}.
+func PaperForallExists() ForallExists {
+	c := PaperCNF()
+	return ForallExists{NX: 2, NY: 3, Clauses: c.Clauses}
+}
+
+// RandomCNF generates a random 3CNF with the given clause count; literals
+// are drawn uniformly with distinct variables within a clause.
+func RandomCNF(rng *rand.Rand, nvars, nclauses int) CNF {
+	f := CNF{NVars: nvars}
+	for i := 0; i < nclauses; i++ {
+		f.Clauses = append(f.Clauses, randomClause(rng, nvars))
+	}
+	return f
+}
+
+// RandomDNF generates a random 3DNF.
+func RandomDNF(rng *rand.Rand, nvars, nclauses int) DNF {
+	f := DNF{NVars: nvars}
+	for i := 0; i < nclauses; i++ {
+		f.Clauses = append(f.Clauses, randomClause(rng, nvars))
+	}
+	return f
+}
+
+// RandomForallExists generates a random ∀∃3CNF instance.
+func RandomForallExists(rng *rand.Rand, nx, ny, nclauses int) ForallExists {
+	q := ForallExists{NX: nx, NY: ny}
+	for i := 0; i < nclauses; i++ {
+		q.Clauses = append(q.Clauses, randomClause(rng, nx+ny))
+	}
+	return q
+}
+
+func randomClause(rng *rand.Rand, nvars int) Clause3 {
+	var c Clause3
+	seen := map[int]bool{}
+	for j := 0; j < 3; j++ {
+		v := rng.Intn(nvars)
+		for nvars >= 3 && seen[v] {
+			v = rng.Intn(nvars)
+		}
+		seen[v] = true
+		c[j] = Lit{Var: v, Neg: rng.Intn(2) == 0}
+	}
+	return c
+}

@@ -1,0 +1,162 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperFormulas(t *testing.T) {
+	c := PaperCNF()
+	if len(c.Clauses) != 5 || c.NVars != 5 {
+		t.Fatalf("paper CNF shape: %v", c)
+	}
+	if !c.Satisfiable() {
+		t.Error("the paper's 3CNF is satisfiable (e.g. x1 true, x2 false, x5 false)")
+	}
+	d := PaperDNF()
+	if d.Tautology() {
+		t.Error("the paper's 3DNF is not a tautology (all-false falsifies every clause)")
+	}
+	q := PaperForallExists()
+	if q.NX != 2 || q.NY != 3 {
+		t.Errorf("paper ∀∃ split: %d/%d", q.NX, q.NY)
+	}
+}
+
+func TestSatisfyingAssignmentWitness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := RandomCNF(rng, 2+rng.Intn(4), 1+rng.Intn(6))
+		a, ok := c.SatisfyingAssignment()
+		if !ok {
+			return true
+		}
+		return c.Eval(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFalsifyingAssignmentWitness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := RandomDNF(rng, 2+rng.Intn(4), 1+rng.Intn(6))
+		a, ok := d.FalsifyingAssignment()
+		if !ok {
+			return d.Tautology()
+		}
+		return !d.Eval(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSATDualTAUT: f is satisfiable iff ¬f (as DNF) is not a tautology.
+func TestSATDualTAUT(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := RandomCNF(rng, 2+rng.Intn(3), 1+rng.Intn(5))
+		return c.Satisfiable() == !c.Negate().Tautology()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKnownTautology(t *testing.T) {
+	// x0 ∨ ¬x0, padded to width 3.
+	d := DNF{NVars: 1, Clauses: []Clause3{
+		{{Var: 0}, {Var: 0}, {Var: 0}},
+		{{Var: 0, Neg: true}, {Var: 0, Neg: true}, {Var: 0, Neg: true}},
+	}}
+	if !d.Tautology() {
+		t.Error("x0 ∨ ¬x0 is a tautology")
+	}
+}
+
+func TestForallExistsKnown(t *testing.T) {
+	// ∀x0 ∃x1 (x0∨x1)(¬x0∨¬x1): valid (x1 := ¬x0).
+	valid := ForallExists{NX: 1, NY: 1, Clauses: []Clause3{
+		{{Var: 0}, {Var: 1}, {Var: 1}},
+		{{Var: 0, Neg: true}, {Var: 1, Neg: true}, {Var: 1, Neg: true}},
+	}}
+	if !valid.Valid() {
+		t.Error("∀x∃y (x∨y)(¬x∨¬y) is valid")
+	}
+	// ∀x0 ∃x1 (x0): invalid.
+	invalid := ForallExists{NX: 1, NY: 1, Clauses: []Clause3{
+		{{Var: 0}, {Var: 0}, {Var: 0}},
+	}}
+	if invalid.Valid() {
+		t.Error("∀x∃y (x) is invalid")
+	}
+	// No universal variables: reduces to satisfiability.
+	existOnly := ForallExists{NX: 0, NY: 2, Clauses: []Clause3{
+		{{Var: 0}, {Var: 1}, {Var: 1}},
+	}}
+	if !existOnly.Valid() {
+		t.Error("∃-only instance with satisfiable matrix is valid")
+	}
+}
+
+// TestForallExistsDuality: with NX = 0 validity equals satisfiability;
+// with NY = 0 validity equals the matrix being a tautology (as CNF).
+func TestForallExistsDuality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		cls := RandomCNF(rng, n, 1+rng.Intn(4)).Clauses
+		qe := ForallExists{NX: 0, NY: n, Clauses: cls}
+		if qe.Valid() != (CNF{NVars: n, Clauses: cls}).Satisfiable() {
+			return false
+		}
+		qa := ForallExists{NX: n, NY: 0, Clauses: cls}
+		// ∀X matrix holds iff the CNF is unfalsifiable.
+		cnfTaut := true
+		assign := make([]bool, n)
+		var rec func(i int) bool
+		rec = func(i int) bool {
+			if i == n {
+				return (CNF{NVars: n, Clauses: cls}).Eval(assign)
+			}
+			assign[i] = false
+			if !rec(i + 1) {
+				return false
+			}
+			assign[i] = true
+			return rec(i + 1)
+		}
+		cnfTaut = rec(0)
+		return qa.Valid() == cnfTaut
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRenderings(t *testing.T) {
+	if PaperCNF().String() == "" || PaperDNF().String() == "" || PaperForallExists().String() == "" {
+		t.Error("empty rendering")
+	}
+	l := Lit{Var: 2, Neg: true}
+	if l.String() != "-x2" {
+		t.Errorf("literal = %q", l)
+	}
+}
+
+func TestRandomClauseDistinctVars(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		c := randomClause(rng, 5)
+		seen := map[int]bool{}
+		for _, l := range c {
+			if seen[l.Var] {
+				t.Fatalf("repeated variable in clause %v", c)
+			}
+			seen[l.Var] = true
+		}
+	}
+}

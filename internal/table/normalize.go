@@ -1,0 +1,137 @@
+package table
+
+import (
+	"fmt"
+
+	"pw/internal/cond"
+	"pw/internal/rel"
+	"pw/internal/value"
+)
+
+// Normalize incorporates the equalities implied by the global condition
+// into the rows (the preprocessing step of Theorem 3.2(1): a variable
+// forced equal to a constant is replaced by that constant; variables forced
+// equal to each other are merged to one representative) and leaves only the
+// residual inequality atoms in the global condition. The second return
+// value is false when the global condition is unsatisfiable, in which case
+// rep(d) = ∅ and the returned database is nil.
+//
+// Local conditions are substituted through but otherwise untouched; a
+// c-table stays a c-table, a g-table becomes a table-with-inequalities
+// (i-table, possibly with repeated variables folded away).
+func Normalize(d *Database) (*Database, bool) {
+	g := d.GlobalConjunction()
+	sub, ok := g.ImpliedBindings()
+	if !ok {
+		return nil, false
+	}
+	residual, _ := g.Residual()
+	if !residual.Satisfiable() {
+		return nil, false
+	}
+	out := NewDatabase()
+	for i, t := range d.tables {
+		nt := t.Subst(sub)
+		nt.Global = nil
+		if i == 0 {
+			nt.Global = residual
+		}
+		out.AddTable(nt)
+	}
+	return out, true
+}
+
+// Freeze replaces every variable x occurring in the database by a fresh
+// constant a_x (the K₀ construction in the claim of Theorem 4.1). The
+// prefix must be chosen outside the active domains of every database
+// involved in the surrounding decision problem; FreshPrefix does this.
+// Freeze ignores conditions: callers normalize first so that all equality
+// information is incorporated and the residual inequalities are satisfied
+// by distinct fresh constants.
+func Freeze(d *Database, prefix string) *rel.Instance {
+	names := d.VarNames()
+	sub := make(map[string]value.Value, len(names))
+	for i, n := range names {
+		sub[n] = value.Const(fmt.Sprintf("%s%d", prefix, i))
+	}
+	inst := rel.NewInstance()
+	for _, t := range d.tables {
+		r := rel.NewRelation(t.Name, t.Arity)
+		for _, row := range t.Rows {
+			f := make(rel.Fact, len(row.Values))
+			for j, v := range row.Values {
+				if v.IsVar() {
+					f[j] = sub[v.Name()].Name()
+				} else {
+					f[j] = v.Name()
+				}
+			}
+			r.Add(f)
+		}
+		inst.AddRelation(r)
+	}
+	return inst
+}
+
+// FreshPrefix returns a constant-name prefix that no constant in any of the
+// given pools starts with, by extending "~" with enough "z"s. Constant
+// names produced by the library never start with '~' unless they came from
+// a previous FreshPrefix, so one or two rounds suffice.
+func FreshPrefix(pools ...[]string) string {
+	prefix := "~z"
+	for {
+		clash := false
+		for _, pool := range pools {
+			for _, c := range pool {
+				if len(c) >= len(prefix) && c[:len(prefix)] == prefix {
+					clash = true
+					break
+				}
+			}
+			if clash {
+				break
+			}
+		}
+		if !clash {
+			return prefix
+		}
+		prefix += "z"
+	}
+}
+
+// FromInstance lifts a complete-information instance to a (ground)
+// database: every fact becomes an unconditioned constant row. rep of the
+// result is the singleton {i}.
+func FromInstance(i *rel.Instance) *Database {
+	d := NewDatabase()
+	for _, r := range i.Relations() {
+		t := New(r.Name, r.Arity)
+		for _, f := range r.Facts() {
+			vals := make(value.Tuple, len(f))
+			for j, c := range f {
+				vals[j] = value.Const(c)
+			}
+			t.Rows = append(t.Rows, Row{Values: vals})
+		}
+		d.AddTable(t)
+	}
+	return d
+}
+
+// EmptyInstance returns the instance with the database's schema and no
+// facts (the representative produced by valuations that satisfy the global
+// condition but no local condition).
+func (d *Database) EmptyInstance() *rel.Instance {
+	inst := rel.NewInstance()
+	for _, t := range d.tables {
+		inst.AddRelation(rel.NewRelation(t.Name, t.Arity))
+	}
+	return inst
+}
+
+// SatisfiableGlobal reports whether the database's combined global
+// condition is satisfiable, i.e. whether rep(d) ≠ ∅ (Definition 2.1's
+// PTIME emptiness check).
+func (d *Database) SatisfiableGlobal() bool {
+	return cond.Conjunction(d.GlobalConjunction()).Satisfiable()
+}

@@ -1,0 +1,91 @@
+// Package unionfind provides a disjoint-set forest over string keys with
+// path compression and union by rank. It is the substrate for equality
+// reasoning in internal/cond and internal/eqlogic: variables and constants
+// are nodes, equality atoms are unions, and a condition is consistent only
+// if no two distinct constants share a class.
+package unionfind
+
+// UF is a disjoint-set forest over strings. The zero value is not usable;
+// call New.
+type UF struct {
+	parent map[string]string
+	rank   map[string]int
+	n      int // number of keys ever added
+}
+
+// New returns an empty forest.
+func New() *UF {
+	return &UF{parent: make(map[string]string), rank: make(map[string]int)}
+}
+
+// Add ensures key is present as a singleton class.
+func (u *UF) Add(key string) {
+	if _, ok := u.parent[key]; !ok {
+		u.parent[key] = key
+		u.rank[key] = 0
+		u.n++
+	}
+}
+
+// Find returns the representative of key's class, adding key if absent.
+func (u *UF) Find(key string) string {
+	u.Add(key)
+	root := key
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	// Path compression.
+	for u.parent[key] != root {
+		key, u.parent[key] = u.parent[key], root
+	}
+	return root
+}
+
+// Union merges the classes of a and b and returns the new representative.
+func (u *UF) Union(a, b string) string {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return ra
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	return ra
+}
+
+// Same reports whether a and b are in the same class.
+func (u *UF) Same(a, b string) bool { return u.Find(a) == u.Find(b) }
+
+// Len returns the number of keys added.
+func (u *UF) Len() int { return u.n }
+
+// Clone returns an independent copy of the forest.
+func (u *UF) Clone() *UF {
+	c := &UF{
+		parent: make(map[string]string, len(u.parent)),
+		rank:   make(map[string]int, len(u.rank)),
+		n:      u.n,
+	}
+	for k, v := range u.parent {
+		c.parent[k] = v
+	}
+	for k, v := range u.rank {
+		c.rank[k] = v
+	}
+	return c
+}
+
+// Classes returns the partition as a map from representative to members.
+// Member order within a class is unspecified.
+func (u *UF) Classes() map[string][]string {
+	out := make(map[string][]string)
+	for k := range u.parent {
+		r := u.Find(k)
+		out[r] = append(out[r], k)
+	}
+	return out
+}

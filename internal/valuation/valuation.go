@@ -1,0 +1,219 @@
+// Package valuation implements valuations (§2.2): functions from variables
+// and constants to constants that fix each constant. A valuation applied to
+// a conditioned table yields a possible world; the package also provides
+// the canonical-domain enumerator behind Proposition 2.1's observation that
+// only valuations into Δ ∪ Δ′ matter.
+package valuation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pw/internal/cond"
+	"pw/internal/rel"
+	"pw/internal/table"
+	"pw/internal/value"
+)
+
+// V is a valuation: a total map from variable names to constant names over
+// the variables it is applied to. Applying V to a variable it does not
+// bind panics — decision procedures must enumerate complete valuations.
+type V map[string]string
+
+// Clone returns a copy of v.
+func (v V) Clone() V {
+	c := make(V, len(v))
+	for k, val := range v {
+		c[k] = val
+	}
+	return c
+}
+
+// Value maps a value through the valuation: constants map to themselves.
+func (v V) Value(x value.Value) string {
+	if x.IsConst() {
+		return x.Name()
+	}
+	c, ok := v[x.Name()]
+	if !ok {
+		panic("valuation: unbound variable ?" + x.Name())
+	}
+	return c
+}
+
+// Tuple applies v to a tuple, producing a fact.
+func (v V) Tuple(t value.Tuple) rel.Fact {
+	f := make(rel.Fact, len(t))
+	for i, x := range t {
+		f[i] = v.Value(x)
+	}
+	return f
+}
+
+// Atom reports whether v satisfies the atom.
+func (v V) Atom(a cond.Atom) bool {
+	l, r := v.Value(a.L), v.Value(a.R)
+	if a.Op == cond.Eq {
+		return l == r
+	}
+	return l != r
+}
+
+// Satisfies reports whether v satisfies every atom of the conjunction.
+func (v V) Satisfies(c cond.Conjunction) bool {
+	for _, a := range c {
+		if !v.Atom(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// Table applies v to a conditioned table per Definition 2.1: the result
+// consists exactly of the facts σ(t) for rows t whose local condition σ
+// satisfies. The caller must separately check the global condition.
+func (v V) Table(t *table.Table) *rel.Relation {
+	r := rel.NewRelation(t.Name, t.Arity)
+	for _, row := range t.Rows {
+		if v.Satisfies(row.Cond) {
+			r.Add(v.Tuple(row.Values))
+		}
+	}
+	return r
+}
+
+// Database applies v to every table of d, producing an instance, with nil
+// returned when v does not satisfy the combined global condition (in which
+// case v denotes no world).
+func (v V) Database(d *table.Database) *rel.Instance {
+	if !v.Satisfies(d.GlobalConjunction()) {
+		return nil
+	}
+	inst := rel.NewInstance()
+	for _, t := range d.Tables() {
+		inst.AddRelation(v.Table(t))
+	}
+	return inst
+}
+
+// String renders the valuation deterministically, e.g. "{x→1, y→2}".
+func (v V) String() string {
+	keys := make([]string, 0, len(v))
+	for k := range v {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s→%s", k, v[k])
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Domain computes the canonical valuation domain Δ ∪ Δ′ of Proposition
+// 2.1 for the database d, optionally extended by the constants of extra
+// instances (e.g. the I₀ of MEMB or the fact set P of POSS): the constants
+// appearing in the inputs plus one fresh constant per variable.
+func Domain(d *table.Database, extra ...*rel.Instance) []string {
+	seen := map[string]bool{}
+	consts := d.Consts(nil, seen)
+	for _, e := range extra {
+		if e != nil {
+			consts = e.Consts(consts, seen)
+		}
+	}
+	vars := d.VarNames()
+	prefix := table.FreshPrefix(consts)
+	for i := range vars {
+		consts = append(consts, fmt.Sprintf("%s%d", prefix, i))
+	}
+	sort.Strings(consts)
+	return consts
+}
+
+// Enumerate calls fn for every total valuation of vars into domain, in
+// lexicographic order, stopping early (and returning true) when fn returns
+// true. With |vars| = k and |domain| = d it enumerates d^k valuations: the
+// exponential ground-truth search of Proposition 2.1, used by the generic
+// solvers and by cross-validation tests. The valuation passed to fn is
+// reused between calls; clone it to retain it.
+func Enumerate(vars []string, domain []string, fn func(V) bool) bool {
+	if len(domain) == 0 && len(vars) > 0 {
+		return false
+	}
+	v := make(V, len(vars))
+	idx := make([]int, len(vars))
+	for {
+		for i, name := range vars {
+			v[name] = domain[idx[i]]
+		}
+		if fn(v) {
+			return true
+		}
+		// Odometer increment.
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(domain) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return false
+		}
+	}
+}
+
+// Count returns the number of total valuations Enumerate would visit.
+func Count(vars, domain []string) int {
+	n := 1
+	for range vars {
+		n *= len(domain)
+	}
+	return n
+}
+
+// EnumerateCanonical enumerates valuations of vars into base ∪ Δ′ up to
+// renaming of the fresh constants: fresh constants prefix0, prefix1, … are
+// introduced in first-use order (a restricted-growth constraint), so two
+// valuations differing only by a permutation of fresh constants are
+// visited once. All five decision problems are invariant under bijections
+// fixing the input constants (genericity, Proposition 2.1), so the
+// canonical enumeration is sound and complete for them while visiting
+// Π(|base|+i) instead of (|base|+|vars|)^|vars| valuations.
+//
+// fn's valuation is reused between calls; clone it to retain it.
+func EnumerateCanonical(vars []string, base []string, prefix string, fn func(V) bool) bool {
+	v := make(V, len(vars))
+	fresh := make([]string, 0, len(vars))
+	var rec func(i, used int) bool
+	rec = func(i, used int) bool {
+		if i == len(vars) {
+			return fn(v)
+		}
+		for _, c := range base {
+			v[vars[i]] = c
+			if rec(i+1, used) {
+				return true
+			}
+		}
+		// Reuse fresh constants introduced so far, or introduce the next.
+		for j := 0; j <= used && j < len(vars); j++ {
+			if j == len(fresh) {
+				fresh = append(fresh, fmt.Sprintf("%s%d", prefix, j))
+			}
+			v[vars[i]] = fresh[j]
+			next := used
+			if j == used {
+				next = used + 1
+			}
+			if rec(i+1, next) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0, 0)
+}

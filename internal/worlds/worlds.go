@@ -1,0 +1,127 @@
+// Package worlds implements the possible-worlds semantics of Definition
+// 2.1: rep(T) for a database of conditioned tables, with exhaustive
+// enumeration over the canonical domain Δ ∪ Δ′ (Proposition 2.1). The
+// enumerators here are exponential in the number of variables; they are the
+// ground truth against which the polynomial and backtracking algorithms of
+// internal/decide are validated, and the baseline the benchmarks compare
+// against.
+package worlds
+
+import (
+	"pw/internal/rel"
+	"pw/internal/table"
+	"pw/internal/valuation"
+)
+
+// Each enumerates the distinct possible worlds of d over the given domain
+// (pass nil to use the canonical Domain(d)), calling fn for each distinct
+// instance; enumeration stops early when fn returns true, and Each then
+// returns true. Worlds are deduplicated by canonical instance encoding, so
+// fn sees each element of rep(d) at most once per isomorphism-free domain.
+func Each(d *table.Database, domain []string, fn func(*rel.Instance) bool) bool {
+	if domain == nil {
+		domain = valuation.Domain(d)
+	}
+	seen := make(map[string]bool)
+	vars := d.VarNames()
+	return valuation.Enumerate(vars, domain, func(v valuation.V) bool {
+		inst := v.Database(d)
+		if inst == nil {
+			return false
+		}
+		k := inst.Key()
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+		return fn(inst)
+	})
+}
+
+// All materializes rep(d) over the canonical domain. Use only on small
+// inputs: the size is exponential in the number of variables.
+func All(d *table.Database) []*rel.Instance {
+	var out []*rel.Instance
+	Each(d, nil, func(i *rel.Instance) bool {
+		out = append(out, i)
+		return false
+	})
+	return out
+}
+
+// Count returns |rep(d)| restricted to the canonical domain (the number of
+// distinct worlds over Δ ∪ Δ′; rep itself is infinite whenever a variable
+// is unconstrained, so this is the standard finite proxy).
+func Count(d *table.Database) int {
+	n := 0
+	Each(d, nil, func(*rel.Instance) bool {
+		n++
+		return false
+	})
+	return n
+}
+
+// Member reports whether i ∈ rep(d), by exhaustive valuation search over
+// the constants of d and i plus fresh constants. This is the NP witness
+// search of Proposition 2.1(2) run deterministically; internal/decide has
+// the practical algorithms.
+func Member(i *rel.Instance, d *table.Database) bool {
+	domain := valuation.Domain(d, i)
+	vars := d.VarNames()
+	return valuation.Enumerate(vars, domain, func(v valuation.V) bool {
+		w := v.Database(d)
+		return w != nil && w.Equal(i)
+	})
+}
+
+// MemberWorld additionally returns a witness world equal to i, or nil.
+func MemberWorld(i *rel.Instance, d *table.Database) (*rel.Instance, bool) {
+	var witness *rel.Instance
+	domain := valuation.Domain(d, i)
+	ok := valuation.Enumerate(d.VarNames(), domain, func(v valuation.V) bool {
+		w := v.Database(d)
+		if w != nil && w.Equal(i) {
+			witness = w
+			return true
+		}
+		return false
+	})
+	return witness, ok
+}
+
+// Possible reports whether some world of d contains every fact of p
+// (the unbounded possibility question POSS(∗,−) by brute force).
+func Possible(p *rel.Instance, d *table.Database) bool {
+	domain := valuation.Domain(d, p)
+	return valuation.Enumerate(d.VarNames(), domain, func(v valuation.V) bool {
+		w := v.Database(d)
+		return w != nil && p.SubsetOf(w)
+	})
+}
+
+// Certain reports whether every world of d contains every fact of p
+// (CERT(∗,−) by brute force over the canonical domain; correctness over
+// all valuations follows from genericity, Proposition 2.1).
+func Certain(p *rel.Instance, d *table.Database) bool {
+	domain := valuation.Domain(d, p)
+	violated := valuation.Enumerate(d.VarNames(), domain, func(v valuation.V) bool {
+		w := v.Database(d)
+		return w != nil && !p.SubsetOf(w)
+	})
+	return !violated
+}
+
+// Transform enumerates q(rep(d)) for an arbitrary instance transformer q,
+// deduplicating outputs. It stops early when fn returns true.
+func Transform(d *table.Database, domain []string, q func(*rel.Instance) *rel.Instance, fn func(*rel.Instance) bool) bool {
+	seen := make(map[string]bool)
+	return Each(d, domain, func(i *rel.Instance) bool {
+		out := q(i)
+		k := out.Key()
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+		return fn(out)
+	})
+}

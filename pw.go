@@ -1,0 +1,197 @@
+// Package pw is the public API of the possible-worlds library: a Go
+// implementation of Abiteboul, Kanellakis and Grahne, "On the
+// Representation and Querying of Sets of Possible Worlds" (SIGMOD 1987 /
+// TCS 78(1991)).
+//
+// The package re-exports the library's core types as aliases and provides
+// convenience constructors, so downstream users import only "pw":
+//
+//	t := pw.NewTable("R", 2)
+//	t.AddTuple(pw.Const("1"), pw.Var("x"))
+//	db := pw.NewDatabase(t)
+//	worlds := pw.Worlds(db)                // enumerate rep(db)
+//	ok, _ := pw.Member(instance, db)       // MEMB
+//	ok, _ = pw.Certain(facts, query, db)   // CERT
+//
+// The full machinery lives in the internal packages; see DESIGN.md for the
+// map from the paper's sections to modules.
+package pw
+
+import (
+	"pw/internal/algebra"
+	"pw/internal/cond"
+	"pw/internal/decide"
+	"pw/internal/query"
+	"pw/internal/rel"
+	"pw/internal/table"
+	"pw/internal/valuation"
+	"pw/internal/value"
+	"pw/internal/worlds"
+)
+
+// Core value and condition types.
+type (
+	// Value is a constant or a variable (null).
+	Value = value.Value
+	// Tuple is a sequence of values.
+	Tuple = value.Tuple
+	// Atom is an equality or inequality between two values.
+	Atom = cond.Atom
+	// Conjunction is a conjunct of atoms (the paper's condition form).
+	Conjunction = cond.Conjunction
+)
+
+// Table and instance types.
+type (
+	// Table is a conditioned table (Codd-, e-, i-, g- or c-table).
+	Table = table.Table
+	// Row is one tuple of a table with its local condition.
+	Row = table.Row
+	// Database is a vector of conditioned tables.
+	Database = table.Database
+	// Kind is the representation class of a table or database.
+	Kind = table.Kind
+	// Fact is a ground tuple.
+	Fact = rel.Fact
+	// Relation is a named set of facts.
+	Relation = rel.Relation
+	// Instance is a complete-information database.
+	Instance = rel.Instance
+	// Valuation maps variables to constants.
+	Valuation = valuation.V
+)
+
+// Query types.
+type (
+	// Query maps instances to instances with PTIME data-complexity.
+	Query = query.Query
+	// AlgebraQuery is a positive existential query (vector of named
+	// relational algebra expressions), evaluable directly on c-tables.
+	AlgebraQuery = query.Algebra
+	// FOQuery is a first-order query vector.
+	FOQuery = query.FO
+	// DatalogQuery is a DATALOG query.
+	DatalogQuery = query.Datalog
+	// Expr is a relational algebra expression.
+	Expr = algebra.Expr
+)
+
+// Representation kinds, re-exported.
+const (
+	KindCodd = table.KindCodd
+	KindE    = table.KindE
+	KindI    = table.KindI
+	KindG    = table.KindG
+	KindC    = table.KindC
+)
+
+// Const returns the constant named name.
+func Const(name string) Value { return value.Const(name) }
+
+// Var returns the variable (null) named name.
+func Var(name string) Value { return value.Var(name) }
+
+// Eq returns the atom l = r.
+func Eq(l, r Value) Atom { return cond.EqAtom(l, r) }
+
+// Neq returns the atom l ≠ r.
+func Neq(l, r Value) Atom { return cond.NeqAtom(l, r) }
+
+// NewTable returns an empty conditioned table.
+func NewTable(name string, arity int) *Table { return table.New(name, arity) }
+
+// NewDatabase builds a database from tables.
+func NewDatabase(tables ...*Table) *Database { return table.DB(tables...) }
+
+// NewInstance returns an empty complete-information database.
+func NewInstance() *Instance { return rel.NewInstance() }
+
+// NewRelation returns an empty relation.
+func NewRelation(name string, arity int) *Relation { return rel.NewRelation(name, arity) }
+
+// Identity is the identity query.
+func Identity() Query { return query.Identity{} }
+
+// Worlds materializes rep(d) over the canonical domain Δ ∪ Δ′
+// (Proposition 2.1). The result grows exponentially with the number of
+// variables; use EachWorld for streaming.
+func Worlds(d *Database) []*Instance { return worlds.All(d) }
+
+// EachWorld streams the distinct possible worlds of d; fn returns true to
+// stop early.
+func EachWorld(d *Database, fn func(*Instance) bool) { worlds.Each(d, nil, fn) }
+
+// CountWorlds returns |rep(d)| over the canonical domain.
+func CountWorlds(d *Database) int { return worlds.Count(d) }
+
+// Member decides MEMB(−): is i ∈ rep(d)? Polynomial for Codd-tables
+// (Theorem 3.1(1)), NP search otherwise.
+func Member(i *Instance, d *Database) (bool, error) {
+	return decide.Membership(i, query.Identity{}, d)
+}
+
+// MemberOfView decides MEMB(q): is i ∈ q(rep(d))?
+func MemberOfView(i *Instance, q Query, d *Database) (bool, error) {
+	return decide.Membership(i, q, d)
+}
+
+// Unique decides UNIQ(−): is rep(d) = {i}?
+func Unique(i *Instance, d *Database) (bool, error) {
+	return decide.Uniqueness(query.Identity{}, d, i)
+}
+
+// UniqueView decides UNIQ(q0): is q0(rep(d)) = {i}?
+func UniqueView(i *Instance, q0 Query, d *Database) (bool, error) {
+	return decide.Uniqueness(q0, d, i)
+}
+
+// Contained decides CONT(−,−): is rep(d0) ⊆ rep(d)?
+func Contained(d0, d *Database) (bool, error) {
+	return decide.Containment(query.Identity{}, d0, query.Identity{}, d)
+}
+
+// ContainedViews decides CONT(q0,q): is q0(rep(d0)) ⊆ q(rep(d))?
+func ContainedViews(q0 Query, d0 *Database, q Query, d *Database) (bool, error) {
+	return decide.Containment(q0, d0, q, d)
+}
+
+// Possible decides POSS(∗,q): does some world of q(rep(d)) contain all
+// facts of p? Pass Identity() for the view-free question.
+func Possible(p *Instance, q Query, d *Database) (bool, error) {
+	return decide.Possible(p, q, d)
+}
+
+// Certain decides CERT(∗,q): do all worlds of q(rep(d)) contain all facts
+// of p?
+func Certain(p *Instance, q Query, d *Database) (bool, error) {
+	return decide.Certain(p, q, d)
+}
+
+// PossibleFact and CertainFact are the single-fact forms (POSS(1,q) and
+// CERT(1,q), the primitive CERT(∗,q) reduces to, Proposition 2.1(6)).
+func PossibleFact(relName string, f Fact, q Query, d *Database) (bool, error) {
+	return decide.PossibleFact(relName, f, q, d)
+}
+
+// CertainFact decides CERT(1, q) for a single fact.
+func CertainFact(relName string, f Fact, q Query, d *Database) (bool, error) {
+	return decide.CertainFact(relName, f, q, d)
+}
+
+// Normalize incorporates implied equalities into the tables and leaves a
+// residual inequality global condition; ok=false means rep(d) = ∅.
+func Normalize(d *Database) (*Database, bool) { return table.Normalize(d) }
+
+// Apply evaluates a positive existential query directly on a c-table
+// database, returning a c-table database representing the view q(rep(d))
+// (the Imielinski–Lipski lifted evaluation used by Theorem 5.2(1)).
+func Apply(q AlgebraQuery, d *Database) (*Database, error) { return q.EvalLifted(d) }
+
+// CertainAnswers computes every certain fact of q(rep(d)) for a liftable
+// (positive existential) query: the answers present in all possible
+// worlds. For homomorphism-preserved queries on g-tables this is the
+// polynomial certain-answer computation of Theorem 5.3(1); with ≠ or
+// local conditions each candidate is confirmed by refutation.
+func CertainAnswers(q Query, d *Database) (*Instance, error) {
+	return decide.CertainAnswers(q, d)
+}

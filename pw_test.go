@@ -1,0 +1,134 @@
+package pw
+
+import (
+	"testing"
+)
+
+// fig1CTable is the paper's Fig. 1 c-table Te, built through the facade.
+func fig1CTable() *Database {
+	t := NewTable("T", 2)
+	t.Global = Conjunction{
+		Neq(Var("x"), Const("1")),
+		Neq(Var("y"), Const("2")),
+	}
+	t.Add(Row{Values: Tuple{Const("0"), Const("1")},
+		Cond: Conjunction{Eq(Var("z"), Var("z"))}})
+	t.Add(Row{Values: Tuple{Const("0"), Var("x")},
+		Cond: Conjunction{Eq(Var("y"), Const("0"))}})
+	t.Add(Row{Values: Tuple{Var("y"), Var("x")},
+		Cond: Conjunction{Neq(Var("x"), Var("y"))}})
+	return NewDatabase(t)
+}
+
+func TestFacadeWorlds(t *testing.T) {
+	d := fig1CTable()
+	if d.Kind() != KindC {
+		t.Fatalf("kind = %v", d.Kind())
+	}
+	ws := Worlds(d)
+	if len(ws) == 0 {
+		t.Fatal("no worlds")
+	}
+	if CountWorlds(d) != len(ws) {
+		t.Error("CountWorlds disagrees with Worlds")
+	}
+	n := 0
+	EachWorld(d, func(*Instance) bool {
+		n++
+		return n == 2
+	})
+	if n != 2 {
+		t.Error("EachWorld early stop broken")
+	}
+	// The unconditional row (0,1) appears in every world.
+	for _, w := range ws {
+		if !w.Relation("T").Has(Fact{"0", "1"}) {
+			t.Fatalf("world %v lacks the certain fact (0,1)", w)
+		}
+	}
+	yes, err := CertainFact("T", Fact{"0", "1"}, Identity(), d)
+	if err != nil || !yes {
+		t.Errorf("(0,1) must be certain: %v %v", yes, err)
+	}
+}
+
+func TestFacadeMemberUnique(t *testing.T) {
+	tb := NewTable("R", 1)
+	tb.AddTuple(Var("x"))
+	tb.Global = Conjunction{Eq(Var("x"), Const("7"))}
+	d := NewDatabase(tb)
+
+	i := NewInstance()
+	r := NewRelation("R", 1)
+	r.Add(Fact{"7"})
+	i.AddRelation(r)
+
+	if ok, err := Member(i, d); err != nil || !ok {
+		t.Errorf("member: %v %v", ok, err)
+	}
+	if ok, err := Unique(i, d); err != nil || !ok {
+		t.Errorf("unique: %v %v", ok, err)
+	}
+
+	j := NewInstance()
+	rj := NewRelation("R", 1)
+	rj.Add(Fact{"8"})
+	j.AddRelation(rj)
+	if ok, _ := Member(j, d); ok {
+		t.Error("{(8)} is not represented")
+	}
+}
+
+func TestFacadeContainment(t *testing.T) {
+	a := NewTable("R", 1)
+	a.AddTuple(Const("1"))
+	b := NewTable("R", 1)
+	b.AddTuple(Var("x"))
+	dA, dB := NewDatabase(a), NewDatabase(b)
+	if ok, err := Contained(dA, dB); err != nil || !ok {
+		t.Errorf("{(1)} ⊆ all singletons: %v %v", ok, err)
+	}
+	if ok, _ := Contained(dB, dA); ok {
+		t.Error("all singletons ⊄ {(1)}")
+	}
+}
+
+func TestFacadeNormalize(t *testing.T) {
+	tb := NewTable("R", 1)
+	tb.AddTuple(Var("x"))
+	tb.Global = Conjunction{Eq(Var("x"), Const("3")), Neq(Var("y"), Const("0"))}
+	d := NewDatabase(tb)
+	nd, ok := Normalize(d)
+	if !ok {
+		t.Fatal("satisfiable global reported unsat")
+	}
+	row := nd.Tables()[0].Rows[0]
+	if row.Values[0] != Const("3") {
+		t.Errorf("normalization should bind x to 3: %v", row)
+	}
+	tb2 := NewTable("R", 1)
+	tb2.AddTuple(Var("x"))
+	tb2.Global = Conjunction{Eq(Var("x"), Const("1")), Eq(Var("x"), Const("2"))}
+	if _, ok := Normalize(NewDatabase(tb2)); ok {
+		t.Error("contradictory global must normalize to not-ok")
+	}
+}
+
+func TestFacadePossibleSet(t *testing.T) {
+	tb := NewTable("R", 1)
+	tb.AddTuple(Var("x"))
+	tb.AddTuple(Var("y"))
+	d := NewDatabase(tb)
+	p := NewInstance()
+	r := NewRelation("R", 1)
+	r.Add(Fact{"1"})
+	r.Add(Fact{"2"})
+	p.AddRelation(r)
+	if ok, err := Possible(p, Identity(), d); err != nil || !ok {
+		t.Errorf("two free rows can cover two facts: %v %v", ok, err)
+	}
+	r.Add(Fact{"3"})
+	if ok, _ := Possible(p, Identity(), d); ok {
+		t.Error("two rows cannot cover three facts")
+	}
+}
