@@ -1,14 +1,21 @@
 // Command pwbench regenerates the paper's figures as text reports (the
-// per-experiment index of DESIGN.md; reference output in EXPERIMENTS.md).
+// per-experiment index of DESIGN.md; reference output in EXPERIMENTS.md)
+// and runs the tracked perf probes.
 //
 // Usage:
 //
-//	pwbench [-full] [-only F3]
+//	pwbench [-full] [-only F3]          # figure reports (text)
+//	pwbench -bench [-only Fig3_...]     # perf probes (text)
+//	pwbench -bench -json                # perf probes as JSON to stdout
 //
-// -full widens the sweeps (slower); -only runs a single experiment by id.
+// -full widens the sweeps (slower); -only runs a single experiment or
+// probe by id. The JSON form emits an array of {name, n, ns_per_op,
+// allocs_per_op, bytes_per_op} objects, the shape tracked across PRs in
+// BENCH_*.json files.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,8 +26,32 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "widen sweeps (slower, used for EXPERIMENTS.md)")
-	only := flag.String("only", "", "run a single experiment by id (e.g. F3)")
+	only := flag.String("only", "", "run a single experiment or probe by id (e.g. F3, Fig3_MembMatching_128)")
+	bench := flag.Bool("bench", false, "run perf probes instead of figure reports")
+	asJSON := flag.Bool("json", false, "with -bench: emit machine-readable JSON")
 	flag.Parse()
+
+	if *bench {
+		results := experiments.RunBenchmarks(*only)
+		if len(results) == 0 {
+			fmt.Fprintf(os.Stderr, "pwbench: no probe matches -only=%s\n", *only)
+			os.Exit(1)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(results); err != nil {
+				fmt.Fprintf(os.Stderr, "pwbench: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+		for _, r := range results {
+			fmt.Printf("%-28s %10d iter %14.0f ns/op %8d B/op %6d allocs/op\n",
+				r.Name, r.N, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		}
+		return
+	}
 
 	start := time.Now()
 	ran := 0

@@ -1,0 +1,3 @@
+module pw
+
+go 1.24

@@ -21,6 +21,7 @@ import (
 
 	"pw/internal/cond"
 	"pw/internal/rel"
+	"pw/internal/sym"
 	"pw/internal/table"
 	"pw/internal/value"
 )
@@ -378,42 +379,56 @@ var (
 )
 
 // instRows is the intermediate result of instance evaluation: named columns
-// over a deduplicated fact set.
+// over a set of interned tuples deduplicated by fingerprint (exact-equality
+// buckets guard against collisions). Tuples added are owned by the result
+// or shared read-only with the input they came from.
 type instRows struct {
 	cols []string
-	rows map[string]rel.Fact
+	rows []sym.Tuple
+	seen map[uint64][]int32
 }
 
 func newInstRows(cols []string) *instRows {
-	return &instRows{cols: cols, rows: make(map[string]rel.Fact)}
+	return &instRows{cols: cols, seen: make(map[uint64][]int32)}
 }
 
-func (ir *instRows) add(f rel.Fact) { ir.rows[f.Key()] = f }
+func (ir *instRows) add(t sym.Tuple) {
+	h := sym.HashIDs(t)
+	for _, i := range ir.seen[h] {
+		if ir.rows[i].Equal(t) {
+			return
+		}
+	}
+	ir.seen[h] = append(ir.seen[h], int32(len(ir.rows)))
+	ir.rows = append(ir.rows, t)
+}
 
 // EvalInstance evaluates e on a complete-information instance, returning
-// the result's column names and facts.
+// the result's column names and facts (resolved to names at this boundary,
+// in canonical order).
 func EvalInstance(e Expr, inst *rel.Instance) ([]string, []rel.Fact, error) {
 	ir, err := evalInst(e, inst)
 	if err != nil {
 		return nil, nil, err
 	}
 	out := make([]rel.Fact, 0, len(ir.rows))
-	for _, f := range ir.rows {
-		out = append(out, f)
+	for _, t := range ir.rows {
+		out = append(out, rel.ResolveFact(t))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return ir.cols, out, nil
 }
 
-// EvalToRelation evaluates e and packages the result as a named relation.
+// EvalToRelation evaluates e and packages the result as a named relation,
+// staying in interned form end to end.
 func EvalToRelation(e Expr, inst *rel.Instance, name string) (*rel.Relation, error) {
-	cols, facts, err := EvalInstance(e, inst)
+	ir, err := evalInst(e, inst)
 	if err != nil {
 		return nil, err
 	}
-	r := rel.NewRelation(name, len(cols))
-	for _, f := range facts {
-		r.Add(f)
+	r := rel.NewRelation(name, len(ir.cols))
+	for _, t := range ir.rows {
+		r.Insert(t)
 	}
 	return r, nil
 }
@@ -427,7 +442,7 @@ func evalInst(e Expr, inst *rel.Instance) (*instRows, error) {
 		}
 		out := newInstRows(cols)
 		for _, r := range n.Rows {
-			out.add(rel.Fact(r).Clone())
+			out.add(rel.Fact(r).Intern())
 		}
 		return out, nil
 
@@ -445,8 +460,8 @@ func evalInst(e Expr, inst *rel.Instance) (*instRows, error) {
 				n.Name, len(cols), base.Arity)
 		}
 		out := newInstRows(cols)
-		for _, f := range base.Facts() {
-			out.add(f)
+		for _, t := range base.Tuples() {
+			out.add(t)
 		}
 		return out, nil
 
@@ -464,7 +479,7 @@ func evalInst(e Expr, inst *rel.Instance) (*instRows, error) {
 		}
 		out := newInstRows(n.Cols)
 		for _, f := range in.rows {
-			g := make(rel.Fact, len(idx))
+			g := make(sym.Tuple, len(idx))
 			for i, j := range idx {
 				g[i] = f[j]
 			}
@@ -480,13 +495,39 @@ func evalInst(e Expr, inst *rel.Instance) (*instRows, error) {
 		if _, err := n.Schema(); err != nil {
 			return nil, err
 		}
+		// Resolve predicate operands once: a column index or an interned
+		// constant, so the row loop is pure ID comparison.
+		type resolved struct {
+			op           cond.Op
+			lIdx, rIdx   int
+			lConst, rCon sym.ID
+		}
+		preds := make([]resolved, len(n.Preds))
+		for i, p := range n.Preds {
+			preds[i] = resolved{op: p.Op, lIdx: -1, rIdx: -1}
+			if p.L.isConst {
+				preds[i].lConst = sym.Const(p.L.k)
+			} else {
+				preds[i].lIdx = indexOf(in.cols, p.L.col)
+			}
+			if p.R.isConst {
+				preds[i].rCon = sym.Const(p.R.k)
+			} else {
+				preds[i].rIdx = indexOf(in.cols, p.R.col)
+			}
+		}
 		out := newInstRows(in.cols)
 		for _, f := range in.rows {
 			ok := true
-			for _, p := range n.Preds {
-				l := operandValue(p.L, in.cols, f)
-				r := operandValue(p.R, in.cols, f)
-				if (p.Op == cond.Eq) != (l == r) {
+			for _, p := range preds {
+				l, r := p.lConst, p.rCon
+				if p.lIdx >= 0 {
+					l = f[p.lIdx]
+				}
+				if p.rIdx >= 0 {
+					r = f[p.rIdx]
+				}
+				if (p.op == cond.Eq) != (l == r) {
 					ok = false
 					break
 				}
@@ -536,25 +577,31 @@ func evalInst(e Expr, inst *rel.Instance) (*instRows, error) {
 				rExtra = append(rExtra, j)
 			}
 		}
-		// Hash the right side on shared values.
-		index := make(map[string][]rel.Fact)
-		for _, rf := range r.rows {
-			var b strings.Builder
-			for _, j := range rShared {
-				b.WriteString(rf[j])
-				b.WriteByte('\x00')
+		// Hash the right side on shared-column IDs; probe hits are verified
+		// component-wise (the hash is a fingerprint, not an identity).
+		joinKey := func(t sym.Tuple, at []int) uint64 {
+			h := uint64(1469598103934665603)
+			for _, j := range at {
+				h ^= uint64(t[j])
+				h *= 1099511628211
 			}
-			index[b.String()] = append(index[b.String()], rf)
+			return h
+		}
+		index := make(map[uint64][]sym.Tuple, len(r.rows))
+		for _, rf := range r.rows {
+			k := joinKey(rf, rShared)
+			index[k] = append(index[k], rf)
 		}
 		out := newInstRows(cols)
 		for _, lf := range l.rows {
-			var b strings.Builder
-			for _, i := range lShared {
-				b.WriteString(lf[i])
-				b.WriteByte('\x00')
-			}
-			for _, rf := range index[b.String()] {
-				g := make(rel.Fact, 0, len(cols))
+		probe:
+			for _, rf := range index[joinKey(lf, lShared)] {
+				for k := range lShared {
+					if lf[lShared[k]] != rf[rShared[k]] {
+						continue probe
+					}
+				}
+				g := make(sym.Tuple, 0, len(cols))
 				g = append(g, lf...)
 				for _, j := range rExtra {
 					g = append(g, rf[j])
@@ -586,13 +633,6 @@ func evalInst(e Expr, inst *rel.Instance) (*instRows, error) {
 		return out, nil
 	}
 	return nil, fmt.Errorf("algebra: unknown expression %T", e)
-}
-
-func operandValue(o Operand, cols []string, f rel.Fact) string {
-	if o.isConst {
-		return o.k
-	}
-	return f[indexOf(cols, o.col)]
 }
 
 // liftRows is the intermediate result of lifted evaluation: named columns

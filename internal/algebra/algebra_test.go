@@ -7,6 +7,7 @@ import (
 
 	"pw/internal/cond"
 	"pw/internal/rel"
+	"pw/internal/sym"
 	"pw/internal/table"
 	"pw/internal/value"
 	"pw/internal/worlds"
@@ -192,19 +193,20 @@ func directWorlds(t *testing.T, e Expr, d *table.Database) map[string]bool {
 // the constants of the database and the expression plus one fresh constant
 // per database variable (the lifted table mentions no variables beyond
 // d's, so this is the canonical Δ ∪ Δ′ for both).
-func sharedDomain(d *table.Database, e Expr) []string {
-	seen := map[string]bool{}
-	cs := d.Consts(nil, seen)
+func sharedDomain(d *table.Database, e Expr) []sym.ID {
+	seen := map[sym.ID]bool{}
+	cs := d.ConstIDs(nil, seen)
 	for _, c := range e.Consts() {
-		if !seen[c] {
-			seen[c] = true
-			cs = append(cs, c)
+		id := sym.Const(c)
+		if !seen[id] {
+			seen[id] = true
+			cs = append(cs, id)
 		}
 	}
 	vars := d.VarNames()
-	prefix := table.FreshPrefix(cs)
-	for i := range vars {
-		cs = append(cs, value.FreshNames(prefix, len(vars))[i])
+	prefix := table.FreshPrefixIDs(cs)
+	for _, n := range value.FreshNames(prefix, len(vars)) {
+		cs = append(cs, sym.Const(n))
 	}
 	return cs
 }

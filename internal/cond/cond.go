@@ -10,14 +10,16 @@
 // Satisfiability is over the infinite constant domain 𝒟: a conjunction is
 // satisfiable iff merging its equality classes never identifies two
 // distinct constants and no inequality atom connects two members of one
-// class. This is decided in near-linear time with a union–find
-// (Proposition 2.1's "checked in PTIME" for global conditions).
+// class. This is decided in near-linear time with a dense union–find over
+// interned symbol IDs (Proposition 2.1's "checked in PTIME" for global
+// conditions) — no string keys are built anywhere on this path.
 package cond
 
 import (
 	"sort"
 	"strings"
 
+	"pw/internal/sym"
 	"pw/internal/unionfind"
 	"pw/internal/value"
 )
@@ -96,16 +98,16 @@ func (a Atom) normalize() Atom {
 	return a
 }
 
-// Subst replaces variables according to s (a map from variable name to
-// replacement value). Variables absent from s are left untouched.
-func (a Atom) Subst(s map[string]value.Value) Atom {
+// Subst replaces variables according to s. Variables absent from s are left
+// untouched.
+func (a Atom) Subst(s value.Subst) Atom {
 	if a.L.IsVar() {
-		if v, ok := s[a.L.Name()]; ok {
+		if v, ok := s[a.L]; ok {
 			a.L = v
 		}
 	}
 	if a.R.IsVar() {
-		if v, ok := s[a.R.Name()]; ok {
+		if v, ok := s[a.R]; ok {
 			a.R = v
 		}
 	}
@@ -118,6 +120,17 @@ func (a Atom) Vars(dst []string, seen map[string]bool) []string {
 		if v.IsVar() && !seen[v.Name()] {
 			seen[v.Name()] = true
 			dst = append(dst, v.Name())
+		}
+	}
+	return dst
+}
+
+// VarIDs appends the variable IDs of a to dst (dedup via seen).
+func (a Atom) VarIDs(dst []sym.ID, seen map[sym.ID]bool) []sym.ID {
+	for _, v := range []value.Value{a.L, a.R} {
+		if v.IsVar() && !seen[v.ID()] {
+			seen[v.ID()] = true
+			dst = append(dst, v.ID())
 		}
 	}
 	return dst
@@ -173,7 +186,7 @@ func (c Conjunction) And(d Conjunction) Conjunction {
 }
 
 // Subst applies a substitution to every atom.
-func (c Conjunction) Subst(s map[string]value.Value) Conjunction {
+func (c Conjunction) Subst(s value.Subst) Conjunction {
 	out := make(Conjunction, len(c))
 	for i, a := range c {
 		out[i] = a.Subst(s)
@@ -185,6 +198,14 @@ func (c Conjunction) Subst(s map[string]value.Value) Conjunction {
 func (c Conjunction) Vars(dst []string, seen map[string]bool) []string {
 	for _, a := range c {
 		dst = a.Vars(dst, seen)
+	}
+	return dst
+}
+
+// VarIDs appends the variable IDs occurring in c to dst (dedup via seen).
+func (c Conjunction) VarIDs(dst []sym.ID, seen map[sym.ID]bool) []sym.ID {
+	for _, a := range c {
+		dst = a.VarIDs(dst, seen)
 	}
 	return dst
 }
@@ -203,6 +224,19 @@ func (c Conjunction) Consts(dst []string, seen map[string]bool) []string {
 			if v.IsConst() && !seen[v.Name()] {
 				seen[v.Name()] = true
 				dst = append(dst, v.Name())
+			}
+		}
+	}
+	return dst
+}
+
+// ConstIDs appends the constant IDs occurring in c to dst (dedup via seen).
+func (c Conjunction) ConstIDs(dst []sym.ID, seen map[sym.ID]bool) []sym.ID {
+	for _, a := range c {
+		for _, v := range []value.Value{a.L, a.R} {
+			if v.IsConst() && !seen[v.ID()] {
+				seen[v.ID()] = true
+				dst = append(dst, v.ID())
 			}
 		}
 	}
@@ -233,85 +267,109 @@ func (c Conjunction) Normalize() Conjunction {
 	return out
 }
 
-// key returns the union-find key of a value: constants get a "c\x00" prefix
-// and variables "v\x00" so the two namespaces cannot collide.
-func key(v value.Value) string {
-	if v.IsVar() {
-		return "v\x00" + v.Name()
+// closureState is the equality closure of a conjunction: a dense
+// union–find over the values occurring in the atoms, with the constant (if
+// any) of each class tracked at the root. All bookkeeping is in terms of
+// interned IDs; no strings are built.
+type closureState struct {
+	nodes   []value.Value
+	idx     map[value.Value]int32
+	uf      *unionfind.Dense
+	constOf []sym.ID // valid at class roots; sym.None = no constant
+}
+
+func (s *closureState) node(v value.Value) int32 {
+	if i, ok := s.idx[v]; ok {
+		return i
 	}
-	return "c\x00" + v.Name()
+	i := int32(len(s.nodes))
+	s.idx[v] = i
+	s.nodes = append(s.nodes, v)
+	s.uf.Grow(len(s.nodes))
+	if v.IsConst() {
+		s.constOf = append(s.constOf, v.ID())
+	} else {
+		s.constOf = append(s.constOf, sym.None)
+	}
+	return i
+}
+
+// buildClosure merges equality classes and checks consistency over the
+// atoms of c followed by extra. It returns nil when the combined
+// conjunction is unsatisfiable. Constant-constant merges of distinct
+// constants and violated inequalities make it false.
+func buildClosure(c Conjunction, extra []Atom) *closureState {
+	n := len(c) + len(extra)
+	s := &closureState{
+		idx: make(map[value.Value]int32, 2*n),
+		uf:  unionfind.NewDense(0),
+	}
+	each := func(fn func(Atom) bool) bool {
+		for _, a := range c {
+			if !fn(a) {
+				return false
+			}
+		}
+		for _, a := range extra {
+			if !fn(a) {
+				return false
+			}
+		}
+		return true
+	}
+	// Merge equality classes, propagating class constants to roots.
+	ok := each(func(a Atom) bool {
+		l, r := s.node(a.L), s.node(a.R)
+		if a.Op != Eq {
+			return true
+		}
+		rl, rr := s.uf.Find(l), s.uf.Find(r)
+		if rl == rr {
+			return true
+		}
+		cl, cr := s.constOf[rl], s.constOf[rr]
+		if cl != sym.None && cr != sym.None && cl != cr {
+			return false // two distinct constants forced equal
+		}
+		root := s.uf.Union(rl, rr)
+		if cl != sym.None {
+			s.constOf[root] = cl
+		} else if cr != sym.None {
+			s.constOf[root] = cr
+		}
+		return true
+	})
+	if !ok {
+		return nil
+	}
+	// Check inequalities: same class, or classes pinned to one constant.
+	ok = each(func(a Atom) bool {
+		if a.Op != Neq {
+			return true
+		}
+		rl, rr := s.uf.Find(s.idx[a.L]), s.uf.Find(s.idx[a.R])
+		if rl == rr {
+			return false
+		}
+		cl, cr := s.constOf[rl], s.constOf[rr]
+		return cl == sym.None || cl != cr
+	})
+	if !ok {
+		return nil
+	}
+	return s
 }
 
 // Satisfiable reports whether some valuation over the infinite constant
 // domain satisfies c. It runs in near-linear time.
 func (c Conjunction) Satisfiable() bool {
-	_, ok := c.closure()
-	return ok
+	return buildClosure(c, nil) != nil
 }
 
-// closure merges equality classes and checks consistency. It returns the
-// union-find and whether the conjunction is satisfiable. Constant-constant
-// merges of distinct constants and violated inequalities make it false.
-func (c Conjunction) closure() (*unionfind.UF, bool) {
-	uf := unionfind.New()
-	constOf := make(map[string]string) // class representative -> constant name
-	for _, a := range c {
-		uf.Add(key(a.L))
-		uf.Add(key(a.R))
-	}
-	// Record constants as their own classes first.
-	note := func(v value.Value) bool {
-		if v.IsConst() {
-			r := uf.Find(key(v))
-			if prev, ok := constOf[r]; ok && prev != v.Name() {
-				return false
-			}
-			constOf[r] = v.Name()
-		}
-		return true
-	}
-	for _, a := range c {
-		if !note(a.L) || !note(a.R) {
-			return nil, false
-		}
-	}
-	for _, a := range c {
-		if a.Op != Eq {
-			continue
-		}
-		ra, rb := uf.Find(key(a.L)), uf.Find(key(a.R))
-		if ra == rb {
-			continue
-		}
-		ca, okA := constOf[ra]
-		cb, okB := constOf[rb]
-		if okA && okB && ca != cb {
-			return nil, false
-		}
-		r := uf.Union(key(a.L), key(a.R))
-		if okA {
-			constOf[r] = ca
-		} else if okB {
-			constOf[r] = cb
-		}
-	}
-	for _, a := range c {
-		if a.Op == Neq && uf.Same(key(a.L), key(a.R)) {
-			return nil, false
-		}
-		// Two distinct constants in one class is impossible here because
-		// distinct constants were never unioned, but an inequality between
-		// classes holding the same constant must fail:
-		if a.Op == Neq {
-			ra, rb := uf.Find(key(a.L)), uf.Find(key(a.R))
-			ca, okA := constOf[ra]
-			cb, okB := constOf[rb]
-			if okA && okB && ca == cb {
-				return nil, false
-			}
-		}
-	}
-	return uf, true
+// SatisfiableWith reports whether c ∧ extra is satisfiable without
+// materializing the combined conjunction.
+func (c Conjunction) SatisfiableWith(extra ...Atom) bool {
+	return buildClosure(c, extra) != nil
 }
 
 // ImpliedBindings returns the substitution forced by the equalities of c:
@@ -323,41 +381,46 @@ func (c Conjunction) closure() (*unionfind.UF, bool) {
 // This is the normalization step of Theorem 3.2(1): "if it follows from the
 // global condition that a variable equals a constant, then the variable is
 // replaced by that constant in the table".
-func (c Conjunction) ImpliedBindings() (map[string]value.Value, bool) {
-	uf, ok := c.closure()
-	if !ok {
+func (c Conjunction) ImpliedBindings() (value.Subst, bool) {
+	s := buildClosure(c, nil)
+	if s == nil {
 		return nil, false
 	}
-	// For each class pick a constant if present, else the lexicographically
-	// least variable, as representative.
-	classes := uf.Classes()
-	out := make(map[string]value.Value)
-	for _, members := range classes {
-		var constName string
-		varNames := make([]string, 0, len(members))
+	// Group class members by root.
+	classes := make(map[int32][]value.Value, len(s.nodes))
+	for i, v := range s.nodes {
+		r := s.uf.Find(int32(i))
+		classes[r] = append(classes[r], v)
+	}
+	out := make(value.Subst)
+	for root, members := range classes {
+		varMembers := members[:0:0]
 		for _, m := range members {
-			name := m[2:]
-			if strings.HasPrefix(m, "c\x00") {
-				constName = name
-			} else {
-				varNames = append(varNames, name)
+			if m.IsVar() {
+				varMembers = append(varMembers, m)
 			}
 		}
-		if len(varNames) == 0 {
+		if len(varMembers) == 0 {
 			continue
 		}
-		sort.Strings(varNames)
 		var rep value.Value
-		if constName != "" {
-			rep = value.Const(constName)
+		if cid := s.constOf[root]; cid != sym.None {
+			rep = value.Of(cid)
 		} else {
-			rep = value.Var(varNames[0])
+			// Lexicographically least variable name, for deterministic
+			// normalized output.
+			rep = varMembers[0]
+			for _, m := range varMembers[1:] {
+				if m.Name() < rep.Name() {
+					rep = m
+				}
+			}
 		}
-		for _, vn := range varNames {
-			if rep.IsVar() && rep.Name() == vn {
+		for _, m := range varMembers {
+			if m == rep {
 				continue
 			}
-			out[vn] = rep
+			out[m] = rep
 		}
 	}
 	return out, true
@@ -384,7 +447,7 @@ func (c Conjunction) Residual() (Conjunction, bool) {
 // Implies reports whether c logically implies atom a over the infinite
 // domain (i.e. c ∧ ¬a is unsatisfiable).
 func (c Conjunction) Implies(a Atom) bool {
-	return !append(c.Clone(), a.Negate()).Satisfiable()
+	return !c.SatisfiableWith(a.Negate())
 }
 
 // String renders the conjunction as comma-separated atoms; the empty

@@ -187,7 +187,7 @@ func TestImpliedBindings(t *testing.T) {
 	if !ok {
 		t.Fatal("satisfiable conjunction reported unsat")
 	}
-	if sub["x"] != c1() || sub["y"] != c1() {
+	if sub[x()] != c1() || sub[y()] != c1() {
 		t.Errorf("bindings = %v", sub)
 	}
 	// Variable-variable class without a constant picks a canonical rep.
@@ -196,7 +196,7 @@ func TestImpliedBindings(t *testing.T) {
 	if len(sub2) != 1 {
 		t.Fatalf("bindings = %v", sub2)
 	}
-	if b, ok := sub2["y"]; !ok || b != value.Var("x") {
+	if b, ok := sub2[y()]; !ok || b != value.Var("x") {
 		t.Errorf("want y→?x, got %v", sub2)
 	}
 	if _, ok := Conj(EqAtom(x(), c1()), EqAtom(x(), c2())).ImpliedBindings(); ok {
@@ -239,7 +239,7 @@ func TestImplies(t *testing.T) {
 
 func TestSubst(t *testing.T) {
 	c := Conj(EqAtom(x(), y()), NeqAtom(y(), c1()))
-	s := map[string]value.Value{"y": c2()}
+	s := value.Subst{y(): c2()}
 	got := c.Subst(s)
 	if got[0].R != c2() || got[1].L != c2() {
 		t.Errorf("Subst = %v", got)

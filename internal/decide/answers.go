@@ -6,6 +6,7 @@ import (
 	"pw/internal/cond"
 	"pw/internal/query"
 	"pw/internal/rel"
+	"pw/internal/sym"
 	"pw/internal/table"
 	"pw/internal/value"
 )
@@ -42,17 +43,17 @@ func CertainAnswers(q query.Query, d *table.Database) (*rel.Instance, error) {
 	}
 
 	// Constants allowed in answers: those of the database and the query.
-	allowed := map[string]bool{}
-	for _, c := range nd.Consts(nil, map[string]bool{}) {
+	allowed := map[sym.ID]bool{}
+	for _, c := range nd.ConstIDs(nil, map[sym.ID]bool{}) {
 		allowed[c] = true
 	}
 	for _, c := range q.Consts() {
-		allowed[c] = true
+		allowed[sym.Const(c)] = true
 	}
 
 	// The frozen world.
-	pool := nd.ConstNames()
-	w0 := frozenWorld(nd, table.FreshPrefix(pool))
+	pool := nd.ConstIDs(nil, map[sym.ID]bool{})
+	w0 := frozenWorld(nd, table.FreshPrefixIDs(pool))
 
 	out := rel.NewInstance()
 	for _, t := range nd.Tables() {
@@ -60,14 +61,14 @@ func CertainAnswers(q query.Query, d *table.Database) (*rel.Instance, error) {
 		out.AddRelation(r)
 		src := w0.Relation(t.Name)
 	candidates:
-		for _, u := range src.Facts() {
+		for _, u := range src.Tuples() {
 			for _, c := range u {
 				if !allowed[c] {
 					continue candidates
 				}
 			}
 			if certainFactIn(nd, t, u) {
-				r.Add(u)
+				r.Insert(u)
 			}
 		}
 	}
@@ -78,18 +79,21 @@ func CertainAnswers(q query.Query, d *table.Database) (*rel.Instance, error) {
 // rows whose local condition it satisfies (unlike table.Freeze, which
 // ignores conditions).
 func frozenWorld(d *table.Database, prefix string) *rel.Instance {
-	names := d.VarNames()
-	v := make(map[string]string, len(names))
-	for i, n := range names {
-		v[n] = fmt.Sprintf("%s%d", prefix, i)
+	vars := d.VarIDs(nil, map[sym.ID]bool{})
+	sym.SortByName(vars)
+	v := make(map[sym.ID]sym.ID, len(vars))
+	for i, x := range vars {
+		v[x] = sym.Const(fmt.Sprintf("%s%d", prefix, i))
 	}
-	get := func(x value.Value) string {
-		if x.IsConst() {
-			return x.Name()
+	get := func(x value.Value) sym.ID {
+		id := x.ID()
+		if !id.IsVar() {
+			return id
 		}
-		return v[x.Name()]
+		return v[id]
 	}
 	inst := rel.NewInstance()
+	var scratch sym.Tuple
 	for _, t := range d.Tables() {
 		r := rel.NewRelation(t.Name, t.Arity)
 		inst.AddRelation(r)
@@ -101,11 +105,14 @@ func frozenWorld(d *table.Database, prefix string) *rel.Instance {
 					continue rows
 				}
 			}
-			f := make(rel.Fact, len(row.Values))
+			if cap(scratch) < len(row.Values) {
+				scratch = make(sym.Tuple, len(row.Values))
+			}
+			f := scratch[:len(row.Values)]
 			for j, x := range row.Values {
 				f[j] = get(x)
 			}
-			r.Add(f)
+			r.Insert(f)
 		}
 	}
 	return inst

@@ -3,6 +3,7 @@ package decide
 import (
 	"pw/internal/query"
 	"pw/internal/rel"
+	"pw/internal/sym"
 	"pw/internal/table"
 	"pw/internal/valuation"
 )
@@ -49,11 +50,17 @@ func certainFrozen(p *rel.Instance, q query.Query, d *table.Database) (bool, err
 	if !ok {
 		return true, nil // rep(d) = ∅: vacuously certain
 	}
-	seen := map[string]bool{}
-	pool := nd.Consts(nil, seen)
-	pool = p.Consts(pool, seen)
-	pool = append(pool, q.Consts()...)
-	k0 := table.Freeze(nd, table.FreshPrefix(pool))
+	seen := map[sym.ID]bool{}
+	pool := nd.ConstIDs(nil, seen)
+	pool = p.ConstIDs(pool, seen)
+	for _, c := range q.Consts() {
+		id := sym.Const(c)
+		if !seen[id] {
+			seen[id] = true
+			pool = append(pool, id)
+		}
+	}
+	k0 := table.Freeze(nd, table.FreshPrefixIDs(pool))
 	out, err := q.Eval(k0)
 	if err != nil {
 		return false, err
@@ -73,7 +80,7 @@ func certainIdentity(p *rel.Instance, d *table.Database) (bool, error) {
 	}
 	for _, r := range p.Relations() {
 		t := nd.Table(r.Name)
-		for _, u := range r.Facts() {
+		for _, u := range r.Tuples() {
 			if !certainFactIn(nd, t, u) {
 				return false, nil
 			}
@@ -86,7 +93,7 @@ func certainIdentity(p *rel.Instance, d *table.Database) (bool, error) {
 func certainGeneric(p *rel.Instance, q query.Query, d *table.Database) (bool, error) {
 	base, prefix := genericDomain(d, q, p)
 	var evalErr error
-	violated := valuation.EnumerateCanonical(d.VarNames(), base, prefix, func(v valuation.V) bool {
+	violated := valuation.EnumerateCanonical(d.Universe(), base, prefix, func(v valuation.V) bool {
 		w := applyValuation(v, d)
 		if w == nil {
 			return false

@@ -4,6 +4,7 @@ import (
 	"pw/internal/cond"
 	"pw/internal/query"
 	"pw/internal/rel"
+	"pw/internal/sym"
 	"pw/internal/table"
 	"pw/internal/valuation"
 )
@@ -59,9 +60,8 @@ func containmentIdentity(d0, d *table.Database) (bool, error) {
 	// sides (Proposition 2.1): a counterexample world may need to mention
 	// d's constants (e.g. to violate an inequality of d).
 	base, prefix := contDomain(nd0, nil, d, nil)
-	vars := nd0.VarNames()
 	var memErr error
-	counterexample := valuation.EnumerateCanonical(vars, base, prefix, func(v valuation.V) bool {
+	counterexample := valuation.EnumerateCanonical(nd0.Universe(), base, prefix, func(v valuation.V) bool {
 		w := applyValuation(v, nd0)
 		if w == nil {
 			return false
@@ -111,10 +111,10 @@ func noInequalities(d *table.Database) bool {
 // K0 ∈ rep(d), where K0 freezes each variable of d0 to a distinct fresh
 // constant.
 func freezeContainment(nd0, d *table.Database) (bool, error) {
-	seen := map[string]bool{}
-	pool := nd0.Consts(nil, seen)
-	pool = d.Consts(pool, seen)
-	k0 := table.Freeze(nd0, table.FreshPrefix(pool))
+	seen := map[sym.ID]bool{}
+	pool := nd0.ConstIDs(nil, seen)
+	pool = d.ConstIDs(pool, seen)
+	k0 := table.Freeze(nd0, table.FreshPrefixIDs(pool))
 	return membershipIdentity(k0, d)
 }
 
@@ -122,9 +122,8 @@ func freezeContainment(nd0, d *table.Database) (bool, error) {
 // full Π₂ᵖ enumeration (Proposition 2.1(1)).
 func containmentGeneric(q0 query.Query, d0 *table.Database, q query.Query, d *table.Database) (bool, error) {
 	base, prefix := contDomain(d0, q0, d, q)
-	vars0 := d0.VarNames()
 	var innerErr error
-	counterexample := valuation.EnumerateCanonical(vars0, base, prefix, func(v valuation.V) bool {
+	counterexample := valuation.EnumerateCanonical(d0.Universe(), base, prefix, func(v valuation.V) bool {
 		w := applyValuation(v, d0)
 		if w == nil {
 			return false
@@ -151,22 +150,23 @@ func containmentGeneric(q0 query.Query, d0 *table.Database, q query.Query, d *ta
 // and both queries, plus one fresh constant per variable of the subset
 // side (only σ0's variables are enumerated here; the superset side's
 // valuations live inside the membership tests).
-func contDomain(d0 *table.Database, q0 query.Query, d *table.Database, q query.Query) (base []string, prefix string) {
-	seen := map[string]bool{}
-	consts := d0.Consts(nil, seen)
-	consts = d.Consts(consts, seen)
+func contDomain(d0 *table.Database, q0 query.Query, d *table.Database, q query.Query) (base []sym.ID, prefix string) {
+	seen := map[sym.ID]bool{}
+	consts := d0.ConstIDs(nil, seen)
+	consts = d.ConstIDs(consts, seen)
 	for _, qq := range []query.Query{q0, q} {
 		if qq == nil {
 			continue
 		}
 		for _, c := range qq.Consts() {
-			if !seen[c] {
-				seen[c] = true
-				consts = append(consts, c)
+			id := sym.Const(c)
+			if !seen[id] {
+				seen[id] = true
+				consts = append(consts, id)
 			}
 		}
 	}
-	return consts, table.FreshPrefix(consts)
+	return consts, table.FreshPrefixIDs(consts)
 }
 
 // ContainmentCounterexample reports a world of q0(rep(d0)) outside
@@ -176,7 +176,7 @@ func ContainmentCounterexample(q0 query.Query, d0 *table.Database, q query.Query
 	base, prefix := contDomain(d0, q0, d, q)
 	var witness *rel.Instance
 	var innerErr error
-	valuation.EnumerateCanonical(d0.VarNames(), base, prefix, func(v valuation.V) bool {
+	valuation.EnumerateCanonical(d0.Universe(), base, prefix, func(v valuation.V) bool {
 		w := applyValuation(v, d0)
 		if w == nil {
 			return false

@@ -16,15 +16,18 @@
 //     internal/eqlogic, with worst-case exponential time as the paper's
 //     completeness results require, but far better behaviour than the
 //     brute-force valuation enumeration of internal/worlds (ablation A2).
+//
+// All row↔fact unification, binding bookkeeping and fact comparison run on
+// interned symbol IDs (internal/sym); strings never enter these paths.
 package decide
 
 import (
 	"fmt"
-	"sort"
 
 	"pw/internal/cond"
 	"pw/internal/query"
 	"pw/internal/rel"
+	"pw/internal/sym"
 	"pw/internal/table"
 	"pw/internal/valuation"
 	"pw/internal/value"
@@ -70,64 +73,66 @@ func factsCheck(p *rel.Instance, d *table.Database) error {
 // constants (database constants, instance constants, query constants)
 // plus a prefix for the fresh constants Δ′; generic searches pair it with
 // valuation.EnumerateCanonical.
-func genericDomain(d *table.Database, q query.Query, extra ...*rel.Instance) (base []string, prefix string) {
-	seen := map[string]bool{}
-	consts := d.Consts(nil, seen)
+func genericDomain(d *table.Database, q query.Query, extra ...*rel.Instance) (base []sym.ID, prefix string) {
+	seen := map[sym.ID]bool{}
+	consts := d.ConstIDs(nil, seen)
 	for _, e := range extra {
 		if e != nil {
-			consts = e.Consts(consts, seen)
+			consts = e.ConstIDs(consts, seen)
 		}
 	}
 	if q != nil {
 		for _, c := range q.Consts() {
-			if !seen[c] {
-				seen[c] = true
-				consts = append(consts, c)
+			id := sym.Const(c)
+			if !seen[id] {
+				seen[id] = true
+				consts = append(consts, id)
 			}
 		}
 	}
-	sort.Strings(consts)
-	return consts, table.FreshPrefix(consts)
+	sym.SortByName(consts)
+	return consts, table.FreshPrefixIDs(consts)
 }
 
 // unifyTuple matches row values against a ground fact under the current
 // bindings, returning the variables newly bound (for undo) and whether the
 // unification succeeds. Constants must match exactly; variables must agree
-// with their binding or become bound.
-func unifyTuple(vals value.Tuple, f rel.Fact, bind map[string]string) ([]string, bool) {
-	var bound []string
+// with their binding or become bound. Everything is an ID comparison.
+func unifyTuple(vals value.Tuple, f sym.Tuple, bind map[sym.ID]sym.ID) ([]sym.ID, bool) {
+	var bound []sym.ID
 	for i, v := range vals {
-		if v.IsConst() {
-			if v.Name() != f[i] {
+		id := v.ID()
+		if !id.IsVar() {
+			if id != f[i] {
 				undo(bind, bound)
 				return nil, false
 			}
 			continue
 		}
-		if c, ok := bind[v.Name()]; ok {
+		if c, ok := bind[id]; ok {
 			if c != f[i] {
 				undo(bind, bound)
 				return nil, false
 			}
 			continue
 		}
-		bind[v.Name()] = f[i]
-		bound = append(bound, v.Name())
+		bind[id] = f[i]
+		bound = append(bound, id)
 	}
 	return bound, true
 }
 
-func undo(bind map[string]string, bound []string) {
+func undo(bind map[sym.ID]sym.ID, bound []sym.ID) {
 	for _, b := range bound {
 		delete(bind, b)
 	}
 }
 
 // substBindings turns a binding map into a substitution for conditions.
-func substBindings(bind map[string]string) map[string]value.Value {
-	s := make(map[string]value.Value, len(bind))
+func substBindings(bind map[sym.ID]sym.ID) value.Subst {
+	s := make(value.Subst, len(bind))
 	for k, v := range bind {
-		s[k] = value.Const(v)
+		s[value.Of(k)] = value.Of(v)
 	}
 	return s
 }
@@ -135,10 +140,10 @@ func substBindings(bind map[string]string) map[string]value.Value {
 // bindAtoms returns the equality atoms equating row values with the
 // components of a ground fact (used where unification is deferred to the
 // equality-logic solver instead of an eager binding map).
-func bindAtoms(vals value.Tuple, f rel.Fact) cond.Conjunction {
+func bindAtoms(vals value.Tuple, f sym.Tuple) cond.Conjunction {
 	out := make(cond.Conjunction, 0, len(vals))
 	for i, v := range vals {
-		out = append(out, cond.EqAtom(v, value.Const(f[i])))
+		out = append(out, cond.EqAtom(v, value.Of(f[i])))
 	}
 	return out
 }

@@ -8,6 +8,7 @@ import (
 	"pw/internal/cond"
 	"pw/internal/query"
 	"pw/internal/rel"
+	"pw/internal/sym"
 	"pw/internal/table"
 	"pw/internal/value"
 	"pw/internal/worlds"
@@ -202,16 +203,16 @@ func bruteUnique(d *table.Database, i0 *rel.Instance) bool {
 
 // worldsDomain matches the Proposition 2.1 domain used by the deciders
 // when an instance is in play.
-func worldsDomain(d *table.Database, extra *rel.Instance) []string {
-	seen := map[string]bool{}
-	cs := d.Consts(nil, seen)
+func worldsDomain(d *table.Database, extra *rel.Instance) []sym.ID {
+	seen := map[sym.ID]bool{}
+	cs := d.ConstIDs(nil, seen)
 	if extra != nil {
-		cs = extra.Consts(cs, seen)
+		cs = extra.ConstIDs(cs, seen)
 	}
 	vars := d.VarNames()
-	prefix := table.FreshPrefix(cs)
+	prefix := table.FreshPrefixIDs(cs)
 	for i := range vars {
-		cs = append(cs, fmt.Sprintf("%s%d", prefix, i))
+		cs = append(cs, sym.Const(fmt.Sprintf("%s%d", prefix, i)))
 	}
 	return cs
 }
@@ -285,13 +286,13 @@ func TestContainmentMatchesBruteForce(t *testing.T) {
 func bruteContained(d0, d *table.Database) bool {
 	// Enumerate d0's worlds over the *combined* constant pool and test
 	// each for brute membership in rep(d).
-	seen := map[string]bool{}
-	cs := d0.Consts(nil, seen)
-	cs = d.Consts(cs, seen)
+	seen := map[sym.ID]bool{}
+	cs := d0.ConstIDs(nil, seen)
+	cs = d.ConstIDs(cs, seen)
 	vars := d0.VarNames()
-	prefix := table.FreshPrefix(cs)
+	prefix := table.FreshPrefixIDs(cs)
 	for i := range vars {
-		cs = append(cs, fmt.Sprintf("%s%d", prefix, i))
+		cs = append(cs, sym.Const(fmt.Sprintf("%s%d", prefix, i)))
 	}
 	contained := true
 	worlds.Each(d0, cs, func(w *rel.Instance) bool {

@@ -1,15 +1,15 @@
 package decide
 
 import (
-	"sort"
-
 	"fmt"
+	"sort"
 
 	"pw/internal/cond"
 	"pw/internal/eqlogic"
 	"pw/internal/matching"
 	"pw/internal/query"
 	"pw/internal/rel"
+	"pw/internal/sym"
 	"pw/internal/table"
 	"pw/internal/valuation"
 )
@@ -56,13 +56,13 @@ func membershipIdentity(i0 *rel.Instance, d *table.Database) (bool, error) {
 // pairwise disjoint variables, so per-relation tests are independent.
 func membCodd(i0 *rel.Instance, d *table.Database) bool {
 	for _, t := range d.Tables() {
-		facts := i0.Relation(t.Name).Facts()
+		facts := i0.Relation(t.Name).Tuples()
 		n, m := len(facts), len(t.Rows)
 		g := matching.NewGraph(n, m)
 		deg := make([]int, m)
 		for ai, u := range facts {
-			for bj, row := range t.Rows {
-				if rowMatchesFact(row, u) {
+			for bj := range t.Rows {
+				if rowMatchesFact(t.Rows[bj], u) {
 					g.AddEdge(ai, bj)
 					deg[bj]++
 				}
@@ -86,21 +86,21 @@ func membCodd(i0 *rel.Instance, d *table.Database) bool {
 // fact in isolation: constants agree positionally and repeated variables
 // within the row agree. Allocation-free for the common small arities —
 // this is the inner loop of the matching-based MEMB/POSS algorithms,
-// called once per (row, fact) pair.
-func rowMatchesFact(row table.Row, f rel.Fact) bool {
-	var names, vals [8]string
+// called once per (row, fact) pair; every comparison is an ID compare.
+func rowMatchesFact(row table.Row, f sym.Tuple) bool {
+	var names, vals [8]sym.ID
 	n := 0
 	for i, v := range row.Values {
-		if v.IsConst() {
-			if v.Name() != f[i] {
+		id := v.ID()
+		if !id.IsVar() {
+			if id != f[i] {
 				return false
 			}
 			continue
 		}
-		name := v.Name()
 		seen := false
 		for j := 0; j < n; j++ {
-			if names[j] == name {
+			if names[j] == id {
 				if vals[j] != f[i] {
 					return false
 				}
@@ -111,14 +111,14 @@ func rowMatchesFact(row table.Row, f rel.Fact) bool {
 		if !seen {
 			if n == len(names) {
 				// Arity beyond the fast path: fall back to a map.
-				bind := make(map[string]string, len(row.Values))
+				bind := make(map[sym.ID]sym.ID, len(row.Values))
 				for j := 0; j < n; j++ {
 					bind[names[j]] = vals[j]
 				}
 				_, ok := unifyTuple(row.Values[i:], f[i:], bind)
 				return ok
 			}
-			names[n], vals[n] = name, f[i]
+			names[n], vals[n] = id, f[i]
 			n++
 		}
 	}
@@ -148,11 +148,11 @@ type membRow struct {
 type membState struct {
 	global    cond.Conjunction
 	rows      []membRow
-	facts     [][]rel.Fact
+	facts     [][]sym.Tuple
 	coverCnt  [][]int // per relation, per fact: mapped rows covering it
 	remaining [][]int // per relation, per fact: unprocessed rows that could cover it
 	uncovered int
-	bind      map[string]string
+	bind      map[sym.ID]sym.ID
 	mustTrue  []cond.Conjunction
 	mustFalse []cond.Conjunction
 }
@@ -160,10 +160,10 @@ type membState struct {
 func newMembState(i0 *rel.Instance, d *table.Database) *membState {
 	s := &membState{
 		global: d.GlobalConjunction(),
-		bind:   map[string]string{},
+		bind:   map[sym.ID]sym.ID{},
 	}
 	for ri, t := range d.Tables() {
-		fs := i0.Relation(t.Name).Facts()
+		fs := i0.Relation(t.Name).Tuples()
 		s.facts = append(s.facts, fs)
 		s.coverCnt = append(s.coverCnt, make([]int, len(fs)))
 		s.remaining = append(s.remaining, make([]int, len(fs)))
@@ -294,9 +294,8 @@ func (s *membState) residualSatisfiable() bool {
 // q(σ(d)) with i0. Exponential in the number of variables.
 func membershipGeneric(i0 *rel.Instance, q query.Query, d *table.Database) (bool, error) {
 	base, prefix := genericDomain(d, q, i0)
-	vars := d.VarNames()
 	var evalErr error
-	found := valuation.EnumerateCanonical(vars, base, prefix, func(v valuation.V) bool {
+	found := valuation.EnumerateCanonical(d.Universe(), base, prefix, func(v valuation.V) bool {
 		w := applyValuation(v, d)
 		if w == nil {
 			return false
@@ -321,7 +320,7 @@ func MembershipWitness(i0 *rel.Instance, q query.Query, d *table.Database) (*rel
 	base, prefix := genericDomain(d, q, i0)
 	var witness *rel.Instance
 	var evalErr error
-	found := valuation.EnumerateCanonical(d.VarNames(), base, prefix, func(v valuation.V) bool {
+	found := valuation.EnumerateCanonical(d.Universe(), base, prefix, func(v valuation.V) bool {
 		w := applyValuation(v, d)
 		if w == nil {
 			return false

@@ -8,6 +8,7 @@ import (
 	"pw/internal/matching"
 	"pw/internal/query"
 	"pw/internal/rel"
+	"pw/internal/sym"
 	"pw/internal/table"
 	"pw/internal/valuation"
 )
@@ -59,11 +60,11 @@ func possibleIdentity(p *rel.Instance, d *table.Database) (bool, error) {
 func possCodd(p *rel.Instance, d *table.Database) bool {
 	for _, r := range p.Relations() {
 		t := d.Table(r.Name)
-		facts := r.Facts()
+		facts := r.Tuples()
 		g := matching.NewGraph(len(facts), len(t.Rows))
 		for ai, u := range facts {
-			for bj, row := range t.Rows {
-				if rowMatchesFact(row, u) {
+			for bj := range t.Rows {
+				if rowMatchesFact(t.Rows[bj], u) {
 					g.AddEdge(ai, bj)
 				}
 			}
@@ -80,14 +81,14 @@ func possCodd(p *rel.Instance, d *table.Database) bool {
 // the global condition in the final equality-logic check.
 func possSearch(p *rel.Instance, d *table.Database) bool {
 	type need struct {
-		fact rel.Fact
+		fact sym.Tuple
 		t    *table.Table
 		cand []int // candidate row indices in t
 	}
 	var needs []need
 	for _, r := range p.Relations() {
 		t := d.Table(r.Name)
-		for _, u := range r.Facts() {
+		for _, u := range r.Tuples() {
 			n := need{fact: u, t: t}
 			for ri := range t.Rows {
 				if rowMatchesFact(t.Rows[ri], u) {
@@ -105,7 +106,7 @@ func possSearch(p *rel.Instance, d *table.Database) bool {
 		return len(needs[i].cand) < len(needs[j].cand)
 	})
 	global := d.GlobalConjunction()
-	bind := map[string]string{}
+	bind := map[sym.ID]sym.ID{}
 	used := map[*table.Row]bool{}
 	var must []cond.Conjunction
 
@@ -157,7 +158,7 @@ func possSearch(p *rel.Instance, d *table.Database) bool {
 func possibleGeneric(p *rel.Instance, q query.Query, d *table.Database) (bool, error) {
 	base, prefix := genericDomain(d, q, p)
 	var evalErr error
-	found := valuation.EnumerateCanonical(d.VarNames(), base, prefix, func(v valuation.V) bool {
+	found := valuation.EnumerateCanonical(d.Universe(), base, prefix, func(v valuation.V) bool {
 		w := applyValuation(v, d)
 		if w == nil {
 			return false

@@ -9,6 +9,7 @@ import (
 	"pw/internal/fo"
 	"pw/internal/query"
 	"pw/internal/rel"
+	"pw/internal/sym"
 	"pw/internal/table"
 	"pw/internal/valuation"
 	"pw/internal/value"
@@ -65,12 +66,12 @@ func dlQuery() query.Query {
 }
 
 // bruteViewDomain mirrors the deciders' Δ for view problems.
-func bruteViewDomain(d *table.Database, q query.Query, extra *rel.Instance) []string {
+func bruteViewDomain(d *table.Database, q query.Query, extra *rel.Instance) []sym.ID {
 	base, prefix := genericDomain(d, q, extra)
 	vars := d.VarNames()
-	out := append([]string(nil), base...)
+	out := append([]sym.ID(nil), base...)
 	for i := range vars {
-		out = append(out, prefix+itoa10(i))
+		out = append(out, sym.Const(prefix+itoa10(i)))
 	}
 	return out
 }
@@ -275,7 +276,7 @@ func TestEnumerateCanonicalCoversMembership(t *testing.T) {
 		base, prefix := genericDomain(d, nil, i0)
 		full := bruteViewDomain(d, nil, i0)
 		gotCanonical := false
-		valuation.EnumerateCanonical(d.VarNames(), base, prefix, func(v valuation.V) bool {
+		valuation.EnumerateCanonical(d.Universe(), base, prefix, func(v valuation.V) bool {
 			w := v.Database(d)
 			if w != nil && w.Equal(i0) {
 				gotCanonical = true
@@ -283,7 +284,7 @@ func TestEnumerateCanonicalCoversMembership(t *testing.T) {
 			}
 			return false
 		})
-		gotFull := valuation.Enumerate(d.VarNames(), full, func(v valuation.V) bool {
+		gotFull := valuation.Enumerate(d.Universe(), full, func(v valuation.V) bool {
 			w := v.Database(d)
 			return w != nil && w.Equal(i0)
 		})

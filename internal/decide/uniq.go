@@ -5,6 +5,7 @@ import (
 	"pw/internal/eqlogic"
 	"pw/internal/query"
 	"pw/internal/rel"
+	"pw/internal/sym"
 	"pw/internal/table"
 	"pw/internal/valuation"
 )
@@ -58,7 +59,7 @@ func uniqueIdentity(d *table.Database, i *rel.Instance) (bool, error) {
 		return false, nil
 	}
 	for _, t := range nd.Tables() {
-		for _, u := range i.Relation(t.Name).Facts() {
+		for _, u := range i.Relation(t.Name).Tuples() {
 			if factOmittable(nd, t, u) {
 				return false, nil
 			}
@@ -83,19 +84,24 @@ func hasLocalConds(d *table.Database) bool {
 // ground and the resulting instance equals i. (A surviving variable ranges
 // over infinitely many constants — the residual global inequalities
 // exclude only finitely many — so it always produces a second world.)
+// The matrix instance is assembled and compared entirely on interned IDs.
 func groundEquals(d *table.Database, i *rel.Instance) bool {
 	w := rel.NewInstance()
+	var scratch sym.Tuple
 	for _, t := range d.Tables() {
 		r := rel.NewRelation(t.Name, t.Arity)
 		for _, row := range t.Rows {
-			if !row.Values.Ground() {
-				return false
+			if cap(scratch) < len(row.Values) {
+				scratch = make(sym.Tuple, len(row.Values))
 			}
-			f := make(rel.Fact, len(row.Values))
+			f := scratch[:len(row.Values)]
 			for j, v := range row.Values {
-				f[j] = v.Name()
+				if v.IsVar() {
+					return false
+				}
+				f[j] = v.ID()
 			}
-			r.Add(f)
+			r.Insert(f)
 		}
 		w.AddRelation(r)
 	}
@@ -109,6 +115,7 @@ func groundEquals(d *table.Database, i *rel.Instance) bool {
 // This check is polynomial. The second return value names the table.
 func rowEscapes(d *table.Database, i *rel.Instance) (bool, string) {
 	g := d.GlobalConjunction()
+	var scratch sym.Tuple
 	for _, t := range d.Tables() {
 		r := i.Relation(t.Name)
 		for _, row := range t.Rows {
@@ -118,11 +125,14 @@ func rowEscapes(d *table.Database, i *rel.Instance) (bool, string) {
 				continue // row can never fire
 			}
 			ground := true
-			f := make(rel.Fact, len(row.Values))
+			if cap(scratch) < len(row.Values) {
+				scratch = make(sym.Tuple, len(row.Values))
+			}
+			f := scratch[:len(row.Values)]
 			for j, v := range row.Values {
 				w := v
 				if v.IsVar() {
-					if b, bound := sub[v.Name()]; bound {
+					if b, bound := sub[v]; bound {
 						w = b
 					}
 				}
@@ -130,9 +140,9 @@ func rowEscapes(d *table.Database, i *rel.Instance) (bool, string) {
 					ground = false
 					break
 				}
-				f[j] = w.Name()
+				f[j] = w.ID()
 			}
-			if !ground || !r.Has(f) {
+			if !ground || !r.Contains(f) {
 				return true, t.Name
 			}
 		}
@@ -144,7 +154,7 @@ func rowEscapes(d *table.Database, i *rel.Instance) (bool, string) {
 // condition produces no copy of fact u from any row of table t: the
 // equality-logic system requires φ_G and, for every row, the failure of
 // (φ_row ∧ row = u).
-func factOmittable(d *table.Database, t *table.Table, u rel.Fact) bool {
+func factOmittable(d *table.Database, t *table.Table, u sym.Tuple) bool {
 	p := &eqlogic.Problem{}
 	p.RequireAll(d.GlobalConjunction())
 	for _, row := range t.Rows {
@@ -156,10 +166,9 @@ func factOmittable(d *table.Database, t *table.Table, u rel.Fact) bool {
 // uniqueGeneric exhaustively checks q0(rep(d0)) = {i} over Δ ∪ Δ′.
 func uniqueGeneric(q0 query.Query, d0 *table.Database, i *rel.Instance) (bool, error) {
 	base, prefix := genericDomain(d0, q0, i)
-	vars := d0.VarNames()
 	sawWorld := false
 	var evalErr error
-	diff := valuation.EnumerateCanonical(vars, base, prefix, func(v valuation.V) bool {
+	diff := valuation.EnumerateCanonical(d0.Universe(), base, prefix, func(v valuation.V) bool {
 		w := applyValuation(v, d0)
 		if w == nil {
 			return false
@@ -199,7 +208,7 @@ func UniquenessOfGTable(d *table.Database, i *rel.Instance) (bool, error) {
 
 // certainFactIn reports whether fact u of table t is produced in every
 // world of d (the complement of factOmittable); exported via cert.go.
-func certainFactIn(d *table.Database, t *table.Table, u rel.Fact) bool {
+func certainFactIn(d *table.Database, t *table.Table, u sym.Tuple) bool {
 	if !cond.Conjunction(d.GlobalConjunction()).Satisfiable() {
 		return true // rep(d) = ∅: vacuously certain
 	}

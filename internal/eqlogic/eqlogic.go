@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"pw/internal/cond"
+	"pw/internal/sym"
 	"pw/internal/valuation"
 	"pw/internal/value"
 )
@@ -128,42 +129,42 @@ func dpll(must cond.Conjunction, clauses []Clause) (cond.Conjunction, bool) {
 // unconstrained variable (or variable class) mapped to a distinct fresh
 // constant prefix0, prefix1, … Choose the prefix outside every relevant
 // active domain (see table.FreshPrefix).
-func (p *Problem) Model(vars []string, prefix string) (valuation.V, bool) {
+func (p *Problem) Model(vars []sym.ID, prefix string) (valuation.V, bool) {
 	sol, ok := p.solve()
 	if !ok {
-		return nil, false
+		return valuation.V{}, false
 	}
 	return ModelOf(sol, vars, prefix)
 }
 
 // ModelOf builds a model of a satisfiable conjunction as described at
 // Model. It returns ok=false when the conjunction is unsatisfiable.
-func ModelOf(sol cond.Conjunction, vars []string, prefix string) (valuation.V, bool) {
+func ModelOf(sol cond.Conjunction, vars []sym.ID, prefix string) (valuation.V, bool) {
 	sub, ok := sol.ImpliedBindings()
 	if !ok {
-		return nil, false
+		return valuation.V{}, false
 	}
-	v := make(valuation.V, len(vars))
-	fresh := make(map[string]string) // class-representative var -> fresh const
+	v := valuation.Make(sym.NewUniverse(vars))
+	fresh := make(map[value.Value]sym.ID) // class-representative var -> fresh const
 	n := 0
-	freshFor := func(rep string) string {
+	freshFor := func(rep value.Value) sym.ID {
 		c, ok := fresh[rep]
 		if !ok {
-			c = fmt.Sprintf("%s%d", prefix, n)
+			c = sym.Const(fmt.Sprintf("%s%d", prefix, n))
 			n++
 			fresh[rep] = c
 		}
 		return c
 	}
-	for _, name := range vars {
-		b, bound := sub[name]
+	for _, x := range vars {
+		b, bound := sub[value.Of(x)]
 		switch {
 		case !bound:
-			v[name] = freshFor(name)
+			v.Set(x, freshFor(value.Of(x)))
 		case b.IsConst():
-			v[name] = b.Name()
+			v.Set(x, b.ID())
 		default:
-			v[name] = freshFor(b.Name())
+			v.Set(x, freshFor(b))
 		}
 	}
 	// Distinct fresh constants satisfy all residual inequalities because

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"pw/internal/cond"
+	"pw/internal/sym"
 	"pw/internal/value"
 )
 
@@ -82,17 +83,19 @@ func TestInterlockedClauses(t *testing.T) {
 func TestModelProducesSatisfyingValuation(t *testing.T) {
 	p := &Problem{}
 	p.Require(cond.EqAtom(x(), c1()), cond.NeqAtom(y(), c1()), cond.NeqAtom(y(), z()))
-	v, ok := p.Model([]string{"x", "y", "z"}, "~m")
+	v, ok := p.Model([]sym.ID{sym.Var("x"), sym.Var("y"), sym.Var("z")}, "~m")
 	if !ok {
 		t.Fatal("satisfiable problem returned no model")
 	}
-	if v["x"] != "1" {
-		t.Errorf("x = %q, want 1", v["x"])
+	if got, _ := v.Lookup("x"); got != "1" {
+		t.Errorf("x = %q, want 1", got)
 	}
-	if v["y"] == "1" {
+	vy, _ := v.Lookup("y")
+	vz, _ := v.Lookup("z")
+	if vy == "1" {
 		t.Error("y must differ from 1")
 	}
-	if v["y"] == v["z"] {
+	if vy == vz {
 		t.Error("y must differ from z")
 	}
 }
@@ -100,14 +103,17 @@ func TestModelProducesSatisfyingValuation(t *testing.T) {
 func TestModelMergesClasses(t *testing.T) {
 	p := &Problem{}
 	p.Require(cond.EqAtom(x(), y()))
-	v, ok := p.Model([]string{"x", "y", "z"}, "~m")
+	v, ok := p.Model([]sym.ID{sym.Var("x"), sym.Var("y"), sym.Var("z")}, "~m")
 	if !ok {
 		t.Fatal("unexpected unsat")
 	}
-	if v["x"] != v["y"] {
+	vx, _ := v.Lookup("x")
+	vy, _ := v.Lookup("y")
+	vz, _ := v.Lookup("z")
+	if vx != vy {
 		t.Errorf("x and y must coincide: %v", v)
 	}
-	if v["z"] == v["x"] {
+	if vz == vx {
 		t.Error("z should get its own fresh constant")
 	}
 }
@@ -225,7 +231,7 @@ func TestModelSatisfiesSystem(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		p := randomProblem(rng)
-		v, ok := p.Model([]string{"x", "y", "z"}, "~m")
+		v, ok := p.Model([]sym.ID{sym.Var("x"), sym.Var("y"), sym.Var("z")}, "~m")
 		if !ok {
 			return true // nothing to check; agreement tested elsewhere
 		}
@@ -233,7 +239,8 @@ func TestModelSatisfiesSystem(t *testing.T) {
 			if val.IsConst() {
 				return val.Name()
 			}
-			return v[val.Name()]
+			got, _ := v.Lookup(val.Name())
+			return got
 		}
 		evalAtom := func(a cond.Atom) bool {
 			return (a.Op == cond.Eq) == (get(a.L) == get(a.R))

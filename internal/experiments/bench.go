@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"pw/internal/cond"
+	"pw/internal/decide"
+	"pw/internal/gen"
+	"pw/internal/query"
+	"pw/internal/rel"
+	"pw/internal/table"
+	"pw/internal/value"
+)
+
+// BenchResult is one perf probe's outcome in the machine-readable shape
+// future PRs diff against (BENCH_*.json): the same name / ns-per-op /
+// allocs-per-op triple `go test -bench` reports.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchProbe is a named closure runnable under testing.Benchmark.
+type benchProbe struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// benchProbes mirrors the paper-figure benchmarks of bench_test.go that
+// track the engine's polynomial cells across PRs. Kept deliberately small:
+// these run on every `pwbench -bench` invocation.
+func benchProbes() []benchProbe {
+	return []benchProbe{
+		{"Fig3_MembMatching_128", func(b *testing.B) { probeMembCodd(b, 128) }},
+		{"Fig3_MembMatching_512", func(b *testing.B) { probeMembCodd(b, 512) }},
+		{"Thm32_UniqGTable_128", func(b *testing.B) { probeUniqGTable(b, 128) }},
+		{"Thm32_UniqGTable_512", func(b *testing.B) { probeUniqGTable(b, 512) }},
+		{"Thm41_ContFreeze_64", func(b *testing.B) { probeContFreeze(b, 64) }},
+		{"Thm41_ContFreeze_256", func(b *testing.B) { probeContFreeze(b, 256) }},
+		{"Thm51_PossCodd_128", func(b *testing.B) { probePossCodd(b, 128) }},
+	}
+}
+
+func probeMembCodd(b *testing.B, rows int) {
+	tb := gen.CoddTable(int64(rows), "T", rows, 3, 2*rows, 0.3)
+	d := table.DB(tb)
+	i, ok := gen.MemberInstance(int64(rows), d)
+	if !ok {
+		b.Skip("no member instance")
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		yes, err := decide.Membership(i, query.Identity{}, d)
+		if err != nil || !yes {
+			b.Fatalf("membership failed: %v %v", yes, err)
+		}
+	}
+}
+
+func probeUniqGTable(b *testing.B, rows int) {
+	tb := table.New("T", 2)
+	i := rel.NewInstance()
+	r := i.EnsureRelation("T", 2)
+	for j := 0; j < rows; j++ {
+		c := fmt.Sprintf("c%d", j)
+		x := value.Var(fmt.Sprintf("x%d", j))
+		tb.AddTuple(value.Const(c), x)
+		tb.Global = append(tb.Global, cond.EqAtom(x, value.Const(c)))
+		r.AddRow(c, c)
+	}
+	d := table.DB(tb)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		yes, err := decide.Uniqueness(query.Identity{}, d, i)
+		if err != nil || !yes {
+			b.Fatalf("forced-ground g-table must be unique: %v %v", yes, err)
+		}
+	}
+}
+
+func probeContFreeze(b *testing.B, rows int) {
+	t0 := gen.CoddTable(int64(rows), "T", rows, 2, rows, 0.4)
+	t := t0.Clone()
+	t.AddTuple(value.Var("wild1"), value.Var("wild2"))
+	d0, d := table.DB(t0), table.DB(t)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		yes, err := decide.Containment(query.Identity{}, d0, query.Identity{}, d)
+		if err != nil || !yes {
+			b.Fatalf("superset extension must contain: %v %v", yes, err)
+		}
+	}
+}
+
+func probePossCodd(b *testing.B, rows int) {
+	tb := gen.CoddTable(int64(rows)+5, "T", rows, 3, 2*rows, 0.3)
+	d := table.DB(tb)
+	w, ok := gen.MemberInstance(int64(rows), d)
+	if !ok {
+		b.Skip("no member instance")
+	}
+	p := rel.NewInstance()
+	pr := p.EnsureRelation("T", 3)
+	for i, f := range w.Relation("T").Facts() {
+		if i%2 == 0 {
+			pr.Add(f)
+		}
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		yes, err := decide.Possible(p, query.Identity{}, d)
+		if err != nil || !yes {
+			b.Fatalf("half of a world must be possible: %v %v", yes, err)
+		}
+	}
+}
+
+// RunBenchmarks executes the perf probes (all of them, or the single one
+// named by only) under testing.Benchmark with allocation reporting.
+func RunBenchmarks(only string) []BenchResult {
+	var out []BenchResult
+	for _, p := range benchProbes() {
+		if only != "" && p.name != only {
+			continue
+		}
+		r := testing.Benchmark(p.fn)
+		if r.N == 0 {
+			// Skipped or failed probe: no iterations ran. Dividing would
+			// produce NaN and break JSON encoding; drop the probe instead.
+			continue
+		}
+		out = append(out, BenchResult{
+			Name:        p.name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return out
+}

@@ -11,6 +11,7 @@ import (
 
 	"pw/internal/cond"
 	"pw/internal/rel"
+	"pw/internal/sym"
 	"pw/internal/table"
 	"pw/internal/valuation"
 	"pw/internal/value"
@@ -151,21 +152,20 @@ func CTable(seed int64, name string, rows, arity, consts, varPool int, nullDensi
 // found within the attempt budget — callers should treat that as "skip".
 func MemberInstance(seed int64, d *table.Database) (*rel.Instance, bool) {
 	rng := rand.New(rand.NewSource(seed))
-	vars := d.VarNames()
-	seen := map[string]bool{}
-	consts := d.Consts(nil, seen)
-	prefix := table.FreshPrefix(consts)
-	domain := append([]string(nil), consts...)
-	for i := range vars {
-		domain = append(domain, fmt.Sprintf("%s%d", prefix, i))
+	u := d.Universe()
+	consts := d.ConstIDs(nil, map[sym.ID]bool{})
+	prefix := table.FreshPrefixIDs(consts)
+	domain := append([]sym.ID(nil), consts...)
+	for i := 0; i < u.Len(); i++ {
+		domain = append(domain, sym.Const(fmt.Sprintf("%s%d", prefix, i)))
 	}
 	if len(domain) == 0 {
-		domain = []string{"c0"}
+		domain = []sym.ID{sym.Const("c0")}
 	}
 	for attempt := 0; attempt < 64; attempt++ {
-		v := make(valuation.V, len(vars))
-		for _, x := range vars {
-			v[x] = domain[rng.Intn(len(domain))]
+		v := valuation.Make(u)
+		for s := range v.Vals {
+			v.Vals[s] = domain[rng.Intn(len(domain))]
 		}
 		if w := v.Database(d); w != nil {
 			return w, true

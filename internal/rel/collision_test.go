@@ -1,0 +1,90 @@
+package rel
+
+import (
+	"fmt"
+	"testing"
+
+	"pw/internal/sym"
+)
+
+// TestCollisionFallback forces every tuple into one fingerprint bucket and
+// checks that set semantics survive on exact comparison alone: the
+// fingerprint is an accelerator, never an identity.
+func TestCollisionFallback(t *testing.T) {
+	orig := tupleHash
+	tupleHash = func([]sym.ID) uint64 { return 0xdead }
+	defer func() { tupleHash = orig }()
+
+	r := NewRelation("C", 2)
+	const n = 50
+	for i := 0; i < n; i++ {
+		r.AddRow(fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i))
+		r.AddRow(fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i)) // duplicate
+	}
+	if r.Len() != n {
+		t.Fatalf("Len = %d, want %d (duplicates must dedup under total collision)", r.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if !r.Has(Fact{fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i)}) {
+			t.Fatalf("fact %d lost", i)
+		}
+	}
+	if r.Has(Fact{"a0", "b1"}) {
+		t.Error("colliding non-member reported present")
+	}
+
+	s := r.Clone()
+	if !r.Equal(s) || !r.SubsetOf(s) {
+		t.Error("Equal/SubsetOf broken under total collision")
+	}
+	s.AddRow("extra", "row")
+	if r.Equal(s) || s.SubsetOf(r) {
+		t.Error("strict superset not detected under total collision")
+	}
+	if !r.SubsetOf(s) {
+		t.Error("subset not detected under total collision")
+	}
+}
+
+// TestFingerprintInsertionOrderIndependent: the relation fingerprint is a
+// set fingerprint, stable under permuted insertion.
+func TestFingerprintInsertionOrderIndependent(t *testing.T) {
+	a := NewRelation("R", 1)
+	b := NewRelation("R", 1)
+	for i := 0; i < 20; i++ {
+		a.AddRow(fmt.Sprintf("x%d", i))
+	}
+	for i := 19; i >= 0; i-- {
+		b.AddRow(fmt.Sprintf("x%d", i))
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("fingerprint depends on insertion order")
+	}
+	ia, ib := NewInstance(), NewInstance()
+	ia.AddRelation(a)
+	ib.AddRelation(b)
+	if ia.Fingerprint() != ib.Fingerprint() {
+		t.Error("instance fingerprint depends on insertion order")
+	}
+}
+
+// TestFingerprintSeparatesNearMisses: distinct small edits move the
+// fingerprint (not a collision guarantee — just a sanity check that the
+// mixing actually bites on the shapes the engine produces).
+func TestFingerprintSeparatesNearMisses(t *testing.T) {
+	base := NewRelation("R", 2)
+	base.AddRow("1", "2")
+	base.AddRow("3", "4")
+	edited := NewRelation("R", 2)
+	edited.AddRow("1", "2")
+	edited.AddRow("4", "3")
+	if base.Fingerprint() == edited.Fingerprint() {
+		t.Error("component swap not separated")
+	}
+	renamed := NewRelation("S", 2)
+	renamed.AddRow("1", "2")
+	renamed.AddRow("3", "4")
+	if base.Fingerprint() == renamed.Fingerprint() {
+		t.Error("relation name not part of the fingerprint")
+	}
+}

@@ -2,20 +2,53 @@
 // paper): relations of ground facts and instances, i.e. named vectors of
 // relations. Relations have set semantics with a canonical sorted order for
 // printing and comparison.
+//
+// Facts are stored as interned-symbol tuples (internal/sym) deduplicated by
+// 64-bit fingerprint with exact-comparison collision buckets; the
+// string-based Fact type survives only as the API boundary, interned on Add
+// and resolved on Facts(). Engine code iterates Tuples() and probes
+// Contains() without ever touching a string.
 package rel
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"pw/internal/sym"
 )
 
-// Fact is a ground tuple: a fixed-arity sequence of constant names.
+// tupleHash fingerprints a stored tuple. It is a variable so that tests
+// can force universal collisions and exercise the bucket fallback.
+var tupleHash = sym.HashIDs
+
+// Fact is a ground tuple at the API boundary: a fixed-arity sequence of
+// constant names.
 type Fact []string
 
 // Key returns a canonical encoding of the fact usable as a map key. The
 // separator 0x00 cannot occur in constant names produced by this library.
+// Engine paths deduplicate by fingerprint instead; Key survives for
+// debugging and display-layer consumers.
 func (f Fact) Key() string { return strings.Join(f, "\x00") }
+
+// Intern converts the fact to its interned-symbol form.
+func (f Fact) Intern() sym.Tuple {
+	t := make(sym.Tuple, len(f))
+	for i, c := range f {
+		t[i] = sym.Const(c)
+	}
+	return t
+}
+
+// ResolveFact converts an interned tuple back to a boundary Fact.
+func ResolveFact(t sym.Tuple) Fact {
+	f := make(Fact, len(t))
+	for i, id := range t {
+		f[i] = id.Name()
+	}
+	return f
+}
 
 // Clone returns a copy of f.
 func (f Fact) Clone() Fact {
@@ -60,16 +93,18 @@ func (f Fact) Compare(g Fact) int {
 	return 0
 }
 
-// Relation is a named finite set of facts of a fixed arity.
+// Relation is a named finite set of facts of a fixed arity, stored as
+// interned tuples in insertion order with a fingerprint index.
 type Relation struct {
-	Name  string
-	Arity int
-	facts map[string]Fact
+	Name   string
+	Arity  int
+	tuples []sym.Tuple
+	index  map[uint64][]int32 // fingerprint -> indices into tuples
 }
 
 // NewRelation returns an empty relation with the given name and arity.
 func NewRelation(name string, arity int) *Relation {
-	return &Relation{Name: name, Arity: arity, facts: make(map[string]Fact)}
+	return &Relation{Name: name, Arity: arity, index: make(map[uint64][]int32)}
 }
 
 // Add inserts the fact; it panics on arity mismatch (a programming error,
@@ -80,26 +115,67 @@ func (r *Relation) Add(f Fact) {
 		panic(fmt.Sprintf("rel: fact %v has arity %d, relation %s expects %d",
 			f, len(f), r.Name, r.Arity))
 	}
-	r.facts[f.Key()] = f.Clone()
+	r.Insert(f.Intern())
 }
 
 // AddRow is a convenience wrapper turning its arguments into a fact.
 func (r *Relation) AddRow(vals ...string) { r.Add(Fact(vals)) }
 
-// Has reports membership.
+// Insert adds an interned tuple, returning whether it was new. The tuple
+// is copied only when actually inserted, so callers may pass a reused
+// scratch buffer. Arity must match (checked like Add).
+func (r *Relation) Insert(t sym.Tuple) bool {
+	if len(t) != r.Arity {
+		panic(fmt.Sprintf("rel: tuple of arity %d, relation %s expects %d",
+			len(t), r.Name, r.Arity))
+	}
+	h := tupleHash(t)
+	for _, i := range r.index[h] {
+		if r.tuples[i].Equal(t) {
+			return false
+		}
+	}
+	r.index[h] = append(r.index[h], int32(len(r.tuples)))
+	r.tuples = append(r.tuples, t.Clone())
+	return true
+}
+
+// Contains reports membership of an interned tuple.
+func (r *Relation) Contains(t sym.Tuple) bool {
+	for _, i := range r.index[tupleHash(t)] {
+		if r.tuples[i].Equal(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Has reports membership of a boundary fact. Constant names never interned
+// anywhere cannot be members, so Has does not grow the intern table.
 func (r *Relation) Has(f Fact) bool {
-	_, ok := r.facts[f.Key()]
-	return ok
+	t := make(sym.Tuple, len(f))
+	for i, c := range f {
+		id, ok := sym.LookupConst(c)
+		if !ok {
+			return false
+		}
+		t[i] = id
+	}
+	return r.Contains(t)
 }
 
 // Len returns the number of facts.
-func (r *Relation) Len() int { return len(r.facts) }
+func (r *Relation) Len() int { return len(r.tuples) }
 
-// Facts returns the facts in canonical sorted order.
+// Tuples returns the stored tuples in insertion order. The slice and its
+// tuples are owned by the relation; callers must not mutate them.
+func (r *Relation) Tuples() []sym.Tuple { return r.tuples }
+
+// Facts returns the facts in canonical sorted order, resolved to names.
 func (r *Relation) Facts() []Fact {
-	out := make([]Fact, 0, len(r.facts))
-	for _, f := range r.facts {
-		out = append(out, f)
+	out := make([]Fact, len(r.tuples))
+	for i, t := range r.tuples {
+		out[i] = ResolveFact(t)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out
@@ -107,20 +183,28 @@ func (r *Relation) Facts() []Fact {
 
 // Clone returns a deep copy.
 func (r *Relation) Clone() *Relation {
-	c := NewRelation(r.Name, r.Arity)
-	for k, f := range r.facts {
-		c.facts[k] = f.Clone()
+	c := &Relation{
+		Name:   r.Name,
+		Arity:  r.Arity,
+		tuples: make([]sym.Tuple, len(r.tuples)),
+		index:  make(map[uint64][]int32, len(r.index)),
+	}
+	for i, t := range r.tuples {
+		c.tuples[i] = t.Clone()
+	}
+	for h, bucket := range r.index {
+		c.index[h] = append([]int32(nil), bucket...)
 	}
 	return c
 }
 
 // Equal reports set equality of facts (names and arities must also match).
 func (r *Relation) Equal(s *Relation) bool {
-	if r.Name != s.Name || r.Arity != s.Arity || len(r.facts) != len(s.facts) {
+	if r.Name != s.Name || r.Arity != s.Arity || len(r.tuples) != len(s.tuples) {
 		return false
 	}
-	for k := range r.facts {
-		if _, ok := s.facts[k]; !ok {
+	for _, t := range r.tuples {
+		if !s.Contains(t) {
 			return false
 		}
 	}
@@ -129,11 +213,11 @@ func (r *Relation) Equal(s *Relation) bool {
 
 // SubsetOf reports whether every fact of r is in s.
 func (r *Relation) SubsetOf(s *Relation) bool {
-	if len(r.facts) > len(s.facts) {
+	if len(r.tuples) > len(s.tuples) {
 		return false
 	}
-	for k := range r.facts {
-		if _, ok := s.facts[k]; !ok {
+	for _, t := range r.tuples {
+		if !s.Contains(t) {
 			return false
 		}
 	}
@@ -142,15 +226,16 @@ func (r *Relation) SubsetOf(s *Relation) bool {
 
 // UnionWith adds every fact of s to r. Arities must match.
 func (r *Relation) UnionWith(s *Relation) {
-	for _, f := range s.facts {
-		r.Add(f)
+	for _, t := range s.tuples {
+		r.Insert(t)
 	}
 }
 
 // Consts appends every constant occurring in r to dst (dedup via seen).
 func (r *Relation) Consts(dst []string, seen map[string]bool) []string {
-	for _, f := range r.facts {
-		for _, c := range f {
+	for _, t := range r.tuples {
+		for _, id := range t {
+			c := id.Name()
 			if !seen[c] {
 				seen[c] = true
 				dst = append(dst, c)
@@ -158,6 +243,32 @@ func (r *Relation) Consts(dst []string, seen map[string]bool) []string {
 		}
 	}
 	return dst
+}
+
+// ConstIDs appends every constant ID occurring in r to dst (dedup via
+// seen) — the active domain in interned form.
+func (r *Relation) ConstIDs(dst []sym.ID, seen map[sym.ID]bool) []sym.ID {
+	for _, t := range r.tuples {
+		for _, id := range t {
+			if !seen[id] {
+				seen[id] = true
+				dst = append(dst, id)
+			}
+		}
+	}
+	return dst
+}
+
+// Fingerprint returns a 64-bit fingerprint of the relation: name, arity
+// and fact set (insertion-order independent). Equal relations share a
+// fingerprint; unequal ones collide only with hash probability, so
+// consumers deduplicating by fingerprint keep collision buckets.
+func (r *Relation) Fingerprint() uint64 {
+	h := sym.Mix(sym.HashString(r.Name) ^ uint64(r.Arity)<<32 ^ uint64(len(r.tuples)))
+	for _, t := range r.tuples {
+		h += sym.Mix(tupleHash(t))
+	}
+	return h
 }
 
 // String renders the relation as Name(arity){fact, fact, ...} with facts in
@@ -274,8 +385,31 @@ func (i *Instance) Consts(dst []string, seen map[string]bool) []string {
 	return dst
 }
 
-// Key returns a canonical encoding of the whole instance, usable to
-// deduplicate possible worlds.
+// ConstIDs appends every constant ID occurring in the instance to dst
+// (dedup via seen).
+func (i *Instance) ConstIDs(dst []sym.ID, seen map[sym.ID]bool) []sym.ID {
+	for _, r := range i.rels {
+		dst = r.ConstIDs(dst, seen)
+	}
+	return dst
+}
+
+// Fingerprint returns a 64-bit fingerprint of the whole instance,
+// relation-order independent. It replaces the canonical string encoding as
+// the possible-world deduplication key; equal instances share it, unequal
+// ones collide only with hash probability, so world enumeration keeps
+// collision buckets and confirms with Equal.
+func (i *Instance) Fingerprint() uint64 {
+	h := uint64(len(i.rels))
+	for _, r := range i.rels {
+		h += sym.Mix(r.Fingerprint())
+	}
+	return h
+}
+
+// Key returns a canonical string encoding of the whole instance. Engine
+// paths deduplicate by Fingerprint; Key survives for debugging and
+// deterministic external comparison.
 func (i *Instance) Key() string {
 	names := make([]string, len(i.rels))
 	for k, r := range i.rels {

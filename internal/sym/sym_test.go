@@ -1,0 +1,139 @@
+package sym
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInternRoundTrip(t *testing.T) {
+	// intern → resolve → intern is the identity, for both namespaces.
+	f := func(name string) bool {
+		c := Const(name)
+		v := Var(name)
+		return c.Name() == name && v.Name() == name &&
+			Const(c.Name()) == c && Var(v.Name()) == v &&
+			!c.IsVar() && v.IsVar() && c != v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInternStable(t *testing.T) {
+	a := Const("stable-const")
+	for i := 0; i < 100; i++ {
+		if Const("stable-const") != a {
+			t.Fatal("re-interning must return the same ID")
+		}
+	}
+}
+
+func TestNamespacesDisjoint(t *testing.T) {
+	// 𝒟 ∩ 𝒱 = ∅: the same name yields distinct symbols per kind.
+	names := []string{"", "x", "0", "~z0", "日本語"}
+	for _, n := range names {
+		c, v := Const(n), Var(n)
+		if c == v {
+			t.Errorf("Const(%q) == Var(%q)", n, n)
+		}
+		if c.IsVar() || !v.IsVar() {
+			t.Errorf("kind bits wrong for %q", n)
+		}
+		if c.Name() != n || v.Name() != n {
+			t.Errorf("resolution broken for %q", n)
+		}
+	}
+}
+
+func TestZeroIDIsEmptyConstant(t *testing.T) {
+	// The zero Value of the value package relies on serial 0 = "".
+	var zero ID
+	if zero.IsVar() || zero.Name() != "" {
+		t.Errorf("zero ID = %v (%q)", zero, zero.Name())
+	}
+	if Const("") != zero {
+		t.Error("empty constant must be ID 0")
+	}
+}
+
+func TestLookupConstDoesNotIntern(t *testing.T) {
+	name := fmt.Sprintf("never-interned-%d", rand.Int63())
+	if _, ok := LookupConst(name); ok {
+		t.Fatal("lookup of a fresh name must miss")
+	}
+	n := ConstCount()
+	LookupConst(name)
+	if ConstCount() != n {
+		t.Error("LookupConst grew the intern table")
+	}
+	id := Const(name)
+	got, ok := LookupConst(name)
+	if !ok || got != id {
+		t.Error("LookupConst must find interned names")
+	}
+}
+
+func TestCompareOrdersConstantsBeforeVariables(t *testing.T) {
+	if Compare(Const("z"), Var("a")) != -1 {
+		t.Error("constants sort before variables")
+	}
+	if Compare(Var("a"), Var("b")) != -1 || Compare(Var("b"), Var("a")) != 1 {
+		t.Error("variables sort by name")
+	}
+	if Compare(Const("x"), Const("x")) != 0 {
+		t.Error("equal IDs compare equal")
+	}
+}
+
+func TestTupleFingerprintRespectsEquality(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		ta := make(Tuple, len(a))
+		for i, x := range a {
+			ta[i] = Const(fmt.Sprintf("c%d", x))
+		}
+		tb := make(Tuple, len(b))
+		for i, x := range b {
+			tb[i] = Const(fmt.Sprintf("c%d", x))
+		}
+		if ta.Equal(tb) {
+			return ta.Fingerprint() == tb.Fingerprint()
+		}
+		return true // unequal tuples may collide; consumers keep buckets
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleFingerprintOrderSensitive(t *testing.T) {
+	a := Tuple{Const("1"), Const("2")}
+	b := Tuple{Const("2"), Const("1")}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("want order-sensitive tuple fingerprints (a permutation is a different fact)")
+	}
+}
+
+func TestUniverseSlots(t *testing.T) {
+	x, y, z := Var("ux"), Var("uy"), Var("uz")
+	u := NewUniverse([]ID{x, y, x}) // duplicate x ignored
+	if u.Len() != 2 {
+		t.Fatalf("Len = %d", u.Len())
+	}
+	if u.Slot(x) != 0 || u.Slot(y) != 1 {
+		t.Errorf("slots = %d, %d", u.Slot(x), u.Slot(y))
+	}
+	if u.Slot(z) != -1 {
+		t.Error("absent variable must report slot -1")
+	}
+}
+
+func TestUniverseRejectsConstants(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("universe over a constant must panic")
+		}
+	}()
+	NewUniverse([]ID{Const("1")})
+}

@@ -1,0 +1,54 @@
+package sym
+
+// Universe is a per-database view of the intern table: it assigns the
+// database's variables dense slots 0..Len()-1 so that a valuation is a
+// flat []ID indexed by slot — no map allocation per candidate valuation
+// during the exponential searches of Proposition 2.1.
+type Universe struct {
+	vars []ID
+	slot []int32 // indexed by variable Serial(); -1 = not in this universe
+}
+
+// NewUniverse builds a universe over the given variable IDs (in the order
+// given, which becomes the slot order). Duplicates are ignored after their
+// first occurrence; constant IDs are rejected.
+func NewUniverse(vars []ID) *Universe {
+	u := &Universe{}
+	maxSerial := -1
+	for _, v := range vars {
+		if !v.IsVar() {
+			panic("sym: universe over a constant " + v.Name())
+		}
+		if s := v.Serial(); s > maxSerial {
+			maxSerial = s
+		}
+	}
+	u.slot = make([]int32, maxSerial+1)
+	for i := range u.slot {
+		u.slot[i] = -1
+	}
+	for _, v := range vars {
+		if u.slot[v.Serial()] == -1 {
+			u.slot[v.Serial()] = int32(len(u.vars))
+			u.vars = append(u.vars, v)
+		}
+	}
+	return u
+}
+
+// Len returns the number of variables in the universe.
+func (u *Universe) Len() int { return len(u.vars) }
+
+// Vars returns the universe's variables in slot order. Callers must not
+// mutate the returned slice.
+func (u *Universe) Vars() []ID { return u.vars }
+
+// Slot returns the dense index of variable v, or -1 when v is not in the
+// universe.
+func (u *Universe) Slot(v ID) int {
+	s := v.Serial()
+	if s >= len(u.slot) {
+		return -1
+	}
+	return int(u.slot[s])
+}

@@ -5,6 +5,7 @@ import (
 
 	"pw/internal/cond"
 	"pw/internal/rel"
+	"pw/internal/sym"
 	"pw/internal/value"
 )
 
@@ -21,6 +22,15 @@ import (
 // (i-table, possibly with repeated variables folded away).
 func Normalize(d *Database) (*Database, bool) {
 	g := d.GlobalConjunction()
+	if len(g) == 0 {
+		// Nothing to incorporate: the normalized database is d itself,
+		// returned aliased (not copied) — this keeps the per-call cost of
+		// the matching/freeze decision paths independent of table size
+		// when no global condition is attached. Callers must treat the
+		// result as read-only; the public pw.Normalize façade restores
+		// the always-independent-copy contract by cloning on alias.
+		return d, true
+	}
 	sub, ok := g.ImpliedBindings()
 	if !ok {
 		return nil, false
@@ -49,54 +59,84 @@ func Normalize(d *Database) (*Database, bool) {
 // information is incorporated and the residual inequalities are satisfied
 // by distinct fresh constants.
 func Freeze(d *Database, prefix string) *rel.Instance {
-	names := d.VarNames()
-	sub := make(map[string]value.Value, len(names))
-	for i, n := range names {
-		sub[n] = value.Const(fmt.Sprintf("%s%d", prefix, i))
+	vars := d.VarIDs(nil, map[sym.ID]bool{})
+	sym.SortByName(vars)
+	sub := make(map[sym.ID]sym.ID, len(vars))
+	for i, v := range vars {
+		sub[v] = sym.Const(fmt.Sprintf("%s%d", prefix, i))
 	}
 	inst := rel.NewInstance()
+	var scratch sym.Tuple
 	for _, t := range d.tables {
 		r := rel.NewRelation(t.Name, t.Arity)
 		for _, row := range t.Rows {
-			f := make(rel.Fact, len(row.Values))
+			if cap(scratch) < len(row.Values) {
+				scratch = make(sym.Tuple, len(row.Values))
+			}
+			f := scratch[:len(row.Values)]
 			for j, v := range row.Values {
 				if v.IsVar() {
-					f[j] = sub[v.Name()].Name()
+					f[j] = sub[v.ID()]
 				} else {
-					f[j] = v.Name()
+					f[j] = v.ID()
 				}
 			}
-			r.Add(f)
+			r.Insert(f)
 		}
 		inst.AddRelation(r)
 	}
 	return inst
 }
 
-// FreshPrefix returns a constant-name prefix that no constant in any of the
-// given pools starts with, by extending "~" with enough "z"s. Constant
-// names produced by the library never start with '~' unless they came from
-// a previous FreshPrefix, so one or two rounds suffice.
-func FreshPrefix(pools ...[]string) string {
+// freshPrefixOver extends "~z" with "z"s until no name yielded by the
+// iterator starts with the prefix. Constant names produced by the library
+// never start with '~' unless they came from a previous fresh prefix, so
+// one or two rounds suffice. Both pool flavors delegate here so the scheme
+// cannot drift between them.
+func freshPrefixOver(names func(yield func(string) bool)) string {
 	prefix := "~z"
 	for {
 		clash := false
-		for _, pool := range pools {
-			for _, c := range pool {
-				if len(c) >= len(prefix) && c[:len(prefix)] == prefix {
-					clash = true
-					break
-				}
+		names(func(c string) bool {
+			if len(c) >= len(prefix) && c[:len(prefix)] == prefix {
+				clash = true
+				return false
 			}
-			if clash {
-				break
-			}
-		}
+			return true
+		})
 		if !clash {
 			return prefix
 		}
 		prefix += "z"
 	}
+}
+
+// FreshPrefix returns a constant-name prefix that no constant in any of the
+// given pools starts with.
+func FreshPrefix(pools ...[]string) string {
+	return freshPrefixOver(func(yield func(string) bool) {
+		for _, pool := range pools {
+			for _, c := range pool {
+				if !yield(c) {
+					return
+				}
+			}
+		}
+	})
+}
+
+// FreshPrefixIDs is FreshPrefix over interned constant pools: it resolves
+// names only for the prefix-clash check, never allocating keys per symbol.
+func FreshPrefixIDs(pools ...[]sym.ID) string {
+	return freshPrefixOver(func(yield func(string) bool) {
+		for _, pool := range pools {
+			for _, id := range pool {
+				if !yield(id.Name()) {
+					return
+				}
+			}
+		}
+	})
 }
 
 // FromInstance lifts a complete-information instance to a (ground)
@@ -106,10 +146,10 @@ func FromInstance(i *rel.Instance) *Database {
 	d := NewDatabase()
 	for _, r := range i.Relations() {
 		t := New(r.Name, r.Arity)
-		for _, f := range r.Facts() {
+		for _, f := range r.Tuples() {
 			vals := make(value.Tuple, len(f))
 			for j, c := range f {
-				vals[j] = value.Const(c)
+				vals[j] = value.Of(c)
 			}
 			t.Rows = append(t.Rows, Row{Values: vals})
 		}

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"pw/internal/cond"
+	"pw/internal/sym"
 	"pw/internal/value"
 )
 
@@ -157,6 +158,32 @@ func (t *Table) Vars(dst []string, seen map[string]bool) []string {
 	return dst
 }
 
+// VarIDs appends all variable IDs of the table to dst in order of first
+// occurrence (dedup via seen).
+func (t *Table) VarIDs(dst []sym.ID, seen map[sym.ID]bool) []sym.ID {
+	dst = t.Global.VarIDs(dst, seen)
+	for _, r := range t.Rows {
+		dst = r.Values.VarIDs(dst, seen)
+		dst = r.Cond.VarIDs(dst, seen)
+	}
+	return dst
+}
+
+// ConstIDs appends all constant IDs of the table to dst (dedup via seen).
+func (t *Table) ConstIDs(dst []sym.ID, seen map[sym.ID]bool) []sym.ID {
+	dst = t.Global.ConstIDs(dst, seen)
+	for _, r := range t.Rows {
+		for _, v := range r.Values {
+			if v.IsConst() && !seen[v.ID()] {
+				seen[v.ID()] = true
+				dst = append(dst, v.ID())
+			}
+		}
+		dst = r.Cond.ConstIDs(dst, seen)
+	}
+	return dst
+}
+
 // Consts appends all constant names of the table to dst (dedup via seen).
 func (t *Table) Consts(dst []string, seen map[string]bool) []string {
 	dst = t.Global.Consts(dst, seen)
@@ -234,7 +261,7 @@ func (t *Table) Kind() Kind {
 
 // Subst applies a substitution to rows, local conditions and the global
 // condition, returning a new table.
-func (t *Table) Subst(s map[string]value.Value) *Table {
+func (t *Table) Subst(s value.Subst) *Table {
 	c := New(t.Name, t.Arity)
 	c.Global = t.Global.Subst(s)
 	c.Rows = make([]Row, len(t.Rows))
@@ -242,7 +269,7 @@ func (t *Table) Subst(s map[string]value.Value) *Table {
 		vals := make(value.Tuple, len(r.Values))
 		for j, v := range r.Values {
 			if v.IsVar() {
-				if w, ok := s[v.Name()]; ok {
+				if w, ok := s[v]; ok {
 					vals[j] = w
 					continue
 				}
@@ -366,6 +393,31 @@ func (d *Database) VarNames() []string {
 	vs := d.Vars(nil, map[string]bool{})
 	sort.Strings(vs)
 	return vs
+}
+
+// VarIDs appends all variable IDs of the database to dst (dedup via seen).
+func (d *Database) VarIDs(dst []sym.ID, seen map[sym.ID]bool) []sym.ID {
+	for _, t := range d.tables {
+		dst = t.VarIDs(dst, seen)
+	}
+	return dst
+}
+
+// Universe returns the database's symbol universe: its variables, sorted
+// by name for canonical enumeration order, with dense valuation slots.
+func (d *Database) Universe() *sym.Universe {
+	vs := d.VarIDs(nil, map[sym.ID]bool{})
+	sym.SortByName(vs)
+	return sym.NewUniverse(vs)
+}
+
+// ConstIDs appends all constant IDs of the database to dst (dedup via
+// seen): the Δ of Proposition 2.1 in interned form.
+func (d *Database) ConstIDs(dst []sym.ID, seen map[sym.ID]bool) []sym.ID {
+	for _, t := range d.tables {
+		dst = t.ConstIDs(dst, seen)
+	}
+	return dst
 }
 
 // Consts appends all constant names of the database to dst (dedup via

@@ -133,7 +133,7 @@ func TestDatabaseKindJoins(t *testing.T) {
 	it := fig1ITable()
 	it.Name = "U"
 	// Rename i-table vars so that the vector is well-formed.
-	it2 := it.Subst(map[string]value.Value{"x": v("x2"), "y": v("y2"), "z": v("z2"), "v": v("v2")})
+	it2 := it.Subst(value.Subst{v("x"): v("x2"), v("y"): v("y2"), v("z"): v("z2"), v("v"): v("v2")})
 	d.AddTable(it2)
 	if got := d.Kind(); got != KindG {
 		t.Errorf("e-table + i-table vector must join to g-table, got %v", got)
@@ -168,7 +168,7 @@ func TestVarsAndConsts(t *testing.T) {
 
 func TestSubstDeep(t *testing.T) {
 	tb := fig1GTable()
-	s := map[string]value.Value{"x": k("5")}
+	s := value.Subst{v("x"): k("5")}
 	nt := tb.Subst(s)
 	if nt.Rows[0].Values[2] != k("5") {
 		t.Error("row substitution failed")

@@ -3,6 +3,10 @@
 // a conditioned table yields a possible world; the package also provides
 // the canonical-domain enumerator behind Proposition 2.1's observation that
 // only valuations into Δ ∪ Δ′ matter.
+//
+// A valuation is a dense []sym.ID indexed by the variable slots of a
+// sym.Universe — one flat slice reused across the entire exponential
+// enumeration, where the seed allocated a map[string]string per candidate.
 package valuation
 
 import (
@@ -12,46 +16,78 @@ import (
 
 	"pw/internal/cond"
 	"pw/internal/rel"
+	"pw/internal/sym"
 	"pw/internal/table"
 	"pw/internal/value"
 )
 
-// V is a valuation: a total map from variable names to constant names over
-// the variables it is applied to. Applying V to a variable it does not
-// bind panics — decision procedures must enumerate complete valuations.
-type V map[string]string
+// V is a valuation: a total assignment of constant IDs to the variable
+// slots of a universe. Applying V to a variable it does not bind (or that
+// is outside its universe) panics — decision procedures must enumerate
+// complete valuations.
+type V struct {
+	U    *sym.Universe
+	Vals []sym.ID // indexed by universe slot; sym.None = unbound
+}
 
-// Clone returns a copy of v.
-func (v V) Clone() V {
-	c := make(V, len(v))
-	for k, val := range v {
-		c[k] = val
+// Make returns an all-unbound valuation over u.
+func Make(u *sym.Universe) V {
+	vals := make([]sym.ID, u.Len())
+	for i := range vals {
+		vals[i] = sym.None
 	}
+	return V{U: u, Vals: vals}
+}
+
+// Clone returns a copy of v sharing the universe.
+func (v V) Clone() V {
+	c := V{U: v.U, Vals: make([]sym.ID, len(v.Vals))}
+	copy(c.Vals, v.Vals)
 	return c
+}
+
+// Set binds variable x (which must be in the universe) to constant c.
+func (v V) Set(x, c sym.ID) {
+	s := v.U.Slot(x)
+	if s < 0 {
+		panic("valuation: variable ?" + x.Name() + " outside universe")
+	}
+	v.Vals[s] = c
 }
 
 // Value maps a value through the valuation: constants map to themselves.
-func (v V) Value(x value.Value) string {
-	if x.IsConst() {
-		return x.Name()
+func (v V) Value(x value.Value) sym.ID {
+	id := x.ID()
+	if !id.IsVar() {
+		return id
 	}
-	c, ok := v[x.Name()]
-	if !ok {
+	s := v.U.Slot(id)
+	if s < 0 || v.Vals[s] == sym.None {
 		panic("valuation: unbound variable ?" + x.Name())
 	}
-	return c
+	return v.Vals[s]
 }
 
-// Tuple applies v to a tuple, producing a fact.
-func (v V) Tuple(t value.Tuple) rel.Fact {
-	f := make(rel.Fact, len(t))
+// Lookup returns the constant name bound to the named variable, for tests
+// and display; ok is false when the variable is absent or unbound.
+func (v V) Lookup(name string) (string, bool) {
+	s := v.U.Slot(sym.Var(name))
+	if s < 0 || v.Vals[s] == sym.None {
+		return "", false
+	}
+	return v.Vals[s].Name(), true
+}
+
+// Tuple applies v to a tuple, producing a fresh interned fact.
+func (v V) Tuple(t value.Tuple) sym.Tuple {
+	f := make(sym.Tuple, len(t))
 	for i, x := range t {
 		f[i] = v.Value(x)
 	}
 	return f
 }
 
-// Atom reports whether v satisfies the atom.
+// Atom reports whether v satisfies the atom — a pure ID comparison.
 func (v V) Atom(a cond.Atom) bool {
 	l, r := v.Value(a.L), v.Value(a.R)
 	if a.Op == cond.Eq {
@@ -75,9 +111,13 @@ func (v V) Satisfies(c cond.Conjunction) bool {
 // satisfies. The caller must separately check the global condition.
 func (v V) Table(t *table.Table) *rel.Relation {
 	r := rel.NewRelation(t.Name, t.Arity)
+	scratch := make(sym.Tuple, t.Arity)
 	for _, row := range t.Rows {
 		if v.Satisfies(row.Cond) {
-			r.Add(v.Tuple(row.Values))
+			for i, x := range row.Values {
+				scratch[i] = v.Value(x)
+			}
+			r.Insert(scratch)
 		}
 	}
 	return r
@@ -99,14 +139,17 @@ func (v V) Database(d *table.Database) *rel.Instance {
 
 // String renders the valuation deterministically, e.g. "{x→1, y→2}".
 func (v V) String() string {
-	keys := make([]string, 0, len(v))
-	for k := range v {
-		keys = append(keys, k)
+	type pair struct{ name, c string }
+	pairs := make([]pair, 0, len(v.Vals))
+	for i, x := range v.U.Vars() {
+		if v.Vals[i] != sym.None {
+			pairs = append(pairs, pair{x.Name(), v.Vals[i].Name()})
+		}
 	}
-	sort.Strings(keys)
-	parts := make([]string, len(keys))
-	for i, k := range keys {
-		parts[i] = fmt.Sprintf("%s→%s", k, v[k])
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].name < pairs[j].name })
+	parts := make([]string, len(pairs))
+	for i, p := range pairs {
+		parts[i] = fmt.Sprintf("%s→%s", p.name, p.c)
 	}
 	return "{" + strings.Join(parts, ", ") + "}"
 }
@@ -114,45 +157,47 @@ func (v V) String() string {
 // Domain computes the canonical valuation domain Δ ∪ Δ′ of Proposition
 // 2.1 for the database d, optionally extended by the constants of extra
 // instances (e.g. the I₀ of MEMB or the fact set P of POSS): the constants
-// appearing in the inputs plus one fresh constant per variable.
-func Domain(d *table.Database, extra ...*rel.Instance) []string {
-	seen := map[string]bool{}
-	consts := d.Consts(nil, seen)
+// appearing in the inputs plus one fresh constant per variable, as
+// interned IDs in canonical name order.
+func Domain(d *table.Database, extra ...*rel.Instance) []sym.ID {
+	seen := map[sym.ID]bool{}
+	consts := d.ConstIDs(nil, seen)
 	for _, e := range extra {
 		if e != nil {
-			consts = e.Consts(consts, seen)
+			consts = e.ConstIDs(consts, seen)
 		}
 	}
-	vars := d.VarNames()
-	prefix := table.FreshPrefix(consts)
-	for i := range vars {
-		consts = append(consts, fmt.Sprintf("%s%d", prefix, i))
+	nVars := len(d.VarIDs(nil, map[sym.ID]bool{}))
+	prefix := table.FreshPrefixIDs(consts)
+	for i := 0; i < nVars; i++ {
+		consts = append(consts, sym.Const(fmt.Sprintf("%s%d", prefix, i)))
 	}
-	sort.Strings(consts)
+	sym.SortByName(consts)
 	return consts
 }
 
-// Enumerate calls fn for every total valuation of vars into domain, in
-// lexicographic order, stopping early (and returning true) when fn returns
-// true. With |vars| = k and |domain| = d it enumerates d^k valuations: the
-// exponential ground-truth search of Proposition 2.1, used by the generic
-// solvers and by cross-validation tests. The valuation passed to fn is
-// reused between calls; clone it to retain it.
-func Enumerate(vars []string, domain []string, fn func(V) bool) bool {
-	if len(domain) == 0 && len(vars) > 0 {
+// Enumerate calls fn for every total valuation of u's variables into
+// domain, in lexicographic order, stopping early (and returning true) when
+// fn returns true. With |u| = k and |domain| = d it enumerates d^k
+// valuations: the exponential ground-truth search of Proposition 2.1, used
+// by the generic solvers and by cross-validation tests. The valuation
+// passed to fn is reused between calls; clone it to retain it.
+func Enumerate(u *sym.Universe, domain []sym.ID, fn func(V) bool) bool {
+	k := u.Len()
+	if len(domain) == 0 && k > 0 {
 		return false
 	}
-	v := make(V, len(vars))
-	idx := make([]int, len(vars))
+	v := Make(u)
+	idx := make([]int, k)
 	for {
-		for i, name := range vars {
-			v[name] = domain[idx[i]]
+		for i := 0; i < k; i++ {
+			v.Vals[i] = domain[idx[i]]
 		}
 		if fn(v) {
 			return true
 		}
 		// Odometer increment.
-		i := len(idx) - 1
+		i := k - 1
 		for ; i >= 0; i-- {
 			idx[i]++
 			if idx[i] < len(domain) {
@@ -167,44 +212,45 @@ func Enumerate(vars []string, domain []string, fn func(V) bool) bool {
 }
 
 // Count returns the number of total valuations Enumerate would visit.
-func Count(vars, domain []string) int {
+func Count(u *sym.Universe, domain []sym.ID) int {
 	n := 1
-	for range vars {
+	for i := 0; i < u.Len(); i++ {
 		n *= len(domain)
 	}
 	return n
 }
 
-// EnumerateCanonical enumerates valuations of vars into base ∪ Δ′ up to
-// renaming of the fresh constants: fresh constants prefix0, prefix1, … are
-// introduced in first-use order (a restricted-growth constraint), so two
-// valuations differing only by a permutation of fresh constants are
+// EnumerateCanonical enumerates valuations of u's variables into base ∪ Δ′
+// up to renaming of the fresh constants: fresh constants prefix0, prefix1,
+// … are introduced in first-use order (a restricted-growth constraint), so
+// two valuations differing only by a permutation of fresh constants are
 // visited once. All five decision problems are invariant under bijections
 // fixing the input constants (genericity, Proposition 2.1), so the
 // canonical enumeration is sound and complete for them while visiting
-// Π(|base|+i) instead of (|base|+|vars|)^|vars| valuations.
+// Π(|base|+i) instead of (|base|+|u|)^|u| valuations.
 //
 // fn's valuation is reused between calls; clone it to retain it.
-func EnumerateCanonical(vars []string, base []string, prefix string, fn func(V) bool) bool {
-	v := make(V, len(vars))
-	fresh := make([]string, 0, len(vars))
+func EnumerateCanonical(u *sym.Universe, base []sym.ID, prefix string, fn func(V) bool) bool {
+	k := u.Len()
+	v := Make(u)
+	fresh := make([]sym.ID, 0, k)
 	var rec func(i, used int) bool
 	rec = func(i, used int) bool {
-		if i == len(vars) {
+		if i == k {
 			return fn(v)
 		}
 		for _, c := range base {
-			v[vars[i]] = c
+			v.Vals[i] = c
 			if rec(i+1, used) {
 				return true
 			}
 		}
 		// Reuse fresh constants introduced so far, or introduce the next.
-		for j := 0; j <= used && j < len(vars); j++ {
+		for j := 0; j <= used && j < k; j++ {
 			if j == len(fresh) {
-				fresh = append(fresh, fmt.Sprintf("%s%d", prefix, j))
+				fresh = append(fresh, sym.Const(fmt.Sprintf("%s%d", prefix, j)))
 			}
-			v[vars[i]] = fresh[j]
+			v.Vals[i] = fresh[j]
 			next := used
 			if j == used {
 				next = used + 1

@@ -5,6 +5,7 @@ import (
 
 	"pw/internal/cond"
 	"pw/internal/rel"
+	"pw/internal/sym"
 	"pw/internal/table"
 	"pw/internal/value"
 )
@@ -12,12 +13,42 @@ import (
 func v(n string) value.Value { return value.Var(n) }
 func k(n string) value.Value { return value.Const(n) }
 
+// mk builds a valuation from name pairs, the way the map-based seed tests
+// wrote literals.
+func mk(pairs ...string) V {
+	vars := make([]sym.ID, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		vars = append(vars, sym.Var(pairs[i]))
+	}
+	val := Make(sym.NewUniverse(vars))
+	for i := 0; i < len(pairs); i += 2 {
+		val.Set(sym.Var(pairs[i]), sym.Const(pairs[i+1]))
+	}
+	return val
+}
+
+func ids(names ...string) []sym.ID {
+	out := make([]sym.ID, len(names))
+	for i, n := range names {
+		out[i] = sym.Const(n)
+	}
+	return out
+}
+
+func uni(names ...string) *sym.Universe {
+	vars := make([]sym.ID, len(names))
+	for i, n := range names {
+		vars[i] = sym.Var(n)
+	}
+	return sym.NewUniverse(vars)
+}
+
 func TestValueApplication(t *testing.T) {
-	val := V{"x": "7"}
-	if val.Value(k("3")) != "3" {
+	val := mk("x", "7")
+	if val.Value(k("3")) != sym.Const("3") {
 		t.Error("constants must map to themselves")
 	}
-	if val.Value(v("x")) != "7" {
+	if val.Value(v("x")) != sym.Const("7") {
 		t.Error("variable lookup broken")
 	}
 }
@@ -28,11 +59,11 @@ func TestUnboundPanics(t *testing.T) {
 			t.Error("unbound variable must panic")
 		}
 	}()
-	(V{}).Value(v("ghost"))
+	mk().Value(v("ghost"))
 }
 
 func TestSatisfies(t *testing.T) {
-	val := V{"x": "1", "y": "2"}
+	val := mk("x", "1", "y", "2")
 	if !val.Satisfies(cond.Conj(cond.EqAtom(v("x"), k("1")), cond.NeqAtom(v("x"), v("y")))) {
 		t.Error("satisfied conjunction rejected")
 	}
@@ -48,7 +79,7 @@ func TestPaperExample21(t *testing.T) {
 	ta.AddTuple(k("0"), k("1"), v("x"))
 	ta.AddTuple(v("y"), v("z"), k("1"))
 	ta.AddTuple(k("2"), k("0"), v("v"))
-	sigma := V{"x": "2", "y": "3", "z": "0", "v": "5"}
+	sigma := mk("x", "2", "y", "3", "z", "0", "v", "5")
 	got := sigma.Table(ta)
 	want := rel.NewRelation("T", 3)
 	want.AddRow("0", "1", "2")
@@ -63,7 +94,7 @@ func TestTableDropsFailingLocalConds(t *testing.T) {
 	tb := table.New("T", 1)
 	tb.Add(table.Row{Values: value.NewTuple(v("x")), Cond: cond.Conj(cond.EqAtom(v("x"), k("1")))})
 	tb.Add(table.Row{Values: value.NewTuple(k("9")), Cond: cond.Conj(cond.NeqAtom(v("x"), k("1")))})
-	sigma := V{"x": "1"}
+	sigma := mk("x", "1")
 	got := sigma.Table(tb)
 	if got.Len() != 1 || !got.Has(rel.Fact{"1"}) {
 		t.Errorf("world = %v, want {(1)}", got)
@@ -75,10 +106,10 @@ func TestDatabaseGlobalGate(t *testing.T) {
 	tb.Global = cond.Conj(cond.EqAtom(v("x"), k("1")))
 	tb.AddTuple(v("x"))
 	d := table.DB(tb)
-	if (V{"x": "2"}).Database(d) != nil {
+	if mk("x", "2").Database(d) != nil {
 		t.Error("valuation violating the global condition must denote no world")
 	}
-	w := (V{"x": "1"}).Database(d)
+	w := mk("x", "1").Database(d)
 	if w == nil || !w.Relation("T").Has(rel.Fact{"1"}) {
 		t.Errorf("world = %v", w)
 	}
@@ -86,8 +117,10 @@ func TestDatabaseGlobalGate(t *testing.T) {
 
 func TestEnumerateCountsAndOrder(t *testing.T) {
 	var seen []string
-	Enumerate([]string{"a", "b"}, []string{"0", "1"}, func(val V) bool {
-		seen = append(seen, val["a"]+val["b"])
+	Enumerate(uni("a", "b"), ids("0", "1"), func(val V) bool {
+		a, _ := val.Lookup("a")
+		b, _ := val.Lookup("b")
+		seen = append(seen, a+b)
 		return false
 	})
 	want := []string{"00", "01", "10", "11"}
@@ -99,16 +132,17 @@ func TestEnumerateCountsAndOrder(t *testing.T) {
 			t.Errorf("position %d = %s, want %s", i, seen[i], want[i])
 		}
 	}
-	if Count([]string{"a", "b", "c"}, []string{"0", "1"}) != 8 {
+	if Count(uni("a", "b", "c"), ids("0", "1")) != 8 {
 		t.Error("Count broken")
 	}
 }
 
 func TestEnumerateEarlyStop(t *testing.T) {
 	n := 0
-	stopped := Enumerate([]string{"a"}, []string{"0", "1", "2"}, func(val V) bool {
+	stopped := Enumerate(uni("a"), ids("0", "1", "2"), func(val V) bool {
 		n++
-		return val["a"] == "1"
+		a, _ := val.Lookup("a")
+		return a == "1"
 	})
 	if !stopped || n != 2 {
 		t.Errorf("stopped=%v after %d, want true after 2", stopped, n)
@@ -117,7 +151,7 @@ func TestEnumerateEarlyStop(t *testing.T) {
 
 func TestEnumerateNoVars(t *testing.T) {
 	n := 0
-	Enumerate(nil, []string{"0"}, func(val V) bool {
+	Enumerate(uni(), ids("0"), func(val V) bool {
 		n++
 		return false
 	})
@@ -126,14 +160,14 @@ func TestEnumerateNoVars(t *testing.T) {
 	}
 	// Empty domain with no vars still visits the empty valuation once.
 	n = 0
-	Enumerate(nil, nil, func(val V) bool { n++; return false })
+	Enumerate(uni(), nil, func(val V) bool { n++; return false })
 	if n != 1 {
 		t.Errorf("empty-domain no-var enumeration visited %d times", n)
 	}
 }
 
 func TestEnumerateEmptyDomainWithVars(t *testing.T) {
-	if Enumerate([]string{"a"}, nil, func(V) bool { return true }) {
+	if Enumerate(uni("a"), nil, func(V) bool { return true }) {
 		t.Error("no valuations exist over an empty domain")
 	}
 }
@@ -149,8 +183,8 @@ func TestDomainIncludesFreshPerVariable(t *testing.T) {
 	want := map[string]bool{"1": true, "2": true, "3": true, "4": true}
 	fresh := 0
 	for _, c := range dom {
-		if want[c] {
-			delete(want, c)
+		if want[c.Name()] {
+			delete(want, c.Name())
 		} else {
 			fresh++
 		}
@@ -164,17 +198,17 @@ func TestDomainIncludesFreshPerVariable(t *testing.T) {
 }
 
 func TestValuationString(t *testing.T) {
-	s := V{"b": "2", "a": "1"}.String()
+	s := mk("b", "2", "a", "1").String()
 	if s != "{a→1, b→2}" {
 		t.Errorf("String = %q", s)
 	}
 }
 
 func TestClone(t *testing.T) {
-	a := V{"x": "1"}
+	a := mk("x", "1")
 	b := a.Clone()
-	b["x"] = "2"
-	if a["x"] != "1" {
+	b.Set(sym.Var("x"), sym.Const("2"))
+	if got, _ := a.Lookup("x"); got != "1" {
 		t.Error("Clone aliases")
 	}
 }

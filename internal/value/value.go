@@ -3,63 +3,59 @@
 // (nulls) drawn from a disjoint set 𝒱, plus tuples over them.
 //
 // The paper (§2.2) assumes 𝒟 ∩ 𝒱 = ∅. We enforce the distinction in the
-// type: a Value carries an explicit kind bit rather than relying on naming
-// conventions, so "x" the constant and "x" the variable are different
-// values.
+// type: a Value wraps an interned symbol ID (internal/sym) whose kind bit
+// keeps the namespaces disjoint, so "x" the constant and "x" the variable
+// are different values. A Value is four bytes and compares with ==; names
+// are resolved only at the display boundary.
 package value
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"pw/internal/sym"
 )
 
 // Value is a constant or a variable (null). The zero Value is the constant
 // with the empty name; use Const and Var to build meaningful values.
 type Value struct {
-	name  string
-	isVar bool
+	id sym.ID
 }
 
 // Const returns the constant named name.
-func Const(name string) Value { return Value{name: name} }
+func Const(name string) Value { return Value{id: sym.Const(name)} }
 
 // Var returns the variable (null) named name.
-func Var(name string) Value { return Value{name: name, isVar: true} }
+func Var(name string) Value { return Value{id: sym.Var(name)} }
+
+// Of wraps an interned symbol ID as a Value.
+func Of(id sym.ID) Value { return Value{id: id} }
+
+// ID returns the value's interned symbol.
+func (v Value) ID() sym.ID { return v.id }
 
 // Name returns the symbol's name without kind decoration.
-func (v Value) Name() string { return v.name }
+func (v Value) Name() string { return v.id.Name() }
 
 // IsVar reports whether v is a variable.
-func (v Value) IsVar() bool { return v.isVar }
+func (v Value) IsVar() bool { return v.id.IsVar() }
 
 // IsConst reports whether v is a constant.
-func (v Value) IsConst() bool { return !v.isVar }
+func (v Value) IsConst() bool { return !v.id.IsVar() }
 
 // String renders constants bare and variables with a leading '?', matching
 // the .pw text format of internal/parse.
-func (v Value) String() string {
-	if v.isVar {
-		return "?" + v.name
-	}
-	return v.name
-}
+func (v Value) String() string { return v.id.String() }
 
-// Compare orders values: constants before variables, then by name. It
-// returns -1, 0, or +1.
-func (v Value) Compare(w Value) int {
-	switch {
-	case !v.isVar && w.isVar:
-		return -1
-	case v.isVar && !w.isVar:
-		return 1
-	case v.name < w.name:
-		return -1
-	case v.name > w.name:
-		return 1
-	}
-	return 0
-}
+// Compare orders values canonically: constants before variables, then by
+// name. It returns -1, 0, or +1.
+func (v Value) Compare(w Value) int { return sym.Compare(v.id, w.id) }
+
+// Subst is a substitution: a map from variables (as Values, so the kind
+// bit disambiguates for free) to replacement values. Constants are never
+// keys.
+type Subst map[Value]Value
 
 // Tuple is a fixed-arity sequence of values: one row of a table before any
 // condition is attached.
@@ -120,6 +116,18 @@ func (t Tuple) Vars(dst []string, seen map[string]bool) []string {
 		if v.IsVar() && !seen[v.Name()] {
 			seen[v.Name()] = true
 			dst = append(dst, v.Name())
+		}
+	}
+	return dst
+}
+
+// VarIDs appends the IDs of the variables occurring in t to dst, in order
+// of first occurrence (dedup via seen).
+func (t Tuple) VarIDs(dst []sym.ID, seen map[sym.ID]bool) []sym.ID {
+	for _, v := range t {
+		if v.IsVar() && !seen[v.id] {
+			seen[v.id] = true
+			dst = append(dst, v.id)
 		}
 	}
 	return dst

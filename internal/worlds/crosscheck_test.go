@@ -1,0 +1,101 @@
+package worlds
+
+import (
+	"testing"
+
+	"pw/internal/gen"
+	"pw/internal/rel"
+	"pw/internal/table"
+	"pw/internal/valuation"
+)
+
+// keyDedupCount is the seed engine's world counter: enumerate valuations
+// and deduplicate instances by canonical string encoding. It is the
+// pre-refactor ground truth the fingerprint path must reproduce exactly.
+func keyDedupCount(d *table.Database) int {
+	domain := valuation.Domain(d)
+	seen := map[string]bool{}
+	n := 0
+	valuation.Enumerate(d.Universe(), domain, func(v valuation.V) bool {
+		inst := v.Database(d)
+		if inst == nil {
+			return false
+		}
+		k := inst.Key()
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+		n++
+		return false
+	})
+	return n
+}
+
+// TestCountMatchesCanonicalKeyDedup cross-checks the fingerprint-based
+// world deduplication against canonical-string deduplication on the
+// internal/gen random databases of every representation kind.
+func TestCountMatchesCanonicalKeyDedup(t *testing.T) {
+	cases := []*table.Table{
+		gen.CoddTable(1, "T", 4, 2, 4, 0.5),
+		gen.ETable(2, "T", 4, 2, 4, 2, 0.5),
+		gen.ITable(3, "T", 3, 2, 4, 2, 0.5),
+		gen.CTable(4, "T", 3, 2, 4, 2, 0.5, 0.5),
+	}
+	for ci, tb := range cases {
+		d := table.DB(tb)
+		got := Count(d)
+		want := keyDedupCount(d)
+		if got != want {
+			t.Errorf("case %d (%v): fingerprint dedup counts %d worlds, canonical keys count %d\n%s",
+				ci, d.Kind(), got, want, d)
+		}
+		if got == 0 {
+			t.Errorf("case %d: no worlds enumerated", ci)
+		}
+	}
+}
+
+// TestEachUnderForcedFingerprintCollision drives world dedup through the
+// equality fallback: with a constant fingerprint every world lands in one
+// bucket, and the enumeration must still visit each distinct world exactly
+// once.
+func TestEachUnderForcedFingerprintCollision(t *testing.T) {
+	orig := instanceFingerprint
+	instanceFingerprint = func(*rel.Instance) uint64 { return 7 }
+	defer func() { instanceFingerprint = orig }()
+
+	tb := gen.ETable(5, "T", 4, 2, 3, 2, 0.6)
+	d := table.DB(tb)
+	got := Count(d)
+	want := keyDedupCount(d)
+	if got != want {
+		t.Fatalf("collision-bucket dedup counts %d worlds, canonical keys count %d", got, want)
+	}
+	// No duplicates delivered to fn.
+	seen := map[string]bool{}
+	Each(d, nil, func(i *rel.Instance) bool {
+		k := i.Key()
+		if seen[k] {
+			t.Fatalf("world delivered twice: %v", i)
+		}
+		seen[k] = true
+		return false
+	})
+}
+
+// TestMemberAgreesWithInstanceSampling: every sampled member instance of a
+// random database must be accepted by Member.
+func TestMemberAgreesWithInstanceSampling(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		tb := gen.ETable(seed, "T", 3, 2, 4, 2, 0.5)
+		d := table.DB(tb)
+		i, ok := gen.MemberInstance(seed, d)
+		if !ok {
+			continue
+		}
+		if !Member(i, d) {
+			t.Errorf("seed %d: sampled world rejected by Member\n%v\n%s", seed, d, i)
+		}
+	}
+}

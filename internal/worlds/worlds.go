@@ -5,35 +5,58 @@
 // ground truth against which the polynomial and backtracking algorithms of
 // internal/decide are validated, and the baseline the benchmarks compare
 // against.
+//
+// Candidate worlds are deduplicated by 64-bit instance fingerprint with an
+// exact-equality collision bucket — the seed's canonical-string encoding
+// per candidate is gone from this path.
 package worlds
 
 import (
 	"pw/internal/rel"
+	"pw/internal/sym"
 	"pw/internal/table"
 	"pw/internal/valuation"
 )
 
+// instanceFingerprint is a hook so tests can force universal fingerprint
+// collisions and exercise the bucket fallback.
+var instanceFingerprint = (*rel.Instance).Fingerprint
+
+// dedup tracks distinct instances by fingerprint, confirming by Equal on
+// collision.
+type dedup map[uint64][]*rel.Instance
+
+func (s dedup) add(i *rel.Instance) bool {
+	fp := instanceFingerprint(i)
+	for _, prev := range s[fp] {
+		if prev.Equal(i) {
+			return false
+		}
+	}
+	s[fp] = append(s[fp], i)
+	return true
+}
+
 // Each enumerates the distinct possible worlds of d over the given domain
 // (pass nil to use the canonical Domain(d)), calling fn for each distinct
 // instance; enumeration stops early when fn returns true, and Each then
-// returns true. Worlds are deduplicated by canonical instance encoding, so
-// fn sees each element of rep(d) at most once per isomorphism-free domain.
-func Each(d *table.Database, domain []string, fn func(*rel.Instance) bool) bool {
+// returns true. Worlds are deduplicated by instance fingerprint (with an
+// equality fallback on collisions), so fn sees each element of rep(d) at
+// most once per isomorphism-free domain.
+func Each(d *table.Database, domain []sym.ID, fn func(*rel.Instance) bool) bool {
 	if domain == nil {
 		domain = valuation.Domain(d)
 	}
-	seen := make(map[string]bool)
-	vars := d.VarNames()
-	return valuation.Enumerate(vars, domain, func(v valuation.V) bool {
+	seen := make(dedup)
+	u := d.Universe()
+	return valuation.Enumerate(u, domain, func(v valuation.V) bool {
 		inst := v.Database(d)
 		if inst == nil {
 			return false
 		}
-		k := inst.Key()
-		if seen[k] {
+		if !seen.add(inst) {
 			return false
 		}
-		seen[k] = true
 		return fn(inst)
 	})
 }
@@ -67,8 +90,7 @@ func Count(d *table.Database) int {
 // the practical algorithms.
 func Member(i *rel.Instance, d *table.Database) bool {
 	domain := valuation.Domain(d, i)
-	vars := d.VarNames()
-	return valuation.Enumerate(vars, domain, func(v valuation.V) bool {
+	return valuation.Enumerate(d.Universe(), domain, func(v valuation.V) bool {
 		w := v.Database(d)
 		return w != nil && w.Equal(i)
 	})
@@ -78,7 +100,7 @@ func Member(i *rel.Instance, d *table.Database) bool {
 func MemberWorld(i *rel.Instance, d *table.Database) (*rel.Instance, bool) {
 	var witness *rel.Instance
 	domain := valuation.Domain(d, i)
-	ok := valuation.Enumerate(d.VarNames(), domain, func(v valuation.V) bool {
+	ok := valuation.Enumerate(d.Universe(), domain, func(v valuation.V) bool {
 		w := v.Database(d)
 		if w != nil && w.Equal(i) {
 			witness = w
@@ -93,7 +115,7 @@ func MemberWorld(i *rel.Instance, d *table.Database) (*rel.Instance, bool) {
 // (the unbounded possibility question POSS(∗,−) by brute force).
 func Possible(p *rel.Instance, d *table.Database) bool {
 	domain := valuation.Domain(d, p)
-	return valuation.Enumerate(d.VarNames(), domain, func(v valuation.V) bool {
+	return valuation.Enumerate(d.Universe(), domain, func(v valuation.V) bool {
 		w := v.Database(d)
 		return w != nil && p.SubsetOf(w)
 	})
@@ -104,7 +126,7 @@ func Possible(p *rel.Instance, d *table.Database) bool {
 // all valuations follows from genericity, Proposition 2.1).
 func Certain(p *rel.Instance, d *table.Database) bool {
 	domain := valuation.Domain(d, p)
-	violated := valuation.Enumerate(d.VarNames(), domain, func(v valuation.V) bool {
+	violated := valuation.Enumerate(d.Universe(), domain, func(v valuation.V) bool {
 		w := v.Database(d)
 		return w != nil && !p.SubsetOf(w)
 	})
@@ -113,15 +135,13 @@ func Certain(p *rel.Instance, d *table.Database) bool {
 
 // Transform enumerates q(rep(d)) for an arbitrary instance transformer q,
 // deduplicating outputs. It stops early when fn returns true.
-func Transform(d *table.Database, domain []string, q func(*rel.Instance) *rel.Instance, fn func(*rel.Instance) bool) bool {
-	seen := make(map[string]bool)
+func Transform(d *table.Database, domain []sym.ID, q func(*rel.Instance) *rel.Instance, fn func(*rel.Instance) bool) bool {
+	seen := make(dedup)
 	return Each(d, domain, func(i *rel.Instance) bool {
 		out := q(i)
-		k := out.Key()
-		if seen[k] {
+		if !seen.add(out) {
 			return false
 		}
-		seen[k] = true
 		return fn(out)
 	})
 }

@@ -179,8 +179,16 @@ func CertainFact(relName string, f Fact, q Query, d *Database) (bool, error) {
 }
 
 // Normalize incorporates implied equalities into the tables and leaves a
-// residual inequality global condition; ok=false means rep(d) = ∅.
-func Normalize(d *Database) (*Database, bool) { return table.Normalize(d) }
+// residual inequality global condition; ok=false means rep(d) = ∅. The
+// result is always independent of d and free to mutate (the internal fast
+// path may alias; the façade clones in that case).
+func Normalize(d *Database) (*Database, bool) {
+	nd, ok := table.Normalize(d)
+	if ok && nd == d {
+		nd = d.Clone()
+	}
+	return nd, ok
+}
 
 // Apply evaluates a positive existential query directly on a c-table
 // database, returning a c-table database representing the view q(rep(d))
