@@ -46,6 +46,9 @@ func BenchmarkFig1_Hierarchy(b *testing.B) {
 
 // --- Fig. 2 / Fig. 3 / Thm 3.1(1): MEMB on Codd-tables, polynomial cell ---
 
+// The unsuffixed gated benchmarks pin Workers: 1 — the sequential,
+// baseline-comparable configuration (same convention as pwbench); the
+// _w1/_w8 variants below compare engine configurations explicitly.
 func benchMembCodd(b *testing.B, rows int) {
 	tb := gen.CoddTable(int64(rows), "T", rows, 3, 2*rows, 0.3)
 	d := table.DB(tb)
@@ -53,9 +56,10 @@ func benchMembCodd(b *testing.B, rows int) {
 	if !ok {
 		b.Skip("no member instance")
 	}
+	o := decide.Options{Workers: 1}
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
-		yes, err := decide.Membership(i, query.Identity{}, d)
+		yes, err := o.Membership(i, query.Identity{}, d)
 		if err != nil || !yes {
 			b.Fatalf("membership failed: %v %v", yes, err)
 		}
@@ -65,6 +69,29 @@ func benchMembCodd(b *testing.B, rows int) {
 func BenchmarkFig3_MembMatching_128(b *testing.B)  { benchMembCodd(b, 128) }
 func BenchmarkFig3_MembMatching_512(b *testing.B)  { benchMembCodd(b, 512) }
 func BenchmarkFig3_MembMatching_2048(b *testing.B) { benchMembCodd(b, 2048) }
+
+// Pinned-worker variants of the gated probes: _w1 is the sequential
+// engine, _w8 the sharded one (the ≥2x-at-8-workers speedup target of
+// the parallel decision engine on multi-core hosts).
+func benchMembCoddOpt(b *testing.B, rows, workers int) {
+	tb := gen.CoddTable(int64(rows), "T", rows, 3, 2*rows, 0.3)
+	d := table.DB(tb)
+	i, ok := gen.MemberInstance(int64(rows), d)
+	if !ok {
+		b.Skip("no member instance")
+	}
+	o := decide.Options{Workers: workers}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		yes, err := o.Membership(i, query.Identity{}, d)
+		if err != nil || !yes {
+			b.Fatalf("membership failed: %v %v", yes, err)
+		}
+	}
+}
+
+func BenchmarkFig3_MembMatching_2048_w1(b *testing.B) { benchMembCoddOpt(b, 2048, 1) }
+func BenchmarkFig3_MembMatching_2048_w8(b *testing.B) { benchMembCoddOpt(b, 2048, 8) }
 
 // --- Fig. 2 hard cells / Fig. 4 / Thm 3.1(2,3,4): MEMB reductions ---
 
@@ -182,9 +209,10 @@ func benchContFreeze(b *testing.B, rows int) {
 	t := t0.Clone()
 	t.AddTuple(value.Var("wild1"), value.Var("wild2"))
 	d0, d := table.DB(t0), table.DB(t)
+	o := decide.Options{Workers: 1}
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
-		yes, err := decide.Containment(query.Identity{}, d0, query.Identity{}, d)
+		yes, err := o.Containment(query.Identity{}, d0, query.Identity{}, d)
 		if err != nil || !yes {
 			b.Fatalf("superset extension must contain: %v %v", yes, err)
 		}
@@ -193,6 +221,24 @@ func benchContFreeze(b *testing.B, rows int) {
 
 func BenchmarkThm41_ContFreeze_64(b *testing.B)  { benchContFreeze(b, 64) }
 func BenchmarkThm41_ContFreeze_256(b *testing.B) { benchContFreeze(b, 256) }
+
+func benchContFreezeOpt(b *testing.B, rows, workers int) {
+	t0 := gen.CoddTable(int64(rows), "T", rows, 2, rows, 0.4)
+	t := t0.Clone()
+	t.AddTuple(value.Var("wild1"), value.Var("wild2"))
+	d0, d := table.DB(t0), table.DB(t)
+	o := decide.Options{Workers: workers}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		yes, err := o.Containment(query.Identity{}, d0, query.Identity{}, d)
+		if err != nil || !yes {
+			b.Fatalf("superset extension must contain: %v %v", yes, err)
+		}
+	}
+}
+
+func BenchmarkThm41_ContFreeze_256_w1(b *testing.B) { benchContFreezeOpt(b, 256, 1) }
+func BenchmarkThm41_ContFreeze_256_w8(b *testing.B) { benchContFreezeOpt(b, 256, 8) }
 
 // --- Thm 4.2 / Figs. 7-10: CONT hard cells (reduction families) ---
 
@@ -286,9 +332,10 @@ func benchPossCodd(b *testing.B, rows int) {
 			pr.Add(f)
 		}
 	}
+	o := decide.Options{Workers: 1}
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
-		yes, err := decide.Possible(p, query.Identity{}, d)
+		yes, err := o.Possible(p, query.Identity{}, d)
 		if err != nil || !yes {
 			b.Fatalf("half of a world must be possible: %v %v", yes, err)
 		}

@@ -7,17 +7,22 @@
 //	pwbench [-full] [-only F3]          # figure reports (text)
 //	pwbench -bench [-only Fig3_...]     # perf probes (text)
 //	pwbench -bench -json                # perf probes as JSON to stdout
+//	pwbench -bench -workers 8           # probes at a fixed worker count
+//	pwbench -check BENCH_baseline.json  # regression guard on gated probes
 //
 // -full widens the sweeps (slower); -only runs a single experiment or
 // probe by id. The JSON form emits an array of {name, n, ns_per_op,
 // allocs_per_op, bytes_per_op} objects, the shape tracked across PRs in
-// BENCH_*.json files.
+// BENCH_*.json files. -check re-runs the gated probes and exits nonzero
+// when any is more than 25% slower (ns/op) than the baseline file.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -25,32 +30,49 @@ import (
 )
 
 func main() {
-	full := flag.Bool("full", false, "widen sweeps (slower, used for EXPERIMENTS.md)")
-	only := flag.String("only", "", "run a single experiment or probe by id (e.g. F3, Fig3_MembMatching_128)")
-	bench := flag.Bool("bench", false, "run perf probes instead of figure reports")
-	asJSON := flag.Bool("json", false, "with -bench: emit machine-readable JSON")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pwbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	full := fs.Bool("full", false, "widen sweeps (slower, used for EXPERIMENTS.md)")
+	only := fs.String("only", "", "run a single experiment or probe by id (e.g. F3, Fig3_MembMatching_128)")
+	bench := fs.Bool("bench", false, "run perf probes instead of figure reports")
+	asJSON := fs.Bool("json", false, "with -bench: emit machine-readable JSON")
+	workers := fs.Int("workers", 0, "worker count for the unsuffixed probes (0 = sequential, the baseline-comparable configuration; note pwq's -workers 0 means GOMAXPROCS)")
+	check := fs.String("check", "", "baseline BENCH_*.json: run gated probes, exit 1 on >25% ns/op regression")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	if *check != "" {
+		return runCheck(*check, stdout, stderr)
+	}
 
 	if *bench {
-		results := experiments.RunBenchmarks(*only)
+		results := experiments.RunBenchmarks(*only, *workers)
 		if len(results) == 0 {
-			fmt.Fprintf(os.Stderr, "pwbench: no probe matches -only=%s\n", *only)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "pwbench: no probe matches -only=%s\n", *only)
+			return 1
 		}
 		if *asJSON {
-			enc := json.NewEncoder(os.Stdout)
+			enc := json.NewEncoder(stdout)
 			enc.SetIndent("", "  ")
 			if err := enc.Encode(results); err != nil {
-				fmt.Fprintf(os.Stderr, "pwbench: %v\n", err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "pwbench: %v\n", err)
+				return 1
 			}
-			return
+			return 0
 		}
 		for _, r := range results {
-			fmt.Printf("%-28s %10d iter %14.0f ns/op %8d B/op %6d allocs/op\n",
+			fmt.Fprintf(stdout, "%-28s %10d iter %14.0f ns/op %8d B/op %6d allocs/op\n",
 				r.Name, r.N, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 		}
-		return
+		return 0
 	}
 
 	start := time.Now()
@@ -59,12 +81,46 @@ func main() {
 		if *only != "" && e.ID != *only {
 			continue
 		}
-		fmt.Println(e.Run(*full).String())
+		fmt.Fprintln(stdout, e.Run(*full).String())
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "pwbench: no experiment matches -only=%s\n", *only)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "pwbench: no experiment matches -only=%s\n", *only)
+		return 1
 	}
-	fmt.Printf("pwbench: %d experiments in %s (full=%v)\n", ran, time.Since(start).Round(time.Millisecond), *full)
+	fmt.Fprintf(stdout, "pwbench: %d experiments in %s (full=%v)\n", ran, time.Since(start).Round(time.Millisecond), *full)
+	return 0
+}
+
+// runCheck is the benchmark regression guard: re-run the gated probes
+// sequentially (their baseline-comparable configuration) and compare
+// against the committed baseline.
+func runCheck(baselinePath string, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "pwbench: %v\n", err)
+		return 2
+	}
+	var baseline []experiments.BenchResult
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		fmt.Fprintf(stderr, "pwbench: %s: %v\n", baselinePath, err)
+		return 2
+	}
+	var current []experiments.BenchResult
+	for _, name := range experiments.GatedProbes {
+		current = append(current, experiments.RunBenchmarks(name, 0)...)
+	}
+	for _, r := range current {
+		fmt.Fprintf(stdout, "%-28s %14.0f ns/op\n", r.Name, r.NsPerOp)
+	}
+	regressions := experiments.Check(baseline, current, experiments.CheckTolerance)
+	if len(regressions) > 0 {
+		for _, msg := range regressions {
+			fmt.Fprintf(stderr, "pwbench: REGRESSION %s\n", msg)
+		}
+		return 1
+	}
+	fmt.Fprintf(stdout, "pwbench: gated probes within %.0f%% of %s\n",
+		100*experiments.CheckTolerance, baselinePath)
+	return 0
 }

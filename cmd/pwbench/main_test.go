@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pw/internal/experiments"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestBenchJSONGolden pins the machine-readable probe output shape: the
+// probe name set and the JSON field names, with the timing-dependent
+// values normalized to zero. This is the contract BENCH_*.json diffs and
+// the -check guard rely on.
+func TestBenchJSONGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-bench", "-json", "-only", "Thm41_ContFreeze_64"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	var results []experiments.BenchResult
+	if err := json.Unmarshal(stdout.Bytes(), &results); err != nil {
+		t.Fatalf("output is not BenchResult JSON: %v\n%s", err, stdout.String())
+	}
+	for i := range results {
+		results[i].N = 0
+		results[i].NsPerOp = 0
+		results[i].AllocsPerOp = 0
+		results[i].BytesPerOp = 0
+	}
+	normalized, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalized = append(normalized, '\n')
+	golden := filepath.Join("testdata", "bench_json.golden")
+	if *update {
+		if err := os.WriteFile(golden, normalized, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(normalized, want) {
+		t.Errorf("JSON shape drifted:\n--- got ---\n%s--- want ---\n%s", normalized, want)
+	}
+}
+
+// TestCheckExitCodes exercises the regression guard with synthetic
+// baselines, so the test is insensitive to machine speed: an enormous
+// baseline can never regress (exit 0), a tiny one always does (exit 1),
+// and unreadable baselines are usage errors (exit 2).
+func TestCheckExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the gated probes twice")
+	}
+	writeBaseline := func(ns float64) string {
+		var results []experiments.BenchResult
+		for _, name := range experiments.GatedProbes {
+			results = append(results, experiments.BenchResult{Name: name, N: 1, NsPerOp: ns, Workers: 1})
+		}
+		data, err := json.Marshal(results)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "baseline.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-check", writeBaseline(1e15)}, &stdout, &stderr); code != 0 {
+		t.Errorf("huge baseline: exit %d, want 0; stderr: %s", code, stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-check", writeBaseline(1e-3)}, &stdout, &stderr); code != 1 {
+		t.Errorf("tiny baseline: exit %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("REGRESSION")) {
+		t.Errorf("regression report missing from stderr: %s", stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-check", filepath.Join(t.TempDir(), "absent.json")}, &stdout, &stderr); code != 2 {
+		t.Errorf("missing baseline file: exit %d, want 2", code)
+	}
+}

@@ -11,12 +11,16 @@
 //	pwq kind    -db tables.pw
 //
 // Files use the .pw format of internal/parse. All commands exit 0 with
-// "yes"/"no" on stdout; structural problems exit 2.
+// "yes"/"no" on stdout; structural problems exit 2. -workers bounds the
+// engine's goroutine budget (0 = GOMAXPROCS); answers are identical at
+// every worker count.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"pw/internal/decide"
@@ -28,101 +32,130 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		return usage(stderr)
 	}
-	cmd := os.Args[1]
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	cmd := args[0]
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	dbPath := fs.String("db", "", "conditioned-table database (.pw)")
 	db2Path := fs.String("db2", "", "second database for cont (.pw)")
 	instPath := fs.String("inst", "", "complete instance (.pw)")
 	factsPath := fs.String("facts", "", "fact set for poss/cert (.pw)")
 	limit := fs.Int("limit", 20, "world limit for the worlds command")
-	if err := fs.Parse(os.Args[2:]); err != nil {
-		fatal(err)
+	workersN := fs.Int("workers", 0, "engine worker count (0 = GOMAXPROCS, 1 = sequential)")
+	if err := fs.Parse(args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
 	}
+	o := decide.Options{Workers: *workersN}
 
-	d := mustDB(*dbPath)
+	d, err := loadDB(*dbPath)
+	if err != nil {
+		return fatal(stderr, err)
+	}
 	switch cmd {
 	case "kind":
-		fmt.Println(d.Kind())
+		fmt.Fprintln(stdout, d.Kind())
 	case "worlds":
+		// World listing streams in canonical enumeration order, so it
+		// stays on the sequential enumerator regardless of -workers.
 		n := 0
 		worlds.Each(d, nil, func(i *rel.Instance) bool {
-			fmt.Printf("-- world %d --\n%s\n", n+1, i)
+			fmt.Fprintf(stdout, "-- world %d --\n%s\n", n+1, i)
 			n++
 			return n >= *limit
 		})
-		fmt.Printf("(%d worlds shown; canonical domain)\n", n)
+		fmt.Fprintf(stdout, "(%d worlds shown; canonical domain)\n", n)
 	case "memb":
-		i := mustInstance(*instPath)
-		answer(decide.Membership(i, query.Identity{}, d))
+		i, err := loadInstance(*instPath)
+		if err != nil {
+			return fatal(stderr, err)
+		}
+		yes, err := o.Membership(i, query.Identity{}, d)
+		return answer(stdout, stderr, yes, err)
 	case "uniq":
-		i := mustInstance(*instPath)
-		answer(decide.Uniqueness(query.Identity{}, d, i))
+		i, err := loadInstance(*instPath)
+		if err != nil {
+			return fatal(stderr, err)
+		}
+		yes, err := o.Uniqueness(query.Identity{}, d, i)
+		return answer(stdout, stderr, yes, err)
 	case "cont":
-		d2 := mustDB(*db2Path)
-		answer(decide.Containment(query.Identity{}, d, query.Identity{}, d2))
+		d2, err := loadDB(*db2Path)
+		if err != nil {
+			return fatal(stderr, err)
+		}
+		yes, err := o.Containment(query.Identity{}, d, query.Identity{}, d2)
+		return answer(stdout, stderr, yes, err)
 	case "poss":
-		p := mustInstance(*factsPath)
-		answer(decide.Possible(p, query.Identity{}, d))
+		p, err := loadInstance(*factsPath)
+		if err != nil {
+			return fatal(stderr, err)
+		}
+		yes, err := o.Possible(p, query.Identity{}, d)
+		return answer(stdout, stderr, yes, err)
 	case "cert":
-		p := mustInstance(*factsPath)
-		answer(decide.Certain(p, query.Identity{}, d))
+		p, err := loadInstance(*factsPath)
+		if err != nil {
+			return fatal(stderr, err)
+		}
+		yes, err := o.Certain(p, query.Identity{}, d)
+		return answer(stdout, stderr, yes, err)
 	default:
-		usage()
+		return usage(stderr)
 	}
+	return 0
 }
 
-func mustDB(path string) *table.Database {
+func loadDB(path string) (*table.Database, error) {
 	if path == "" {
-		fatal(fmt.Errorf("missing -db"))
+		return nil, fmt.Errorf("missing -db")
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
 	defer f.Close()
-	d, err := parse.ParseDatabase(f)
-	if err != nil {
-		fatal(err)
-	}
-	return d
+	return parse.ParseDatabase(f)
 }
 
-func mustInstance(path string) *rel.Instance {
+func loadInstance(path string) (*rel.Instance, error) {
 	if path == "" {
-		fatal(fmt.Errorf("missing instance/fact file"))
+		return nil, fmt.Errorf("missing instance/fact file")
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
 	defer f.Close()
-	i, err := parse.ParseInstance(f)
-	if err != nil {
-		fatal(err)
-	}
-	return i
+	return parse.ParseInstance(f)
 }
 
-func answer(yes bool, err error) {
+func answer(stdout, stderr io.Writer, yes bool, err error) int {
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	if yes {
-		fmt.Println("yes")
+		fmt.Fprintln(stdout, "yes")
 	} else {
-		fmt.Println("no")
+		fmt.Fprintln(stdout, "no")
 	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pwq:", err)
-	os.Exit(2)
+func fatal(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "pwq:", err)
+	return 2
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: pwq {memb|uniq|cont|poss|cert|worlds|kind} -db FILE [...]")
-	os.Exit(2)
+func usage(stderr io.Writer) int {
+	fmt.Fprintln(stderr, "usage: pwq {memb|uniq|cont|poss|cert|worlds|kind} -db FILE [...]")
+	return 2
 }

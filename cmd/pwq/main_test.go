@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGolden pins pwq's CLI output shape on the examples/data inputs:
+// every decision answer, the kind report, and the world listing. The
+// engine may reorganize internally (worker counts, search order), but
+// what the CLI prints must not drift unnoticed.
+func TestGolden(t *testing.T) {
+	data := func(name string) string { return filepath.Join("..", "..", "examples", "data", name) }
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"kind", []string{"kind", "-db", data("personnel.pw")}},
+		{"memb_yes", []string{"memb", "-db", data("personnel.pw"), "-inst", data("personnel_world.pw")}},
+		{"uniq_no", []string{"uniq", "-db", data("personnel.pw"), "-inst", data("personnel_world.pw")}},
+		{"cont_yes", []string{"cont", "-db", data("personnel.pw"), "-db2", data("personnel_loose.pw")}},
+		{"cont_no", []string{"cont", "-db", data("personnel_loose.pw"), "-db2", data("personnel.pw")}},
+		{"poss_yes", []string{"poss", "-db", data("personnel.pw"), "-facts", data("personnel_maybe.pw")}},
+		{"cert_no", []string{"cert", "-db", data("personnel.pw"), "-facts", data("personnel_maybe.pw")}},
+		{"cert_yes", []string{"cert", "-db", data("personnel.pw"), "-facts", data("personnel_certain.pw")}},
+		{"worlds", []string{"worlds", "-db", data("personnel.pw"), "-limit", "3"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 0 {
+				t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+			}
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if !bytes.Equal(stdout.Bytes(), want) {
+				t.Errorf("output drifted from %s:\n--- got ---\n%s--- want ---\n%s",
+					golden, stdout.String(), want)
+			}
+		})
+	}
+}
+
+// TestAnswersStableAcrossWorkers reruns every decision case at several
+// worker counts: the CLI answer must be identical — the user-facing half
+// of the determinism contract.
+func TestAnswersStableAcrossWorkers(t *testing.T) {
+	data := func(name string) string { return filepath.Join("..", "..", "examples", "data", name) }
+	cases := [][]string{
+		{"memb", "-db", data("personnel.pw"), "-inst", data("personnel_world.pw")},
+		{"cont", "-db", data("personnel_loose.pw"), "-db2", data("personnel.pw")},
+		{"cert", "-db", data("personnel.pw"), "-facts", data("personnel_certain.pw")},
+	}
+	for _, base := range cases {
+		var want string
+		for _, w := range []string{"1", "2", "8"} {
+			var stdout, stderr bytes.Buffer
+			args := append([]string{base[0], "-workers", w}, base[1:]...)
+			if code := run(args, &stdout, &stderr); code != 0 {
+				t.Fatalf("%v: exit %d, stderr: %s", args, code, stderr.String())
+			}
+			if want == "" {
+				want = stdout.String()
+			} else if stdout.String() != want {
+				t.Errorf("%v: answer %q differs from workers=1 answer %q", args, stdout.String(), want)
+			}
+		}
+	}
+}
+
+func TestBadUsageExits2(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"nope"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown command: exit %d, want 2", code)
+	}
+	if code := run([]string{"memb"}, &stdout, &stderr); code != 2 {
+		t.Errorf("missing -db: exit %d, want 2", code)
+	}
+}

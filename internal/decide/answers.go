@@ -27,6 +27,14 @@ import (
 // immediately (Theorem 5.3(1)); the refutation step is what extends the
 // computation soundly to ≠-conditions and local conditions.
 func CertainAnswers(q query.Query, d *table.Database) (*rel.Instance, error) {
+	return Options{}.CertainAnswers(q, d)
+}
+
+// CertainAnswers is the Options-aware certain-answer computation: the
+// per-candidate confirmations are independent equality-logic systems, so
+// they run across the worker pool; answers are inserted in candidate
+// order afterwards, making the result identical at every worker count.
+func (o Options) CertainAnswers(q query.Query, d *table.Database) (*rel.Instance, error) {
 	l, ok := query.AsLiftable(q)
 	if !ok {
 		return nil, fmt.Errorf("decide: CertainAnswers requires a liftable query, got %s", q.Label())
@@ -55,10 +63,12 @@ func CertainAnswers(q query.Query, d *table.Database) (*rel.Instance, error) {
 	pool := nd.ConstIDs(nil, map[sym.ID]bool{})
 	w0 := frozenWorld(nd, table.FreshPrefixIDs(pool))
 
+	// Collect the candidates of every table, confirm them in parallel,
+	// then assemble the answer instance in candidate order.
+	var cands []factRef
 	out := rel.NewInstance()
 	for _, t := range nd.Tables() {
-		r := rel.NewRelation(t.Name, t.Arity)
-		out.AddRelation(r)
+		out.AddRelation(rel.NewRelation(t.Name, t.Arity))
 		src := w0.Relation(t.Name)
 	candidates:
 		for _, u := range src.Tuples() {
@@ -67,9 +77,16 @@ func CertainAnswers(q query.Query, d *table.Database) (*rel.Instance, error) {
 					continue candidates
 				}
 			}
-			if certainFactIn(nd, t, u) {
-				r.Insert(u)
-			}
+			cands = append(cands, factRef{t: t, u: u})
+		}
+	}
+	keep := make([]bool, len(cands))
+	eachIndex(o.workers(), len(cands), func(k int) {
+		keep[k] = certainFactIn(nd, cands[k].t, cands[k].u)
+	})
+	for k, c := range cands {
+		if keep[k] {
+			out.Relation(c.t.Name).Insert(c.u)
 		}
 	}
 	return out, nil

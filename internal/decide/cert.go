@@ -24,6 +24,11 @@ import (
 //   - otherwise (first-order — the coNP-hard case of Theorem 5.3(2)):
 //     exhaustive valuation search for a violating world.
 func Certain(p *rel.Instance, q query.Query, d *table.Database) (bool, error) {
+	return Options{}.Certain(p, q, d)
+}
+
+// Certain is the Options-aware CERT(∗, q) entry point.
+func (o Options) Certain(p *rel.Instance, q query.Query, d *table.Database) (bool, error) {
 	if query.IsHomPreserved(q) && !hasLocalConds(d) {
 		return certainFrozen(p, q, d)
 	}
@@ -32,9 +37,9 @@ func Certain(p *rel.Instance, q query.Query, d *table.Database) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		return certainIdentity(p, lifted)
+		return o.certainIdentity(p, lifted)
 	}
-	return certainGeneric(p, q, d)
+	return o.certainGeneric(p, q, d)
 }
 
 // certainFrozen implements Theorem 5.3(1): for a homomorphism-preserved
@@ -69,8 +74,10 @@ func certainFrozen(p *rel.Instance, q query.Query, d *table.Database) (bool, err
 }
 
 // certainIdentity decides whether every world of rep(d) contains all facts
-// of p, one equality-logic refutation per fact.
-func certainIdentity(p *rel.Instance, d *table.Database) (bool, error) {
+// of p, one equality-logic refutation per fact — the per-fact checks are
+// independent (Proposition 2.1(6)), so they fan out across the pool and
+// the first uncertain fact cancels the rest.
+func (o Options) certainIdentity(p *rel.Instance, d *table.Database) (bool, error) {
 	if err := factsCheck(p, d); err != nil {
 		return false, err
 	}
@@ -78,35 +85,32 @@ func certainIdentity(p *rel.Instance, d *table.Database) (bool, error) {
 	if !ok {
 		return true, nil // rep(d) = ∅: vacuously certain
 	}
-	for _, r := range p.Relations() {
-		t := nd.Table(r.Name)
-		for _, u := range r.Tuples() {
-			if !certainFactIn(nd, t, u) {
-				return false, nil
-			}
-		}
-	}
-	return true, nil
+	refs := factRefs(nd, p)
+	uncertain := anyIndex(o.workers(), len(refs), func(k int) bool {
+		return !certainFactIn(nd, refs[k].t, refs[k].u)
+	})
+	return !uncertain, nil
 }
 
-// certainGeneric is the Proposition 2.1(5) search for arbitrary queries.
-func certainGeneric(p *rel.Instance, q query.Query, d *table.Database) (bool, error) {
+// certainGeneric is the Proposition 2.1(5) search for arbitrary queries:
+// the universal runs as a sharded search for the first violating world.
+func (o Options) certainGeneric(p *rel.Instance, q query.Query, d *table.Database) (bool, error) {
 	base, prefix := genericDomain(d, q, p)
-	var evalErr error
-	violated := valuation.EnumerateCanonical(d.Universe(), base, prefix, func(v valuation.V) bool {
+	var evalErr errOnce
+	violated := valuation.EnumerateCanonicalSharded(d.Universe(), base, prefix, o.workers(), func(v valuation.V) bool {
 		w := applyValuation(v, d)
 		if w == nil {
 			return false
 		}
 		out, err := q.Eval(w)
 		if err != nil {
-			evalErr = err
+			evalErr.set(err)
 			return true
 		}
 		return !p.SubsetOf(out)
 	})
-	if evalErr != nil {
-		return false, evalErr
+	if err := evalErr.get(); err != nil {
+		return false, err
 	}
 	return !violated, nil
 }
@@ -114,9 +118,14 @@ func certainGeneric(p *rel.Instance, q query.Query, d *table.Database) (bool, er
 // CertainFact decides CERT(1, q) for a single fact (the primitive that
 // CERT(∗, q) reduces to, Proposition 2.1(6)).
 func CertainFact(relName string, f rel.Fact, q query.Query, d *table.Database) (bool, error) {
+	return Options{}.CertainFact(relName, f, q, d)
+}
+
+// CertainFact is the Options-aware CERT(1, q).
+func (o Options) CertainFact(relName string, f rel.Fact, q query.Query, d *table.Database) (bool, error) {
 	p := rel.NewInstance()
 	r := rel.NewRelation(relName, len(f))
 	r.Add(f)
 	p.AddRelation(r)
-	return Certain(p, q, d)
+	return o.Certain(p, q, d)
 }

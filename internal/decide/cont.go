@@ -23,6 +23,11 @@ import (
 //     membership machinery (coNP with a matching inner test when d is
 //     Codd, Theorem 4.1(1)).
 func Containment(q0 query.Query, d0 *table.Database, q query.Query, d *table.Database) (bool, error) {
+	return Options{}.Containment(q0, d0, q, d)
+}
+
+// Containment is the Options-aware CONT(q0, q) entry point.
+func (o Options) Containment(q0 query.Query, d0 *table.Database, q query.Query, d *table.Database) (bool, error) {
 	l0, ok0 := query.AsLiftable(q0)
 	l, ok := query.AsLiftable(q)
 	if ok0 && ok {
@@ -34,13 +39,13 @@ func Containment(q0 query.Query, d0 *table.Database, q query.Query, d *table.Dat
 		if err != nil {
 			return false, err
 		}
-		return containmentIdentity(lifted0, lifted)
+		return o.containmentIdentity(lifted0, lifted)
 	}
-	return containmentGeneric(q0, d0, q, d)
+	return o.containmentGeneric(q0, d0, q, d)
 }
 
 // containmentIdentity decides rep(d0) ⊆ rep(d).
-func containmentIdentity(d0, d *table.Database) (bool, error) {
+func (o Options) containmentIdentity(d0, d *table.Database) (bool, error) {
 	nd0, ok := table.Normalize(d0)
 	if !ok {
 		return true, nil // rep(d0) = ∅ ⊆ anything
@@ -53,28 +58,32 @@ func containmentIdentity(d0, d *table.Database) (bool, error) {
 	// turn a falsified (dropped) local condition into a satisfied one,
 	// adding facts to the world.
 	if !hasLocalConds(nd0) && noInequalities(d) && !hasLocalConds(d) {
-		return freezeContainment(nd0, d)
+		return o.freezeContainment(nd0, d)
 	}
 	// General case: for every valuation σ0 of d0 over Δ ∪ Δ′, the world
 	// σ0(d0) must be a member of rep(d). Δ is the constants of *both*
 	// sides (Proposition 2.1): a counterexample world may need to mention
-	// d's constants (e.g. to violate an inequality of d).
+	// d's constants (e.g. to violate an inequality of d). The outer Π₂ᵖ
+	// universal runs sharded — first non-member world cancels everything —
+	// while the inner membership tests stay sequential so the outer
+	// fan-out owns the pool.
 	base, prefix := contDomain(nd0, nil, d, nil)
-	var memErr error
-	counterexample := valuation.EnumerateCanonical(nd0.Universe(), base, prefix, func(v valuation.V) bool {
+	var memErr errOnce
+	inner := o.inner()
+	counterexample := valuation.EnumerateCanonicalSharded(nd0.Universe(), base, prefix, o.workers(), func(v valuation.V) bool {
 		w := applyValuation(v, nd0)
 		if w == nil {
 			return false
 		}
-		in, err := membershipIdentity(w, d)
+		in, err := inner.membershipIdentity(w, d)
 		if err != nil {
-			memErr = err
+			memErr.set(err)
 			return true
 		}
 		return !in
 	})
-	if memErr != nil {
-		return false, memErr
+	if err := memErr.get(); err != nil {
+		return false, err
 	}
 	return !counterexample, nil
 }
@@ -110,38 +119,42 @@ func noInequalities(d *table.Database) bool {
 // local-condition-free d0 and an inequality-free d, rep(d0) ⊆ rep(d) iff
 // K0 ∈ rep(d), where K0 freezes each variable of d0 to a distinct fresh
 // constant.
-func freezeContainment(nd0, d *table.Database) (bool, error) {
+func (o Options) freezeContainment(nd0, d *table.Database) (bool, error) {
 	seen := map[sym.ID]bool{}
 	pool := nd0.ConstIDs(nil, seen)
 	pool = d.ConstIDs(pool, seen)
 	k0 := table.Freeze(nd0, table.FreshPrefixIDs(pool))
-	return membershipIdentity(k0, d)
+	// The single membership test is the whole cost of the freeze cell, so
+	// it inherits the full worker budget (parallel matching-graph build).
+	return o.membershipIdentity(k0, d)
 }
 
 // containmentGeneric handles non-liftable queries on either side by the
-// full Π₂ᵖ enumeration (Proposition 2.1(1)).
-func containmentGeneric(q0 query.Query, d0 *table.Database, q query.Query, d *table.Database) (bool, error) {
+// full Π₂ᵖ enumeration (Proposition 2.1(1)): the outer universal is
+// sharded, the inner membership tests run sequentially.
+func (o Options) containmentGeneric(q0 query.Query, d0 *table.Database, q query.Query, d *table.Database) (bool, error) {
 	base, prefix := contDomain(d0, q0, d, q)
-	var innerErr error
-	counterexample := valuation.EnumerateCanonical(d0.Universe(), base, prefix, func(v valuation.V) bool {
+	var innerErr errOnce
+	inner := o.inner()
+	counterexample := valuation.EnumerateCanonicalSharded(d0.Universe(), base, prefix, o.workers(), func(v valuation.V) bool {
 		w := applyValuation(v, d0)
 		if w == nil {
 			return false
 		}
 		img, err := q0.Eval(w)
 		if err != nil {
-			innerErr = err
+			innerErr.set(err)
 			return true
 		}
-		in, err := Membership(img, q, d)
+		in, err := inner.Membership(img, q, d)
 		if err != nil {
-			innerErr = err
+			innerErr.set(err)
 			return true
 		}
 		return !in
 	})
-	if innerErr != nil {
-		return false, innerErr
+	if err := innerErr.get(); err != nil {
+		return false, err
 	}
 	return !counterexample, nil
 }

@@ -1,0 +1,200 @@
+package decide
+
+import (
+	"fmt"
+	"testing"
+
+	"pw/internal/gen"
+	"pw/internal/query"
+	"pw/internal/rel"
+	"pw/internal/sym"
+	"pw/internal/table"
+	"pw/internal/valuation"
+	"pw/internal/value"
+	"pw/internal/worlds"
+)
+
+// The differential suite is the enforcement of the determinism contract:
+// across ~200 seeded random databases, every decision procedure must
+// return identical results at Workers = 1, 2 and 8 AND match the
+// brute-force worlds oracle. The sharding thresholds are lowered so the
+// parallel machinery genuinely engages on these small inputs (and so the
+// race detector sees the real pool/cancellation code paths).
+
+var diffWorkers = []int{1, 2, 8}
+
+func forceParallel(t *testing.T) {
+	t.Helper()
+	oldSpace, oldPairs := valuation.MinShardedSpace, MinParallelPairs
+	valuation.MinShardedSpace, MinParallelPairs = 1, 1
+	t.Cleanup(func() {
+		valuation.MinShardedSpace, MinParallelPairs = oldSpace, oldPairs
+	})
+}
+
+func genDB(seed int64, kind int) *table.Database {
+	switch kind {
+	case 0:
+		return table.DB(gen.CoddTable(seed, "T", 3, 2, 4, 0.5))
+	case 1:
+		return table.DB(gen.ETable(seed, "T", 3, 2, 4, 2, 0.5))
+	case 2:
+		return table.DB(gen.ITable(seed, "T", 3, 2, 4, 2, 0.5))
+	default:
+		return table.DB(gen.CTable(seed, "T", 3, 2, 4, 2, 0.5, 0.5))
+	}
+}
+
+// TestDifferentialIdentityDecisions covers the identity-query cells
+// (matching, backtracking search, per-fact coNP fan-outs) on 152 random
+// databases of every representation kind.
+func TestDifferentialIdentityDecisions(t *testing.T) {
+	forceParallel(t)
+	id := query.Identity{}
+	for kind := 0; kind < 4; kind++ {
+		for seed := int64(0); seed < 38; seed++ {
+			d := genDB(seed, kind)
+			i0, ok := gen.MemberInstance(seed, d)
+			if !ok {
+				continue
+			}
+			pert, _ := gen.PerturbedInstance(seed, i0)
+			wantMemb := worlds.Member(i0, d)
+			wantUniq := worlds.Count(d) == 1 && wantMemb
+			wantPoss := worlds.Possible(i0, d)
+			wantCert := worlds.Certain(i0, d)
+			var wantMembPert bool
+			if pert != nil {
+				wantMembPert = worlds.Member(pert, d)
+			}
+			for _, w := range diffWorkers {
+				o := Options{Workers: w}
+				check := func(label string, got bool, err error, want bool) {
+					t.Helper()
+					if err != nil {
+						t.Fatalf("kind %d seed %d workers %d %s: %v", kind, seed, w, label, err)
+					}
+					if got != want {
+						t.Fatalf("kind %d seed %d workers %d %s: decide=%v oracle=%v\n%s\n%s",
+							kind, seed, w, label, got, want, d, i0)
+					}
+				}
+				got, err := o.Membership(i0, id, d)
+				check("MEMB", got, err, wantMemb)
+				if pert != nil {
+					got, err = o.Membership(pert, id, d)
+					check("MEMB(perturbed)", got, err, wantMembPert)
+				}
+				got, err = o.Uniqueness(id, d, i0)
+				check("UNIQ", got, err, wantUniq)
+				got, err = o.Possible(i0, id, d)
+				check("POSS", got, err, wantPoss)
+				got, err = o.Certain(i0, id, d)
+				check("CERT", got, err, wantCert)
+			}
+		}
+	}
+}
+
+// TestDifferentialViewDecisions drives the generic NP/coNP cells — the
+// sharded canonical enumerations — with a genuinely first-order query on
+// 16 databases, plus the certain-answer computation (whose result
+// instance, including order, must be worker-count independent) with a
+// liftable ≠-query.
+func TestDifferentialViewDecisions(t *testing.T) {
+	forceParallel(t)
+	fo := foQuery()
+	neq := neqQuery()
+	for seed := int64(0); seed < 16; seed++ {
+		d := table.DB(gen.ETable(seed, "T", 2, 2, 3, 2, 0.5))
+		i0 := rel.NewInstance()
+		r := i0.EnsureRelation("Q", 1)
+		if seed%2 == 0 {
+			r.AddRow("1")
+		}
+		wantMemb := bruteMembView(i0, fo, d)
+		wantPoss := brutePossView(i0, fo, d)
+		wantCert := bruteCertView(i0, fo, d)
+		var wantAnswers *rel.Instance
+		for _, w := range diffWorkers {
+			o := Options{Workers: w}
+			gotM, err := o.Membership(i0, fo, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotP, err := o.Possible(i0, fo, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotC, err := o.Certain(i0, fo, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotM != wantMemb || gotP != wantPoss || gotC != wantCert {
+				t.Fatalf("seed %d workers %d: MEMB=%v/%v POSS=%v/%v CERT=%v/%v\n%s\n%s",
+					seed, w, gotM, wantMemb, gotP, wantPoss, gotC, wantCert, d, i0)
+			}
+			ans, err := o.CertainAnswers(neq, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantAnswers == nil {
+				wantAnswers = ans
+			} else if !ans.Equal(wantAnswers) {
+				t.Fatalf("seed %d workers %d: certain answers differ\n%s\nvs\n%s",
+					seed, w, ans, wantAnswers)
+			}
+		}
+	}
+}
+
+// bruteCont is the brute-force containment oracle: every world of d0
+// (over the constants of both sides plus fresh constants, Proposition
+// 2.1) must be a member of rep(d).
+func bruteCont(d0, d *table.Database) bool {
+	base, prefix := contDomain(d0, nil, d, nil)
+	dom := append([]sym.ID(nil), base...)
+	for i := range d0.VarNames() {
+		dom = append(dom, sym.Const(fmt.Sprintf("%s%d", prefix, i)))
+	}
+	contained := true
+	worlds.Each(d0, dom, func(w *rel.Instance) bool {
+		if !worlds.Member(w, d) {
+			contained = false
+			return true
+		}
+		return false
+	})
+	return contained
+}
+
+// TestDifferentialContainment covers the Π₂ᵖ cell — the sharded outer
+// universal with sequential inner membership — on 32 database pairs,
+// half of them supersets (usually yes) and half unrelated (usually no).
+func TestDifferentialContainment(t *testing.T) {
+	forceParallel(t)
+	id := query.Identity{}
+	for seed := int64(0); seed < 16; seed++ {
+		t0 := gen.ETable(seed, "T", 2, 2, 3, 2, 0.5)
+		sup := t0.Clone()
+		sup.AddTuple(value.Var("wild1"), value.Var("wild2"))
+		other := gen.ITable(seed+100, "T", 2, 2, 3, 1, 0.5)
+		pairs := []struct{ d0, d *table.Database }{
+			{table.DB(t0), table.DB(sup)},
+			{table.DB(t0.Clone()), table.DB(other)},
+		}
+		for pi, pair := range pairs {
+			want := bruteCont(pair.d0, pair.d)
+			for _, w := range diffWorkers {
+				got, err := Options{Workers: w}.Containment(id, pair.d0, id, pair.d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("seed %d pair %d workers %d: CONT=%v oracle=%v\n%s\n⊆?\n%s",
+						seed, pi, w, got, want, pair.d0, pair.d)
+				}
+			}
+		}
+	}
+}

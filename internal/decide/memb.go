@@ -24,18 +24,23 @@ import (
 //   - otherwise (first-order, DATALOG): exhaustive valuation search over
 //     Δ ∪ Δ′ comparing q(σ(d)) with i0.
 func Membership(i0 *rel.Instance, q query.Query, d *table.Database) (bool, error) {
+	return Options{}.Membership(i0, q, d)
+}
+
+// Membership is the Options-aware MEMB(q) entry point.
+func (o Options) Membership(i0 *rel.Instance, q query.Query, d *table.Database) (bool, error) {
 	if l, ok := query.AsLiftable(q); ok {
 		lifted, err := l.EvalLifted(d)
 		if err != nil {
 			return false, err
 		}
-		return membershipIdentity(i0, lifted)
+		return o.membershipIdentity(i0, lifted)
 	}
-	return membershipGeneric(i0, q, d)
+	return o.membershipGeneric(i0, q, d)
 }
 
 // membershipIdentity decides i0 ∈ rep(d).
-func membershipIdentity(i0 *rel.Instance, d *table.Database) (bool, error) {
+func (o Options) membershipIdentity(i0 *rel.Instance, d *table.Database) (bool, error) {
 	if err := SchemaCheck(i0, d); err != nil {
 		return false, err
 	}
@@ -44,7 +49,7 @@ func membershipIdentity(i0 *rel.Instance, d *table.Database) (bool, error) {
 		return false, nil // rep(d) = ∅
 	}
 	if nd.Kind() == table.KindCodd {
-		return membCodd(i0, nd), nil
+		return membCodd(i0, nd, o.workers()), nil
 	}
 	return membSearch(i0, nd), nil
 }
@@ -54,20 +59,13 @@ func membershipIdentity(i0 *rel.Instance, d *table.Database) (bool, error) {
 // the table (right); answer yes iff every row is connected to some fact
 // and a maximum matching saturates all facts. Tables in a vector have
 // pairwise disjoint variables, so per-relation tests are independent.
-func membCodd(i0 *rel.Instance, d *table.Database) bool {
+func membCodd(i0 *rel.Instance, d *table.Database, workers int) bool {
 	for _, t := range d.Tables() {
 		facts := i0.Relation(t.Name).Tuples()
 		n, m := len(facts), len(t.Rows)
 		g := matching.NewGraph(n, m)
 		deg := make([]int, m)
-		for ai, u := range facts {
-			for bj := range t.Rows {
-				if rowMatchesFact(t.Rows[bj], u) {
-					g.AddEdge(ai, bj)
-					deg[bj]++
-				}
-			}
-		}
+		buildMatchGraph(g, deg, facts, t.Rows, workers)
 		// Step (c): a row that can produce no fact of i0 makes σ(T) ⊄ i0.
 		for _, dg := range deg {
 			if dg == 0 {
@@ -80,6 +78,46 @@ func membCodd(i0 *rel.Instance, d *table.Database) bool {
 		}
 	}
 	return true
+}
+
+// buildMatchGraph fills the fact→row candidate graph (and, when deg is
+// non-nil, the per-row candidate counts). The O(n·m) rowMatchesFact sweep
+// dominates the matching-based MEMB/POSS algorithms on large Codd-tables
+// and is embarrassingly parallel across facts: each worker owns a
+// contiguous fact range and writes only that range's adjacency lists, so
+// the resulting graph is identical to the sequential build at any worker
+// count.
+func buildMatchGraph(g *matching.Graph, deg []int, facts []sym.Tuple, rows []table.Row, workers int) {
+	n, m := len(facts), len(rows)
+	if workers > 1 && n > 1 && n*m >= MinParallelPairs {
+		forRanges(workers, n, func(lo, hi int) {
+			for ai := lo; ai < hi; ai++ {
+				for bj := 0; bj < m; bj++ {
+					if rowMatchesFact(rows[bj], facts[ai]) {
+						g.Adj[ai] = append(g.Adj[ai], bj)
+					}
+				}
+			}
+		})
+		if deg != nil {
+			for _, adj := range g.Adj {
+				for _, bj := range adj {
+					deg[bj]++
+				}
+			}
+		}
+		return
+	}
+	for ai, u := range facts {
+		for bj := range rows {
+			if rowMatchesFact(rows[bj], u) {
+				g.AddEdge(ai, bj)
+				if deg != nil {
+					deg[bj]++
+				}
+			}
+		}
+	}
 }
 
 // rowMatchesFact reports whether some valuation maps the row onto the
@@ -291,31 +329,34 @@ func (s *membState) residualSatisfiable() bool {
 
 // membershipGeneric decides MEMB(q) for arbitrary QPTIME queries by the
 // Proposition 2.1(2) search: guess a valuation over Δ ∪ Δ′ and compare
-// q(σ(d)) with i0. Exponential in the number of variables.
-func membershipGeneric(i0 *rel.Instance, q query.Query, d *table.Database) (bool, error) {
+// q(σ(d)) with i0. Exponential in the number of variables; the canonical
+// space is sharded across the worker pool, and the first witness (or
+// evaluation error) in any shard cancels the rest.
+func (o Options) membershipGeneric(i0 *rel.Instance, q query.Query, d *table.Database) (bool, error) {
 	base, prefix := genericDomain(d, q, i0)
-	var evalErr error
-	found := valuation.EnumerateCanonical(d.Universe(), base, prefix, func(v valuation.V) bool {
+	var evalErr errOnce
+	found := valuation.EnumerateCanonicalSharded(d.Universe(), base, prefix, o.workers(), func(v valuation.V) bool {
 		w := applyValuation(v, d)
 		if w == nil {
 			return false
 		}
 		out, err := q.Eval(w)
 		if err != nil {
-			evalErr = err
+			evalErr.set(err)
 			return true
 		}
 		return out.Equal(i0)
 	})
-	if evalErr != nil {
-		return false, fmt.Errorf("membership(%s): %w", q.Label(), evalErr)
+	if err := evalErr.get(); err != nil {
+		return false, fmt.Errorf("membership(%s): %w", q.Label(), err)
 	}
 	return found, nil
 }
 
 // MembershipWitness returns a world of q(rep(d)) equal to i0 together with
 // the verdict; the witness is nil when the answer is no. It always uses
-// the generic search, so reserve it for small inputs and diagnostics.
+// the sequential generic search (so the witness is the first in canonical
+// order); reserve it for small inputs and diagnostics.
 func MembershipWitness(i0 *rel.Instance, q query.Query, d *table.Database) (*rel.Instance, bool, error) {
 	base, prefix := genericDomain(d, q, i0)
 	var witness *rel.Instance

@@ -1,0 +1,108 @@
+package decide
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"pw/internal/valuation"
+)
+
+// Options configures how the decision procedures search, without changing
+// what they decide: the determinism contract guarantees identical results
+// (booleans, world sets, answer sets) at every worker count, even though
+// internal visit order differs under parallelism.
+type Options struct {
+	// Workers is the goroutine budget for the exponential valuation
+	// searches of the NP/coNP/Π₂ᵖ cells and for the large matching-graph
+	// builds of the polynomial cells. 0 means GOMAXPROCS; 1 reproduces
+	// the sequential engine bit-for-bit (visit order, witness choice).
+	Workers int
+}
+
+// workers resolves the effective worker count.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// inner is the options for decision sub-procedures nested inside a
+// parallel enumeration (the membership tests of the Π₂ᵖ containment
+// cells): sequential, so the outer fan-out owns the pool.
+func (o Options) inner() Options { return Options{Workers: 1} }
+
+// MinParallelPairs is the smallest row×fact product worth parallelizing
+// in the matching-graph builds; below it one core wins. Tests lower it to
+// force the parallel build onto small inputs.
+var MinParallelPairs = 1 << 14
+
+// errOnce retains the first error any worker reports.
+type errOnce struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (e *errOnce) set(err error) {
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+}
+
+func (e *errOnce) get() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// anyIndex reports whether check(i) holds for some i in [0, n): the
+// per-fact fan-out of the coNP cells of UNIQ and CERT, on the shared
+// pool with cancellation — the first hit cancels the remaining checks.
+// With workers <= 1 it preserves the sequential engine's first-hit
+// visit order. check must be safe for concurrent calls.
+func anyIndex(workers, n int, check func(int) bool) bool {
+	return valuation.ParallelAny(workers, n, func(i int, _ *atomic.Bool) bool {
+		return check(i)
+	})
+}
+
+// eachIndex runs body(i) for every i in [0, n) across the pool with no
+// early exit and dynamic load balancing (per-index costs vary wildly in
+// the equality-logic sweeps). body must be safe for concurrent calls on
+// distinct indices.
+func eachIndex(workers, n int, body func(int)) {
+	valuation.ParallelAny(workers, n, func(i int, _ *atomic.Bool) bool {
+		body(i)
+		return false
+	})
+}
+
+// forRanges runs body over a static contiguous partition of [0, n) —
+// the no-early-exit fan-out used by the matching-graph builds and the
+// certain-answer confirmation sweep. body must be safe for concurrent
+// calls on disjoint ranges.
+func forRanges(workers, n int, body func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			body(0, n)
+		}
+		return
+	}
+	size := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += size {
+		hi := min(lo+size, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -28,18 +28,23 @@ import (
 //   - otherwise (first-order, DATALOG — the NP-hard cases of Theorem
 //     5.2(2,3)): exhaustive valuation search over Δ ∪ Δ′.
 func Possible(p *rel.Instance, q query.Query, d *table.Database) (bool, error) {
+	return Options{}.Possible(p, q, d)
+}
+
+// Possible is the Options-aware POSS(∗, q) entry point.
+func (o Options) Possible(p *rel.Instance, q query.Query, d *table.Database) (bool, error) {
 	if l, ok := query.AsLiftable(q); ok {
 		lifted, err := l.EvalLifted(d)
 		if err != nil {
 			return false, err
 		}
-		return possibleIdentity(p, lifted)
+		return o.possibleIdentity(p, lifted)
 	}
-	return possibleGeneric(p, q, d)
+	return o.possibleGeneric(p, q, d)
 }
 
 // possibleIdentity decides ∃I ∈ rep(d): facts(p) ⊆ I.
-func possibleIdentity(p *rel.Instance, d *table.Database) (bool, error) {
+func (o Options) possibleIdentity(p *rel.Instance, d *table.Database) (bool, error) {
 	if err := factsCheck(p, d); err != nil {
 		return false, err
 	}
@@ -48,7 +53,7 @@ func possibleIdentity(p *rel.Instance, d *table.Database) (bool, error) {
 		return false, nil // rep(d) = ∅
 	}
 	if nd.Kind() == table.KindCodd {
-		return possCodd(p, nd), nil
+		return possCodd(p, nd, o.workers()), nil
 	}
 	return possSearch(p, nd), nil
 }
@@ -57,18 +62,12 @@ func possibleIdentity(p *rel.Instance, d *table.Database) (bool, error) {
 // since σ(T) ⊇ p (not equality), only the facts of p need to be matched —
 // injectively, because one row instantiates to exactly one fact — and
 // every row is free to produce extra facts.
-func possCodd(p *rel.Instance, d *table.Database) bool {
+func possCodd(p *rel.Instance, d *table.Database, workers int) bool {
 	for _, r := range p.Relations() {
 		t := d.Table(r.Name)
 		facts := r.Tuples()
 		g := matching.NewGraph(len(facts), len(t.Rows))
-		for ai, u := range facts {
-			for bj := range t.Rows {
-				if rowMatchesFact(t.Rows[bj], u) {
-					g.AddEdge(ai, bj)
-				}
-			}
-		}
+		buildMatchGraph(g, nil, facts, t.Rows, workers)
 		if !matching.Perfect(g) {
 			return false
 		}
@@ -154,33 +153,39 @@ func possSearch(p *rel.Instance, d *table.Database) bool {
 	return try(0)
 }
 
-// possibleGeneric is the Proposition 2.1(4) search for arbitrary queries.
-func possibleGeneric(p *rel.Instance, q query.Query, d *table.Database) (bool, error) {
+// possibleGeneric is the Proposition 2.1(4) search for arbitrary queries:
+// sharded across the pool, first satisfying world cancels the rest.
+func (o Options) possibleGeneric(p *rel.Instance, q query.Query, d *table.Database) (bool, error) {
 	base, prefix := genericDomain(d, q, p)
-	var evalErr error
-	found := valuation.EnumerateCanonical(d.Universe(), base, prefix, func(v valuation.V) bool {
+	var evalErr errOnce
+	found := valuation.EnumerateCanonicalSharded(d.Universe(), base, prefix, o.workers(), func(v valuation.V) bool {
 		w := applyValuation(v, d)
 		if w == nil {
 			return false
 		}
 		out, err := q.Eval(w)
 		if err != nil {
-			evalErr = err
+			evalErr.set(err)
 			return true
 		}
 		return p.SubsetOf(out)
 	})
-	if evalErr != nil {
-		return false, evalErr
+	if err := evalErr.get(); err != nil {
+		return false, err
 	}
 	return found, nil
 }
 
 // PossibleFact decides POSS(1, q) for a single fact.
 func PossibleFact(relName string, f rel.Fact, q query.Query, d *table.Database) (bool, error) {
+	return Options{}.PossibleFact(relName, f, q, d)
+}
+
+// PossibleFact is the Options-aware POSS(1, q).
+func (o Options) PossibleFact(relName string, f rel.Fact, q query.Query, d *table.Database) (bool, error) {
 	p := rel.NewInstance()
 	r := rel.NewRelation(relName, len(f))
 	r.Add(f)
 	p.AddRelation(r)
-	return Possible(p, q, d)
+	return o.Possible(p, q, d)
 }

@@ -1,6 +1,8 @@
 package decide
 
 import (
+	"sync/atomic"
+
 	"pw/internal/cond"
 	"pw/internal/eqlogic"
 	"pw/internal/query"
@@ -22,14 +24,19 @@ import (
 //   - otherwise (first-order, DATALOG): exhaustive comparison of every
 //     world's image with i.
 func Uniqueness(q0 query.Query, d0 *table.Database, i *rel.Instance) (bool, error) {
+	return Options{}.Uniqueness(q0, d0, i)
+}
+
+// Uniqueness is the Options-aware UNIQ(q0) entry point.
+func (o Options) Uniqueness(q0 query.Query, d0 *table.Database, i *rel.Instance) (bool, error) {
 	if l, ok := query.AsLiftable(q0); ok {
 		lifted, err := l.EvalLifted(d0)
 		if err != nil {
 			return false, err
 		}
-		return uniqueIdentity(lifted, i)
+		return o.uniqueIdentity(lifted, i)
 	}
-	return uniqueGeneric(q0, d0, i)
+	return o.uniqueGeneric(q0, d0, i)
 }
 
 // uniqueIdentity decides rep(d) = {i} via three checks:
@@ -42,7 +49,7 @@ func Uniqueness(q0 query.Query, d0 *table.Database, i *rel.Instance) (bool, erro
 // fact outside i (case a, with some row producing it) or lacks a fact of i
 // (case b). Checks (a) is polynomial; (m) and (b) invoke the NP machinery,
 // making the whole a coNP-style procedure, as Theorem 3.2(3) requires.
-func uniqueIdentity(d *table.Database, i *rel.Instance) (bool, error) {
+func (o Options) uniqueIdentity(d *table.Database, i *rel.Instance) (bool, error) {
 	if err := SchemaCheck(i, d); err != nil {
 		return false, err
 	}
@@ -58,16 +65,46 @@ func uniqueIdentity(d *table.Database, i *rel.Instance) (bool, error) {
 	if escapes, _ := rowEscapes(nd, i); escapes {
 		return false, nil
 	}
-	for _, t := range nd.Tables() {
-		for _, u := range i.Relation(t.Name).Tuples() {
-			if factOmittable(nd, t, u) {
-				return false, nil
-			}
-		}
+	// Check (b) is one independent equality-logic refutation per fact of
+	// i — fanned out across the pool, first omittable fact cancelling the
+	// rest (the coNP cell's "first counterexample wins").
+	if omittableFact(nd, i, o.workers()) {
+		return false, nil
 	}
 	// No row ever escapes i and no fact of i is ever omitted, so every
 	// world equals i exactly; normalization succeeded, so worlds exist.
 	return true, nil
+}
+
+// factRef names one fact of an instance within its database table.
+type factRef struct {
+	t *table.Table
+	u sym.Tuple
+}
+
+// factRefs flattens the facts of i (restricted to the tables of d) into
+// one slice for the per-fact fan-outs of UNIQ and CERT.
+func factRefs(d *table.Database, i *rel.Instance) []factRef {
+	var out []factRef
+	for _, t := range d.Tables() {
+		r := i.Relation(t.Name)
+		if r == nil {
+			continue
+		}
+		for _, u := range r.Tuples() {
+			out = append(out, factRef{t: t, u: u})
+		}
+	}
+	return out
+}
+
+// omittableFact reports whether some fact of i can be omitted by some
+// world of d, checking facts across the worker pool with early exit.
+func omittableFact(d *table.Database, i *rel.Instance, workers int) bool {
+	refs := factRefs(d, i)
+	return anyIndex(workers, len(refs), func(k int) bool {
+		return factOmittable(d, refs[k].t, refs[k].u)
+	})
 }
 
 func hasLocalConds(d *table.Database) bool {
@@ -163,32 +200,35 @@ func factOmittable(d *table.Database, t *table.Table, u sym.Tuple) bool {
 	return p.Satisfiable()
 }
 
-// uniqueGeneric exhaustively checks q0(rep(d0)) = {i} over Δ ∪ Δ′.
-func uniqueGeneric(q0 query.Query, d0 *table.Database, i *rel.Instance) (bool, error) {
+// uniqueGeneric exhaustively checks q0(rep(d0)) = {i} over Δ ∪ Δ′. The
+// universal question runs as a sharded search for the first differing
+// world — the dual early-exit: a counterexample in any shard cancels all
+// others.
+func (o Options) uniqueGeneric(q0 query.Query, d0 *table.Database, i *rel.Instance) (bool, error) {
 	base, prefix := genericDomain(d0, q0, i)
-	sawWorld := false
-	var evalErr error
-	diff := valuation.EnumerateCanonical(d0.Universe(), base, prefix, func(v valuation.V) bool {
+	var sawWorld atomic.Bool
+	var evalErr errOnce
+	diff := valuation.EnumerateCanonicalSharded(d0.Universe(), base, prefix, o.workers(), func(v valuation.V) bool {
 		w := applyValuation(v, d0)
 		if w == nil {
 			return false
 		}
 		out, err := q0.Eval(w)
 		if err != nil {
-			evalErr = err
+			evalErr.set(err)
 			return true
 		}
-		sawWorld = true
+		sawWorld.Store(true)
 		return !out.Equal(i)
 	})
-	if evalErr != nil {
-		return false, evalErr
+	if err := evalErr.get(); err != nil {
+		return false, err
 	}
 	if diff {
 		return false, nil
 	}
 	// Every world's image equals i; rep must also be non-empty.
-	return sawWorld, nil
+	return sawWorld.Load(), nil
 }
 
 // UniquenessOfGTable exposes the Theorem 3.2(1) fast path directly: it

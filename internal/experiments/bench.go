@@ -22,30 +22,44 @@ type BenchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Workers records the decide.Options worker count the probe ran at,
+	// so the -check guard can refuse to compare a sequential rerun
+	// against a baseline that was generated in parallel.
+	Workers int `json:"workers"`
 }
 
 // benchProbe is a named closure runnable under testing.Benchmark.
 type benchProbe struct {
-	name string
-	fn   func(b *testing.B)
+	name    string
+	workers int
+	fn      func(b *testing.B)
 }
 
 // benchProbes mirrors the paper-figure benchmarks of bench_test.go that
-// track the engine's polynomial cells across PRs. Kept deliberately small:
-// these run on every `pwbench -bench` invocation.
-func benchProbes() []benchProbe {
+// track the engine's polynomial cells across PRs, plus parallel variants
+// of the gated probes (suffix _wN pins decide.Options{Workers: N}; the
+// unsuffixed probes run at the given worker count, 0 meaning sequential —
+// their historical, baseline-comparable meaning). Kept deliberately
+// small: these run on every `pwbench -bench` invocation.
+func benchProbes(workers int) []benchProbe {
+	seq := decide.Options{Workers: max(workers, 1)}
+	par := decide.Options{Workers: 8}
 	return []benchProbe{
-		{"Fig3_MembMatching_128", func(b *testing.B) { probeMembCodd(b, 128) }},
-		{"Fig3_MembMatching_512", func(b *testing.B) { probeMembCodd(b, 512) }},
-		{"Thm32_UniqGTable_128", func(b *testing.B) { probeUniqGTable(b, 128) }},
-		{"Thm32_UniqGTable_512", func(b *testing.B) { probeUniqGTable(b, 512) }},
-		{"Thm41_ContFreeze_64", func(b *testing.B) { probeContFreeze(b, 64) }},
-		{"Thm41_ContFreeze_256", func(b *testing.B) { probeContFreeze(b, 256) }},
-		{"Thm51_PossCodd_128", func(b *testing.B) { probePossCodd(b, 128) }},
+		{"Fig3_MembMatching_128", seq.Workers, func(b *testing.B) { probeMembCodd(b, 128, seq) }},
+		{"Fig3_MembMatching_512", seq.Workers, func(b *testing.B) { probeMembCodd(b, 512, seq) }},
+		{"Fig3_MembMatching_2048", seq.Workers, func(b *testing.B) { probeMembCodd(b, 2048, seq) }},
+		{"Fig3_MembMatching_2048_w8", par.Workers, func(b *testing.B) { probeMembCodd(b, 2048, par) }},
+		{"Thm32_UniqGTable_128", 1, func(b *testing.B) { probeUniqGTable(b, 128) }},
+		{"Thm32_UniqGTable_512", 1, func(b *testing.B) { probeUniqGTable(b, 512) }},
+		{"Thm41_ContFreeze_64", seq.Workers, func(b *testing.B) { probeContFreeze(b, 64, seq) }},
+		{"Thm41_ContFreeze_256", seq.Workers, func(b *testing.B) { probeContFreeze(b, 256, seq) }},
+		{"Thm41_ContFreeze_256_w8", par.Workers, func(b *testing.B) { probeContFreeze(b, 256, par) }},
+		{"Thm51_PossCodd_128", seq.Workers, func(b *testing.B) { probePossCodd(b, 128, seq) }},
+		{"Thm51_PossCodd_128_w8", par.Workers, func(b *testing.B) { probePossCodd(b, 128, par) }},
 	}
 }
 
-func probeMembCodd(b *testing.B, rows int) {
+func probeMembCodd(b *testing.B, rows int, o decide.Options) {
 	tb := gen.CoddTable(int64(rows), "T", rows, 3, 2*rows, 0.3)
 	d := table.DB(tb)
 	i, ok := gen.MemberInstance(int64(rows), d)
@@ -54,7 +68,7 @@ func probeMembCodd(b *testing.B, rows int) {
 	}
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
-		yes, err := decide.Membership(i, query.Identity{}, d)
+		yes, err := o.Membership(i, query.Identity{}, d)
 		if err != nil || !yes {
 			b.Fatalf("membership failed: %v %v", yes, err)
 		}
@@ -82,21 +96,21 @@ func probeUniqGTable(b *testing.B, rows int) {
 	}
 }
 
-func probeContFreeze(b *testing.B, rows int) {
+func probeContFreeze(b *testing.B, rows int, o decide.Options) {
 	t0 := gen.CoddTable(int64(rows), "T", rows, 2, rows, 0.4)
 	t := t0.Clone()
 	t.AddTuple(value.Var("wild1"), value.Var("wild2"))
 	d0, d := table.DB(t0), table.DB(t)
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
-		yes, err := decide.Containment(query.Identity{}, d0, query.Identity{}, d)
+		yes, err := o.Containment(query.Identity{}, d0, query.Identity{}, d)
 		if err != nil || !yes {
 			b.Fatalf("superset extension must contain: %v %v", yes, err)
 		}
 	}
 }
 
-func probePossCodd(b *testing.B, rows int) {
+func probePossCodd(b *testing.B, rows int, o decide.Options) {
 	tb := gen.CoddTable(int64(rows)+5, "T", rows, 3, 2*rows, 0.3)
 	d := table.DB(tb)
 	w, ok := gen.MemberInstance(int64(rows), d)
@@ -112,7 +126,7 @@ func probePossCodd(b *testing.B, rows int) {
 	}
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
-		yes, err := decide.Possible(p, query.Identity{}, d)
+		yes, err := o.Possible(p, query.Identity{}, d)
 		if err != nil || !yes {
 			b.Fatalf("half of a world must be possible: %v %v", yes, err)
 		}
@@ -121,9 +135,12 @@ func probePossCodd(b *testing.B, rows int) {
 
 // RunBenchmarks executes the perf probes (all of them, or the single one
 // named by only) under testing.Benchmark with allocation reporting.
-func RunBenchmarks(only string) []BenchResult {
+// workers sets the decide.Options worker count of the unsuffixed probes
+// (0 = sequential, keeping them comparable with the committed baselines);
+// the _wN variants pin their own counts.
+func RunBenchmarks(only string, workers int) []BenchResult {
 	var out []BenchResult
-	for _, p := range benchProbes() {
+	for _, p := range benchProbes(workers) {
 		if only != "" && p.name != only {
 			continue
 		}
@@ -139,6 +156,7 @@ func RunBenchmarks(only string) []BenchResult {
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
+			Workers:     p.workers,
 		})
 	}
 	return out

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func results(ns ...float64) []BenchResult {
+	out := make([]BenchResult, len(GatedProbes))
+	for i, name := range GatedProbes {
+		out[i] = BenchResult{Name: name, N: 1, NsPerOp: ns[i], Workers: 1}
+	}
+	return out
+}
+
+func TestCheckPassesWithinTolerance(t *testing.T) {
+	base := results(1000, 2000, 3000)
+	cur := results(1200, 2400, 3600) // +20%, inside the 25% gate
+	if regs := Check(base, cur, CheckTolerance); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+func TestCheckFlagsRegression(t *testing.T) {
+	base := results(1000, 2000, 3000)
+	cur := results(1000, 2600, 3000) // middle probe +30%
+	regs := Check(base, cur, CheckTolerance)
+	if len(regs) != 1 || !strings.Contains(regs[0], GatedProbes[1]) {
+		t.Fatalf("want one regression on %s, got %v", GatedProbes[1], regs)
+	}
+}
+
+func TestCheckFlagsMissingProbes(t *testing.T) {
+	base := results(1000, 2000, 3000)
+	regs := Check(base[:1], results(1000, 2000, 3000), CheckTolerance)
+	if len(regs) != 2 {
+		t.Fatalf("want two missing-from-baseline regressions, got %v", regs)
+	}
+	regs = Check(base, nil, CheckTolerance)
+	if len(regs) != len(GatedProbes) {
+		t.Fatalf("want all probes missing from current, got %v", regs)
+	}
+}
+
+func TestCheckFlagsWorkerMismatch(t *testing.T) {
+	base := results(1000, 2000, 3000)
+	base[0].Workers = 8 // baseline generated in parallel
+	regs := Check(base, results(1000, 2000, 3000), CheckTolerance)
+	if len(regs) != 1 || !strings.Contains(regs[0], "worker-count mismatch") {
+		t.Fatalf("want one worker-count mismatch, got %v", regs)
+	}
+}
+
+func TestGatedProbesExist(t *testing.T) {
+	names := map[string]bool{}
+	for _, p := range benchProbes(0) {
+		names[p.name] = true
+	}
+	for _, g := range GatedProbes {
+		if !names[g] {
+			t.Errorf("gated probe %s not in benchProbes", g)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package parse
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDatabase asserts the parser's two safety properties on
+// arbitrary input: it never panics, and any database it accepts
+// round-trips — printing it and re-parsing reaches a fixed point
+// (print(parse(print(d))) == print(d)), so the .pw format is closed
+// under its own printer.
+func FuzzParseDatabase(f *testing.F) {
+	f.Add("@table T(2)\n  row: a ?x\n")
+	f.Add("@table T(2)\n  global: ?x != b\n  row: a ?x | ?x = c, a != ?y\n")
+	f.Add("# comment\n\n@table Emp(2)\n  global: ?dc != ?dd\n  row: carol ?dc\n  row: dana ?dd\n")
+	f.Add("@table T(0)\n  row:\n")
+	f.Add("@table T(1)\n  row: ? | true\n")
+	f.Add("@table A(1)\n  row: x\n@table B(3)\n  row: ?u ?u c\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ParseDatabase(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var printed strings.Builder
+		if err := PrintDatabase(&printed, d); err != nil {
+			t.Fatalf("print failed on accepted input %q: %v", input, err)
+		}
+		d2, err := ParseDatabase(strings.NewReader(printed.String()))
+		if err != nil {
+			t.Fatalf("printed form does not re-parse: %v\ninput:   %q\nprinted: %q", err, input, printed.String())
+		}
+		var printed2 strings.Builder
+		if err := PrintDatabase(&printed2, d2); err != nil {
+			t.Fatalf("second print failed: %v", err)
+		}
+		if printed2.String() != printed.String() {
+			t.Fatalf("print is not a fixed point:\nfirst:  %q\nsecond: %q", printed.String(), printed2.String())
+		}
+	})
+}
+
+// FuzzParseInstance is the same contract for instance files.
+func FuzzParseInstance(f *testing.F) {
+	f.Add("@relation T(2)\n  fact: a b\n")
+	f.Add("@relation Emp(2)\n  fact: alice sales\n  fact: bob eng\n\n@relation Dept(2)\n  fact: sales 1\n")
+	f.Add("@relation T(0)\n  fact:\n")
+	f.Add("# only a comment\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		inst, err := ParseInstance(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var printed strings.Builder
+		if err := PrintInstance(&printed, inst); err != nil {
+			t.Fatalf("print failed on accepted input %q: %v", input, err)
+		}
+		inst2, err := ParseInstance(strings.NewReader(printed.String()))
+		if err != nil {
+			t.Fatalf("printed form does not re-parse: %v\ninput:   %q\nprinted: %q", err, input, printed.String())
+		}
+		var printed2 strings.Builder
+		if err := PrintInstance(&printed2, inst2); err != nil {
+			t.Fatalf("second print failed: %v", err)
+		}
+		if printed2.String() != printed.String() {
+			t.Fatalf("print is not a fixed point:\nfirst:  %q\nsecond: %q", printed.String(), printed2.String())
+		}
+	})
+}

@@ -45,6 +45,11 @@ func ParseDatabase(r io.Reader) (*table.Database, error) {
 			if err != nil {
 				return nil, fmt.Errorf("line %d: %w", lineNo, err)
 			}
+			// Duplicate names are a data error here, not the programming
+			// error AddTable panics on.
+			if d.Table(name) != nil {
+				return nil, fmt.Errorf("line %d: duplicate table %s", lineNo, name)
+			}
 			cur = table.New(name, arity)
 			d.AddTable(cur)
 		case strings.HasPrefix(line, "global:"):
@@ -92,6 +97,11 @@ func ParseInstance(r io.Reader) (*rel.Instance, error) {
 			name, arity, err := parseHeader(strings.TrimPrefix(line, "@relation "))
 			if err != nil {
 				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			// Duplicate names are a data error here, not the programming
+			// error AddRelation panics on.
+			if inst.Relation(name) != nil {
+				return nil, fmt.Errorf("line %d: duplicate relation %s", lineNo, name)
 			}
 			cur = rel.NewRelation(name, arity)
 			inst.AddRelation(cur)

@@ -85,6 +85,91 @@ const (
 	KindC    = table.KindC
 )
 
+// Options tunes how the engine searches without changing what it decides.
+// The determinism contract: every decision procedure returns identical
+// results — booleans, world sets, answer sets — at every worker count,
+// even though internal visit order differs under parallelism. Workers = 1
+// reproduces the sequential engine bit-for-bit (witness order, fresh
+// "~z…" constant naming); the zero value uses GOMAXPROCS workers.
+//
+//	ok, _ := pw.Options{Workers: 8}.Member(instance, db)
+type Options struct {
+	// Workers is the goroutine budget for the exponential valuation
+	// searches and large matching-graph builds. 0 means GOMAXPROCS;
+	// 1 is the sequential engine.
+	Workers int
+}
+
+func (o Options) decide() decide.Options { return decide.Options{Workers: o.Workers} }
+func (o Options) worlds() worlds.Options { return worlds.Options{Workers: o.Workers} }
+
+// Member decides MEMB(−) with this option set.
+func (o Options) Member(i *Instance, d *Database) (bool, error) {
+	return o.decide().Membership(i, query.Identity{}, d)
+}
+
+// MemberOfView decides MEMB(q) with this option set.
+func (o Options) MemberOfView(i *Instance, q Query, d *Database) (bool, error) {
+	return o.decide().Membership(i, q, d)
+}
+
+// Unique decides UNIQ(−) with this option set.
+func (o Options) Unique(i *Instance, d *Database) (bool, error) {
+	return o.decide().Uniqueness(query.Identity{}, d, i)
+}
+
+// UniqueView decides UNIQ(q0) with this option set.
+func (o Options) UniqueView(i *Instance, q0 Query, d *Database) (bool, error) {
+	return o.decide().Uniqueness(q0, d, i)
+}
+
+// Contained decides CONT(−,−) with this option set.
+func (o Options) Contained(d0, d *Database) (bool, error) {
+	return o.decide().Containment(query.Identity{}, d0, query.Identity{}, d)
+}
+
+// ContainedViews decides CONT(q0,q) with this option set.
+func (o Options) ContainedViews(q0 Query, d0 *Database, q Query, d *Database) (bool, error) {
+	return o.decide().Containment(q0, d0, q, d)
+}
+
+// Possible decides POSS(∗,q) with this option set.
+func (o Options) Possible(p *Instance, q Query, d *Database) (bool, error) {
+	return o.decide().Possible(p, q, d)
+}
+
+// Certain decides CERT(∗,q) with this option set.
+func (o Options) Certain(p *Instance, q Query, d *Database) (bool, error) {
+	return o.decide().Certain(p, q, d)
+}
+
+// PossibleFact decides POSS(1,q) with this option set.
+func (o Options) PossibleFact(relName string, f Fact, q Query, d *Database) (bool, error) {
+	return o.decide().PossibleFact(relName, f, q, d)
+}
+
+// CertainFact decides CERT(1,q) with this option set.
+func (o Options) CertainFact(relName string, f Fact, q Query, d *Database) (bool, error) {
+	return o.decide().CertainFact(relName, f, q, d)
+}
+
+// CertainAnswers computes the certain answers of a liftable view with
+// this option set; the answer set (and its order) is worker-count
+// independent.
+func (o Options) CertainAnswers(q Query, d *Database) (*Instance, error) {
+	return o.decide().CertainAnswers(q, d)
+}
+
+// Worlds materializes rep(d) with this option set: the valuation space is
+// sharded across workers with per-shard fingerprint deduplication. The
+// world *set* is worker-count independent; the slice order is the
+// sequential enumeration order at Workers = 1 and shard-merge order above.
+func (o Options) Worlds(d *Database) []*Instance { return o.worlds().All(d) }
+
+// CountWorlds returns |rep(d)| over the canonical domain with this option
+// set.
+func (o Options) CountWorlds(d *Database) int { return o.worlds().Count(d) }
+
 // Const returns the constant named name.
 func Const(name string) Value { return value.Const(name) }
 

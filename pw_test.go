@@ -132,3 +132,48 @@ func TestFacadePossibleSet(t *testing.T) {
 		t.Error("two rows cannot cover three facts")
 	}
 }
+
+// TestFacadeOptions pins the façade half of the determinism contract:
+// every Options method must agree with its package-level (default)
+// counterpart at several worker counts, on the paper's Fig. 1 c-table.
+func TestFacadeOptions(t *testing.T) {
+	d := fig1CTable()
+	ws := Worlds(d)
+	if len(ws) == 0 {
+		t.Fatal("no worlds")
+	}
+	member := ws[0]
+	facts := NewInstance()
+	facts.AddRelation(NewRelation("T", 2)).AddRow("0", "1")
+	for _, w := range []int{1, 2, 8} {
+		o := Options{Workers: w}
+		if got := o.CountWorlds(d); got != len(ws) {
+			t.Errorf("workers=%d: CountWorlds=%d want %d", w, got, len(ws))
+		}
+		yes, err := o.Member(member, d)
+		if err != nil || !yes {
+			t.Errorf("workers=%d: Member=%v %v, want yes", w, yes, err)
+		}
+		uniq, err := o.Unique(member, d)
+		if err != nil || uniq {
+			t.Errorf("workers=%d: Unique=%v %v, want no", w, uniq, err)
+		}
+		cont, err := o.Contained(d, d)
+		if err != nil || !cont {
+			t.Errorf("workers=%d: Contained(d,d)=%v %v, want yes", w, cont, err)
+		}
+		poss, err := o.Possible(facts, Identity(), d)
+		if err != nil {
+			t.Fatalf("workers=%d: Possible: %v", w, err)
+		}
+		cert, err := o.Certain(facts, Identity(), d)
+		if err != nil {
+			t.Fatalf("workers=%d: Certain: %v", w, err)
+		}
+		wantPoss, _ := Possible(facts, Identity(), d)
+		wantCert, _ := Certain(facts, Identity(), d)
+		if poss != wantPoss || cert != wantCert {
+			t.Errorf("workers=%d: POSS=%v/%v CERT=%v/%v", w, poss, wantPoss, cert, wantCert)
+		}
+	}
+}
