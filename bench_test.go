@@ -609,3 +609,41 @@ func BenchmarkAblation_CertBruteForce(b *testing.B) {
 		}
 	}
 }
+
+// --- WSD: the decomposition backend on a ~10^6-world world set ---
+
+func BenchmarkWSD_Count_1M(b *testing.B) {
+	w := gen.MillionWorldWSD()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c := w.Count(); !c.IsInt64() || c.Int64() != 1<<20 {
+			b.Fatalf("Count = %s, want 2^20", c)
+		}
+	}
+}
+
+func BenchmarkWSD_Memb_1M(b *testing.B) {
+	w := gen.MillionWorldWSD()
+	inst := w.World(make([]int, w.Components()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !w.Member(inst) {
+			b.Fatal("materialized world must be a member")
+		}
+	}
+}
+
+func BenchmarkWSD_Poss_1M(b *testing.B) {
+	w := gen.MillionWorldWSD()
+	p := rel.NewInstance()
+	pr := p.EnsureRelation("S", 2)
+	pr.AddRow("hub", "ok")
+	pr.AddRow("s00", "lo")
+	pr.AddRow("s13", "hi")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !w.Possible(p) {
+			b.Fatal("cross-component fragment must be possible")
+		}
+	}
+}

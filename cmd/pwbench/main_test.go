@@ -18,38 +18,46 @@ var update = flag.Bool("update", false, "rewrite golden files")
 // values normalized to zero. This is the contract BENCH_*.json diffs and
 // the -check guard rely on.
 func TestBenchJSONGolden(t *testing.T) {
-	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-bench", "-json", "-only", "Thm41_ContFreeze_64"}, &stdout, &stderr); code != 0 {
-		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	cases := []struct{ goldenName, probe string }{
+		{"bench_json", "Thm41_ContFreeze_64"},
+		{"bench_json_wsd", "WSD_Count_1M"},
 	}
-	var results []experiments.BenchResult
-	if err := json.Unmarshal(stdout.Bytes(), &results); err != nil {
-		t.Fatalf("output is not BenchResult JSON: %v\n%s", err, stdout.String())
-	}
-	for i := range results {
-		results[i].N = 0
-		results[i].NsPerOp = 0
-		results[i].AllocsPerOp = 0
-		results[i].BytesPerOp = 0
-	}
-	normalized, err := json.MarshalIndent(results, "", "  ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	normalized = append(normalized, '\n')
-	golden := filepath.Join("testdata", "bench_json.golden")
-	if *update {
-		if err := os.WriteFile(golden, normalized, 0o644); err != nil {
-			t.Fatal(err)
-		}
-		return
-	}
-	want, err := os.ReadFile(golden)
-	if err != nil {
-		t.Fatalf("missing golden (run with -update): %v", err)
-	}
-	if !bytes.Equal(normalized, want) {
-		t.Errorf("JSON shape drifted:\n--- got ---\n%s--- want ---\n%s", normalized, want)
+	for _, tc := range cases {
+		t.Run(tc.probe, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run([]string{"-bench", "-json", "-only", tc.probe}, &stdout, &stderr); code != 0 {
+				t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+			}
+			var results []experiments.BenchResult
+			if err := json.Unmarshal(stdout.Bytes(), &results); err != nil {
+				t.Fatalf("output is not BenchResult JSON: %v\n%s", err, stdout.String())
+			}
+			for i := range results {
+				results[i].N = 0
+				results[i].NsPerOp = 0
+				results[i].AllocsPerOp = 0
+				results[i].BytesPerOp = 0
+			}
+			normalized, err := json.MarshalIndent(results, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			normalized = append(normalized, '\n')
+			golden := filepath.Join("testdata", tc.goldenName+".golden")
+			if *update {
+				if err := os.WriteFile(golden, normalized, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if !bytes.Equal(normalized, want) {
+				t.Errorf("JSON shape drifted:\n--- got ---\n%s--- want ---\n%s", normalized, want)
+			}
+		})
 	}
 }
 

@@ -1,18 +1,25 @@
 // Command pwgen generates random workloads in .pw format: tables of every
-// representation kind plus matching member instances, for feeding pwq and
-// external experiments.
+// representation kind plus matching member instances, and random
+// world-set decompositions, for feeding pwq and external experiments.
 //
 // Usage:
 //
 //	pwgen -kind codd|e|i|g|c -rows 64 -arity 2 -seed 1 [-member]
+//	pwgen -kind wsd -rows 8 -arity 2 -seed 1 [-member]
 //
 // The database goes to stdout; with -member a sampled member instance is
-// printed after it, separated by a "# instance" comment.
+// printed after it, separated by a "# instance" comment. For -kind wsd,
+// -rows is the component count, the member instance is a uniform world
+// sample, and -nulls does not apply (decompositions hold ground facts).
+// All generation is deterministic in -seed.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"math/rand"
 	"os"
 
 	"pw/internal/gen"
@@ -21,19 +28,56 @@ import (
 )
 
 func main() {
-	kind := flag.String("kind", "codd", "representation kind: codd|e|i|g|c")
-	rows := flag.Int("rows", 32, "row count")
-	arity := flag.Int("arity", 2, "arity")
-	consts := flag.Int("consts", 0, "constant pool (default 2×rows)")
-	nulls := flag.Float64("nulls", 0.3, "null density")
-	seed := flag.Int64("seed", 1, "random seed")
-	member := flag.Bool("member", false, "also emit a sampled member instance")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pwgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	kind := fs.String("kind", "codd", "representation kind: codd|e|i|g|c|wsd")
+	rows := fs.Int("rows", 32, "row count (component count for -kind wsd)")
+	arity := fs.Int("arity", 2, "arity")
+	consts := fs.Int("consts", 0, "constant pool (default 2×rows)")
+	nulls := fs.Float64("nulls", 0.3, "null density (table kinds only; ignored for -kind wsd)")
+	seed := fs.Int64("seed", 1, "random seed")
+	member := fs.Bool("member", false, "also emit a sampled member instance")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	cp := *consts
 	if cp == 0 {
 		cp = 2 * *rows
 	}
+
+	if *kind == "wsd" {
+		w, err := gen.RandomWSD(*seed, *rows, 3, *arity, cp)
+		if err != nil {
+			fmt.Fprintln(stderr, "pwgen:", err)
+			return 1
+		}
+		if err := parse.PrintWSD(stdout, w); err != nil {
+			fmt.Fprintln(stderr, "pwgen:", err)
+			return 1
+		}
+		if *member {
+			inst := w.Sample(rand.New(rand.NewSource(*seed + 7)))
+			if inst == nil {
+				fmt.Fprintln(stderr, "pwgen: cannot sample from the empty world set")
+				return 1
+			}
+			fmt.Fprintln(stdout, "\n# instance")
+			if err := parse.PrintInstance(stdout, inst); err != nil {
+				fmt.Fprintln(stderr, "pwgen:", err)
+				return 1
+			}
+		}
+		return 0
+	}
+
 	var t *table.Table
 	switch *kind {
 	case "codd":
@@ -49,24 +93,25 @@ func main() {
 	case "c":
 		t = gen.CTable(*seed, "T", *rows, *arity, cp, max(2, *rows/4), *nulls, 0.5)
 	default:
-		fmt.Fprintf(os.Stderr, "pwgen: unknown kind %q\n", *kind)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "pwgen: unknown kind %q\n", *kind)
+		return 2
 	}
 	d := table.DB(t)
-	if err := parse.PrintDatabase(os.Stdout, d); err != nil {
-		fmt.Fprintln(os.Stderr, "pwgen:", err)
-		os.Exit(1)
+	if err := parse.PrintDatabase(stdout, d); err != nil {
+		fmt.Fprintln(stderr, "pwgen:", err)
+		return 1
 	}
 	if *member {
 		inst, ok := gen.MemberInstance(*seed+7, d)
 		if !ok {
-			fmt.Fprintln(os.Stderr, "pwgen: no member instance found (unsatisfiable conditions?)")
-			os.Exit(1)
+			fmt.Fprintln(stderr, "pwgen: no member instance found (unsatisfiable conditions?)")
+			return 1
 		}
-		fmt.Println("\n# instance")
-		if err := parse.PrintInstance(os.Stdout, inst); err != nil {
-			fmt.Fprintln(os.Stderr, "pwgen:", err)
-			os.Exit(1)
+		fmt.Fprintln(stdout, "\n# instance")
+		if err := parse.PrintInstance(stdout, inst); err != nil {
+			fmt.Fprintln(stderr, "pwgen:", err)
+			return 1
 		}
 	}
+	return 0
 }

@@ -7,13 +7,23 @@
 //	pwq cont    -db subset.pw -db2 superset.pw
 //	pwq poss    -db tables.pw -facts p.pw
 //	pwq cert    -db tables.pw -facts p.pw
+//	pwq count   -db tables.pw
+//	pwq sample  -db tables.pw [-seed 1] [-n 3]
 //	pwq worlds  -db tables.pw [-limit 20]
 //	pwq kind    -db tables.pw
 //
-// Files use the .pw format of internal/parse. All commands exit 0 with
-// "yes"/"no" on stdout; structural problems exit 2. -workers bounds the
-// engine's goroutine budget (0 = GOMAXPROCS); answers are identical at
-// every worker count.
+// Files use the .pw format of internal/parse; -db accepts either
+// representation backend — a conditioned-table database (@table blocks)
+// or a world-set decomposition (@wsd block). On a decomposition the
+// decision commands run the native polynomial procedures (no world
+// enumeration; count is exact even for astronomically many worlds); on
+// tables they run the decision engine, and count/worlds enumerate the
+// canonical domain. cont requires table databases on both sides.
+//
+// All commands exit 0 with "yes"/"no" (or the requested output) on
+// stdout; structural problems exit 2. -workers bounds the engine's
+// goroutine budget (0 = GOMAXPROCS); answers are identical at every
+// worker count.
 package main
 
 import (
@@ -21,13 +31,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/big"
+	"math/rand"
 	"os"
 
 	"pw/internal/decide"
+	"pw/internal/gen"
 	"pw/internal/parse"
 	"pw/internal/query"
 	"pw/internal/rel"
-	"pw/internal/table"
 	"pw/internal/worlds"
 )
 
@@ -42,12 +54,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cmd := args[0]
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	dbPath := fs.String("db", "", "conditioned-table database (.pw)")
+	dbPath := fs.String("db", "", "database (.pw, @table or @wsd form)")
 	db2Path := fs.String("db2", "", "second database for cont (.pw)")
 	instPath := fs.String("inst", "", "complete instance (.pw)")
 	factsPath := fs.String("facts", "", "fact set for poss/cert (.pw)")
 	limit := fs.Int("limit", 20, "world limit for the worlds command")
 	workersN := fs.Int("workers", 0, "engine worker count (0 = GOMAXPROCS, 1 = sequential)")
+	seed := fs.Int64("seed", 1, "random seed for the sample command")
+	samples := fs.Int("n", 1, "number of worlds for the sample command")
 	if err := fs.Parse(args[1:]); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -56,27 +70,83 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	o := decide.Options{Workers: *workersN}
 
-	d, err := loadDB(*dbPath)
+	src, err := loadSource(*dbPath)
 	if err != nil {
 		return fatal(stderr, err)
 	}
+	d, w := src.DB, src.WSD
 	switch cmd {
 	case "kind":
-		fmt.Fprintln(stdout, d.Kind())
+		if w != nil {
+			fmt.Fprintln(stdout, "wsd")
+		} else {
+			fmt.Fprintln(stdout, d.Kind())
+		}
+	case "count":
+		if w != nil {
+			fmt.Fprintln(stdout, w.Count())
+		} else {
+			// Enumeration backend: |rep(d)| over the canonical domain,
+			// sharded across -workers (the count is worker-independent).
+			fmt.Fprintln(stdout, worlds.Options{Workers: *workersN}.Count(d))
+		}
 	case "worlds":
 		// World listing streams in canonical enumeration order, so it
 		// stays on the sequential enumerator regardless of -workers.
 		n := 0
-		worlds.Each(d, nil, func(i *rel.Instance) bool {
+		each := func(i *rel.Instance) bool {
 			fmt.Fprintf(stdout, "-- world %d --\n%s\n", n+1, i)
 			n++
 			return n >= *limit
-		})
-		fmt.Fprintf(stdout, "(%d worlds shown; canonical domain)\n", n)
+		}
+		if w != nil {
+			// A decomposition's enumeration is the exact world set, not a
+			// canonical-domain proxy.
+			w.Each(each)
+			fmt.Fprintf(stdout, "(%d worlds shown)\n", n)
+		} else {
+			worlds.Each(d, nil, each)
+			fmt.Fprintf(stdout, "(%d worlds shown; canonical domain)\n", n)
+		}
+	case "sample":
+		if *samples < 1 {
+			return fatal(stderr, fmt.Errorf("-n must be positive"))
+		}
+		// Collect every sample before printing, so a failure cannot abort
+		// the stream after partial output.
+		rng := rand.New(rand.NewSource(*seed))
+		insts := make([]*rel.Instance, 0, *samples)
+		for k := 0; k < *samples; k++ {
+			var inst *rel.Instance
+			if w != nil {
+				// Uniform over worlds: one independent choice per component;
+				// nil only on the empty world set.
+				inst = w.Sample(rng)
+				if inst == nil {
+					return fatal(stderr, fmt.Errorf("cannot sample from the empty world set"))
+				}
+			} else {
+				// Tables: a sampled member world (not uniform over rep).
+				// MemberInstance's search budget is bounded, so a miss means
+				// "none found", not "none exists".
+				var ok bool
+				inst, ok = gen.MemberInstance(*seed+int64(k), d)
+				if !ok {
+					return fatal(stderr, fmt.Errorf("no member world found within the sampling budget; selective conditions may need a different -seed"))
+				}
+			}
+			insts = append(insts, inst)
+		}
+		for k, inst := range insts {
+			fmt.Fprintf(stdout, "-- sample %d --\n%s\n", k+1, inst)
+		}
 	case "memb":
 		i, err := loadInstance(*instPath)
 		if err != nil {
 			return fatal(stderr, err)
+		}
+		if w != nil {
+			return answer(stdout, stderr, w.Member(i), nil)
 		}
 		yes, err := o.Membership(i, query.Identity{}, d)
 		return answer(stdout, stderr, yes, err)
@@ -85,19 +155,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fatal(stderr, err)
 		}
+		if w != nil {
+			// Count is a big.Int: compare against 1 exactly (Int64 is
+			// undefined outside int64 range, the very regime WSDs serve).
+			yes := w.Count().Cmp(big.NewInt(1)) == 0 && w.Member(i)
+			return answer(stdout, stderr, yes, nil)
+		}
 		yes, err := o.Uniqueness(query.Identity{}, d, i)
 		return answer(stdout, stderr, yes, err)
 	case "cont":
-		d2, err := loadDB(*db2Path)
+		if w != nil {
+			return fatal(stderr, fmt.Errorf("cont requires @table databases on both sides"))
+		}
+		src2, err := loadSource(*db2Path)
 		if err != nil {
 			return fatal(stderr, err)
 		}
-		yes, err := o.Containment(query.Identity{}, d, query.Identity{}, d2)
+		if src2.WSD != nil {
+			return fatal(stderr, fmt.Errorf("cont requires @table databases on both sides"))
+		}
+		yes, err := o.Containment(query.Identity{}, d, query.Identity{}, src2.DB)
 		return answer(stdout, stderr, yes, err)
 	case "poss":
 		p, err := loadInstance(*factsPath)
 		if err != nil {
 			return fatal(stderr, err)
+		}
+		if w != nil {
+			return answer(stdout, stderr, w.Possible(p), nil)
 		}
 		yes, err := o.Possible(p, query.Identity{}, d)
 		return answer(stdout, stderr, yes, err)
@@ -105,6 +190,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		p, err := loadInstance(*factsPath)
 		if err != nil {
 			return fatal(stderr, err)
+		}
+		if w != nil {
+			return answer(stdout, stderr, w.Certain(p), nil)
 		}
 		yes, err := o.Certain(p, query.Identity{}, d)
 		return answer(stdout, stderr, yes, err)
@@ -114,7 +202,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func loadDB(path string) (*table.Database, error) {
+func loadSource(path string) (*parse.Source, error) {
 	if path == "" {
 		return nil, fmt.Errorf("missing -db")
 	}
@@ -123,7 +211,7 @@ func loadDB(path string) (*table.Database, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return parse.ParseDatabase(f)
+	return parse.ParseSource(f)
 }
 
 func loadInstance(path string) (*rel.Instance, error) {
@@ -156,6 +244,6 @@ func fatal(stderr io.Writer, err error) int {
 }
 
 func usage(stderr io.Writer) int {
-	fmt.Fprintln(stderr, "usage: pwq {memb|uniq|cont|poss|cert|worlds|kind} -db FILE [...]")
+	fmt.Fprintln(stderr, "usage: pwq {memb|uniq|cont|poss|cert|count|sample|worlds|kind} -db FILE [...]")
 	return 2
 }

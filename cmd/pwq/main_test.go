@@ -29,6 +29,19 @@ func TestGolden(t *testing.T) {
 		{"cert_no", []string{"cert", "-db", data("personnel.pw"), "-facts", data("personnel_maybe.pw")}},
 		{"cert_yes", []string{"cert", "-db", data("personnel.pw"), "-facts", data("personnel_certain.pw")}},
 		{"worlds", []string{"worlds", "-db", data("personnel.pw"), "-limit", "3"}},
+		{"count_tables", []string{"count", "-db", data("personnel.pw")}},
+		// The decomposition backend: 2^20 worlds answered without
+		// enumeration.
+		{"kind_wsd", []string{"kind", "-db", data("sensors.pw")}},
+		{"count_wsd", []string{"count", "-db", data("sensors.pw")}},
+		{"memb_wsd_yes", []string{"memb", "-db", data("sensors.pw"), "-inst", data("sensors_world.pw")}},
+		{"uniq_wsd_no", []string{"uniq", "-db", data("sensors.pw"), "-inst", data("sensors_world.pw")}},
+		{"poss_wsd_yes", []string{"poss", "-db", data("sensors.pw"), "-facts", data("sensors_world.pw")}},
+		{"cert_wsd_yes", []string{"cert", "-db", data("sensors.pw"), "-facts", data("sensors_certain.pw")}},
+		{"cert_wsd_no", []string{"cert", "-db", data("sensors.pw"), "-facts", data("sensors_world.pw")}},
+		{"worlds_wsd", []string{"worlds", "-db", data("sensors.pw"), "-limit", "2"}},
+		{"sample_wsd", []string{"sample", "-db", data("sensors.pw"), "-seed", "7", "-n", "2"}},
+		{"sample_tables", []string{"sample", "-db", data("personnel.pw"), "-seed", "3"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -89,5 +102,10 @@ func TestBadUsageExits2(t *testing.T) {
 	}
 	if code := run([]string{"memb"}, &stdout, &stderr); code != 2 {
 		t.Errorf("missing -db: exit %d, want 2", code)
+	}
+	// cont is undefined on the decomposition backend.
+	wsdFile := filepath.Join("..", "..", "examples", "data", "sensors.pw")
+	if code := run([]string{"cont", "-db", wsdFile, "-db2", wsdFile}, &stdout, &stderr); code != 2 {
+		t.Errorf("cont on @wsd: exit %d, want 2", code)
 	}
 }

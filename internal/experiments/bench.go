@@ -56,6 +56,48 @@ func benchProbes(workers int) []benchProbe {
 		{"Thm41_ContFreeze_256_w8", par.Workers, func(b *testing.B) { probeContFreeze(b, 256, par) }},
 		{"Thm51_PossCodd_128", seq.Workers, func(b *testing.B) { probePossCodd(b, 128, seq) }},
 		{"Thm51_PossCodd_128_w8", par.Workers, func(b *testing.B) { probePossCodd(b, 128, par) }},
+		// Decomposition backend: native procedures on a ~10^6-world
+		// world-set decomposition, no enumeration anywhere. Workers is 1
+		// by construction (the procedures are sequential lookups).
+		{"WSD_Count_1M", 1, probeWSDCount},
+		{"WSD_Memb_1M", 1, probeWSDMemb},
+		{"WSD_Poss_1M", 1, probeWSDPoss},
+	}
+}
+
+func probeWSDCount(b *testing.B) {
+	w := gen.MillionWorldWSD()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if c := w.Count(); !c.IsInt64() || c.Int64() != 1<<20 {
+			b.Fatalf("Count = %s, want 2^20", c)
+		}
+	}
+}
+
+func probeWSDMemb(b *testing.B) {
+	w := gen.MillionWorldWSD()
+	i := w.World(make([]int, w.Components()))
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if !w.Member(i) {
+			b.Fatal("materialized world must be a member")
+		}
+	}
+}
+
+func probeWSDPoss(b *testing.B) {
+	w := gen.MillionWorldWSD()
+	p := rel.NewInstance()
+	pr := p.EnsureRelation("S", 2)
+	pr.AddRow("hub", "ok")
+	pr.AddRow("s00", "lo")
+	pr.AddRow("s13", "hi")
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if !w.Possible(p) {
+			b.Fatal("cross-component fragment must be possible")
+		}
 	}
 }
 

@@ -9,6 +9,9 @@ var GatedProbes = []string{
 	"Fig3_MembMatching_128",
 	"Thm32_UniqGTable_128",
 	"Thm41_ContFreeze_64",
+	"WSD_Count_1M",
+	"WSD_Memb_1M",
+	"WSD_Poss_1M",
 }
 
 // CheckTolerance is the relative ns/op slack the regression guard allows

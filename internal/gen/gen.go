@@ -15,6 +15,7 @@ import (
 	"pw/internal/table"
 	"pw/internal/valuation"
 	"pw/internal/value"
+	"pw/internal/wsd"
 )
 
 // Config tunes the random table generator.
@@ -191,4 +192,74 @@ func PerturbedInstance(seed int64, i *rel.Instance) (*rel.Instance, bool) {
 		return out, true
 	}
 	return nil, false
+}
+
+// RandomWSD generates a random world-set decomposition over a single
+// binary-or-wider relation R: comps components, each with 1..maxAlts
+// alternatives of 0..2 facts drawn from a pool of consts constants.
+// Overlapping supports are intentional — normalization (merge + split)
+// runs as part of generation, so the result is always in product-normal
+// form. Deterministic in the seed. The error is normalization's
+// entanglement guard: a tiny constant pool can overlap so many
+// components that their merged product exceeds wsd.MaxMergeAlts —
+// callers pick a larger pool or fewer components.
+func RandomWSD(seed int64, comps, maxAlts, arity, consts int) (*wsd.WSD, error) {
+	if comps < 0 || maxAlts < 1 || arity < 0 || consts < 1 {
+		return nil, fmt.Errorf("gen: RandomWSD needs comps >= 0, maxAlts >= 1, arity >= 0, consts >= 1 (got %d, %d, %d, %d)",
+			comps, maxAlts, arity, consts)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	w := wsd.New(table.Schema{{Name: "R", Arity: arity}})
+	for c := 0; c < comps; c++ {
+		nAlts := 1 + rng.Intn(maxAlts)
+		alts := make([]wsd.Alt, nAlts)
+		for a := range alts {
+			nFacts := rng.Intn(3)
+			alt := make(wsd.Alt, 0, nFacts)
+			for f := 0; f < nFacts; f++ {
+				args := make(rel.Fact, arity)
+				for i := range args {
+					args[i] = fmt.Sprintf("c%d", rng.Intn(consts))
+				}
+				alt = append(alt, wsd.Fact{Rel: "R", Args: args})
+			}
+			alts[a] = alt
+		}
+		if err := w.AddComponent(alts...); err != nil {
+			// Facts are built against the schema above; a rejection here is
+			// a bug in this generator, not a data condition.
+			panic("gen: " + err.Error())
+		}
+	}
+	if err := w.Normalize(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// MillionWorldWSD builds the tracked benchmark decomposition: one
+// certain fragment plus 20 independent binary components of two facts
+// each — 2^20 = 1,048,576 worlds in ~40 facts. bench_test.go and the
+// pwbench probes share this single builder so the benchmark and its
+// gated probe can never drift apart.
+func MillionWorldWSD() *wsd.WSD {
+	w := wsd.New(table.Schema{{Name: "S", Arity: 2}})
+	add := func(alts ...wsd.Alt) {
+		if err := w.AddComponent(alts...); err != nil {
+			panic("gen: " + err.Error())
+		}
+	}
+	add(wsd.Alt{{Rel: "S", Args: rel.Fact{"hub", "ok"}}})
+	for i := 0; i < 20; i++ {
+		s := fmt.Sprintf("s%02d", i)
+		add(
+			wsd.Alt{{Rel: "S", Args: rel.Fact{s, "lo"}}, {Rel: "S", Args: rel.Fact{s + "b", "lo"}}},
+			wsd.Alt{{Rel: "S", Args: rel.Fact{s, "hi"}}, {Rel: "S", Args: rel.Fact{s + "b", "hi"}}},
+		)
+	}
+	// Disjoint supports by construction: normalization cannot fail.
+	if err := w.Normalize(); err != nil {
+		panic("gen: " + err.Error())
+	}
+	return w
 }

@@ -68,3 +68,58 @@ func FuzzParseInstance(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseWSD extends the harness to the @wsd decomposition syntax: the
+// parser never panics, and any decomposition it accepts normalizes to a
+// canonical form whose printing is a fixed point of parse→print.
+func FuzzParseWSD(f *testing.F) {
+	f.Add("@wsd\n  relation: R(2)\n  component:\n    alt: R(a b)\n    alt: R(a c)\n")
+	f.Add("@wsd\n  relation: Emp(2)\n  relation: Dept(2)\n  component:\n    alt: Emp(carol sales), Emp(dana eng)\n    alt: Emp(carol eng), Emp(dana sales)\n  component:\n    alt: Dept(eng 1)\n")
+	f.Add("@wsd\n  relation: R(1)\n  component:\n    alt:\n    alt: R(a)\n")
+	f.Add("@wsd\n  relation: R(0)\n  component:\n    alt: R()\n")
+	f.Add("@wsd\n  relation: R(1)\n  component:\n")
+	f.Add("# comment\n\n@wsd\n  relation: R(2)\n  component:\n    alt: R(a b), R(b a)\n    alt: R(a b)\n    alt: R(a b), R(b a)\n")
+	f.Add("@wsd\n  relation: R(1)\n  component:\n    alt: R(x)\n    alt: R(y)\n  component:\n    alt: R(x)\n    alt: R(z)\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		w, err := ParseWSD(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var printed strings.Builder
+		if err := PrintWSD(&printed, w); err != nil {
+			t.Fatalf("print failed on accepted input %q: %v", input, err)
+		}
+		w2, err := ParseWSD(strings.NewReader(printed.String()))
+		if err != nil {
+			t.Fatalf("printed form does not re-parse: %v\ninput:   %q\nprinted: %q", err, input, printed.String())
+		}
+		var printed2 strings.Builder
+		if err := PrintWSD(&printed2, w2); err != nil {
+			t.Fatalf("second print failed: %v", err)
+		}
+		if printed2.String() != printed.String() {
+			t.Fatalf("print is not a fixed point:\nfirst:  %q\nsecond: %q", printed.String(), printed2.String())
+		}
+		// Normalization must preserve the world count exactly: the
+		// re-parsed decomposition denotes the same set.
+		if w.Count().Cmp(w2.Count()) != 0 {
+			t.Fatalf("world count drifted across round trip: %s vs %s", w.Count(), w2.Count())
+		}
+	})
+}
+
+// FuzzParseSource fuzzes the backend dispatcher with both block forms.
+func FuzzParseSource(f *testing.F) {
+	f.Add("@table T(2)\n  row: a ?x\n")
+	f.Add("@wsd\n  relation: R(1)\n  component:\n    alt: R(a)\n")
+	f.Add("# only a comment\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		src, err := ParseSource(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if (src.DB == nil) == (src.WSD == nil) {
+			t.Fatalf("dispatcher returned %v/%v for %q; exactly one backend must be set", src.DB, src.WSD, input)
+		}
+	})
+}

@@ -1,0 +1,176 @@
+// .pw syntax for world-set decompositions. A @wsd block declares a
+// schema and a list of components, each a list of alternative fact-sets:
+//
+//	@wsd
+//	  relation: Emp(2)
+//	  relation: Dept(2)
+//	  component:
+//	    alt: Emp(carol sales), Emp(dana eng)
+//	    alt: Emp(carol eng), Emp(dana sales)
+//	  component:
+//	    alt: Dept(eng 1)
+//	    alt: Dept(eng 2)
+//
+// Facts are Rel(c1 c2 ...) with ground, whitespace-separated constants;
+// a bare "alt:" is the empty alternative; a component with no alt lines
+// denotes the empty world set. ParseWSD normalizes on the way in, so the
+// printed form (PrintWSD / WSD.String) is canonical and parse→print is a
+// fixed point.
+package parse
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+
+	"pw/internal/rel"
+	"pw/internal/table"
+	"pw/internal/wsd"
+)
+
+// ParseWSD reads a .pw world-set decomposition (one @wsd block).
+func ParseWSD(r io.Reader) (*wsd.WSD, error) {
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	seenWSD := false
+	inComponents := false
+	var schema table.Schema
+	schemaSeen := map[string]bool{}
+	var comps [][]wsd.Alt
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case line == "@wsd":
+			if seenWSD {
+				return nil, fmt.Errorf("line %d: duplicate @wsd block", lineNo)
+			}
+			seenWSD = true
+		case strings.HasPrefix(line, "relation:"):
+			if !seenWSD {
+				return nil, fmt.Errorf("line %d: relation before @wsd", lineNo)
+			}
+			if inComponents {
+				return nil, fmt.Errorf("line %d: relation declarations must precede components", lineNo)
+			}
+			name, arity, err := parseHeader(strings.TrimPrefix(line, "relation:"))
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			if schemaSeen[name] {
+				return nil, fmt.Errorf("line %d: duplicate relation %s", lineNo, name)
+			}
+			schemaSeen[name] = true
+			schema = append(schema, table.SchemaRel{Name: name, Arity: arity})
+		case line == "component:":
+			if !seenWSD {
+				return nil, fmt.Errorf("line %d: component before @wsd", lineNo)
+			}
+			inComponents = true
+			comps = append(comps, nil)
+		case strings.HasPrefix(line, "alt:"):
+			if len(comps) == 0 {
+				return nil, fmt.Errorf("line %d: alt before component", lineNo)
+			}
+			alt, err := parseAlt(strings.TrimPrefix(line, "alt:"))
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			comps[len(comps)-1] = append(comps[len(comps)-1], alt)
+		default:
+			return nil, fmt.Errorf("line %d: unrecognized directive %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !seenWSD {
+		return nil, fmt.Errorf("missing @wsd block")
+	}
+	w := wsd.New(schema)
+	for _, alts := range comps {
+		if err := w.AddComponent(alts...); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Normalize(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// parseAlt parses a comma-separated list of Rel(c1 c2 ...) facts; empty
+// input is the empty alternative.
+func parseAlt(s string) (wsd.Alt, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return wsd.Alt{}, nil
+	}
+	var alt wsd.Alt
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		open := strings.IndexByte(part, '(')
+		if open <= 0 || !strings.HasSuffix(part, ")") {
+			return nil, fmt.Errorf("fact %q: want Rel(c1 c2 ...)", part)
+		}
+		name := strings.TrimSpace(part[:open])
+		fields := strings.Fields(part[open+1 : len(part)-1])
+		for _, f := range fields {
+			if strings.HasPrefix(f, "?") {
+				return nil, fmt.Errorf("fact %q: decomposition facts must be ground, got %s", part, f)
+			}
+		}
+		alt = append(alt, wsd.Fact{Rel: name, Args: rel.Fact(fields)})
+	}
+	return alt, nil
+}
+
+// PrintWSD renders w in .pw syntax (parsable by ParseWSD).
+func PrintWSD(out io.Writer, w *wsd.WSD) error {
+	_, err := fmt.Fprintln(out, w.String())
+	return err
+}
+
+// Source is a parsed .pw file that may carry either representation
+// backend: a conditioned-table database or a world-set decomposition
+// (exactly one is non-nil).
+type Source struct {
+	DB  *table.Database
+	WSD *wsd.WSD
+}
+
+// ParseSource reads a .pw file and dispatches on its first directive:
+// @table files parse as databases, @wsd files as decompositions. Mixing
+// the two block forms in one file is an error (from the respective
+// sub-parsers).
+func ParseSource(r io.Reader) (*Source, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "@wsd" {
+			w, err := ParseWSD(bytes.NewReader(data))
+			if err != nil {
+				return nil, err
+			}
+			return &Source{WSD: w}, nil
+		}
+		break
+	}
+	d, err := ParseDatabase(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	return &Source{DB: d}, nil
+}

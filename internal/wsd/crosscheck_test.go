@@ -1,0 +1,393 @@
+// Differential validation of the decomposition backend against the two
+// existing engines: the brute-force worlds oracle (enumeration over the
+// canonical domain) and the decide engine (the paper's decision
+// procedures over the true rep).
+//
+// For ≥100 seeded random finite world sets W — drawn both from random
+// conditioned-table databases (W = worlds.All(d)) and from random
+// decompositions (W = Expand) — the suite checks that
+//
+//   - FromWorlds(W) counts exactly |W|,
+//   - MEMB/POSS/CERT on the decomposition agree with scanning W and,
+//     for probes over the databases' constants, with the decide engine,
+//   - Expand(FromWorlds(W)) reproduces W up to fingerprint-confirmed set
+//     equality,
+//
+// and that ToWSDOverDomain(d, nil) denotes exactly worlds.All(d).
+package wsd_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"pw/internal/cond"
+	"pw/internal/decide"
+	"pw/internal/gen"
+	"pw/internal/query"
+	"pw/internal/rel"
+	"pw/internal/table"
+	"pw/internal/value"
+	"pw/internal/worlds"
+	"pw/internal/wsd"
+)
+
+// worldSet is the oracle-side view of a finite world list: fingerprint
+// dedup with exact-equality confirmation (the same idiom as
+// internal/worlds).
+type worldSet struct {
+	list    []*rel.Instance
+	buckets map[uint64][]*rel.Instance
+}
+
+func newWorldSet(ws []*rel.Instance) *worldSet {
+	s := &worldSet{buckets: make(map[uint64][]*rel.Instance)}
+	for _, w := range ws {
+		if !s.has(w) {
+			s.list = append(s.list, w)
+			s.buckets[w.Fingerprint()] = append(s.buckets[w.Fingerprint()], w)
+		}
+	}
+	return s
+}
+
+func (s *worldSet) has(i *rel.Instance) bool {
+	for _, prev := range s.buckets[i.Fingerprint()] {
+		if prev.Equal(i) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *worldSet) possible(p *rel.Instance) bool {
+	for _, w := range s.list {
+		if p.SubsetOf(w) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *worldSet) certain(p *rel.Instance) bool {
+	for _, w := range s.list {
+		if !p.SubsetOf(w) {
+			return false
+		}
+	}
+	return true
+}
+
+// smallDB generates one of the four table kinds at differential-test
+// scale: few rows, tiny constant pool, enough nulls to make multiple
+// worlds likely while keeping the enumeration bounded.
+func smallDB(seed int64) *table.Database {
+	rows := 2 + int(seed)%2
+	switch seed % 4 {
+	case 0:
+		return table.DB(gen.CoddTable(seed, "T", rows, 2, 3, 0.5))
+	case 1:
+		return table.DB(gen.ETable(seed, "T", rows, 2, 3, 2, 0.5))
+	case 2:
+		return table.DB(gen.ITable(seed, "T", rows, 2, 3, 1, 0.5))
+	default:
+		return table.DB(gen.CTable(seed, "T", rows, 2, 3, 2, 0.5, 0.5))
+	}
+}
+
+// checkAgainstWorldSet validates a decomposition against an explicit
+// world set and (optionally, when d != nil and the probes stay inside
+// the database's constants) against the decide engine.
+func checkAgainstWorldSet(t *testing.T, tag string, fw *wsd.WSD, W []*rel.Instance, d *table.Database) {
+	t.Helper()
+	oracle := newWorldSet(W)
+
+	if got := fw.Count(); !got.IsInt64() || got.Int64() != int64(len(oracle.list)) {
+		t.Fatalf("%s: Count = %s, oracle has %d worlds", tag, got, len(oracle.list))
+	}
+
+	// Every oracle world is a member.
+	for wi, w := range oracle.list {
+		if !fw.Member(w) {
+			t.Fatalf("%s: world %d rejected by the decomposition:\n%s", tag, wi, w)
+		}
+	}
+
+	// Expand reproduces the set exactly.
+	expanded := fw.Expand(0)
+	if len(expanded) != len(oracle.list) {
+		t.Fatalf("%s: Expand yielded %d worlds, oracle has %d", tag, len(expanded), len(oracle.list))
+	}
+	back := newWorldSet(expanded)
+	if len(back.list) != len(expanded) {
+		t.Fatalf("%s: Expand yielded duplicate worlds", tag)
+	}
+	for _, w := range expanded {
+		if !oracle.has(w) {
+			t.Fatalf("%s: Expand produced a world outside the oracle set:\n%s", tag, w)
+		}
+	}
+
+	if len(oracle.list) == 0 {
+		return
+	}
+
+	// Probe instances: each world's prefix restrictions and single-fact
+	// perturbations within the active constants.
+	var consts []string
+	if d != nil {
+		consts = d.ConstNames()
+	}
+	for wi, w := range oracle.list {
+		if wi >= 8 {
+			break
+		}
+		// Probes: the world itself, a strict subset (one fact dropped),
+		// and a same-size near miss (one cell substituted).
+		probes := []*rel.Instance{w, subsetInstance(w)}
+		if len(consts) > 0 {
+			probes = append(probes, perturbInstance(w, consts[wi%len(consts)]))
+		}
+		for pi, p := range probes {
+			if p == nil {
+				continue
+			}
+			ptag := fmt.Sprintf("%s world %d probe %d", tag, wi, pi)
+
+			wantMemb := oracle.has(p)
+			if got := fw.Member(p); got != wantMemb {
+				t.Errorf("%s: MEMB = %v, oracle says %v\n%s", ptag, got, wantMemb, p)
+			}
+			wantPoss := oracle.possible(p)
+			if got := fw.Possible(p); got != wantPoss {
+				t.Errorf("%s: POSS = %v, oracle says %v\n%s", ptag, got, wantPoss, p)
+			}
+			wantCert := oracle.certain(p)
+			if got := fw.Certain(p); got != wantCert {
+				t.Errorf("%s: CERT = %v, oracle says %v\n%s", ptag, got, wantCert, p)
+			}
+
+			// The decide engine answers over the true rep; its answers
+			// coincide with the canonical world set for probes over the
+			// inputs' constants (genericity, Proposition 2.1).
+			if d != nil {
+				if got, err := decide.Membership(p, query.Identity{}, d); err != nil {
+					t.Fatalf("%s: decide.Membership: %v", ptag, err)
+				} else if got != wantMemb {
+					t.Errorf("%s: decide MEMB = %v, oracle says %v", ptag, got, wantMemb)
+				}
+				if got, err := decide.Possible(p, query.Identity{}, d); err != nil {
+					t.Fatalf("%s: decide.Possible: %v", ptag, err)
+				} else if got != wantPoss {
+					t.Errorf("%s: decide POSS = %v, oracle says %v", ptag, got, wantPoss)
+				}
+				if got, err := decide.Certain(p, query.Identity{}, d); err != nil {
+					t.Fatalf("%s: decide.Certain: %v", ptag, err)
+				} else if got != wantCert {
+					t.Errorf("%s: decide CERT = %v, oracle says %v", ptag, got, wantCert)
+				}
+			}
+		}
+	}
+}
+
+// subsetInstance drops one fact from the first non-empty relation.
+func subsetInstance(w *rel.Instance) *rel.Instance {
+	out := rel.NewInstance()
+	dropped := false
+	for _, r := range w.Relations() {
+		nr := out.EnsureRelation(r.Name, r.Arity)
+		for fi, f := range r.Facts() {
+			if !dropped && fi == 0 {
+				dropped = true
+				continue
+			}
+			nr.Add(f)
+		}
+	}
+	return out
+}
+
+// perturbInstance substitutes c into the first cell of the first fact of
+// the first non-empty relation — a same-size near-miss world. It stays
+// inside the databases' constant pool so the decide engine and the
+// canonical world set agree on the answer. Returns nil when the
+// substitution would be a no-op (c already in place) or no fact has a
+// cell to substitute.
+func perturbInstance(w *rel.Instance, c string) *rel.Instance {
+	out := rel.NewInstance()
+	perturbed := false
+	for _, r := range w.Relations() {
+		nr := out.EnsureRelation(r.Name, r.Arity)
+		for fi, f := range r.Facts() {
+			if !perturbed && fi == 0 && len(f) > 0 && f[0] != c {
+				nf := f.Clone()
+				nf[0] = c
+				nr.Add(nf)
+				perturbed = true
+				continue
+			}
+			nr.Add(f)
+		}
+	}
+	if !perturbed {
+		return nil
+	}
+	return out
+}
+
+// TestWSDCrossValidation is the acceptance-criterion suite: ≥100 seeded
+// random finite world sets, each factorized with FromWorlds and checked
+// against the worlds oracle and the decide engine.
+func TestWSDCrossValidation(t *testing.T) {
+	const (
+		dbCases   = 64
+		wsdCases  = 40
+		maxWorlds = 400
+	)
+	tested := 0
+
+	// World sets denoted by random conditioned-table databases.
+	for seed := int64(1); tested < dbCases && seed < 10*dbCases; seed++ {
+		d := smallDB(seed)
+		if len(d.VarNames()) > 4 {
+			continue // keep the oracle enumeration bounded
+		}
+		W := worlds.All(d)
+		if len(W) > maxWorlds {
+			continue
+		}
+		fw, err := wsd.FromWorlds(W)
+		if err != nil {
+			t.Fatalf("seed %d: FromWorlds: %v", seed, err)
+		}
+		checkAgainstWorldSet(t, fmt.Sprintf("db seed %d", seed), fw, W, d)
+		tested++
+	}
+	if tested < dbCases {
+		t.Fatalf("only %d database cases generated, want %d", tested, dbCases)
+	}
+
+	// World sets denoted by random decompositions (Expand → re-factorize).
+	for seed := int64(1); seed <= wsdCases; seed++ {
+		w, err := gen.RandomWSD(seed, 3+int(seed)%2, 3, 2, 4+int(seed)%3)
+		if err != nil {
+			t.Fatalf("wsd seed %d: RandomWSD: %v", seed, err)
+		}
+		W := w.Expand(0)
+		if got := w.Count(); !got.IsInt64() || int(got.Int64()) != len(W) {
+			t.Fatalf("wsd seed %d: Count %s but Expand yielded %d (injectivity broken)", seed, got, len(W))
+		}
+		fw, err := wsd.FromWorlds(W)
+		if err != nil {
+			t.Fatalf("wsd seed %d: FromWorlds: %v", seed, err)
+		}
+		checkAgainstWorldSet(t, fmt.Sprintf("wsd seed %d", seed), fw, W, nil)
+		tested++
+	}
+	t.Logf("cross-validated %d seeded world sets", tested)
+}
+
+// TestToWSDOverDomainMatchesWorldsOracle checks the compiler against the
+// enumeration backend: over the canonical domain the two must denote
+// exactly the same world set.
+func TestToWSDOverDomainMatchesWorldsOracle(t *testing.T) {
+	tested := 0
+	for seed := int64(1); tested < 32 && seed < 320; seed++ {
+		d := smallDB(seed)
+		if len(d.VarNames()) > 4 {
+			continue
+		}
+		W := worlds.All(d)
+		if len(W) > 400 {
+			continue
+		}
+		cw, err := wsd.ToWSDOverDomain(d, nil)
+		if err != nil {
+			t.Fatalf("seed %d: ToWSDOverDomain: %v", seed, err)
+		}
+		checkAgainstWorldSet(t, fmt.Sprintf("compile seed %d", seed), cw, W, d)
+		tested++
+	}
+	if tested < 32 {
+		t.Fatalf("only %d compile cases generated", tested)
+	}
+}
+
+// TestToWSDStrict pins the true-rep compiler: forced variables compile,
+// unforced row variables error with ErrInfiniteRep.
+func TestToWSDStrict(t *testing.T) {
+	// Forced variable: x = a makes rep finite (a single world).
+	tb := table.New("T", 2)
+	tb.AddTuple(parseVal("a"), parseVal("?x"))
+	tb.Global = append(tb.Global, eq("?x", "b"))
+	d := table.DB(tb)
+	w, err := wsd.ToWSD(d)
+	if err != nil {
+		t.Fatalf("ToWSD on forced-variable table: %v", err)
+	}
+	if got := w.Count().Int64(); got != 1 {
+		t.Fatalf("Count = %d, want 1", got)
+	}
+	if !w.CertainFact("T", rel.Fact{"a", "b"}) {
+		t.Error("forced fact not certain")
+	}
+
+	// Condition-only variable: row fires iff ?y = a is chosen — two
+	// worlds, both finite, no error.
+	tc := table.New("T", 1)
+	tc.Add(table.Row{Values: tupleOf("a"), Cond: conj(eq("?y", "b"))})
+	dc := table.DB(tc)
+	wc, err := wsd.ToWSD(dc)
+	if err != nil {
+		t.Fatalf("ToWSD on condition-only variable: %v", err)
+	}
+	if got := wc.Count().Int64(); got != 2 {
+		t.Fatalf("Count = %d, want 2 (row on / row off)", got)
+	}
+
+	// Unforced row variable: infinite rep.
+	ti := table.New("T", 1)
+	ti.AddTuple(parseVal("?z"))
+	if _, err := wsd.ToWSD(table.DB(ti)); err == nil {
+		t.Fatal("ToWSD accepted an infinite rep")
+	} else if !isInfinite(err) {
+		t.Fatalf("error does not wrap ErrInfiniteRep: %v", err)
+	}
+
+	// Unsatisfiable global: the empty world set, no error.
+	tu := table.New("T", 1)
+	tu.AddTuple(parseVal("a"))
+	tu.Global = append(tu.Global, eq("b", "c"))
+	wu, err := wsd.ToWSD(table.DB(tu))
+	if err != nil {
+		t.Fatalf("ToWSD on unsatisfiable global: %v", err)
+	}
+	if !wu.Empty() || wu.Count().Sign() != 0 {
+		t.Fatal("unsatisfiable database must compile to the empty world set")
+	}
+}
+
+// --- tiny construction helpers ---
+
+func parseVal(s string) value.Value {
+	if strings.HasPrefix(s, "?") {
+		return value.Var(s[1:])
+	}
+	return value.Const(s)
+}
+
+func tupleOf(vals ...string) value.Tuple {
+	t := make(value.Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = parseVal(v)
+	}
+	return t
+}
+
+func eq(l, r string) cond.Atom { return cond.EqAtom(parseVal(l), parseVal(r)) }
+
+func conj(atoms ...cond.Atom) cond.Conjunction { return cond.Conjunction(atoms) }
+
+func isInfinite(err error) bool { return errors.Is(err, wsd.ErrInfiniteRep) }

@@ -1,0 +1,504 @@
+// Product normalization: the rewriting that establishes the WSD
+// invariants every query method relies on.
+//
+//  1. alternatives within a component are pairwise distinct;
+//  2. the fact supports of distinct components are pairwise disjoint;
+//  3. no component is the trivial {∅} (it contributes nothing);
+//  4. components are maximally factored: no component splits into a
+//     product of smaller independent components;
+//  5. facts, alternatives and components are in canonical order, so two
+//     normalizations of the same world set print identically.
+//
+// (2) makes the choice-vector → world map injective, so |rep| is exactly
+// the product of component sizes. (4) is obtained by the trace/block
+// splitter shared with FromWorlds: it factors a component exactly when a
+// verified counting argument proves the factors independent, so
+// normalization never changes the represented world set.
+package wsd
+
+import (
+	"fmt"
+	"sort"
+
+	"pw/internal/unionfind"
+)
+
+// MaxMergeAlts bounds the alternative count of a merged component: merging
+// k dependent components multiplies their alternative counts, and a
+// decomposition whose components are all entangled degenerates to an
+// explicit world list. Beyond this bound Normalize reports an error
+// instead of materializing the product.
+const MaxMergeAlts = 1 << 20
+
+// Normalize rewrites the decomposition into canonical product-normal
+// form (see the package comment at the top of this file). It is
+// idempotent and deterministic; the query methods call it lazily after
+// mutations. The only error is the MaxMergeAlts blow-up guard.
+func (w *WSD) Normalize() error {
+	if w.normalized {
+		return nil
+	}
+	if w.empty {
+		w.clearToEmpty()
+		return nil
+	}
+
+	// (1) Deduplicate alternatives within each component.
+	for i := range w.comps {
+		w.comps[i].alts = dedupAlts(w.comps[i].alts)
+	}
+
+	// A component with no alternatives offers no choice at all: the
+	// product is empty.
+	for _, c := range w.comps {
+		if len(c.alts) == 0 {
+			w.clearToEmpty()
+			return nil
+		}
+	}
+
+	// (2) Merge components with overlapping supports: they are dependent
+	// (a fact shared between two components breaks the injectivity of the
+	// choice map), so their joint world set is the product of their
+	// alternative unions.
+	if err := w.mergeOverlapping(); err != nil {
+		return err
+	}
+
+	// (4) Split each component into independent factors.
+	var split []component
+	for _, c := range w.comps {
+		for _, alts := range splitAlts(c.alts) {
+			split = append(split, component{alts: alts})
+		}
+	}
+	w.comps = split
+
+	// (3) Drop trivial {∅} components; (re-)merge all certain components
+	// (single alternative) into one, so the certain facts live in one
+	// place regardless of how the WSD was built.
+	var kept []component
+	var certainFacts []int32
+	for _, c := range w.comps {
+		if len(c.alts) == 1 {
+			certainFacts = append(certainFacts, c.alts[0]...)
+			continue
+		}
+		kept = append(kept, c)
+	}
+	if len(certainFacts) > 0 {
+		kept = append(kept, component{alts: [][]int32{sortDedupIDs(certainFacts)}})
+	}
+	w.comps = kept
+
+	// (5) Canonical rebuild: fact table in display order, alternatives
+	// sorted, components ordered by smallest support fact.
+	w.canonicalize()
+	w.buildIndexes()
+	w.normalized = true
+	return nil
+}
+
+// clearToEmpty rewrites w into the canonical representation of ∅.
+func (w *WSD) clearToEmpty() {
+	w.comps = nil
+	w.facts = nil
+	w.factIndex = make(map[uint64][]int32)
+	w.factComp = nil
+	w.certain = nil
+	w.empty = true
+	w.normalized = true
+}
+
+// dedupAlts removes duplicate alternatives (sorted ID lists) preserving
+// first-occurrence order.
+func dedupAlts(alts [][]int32) [][]int32 {
+	seen := make(map[uint64][][]int32, len(alts))
+	out := alts[:0]
+	for _, a := range alts {
+		h := altHash(a)
+		dup := false
+		for _, prev := range seen[h] {
+			if idsEqual(prev, a) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		seen[h] = append(seen[h], a)
+		out = append(out, a)
+	}
+	return out
+}
+
+// mergeOverlapping unions components whose supports share a fact, taking
+// the cross product of their alternatives (with dedup). Groups are found
+// with a union–find over component indices keyed by fact ownership.
+func (w *WSD) mergeOverlapping() error {
+	uf := unionfind.NewDense(len(w.comps))
+	owner := make(map[int32]int, len(w.facts))
+	for ci, c := range w.comps {
+		for _, alt := range c.alts {
+			for _, f := range alt {
+				if prev, ok := owner[f]; ok {
+					uf.Union(int32(prev), int32(ci))
+				} else {
+					owner[f] = ci
+				}
+			}
+		}
+	}
+
+	groups := make(map[int32][]int)
+	order := make([]int32, 0, len(w.comps))
+	for ci := range w.comps {
+		r := uf.Find(int32(ci))
+		if _, seen := groups[r]; !seen {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], ci)
+	}
+
+	merged := make([]component, 0, len(order))
+	for _, r := range order {
+		members := groups[r]
+		if len(members) == 1 {
+			merged = append(merged, w.comps[members[0]])
+			continue
+		}
+		product := 1
+		for _, ci := range members {
+			product *= len(w.comps[ci].alts)
+			if product > MaxMergeAlts {
+				return fmt.Errorf("wsd: merging %d dependent components needs %d+ alternatives (limit %d); the decomposition is too entangled to normalize",
+					len(members), product, MaxMergeAlts)
+			}
+		}
+		// Cross product of alternative unions.
+		acc := [][]int32{nil}
+		for _, ci := range members {
+			next := make([][]int32, 0, len(acc)*len(w.comps[ci].alts))
+			for _, base := range acc {
+				for _, alt := range w.comps[ci].alts {
+					u := make([]int32, 0, len(base)+len(alt))
+					u = append(u, base...)
+					u = append(u, alt...)
+					next = append(next, sortDedupIDs(u))
+				}
+			}
+			acc = next
+		}
+		merged = append(merged, component{alts: dedupAlts(acc)})
+	}
+	w.comps = merged
+	return nil
+}
+
+// splitAlts factors one component's alternative list into independent
+// sub-components. It is the engine shared by Normalize and FromWorlds:
+// the alternatives of a component are treated as the "worlds" of a local
+// world set over the component's support, and factored exactly.
+//
+// The key observation making this cheap: group the support facts into
+// blocks of identical traces (a fact's trace is the bit vector of which
+// alternatives contain it). Facts of one block always co-occur, so an
+// alternative is fully determined by its block bit-vector, and all
+// reasoning happens on a (#alts × #blocks) boolean matrix:
+//
+//   - two blocks are independent iff their trace pair set is the full
+//     product of their individual trace value sets;
+//   - a candidate partition is valid iff the distinct-projection counts
+//     multiply to the total distinct count (inclusion plus counting gives
+//     exact equality of the product with the original set).
+//
+// Candidate partitions are unions of connected components of the pairwise
+// dependence graph; each peel is verified by the counting argument, so a
+// pairwise-independent but jointly dependent family (the XOR pattern)
+// stays atomic, as it must.
+func splitAlts(alts [][]int32) [][][]int32 {
+	n := len(alts)
+	if n <= 1 {
+		return [][][]int32{alts}
+	}
+
+	// Block discovery: fact -> trace over alternatives.
+	words := (n + 63) / 64
+	traces := make(map[int32][]uint64)
+	var factOrder []int32
+	for j, alt := range alts {
+		for _, f := range alt {
+			tr, ok := traces[f]
+			if !ok {
+				tr = make([]uint64, words)
+				traces[f] = tr
+				factOrder = append(factOrder, f)
+			}
+			tr[j/64] |= 1 << (j % 64)
+		}
+	}
+	if len(factOrder) == 0 {
+		// All alternatives empty; dedup upstream leaves exactly one.
+		return [][][]int32{alts}
+	}
+
+	type block struct {
+		facts []int32
+		bits  []uint64
+	}
+	blockOf := make(map[string]int)
+	var blocks []block
+	for _, f := range factOrder {
+		key := traceKey(traces[f])
+		bi, ok := blockOf[key]
+		if !ok {
+			bi = len(blocks)
+			blockOf[key] = bi
+			blocks = append(blocks, block{bits: traces[f]})
+		}
+		blocks[bi].facts = append(blocks[bi].facts, f)
+	}
+	if len(blocks) == 1 {
+		return [][][]int32{alts}
+	}
+
+	bit := func(bi, j int) byte {
+		return byte(blocks[bi].bits[j/64] >> (j % 64) & 1)
+	}
+
+	// Pairwise dependence: blocks a and b are independent iff
+	// |{(a_j, b_j)}| = |{a_j}| · |{b_j}| over alternatives j.
+	dependent := func(a, b int) bool {
+		var pairs, aVals, bVals [4]bool
+		for j := 0; j < n; j++ {
+			ab, bb := bit(a, j), bit(b, j)
+			pairs[ab<<1|bb] = true
+			aVals[ab] = true
+			bVals[bb] = true
+		}
+		count := func(m [4]bool) int {
+			c := 0
+			for _, v := range m {
+				if v {
+					c++
+				}
+			}
+			return c
+		}
+		return count(pairs) != count(aVals)*count(bVals)
+	}
+
+	// Connected components of the dependence graph.
+	uf := unionfind.NewDense(len(blocks))
+	for a := 0; a < len(blocks); a++ {
+		for b := a + 1; b < len(blocks); b++ {
+			if !uf.Same(int32(a), int32(b)) && dependent(a, b) {
+				uf.Union(int32(a), int32(b))
+			}
+		}
+	}
+	ccIdx := make(map[int32]int)
+	var ccs [][]int
+	for bi := range blocks {
+		r := uf.Find(int32(bi))
+		gi, ok := ccIdx[r]
+		if !ok {
+			gi = len(ccs)
+			ccIdx[r] = gi
+			ccs = append(ccs, nil)
+		}
+		ccs[gi] = append(ccs[gi], bi)
+	}
+
+	// distinctProj counts the distinct alternative signatures restricted
+	// to a set of blocks.
+	distinctProj := func(groups ...[]int) int {
+		seen := make(map[string]bool, n)
+		key := make([]byte, 0, len(blocks))
+		for j := 0; j < n; j++ {
+			key = key[:0]
+			for _, g := range groups {
+				for _, bi := range g {
+					key = append(key, bit(bi, j))
+				}
+			}
+			seen[string(key)] = true
+		}
+		return len(seen)
+	}
+
+	// Greedy verified peeling: split off one connected group at a time,
+	// each split confirmed by the counting argument. Whatever cannot be
+	// peeled stays one atomic component.
+	remaining := ccs
+	var groups [][]int
+	for len(remaining) > 1 {
+		total := distinctProj(remaining...)
+		peeled := false
+		for i, g := range remaining {
+			rest := make([][]int, 0, len(remaining)-1)
+			rest = append(rest, remaining[:i]...)
+			rest = append(rest, remaining[i+1:]...)
+			if distinctProj(g)*distinctProj(rest...) == total {
+				groups = append(groups, g)
+				remaining = rest
+				peeled = true
+				break
+			}
+		}
+		if !peeled {
+			break
+		}
+	}
+	if len(remaining) > 0 {
+		var flat []int
+		for _, g := range remaining {
+			flat = append(flat, g...)
+		}
+		groups = append(groups, flat)
+	}
+	if len(groups) == 1 {
+		return [][][]int32{alts}
+	}
+
+	// Materialize each group's distinct projections as alternatives.
+	out := make([][][]int32, 0, len(groups))
+	for _, g := range groups {
+		seen := make(map[string]bool, n)
+		var galts [][]int32
+		key := make([]byte, len(g))
+		for j := 0; j < n; j++ {
+			for k, bi := range g {
+				key[k] = bit(bi, j)
+			}
+			if seen[string(key)] {
+				continue
+			}
+			seen[string(key)] = true
+			var facts []int32
+			for k, bi := range g {
+				if key[k] == 1 {
+					facts = append(facts, blocks[bi].facts...)
+				}
+			}
+			galts = append(galts, sortDedupIDs(facts))
+		}
+		out = append(out, galts)
+	}
+	return out
+}
+
+// traceKey encodes a trace bit vector as a map key.
+func traceKey(tr []uint64) string {
+	b := make([]byte, 0, len(tr)*8)
+	for _, w := range tr {
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(w>>s))
+		}
+	}
+	return string(b)
+}
+
+// canonicalize rebuilds the fact table in display order and sorts
+// alternatives and components, so equal world sets normalize to equal
+// printed forms.
+func (w *WSD) canonicalize() {
+	used := make(map[int32]bool)
+	for _, c := range w.comps {
+		for _, alt := range c.alts {
+			for _, f := range alt {
+				used[f] = true
+			}
+		}
+	}
+	old := make([]int32, 0, len(used))
+	for f := range used {
+		old = append(old, f)
+	}
+	sort.Slice(old, func(i, j int) bool { return w.factLess(old[i], old[j]) })
+
+	remap := make(map[int32]int32, len(old))
+	facts := make([]storedFact, len(old))
+	index := make(map[uint64][]int32, len(old))
+	for newID, oldID := range old {
+		remap[oldID] = int32(newID)
+		f := w.facts[oldID]
+		facts[newID] = f
+		h := factHash(f.rel, f.tuple)
+		index[h] = append(index[h], int32(newID))
+	}
+	w.facts = facts
+	w.factIndex = index
+
+	for ci := range w.comps {
+		c := &w.comps[ci]
+		for ai, alt := range c.alts {
+			for k, f := range alt {
+				alt[k] = remap[f]
+			}
+			c.alts[ai] = sortDedupIDs(alt)
+		}
+		sort.Slice(c.alts, func(i, j int) bool { return altLess(c.alts[i], c.alts[j]) })
+	}
+	// Supports are disjoint, so the smallest fact of each component is a
+	// unique sort key.
+	sort.Slice(w.comps, func(i, j int) bool {
+		return minSupport(w.comps[i]) < minSupport(w.comps[j])
+	})
+}
+
+// altLess orders alternatives by length, then lexicographically by IDs.
+func altLess(a, b []int32) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// minSupport returns the smallest fact ID of a component's support.
+func minSupport(c component) int32 {
+	min := int32(1<<31 - 1)
+	for _, alt := range c.alts {
+		if len(alt) > 0 && alt[0] < min {
+			min = alt[0]
+		}
+	}
+	return min
+}
+
+// buildIndexes derives the query-path acceleration structures and checks
+// the disjoint-support invariant.
+func (w *WSD) buildIndexes() {
+	w.factComp = make([]int32, len(w.facts))
+	for i := range w.factComp {
+		w.factComp[i] = -1
+	}
+	w.certain = make([]bool, len(w.facts))
+	for ci := range w.comps {
+		c := &w.comps[ci]
+		c.altIndex = make(map[uint64][]int32, len(c.alts))
+		inAll := make(map[int32]int)
+		for ai, alt := range c.alts {
+			h := altHash(alt)
+			c.altIndex[h] = append(c.altIndex[h], int32(ai))
+			for _, f := range alt {
+				if w.factComp[f] >= 0 && w.factComp[f] != int32(ci) {
+					panic("wsd: internal error: overlapping component supports after normalize")
+				}
+				w.factComp[f] = int32(ci)
+				inAll[f]++
+			}
+		}
+		for f, n := range inAll {
+			if n == len(c.alts) {
+				w.certain[f] = true
+			}
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Native decision procedures on the decomposition. None of them
+// enumerate worlds: counting is a product of component sizes, membership
+// is one fingerprint probe per component, and possibility/certainty of
+// facts are support lookups. All run in time polynomial in the size of
+// the decomposition, even when it denotes astronomically many worlds.
+package wsd
+
+import (
+	"math/big"
+	"math/rand"
+	"sort"
+
+	"pw/internal/rel"
+)
+
+// Count returns the exact number of worlds the decomposition denotes:
+// the product of the component sizes. Exactness relies on the normalized
+// invariants (disjoint supports, distinct alternatives), which make the
+// choice-vector → world map injective.
+func (w *WSD) Count() *big.Int {
+	w.ensure()
+	if w.empty {
+		return big.NewInt(0)
+	}
+	n := big.NewInt(1)
+	for _, c := range w.comps {
+		n.Mul(n, big.NewInt(int64(len(c.alts))))
+	}
+	return n
+}
+
+// schemaMatches reports whether the instance has exactly the
+// decomposition's relations (names and arities; order-insensitive) —
+// the same strictness as rel.Instance.Equal, which the worlds oracle
+// decides membership with.
+func (w *WSD) schemaMatches(i *rel.Instance) bool {
+	if len(i.Relations()) != len(w.schema) {
+		return false
+	}
+	for _, s := range w.schema {
+		r := i.Relation(s.Name)
+		if r == nil || r.Arity != s.Arity {
+			return false
+		}
+	}
+	return true
+}
+
+// Member decides MEMB(−) on the decomposition: i ∈ rep(w)? One pass over
+// the instance's facts plus one alternative probe per component —
+// polynomial time, per component, as promised by the WSD papers.
+func (w *WSD) Member(i *rel.Instance) bool {
+	w.ensure()
+	if w.empty || !w.schemaMatches(i) {
+		return false
+	}
+	// Partition the instance's facts by component; a fact outside the
+	// support can appear in no world.
+	perComp := make([][]int32, len(w.comps))
+	for _, r := range i.Relations() {
+		ri := int32(w.schemaIdx[r.Name])
+		for _, t := range r.Tuples() {
+			id, ok := w.lookup(ri, t)
+			if !ok {
+				return false
+			}
+			ci := w.factComp[id]
+			perComp[ci] = append(perComp[ci], id)
+		}
+	}
+	// The instance is a world iff its restriction to every component's
+	// support is one of that component's alternatives (including the
+	// empty restriction matching an empty alternative).
+	for ci := range w.comps {
+		ids := perComp[ci]
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		if !w.comps[ci].hasAlt(ids) {
+			return false
+		}
+	}
+	return true
+}
+
+// hasAlt reports whether the sorted ID list is one of the component's
+// alternatives (fingerprint probe with exact confirmation).
+func (c *component) hasAlt(ids []int32) bool {
+	for _, ai := range c.altIndex[altHash(ids)] {
+		if idsEqual(c.alts[ai], ids) {
+			return true
+		}
+	}
+	return false
+}
+
+// PossibleFact decides POSS(1,−): does some world contain the fact? On a
+// normalized decomposition the support is exactly the set of possible
+// facts (every stored fact occurs in some alternative, and the other
+// components are independent), so this is a single lookup.
+func (w *WSD) PossibleFact(relName string, f rel.Fact) bool {
+	w.ensure()
+	if w.empty {
+		return false
+	}
+	_, ok := w.lookupBoundary(relName, f)
+	return ok
+}
+
+// CertainFact decides CERT(1,−): does every world contain the fact? True
+// iff the fact occurs in every alternative of its component. Vacuously
+// true on the empty world set, matching the worlds oracle.
+func (w *WSD) CertainFact(relName string, f rel.Fact) bool {
+	w.ensure()
+	if w.empty {
+		return true
+	}
+	id, ok := w.lookupBoundary(relName, f)
+	return ok && w.certain[id]
+}
+
+// Possible decides POSS(∗,−): does some world contain every fact of p?
+// Because components are independent, this holds iff each component has
+// an alternative containing all of p's facts that fall in its support —
+// checked with sorted-list inclusion, no enumeration.
+func (w *WSD) Possible(p *rel.Instance) bool {
+	w.ensure()
+	if w.empty {
+		return false
+	}
+	perComp := make(map[int32][]int32)
+	for _, r := range p.Relations() {
+		ri, ok := w.schemaIdx[r.Name]
+		if !ok {
+			if r.Len() > 0 {
+				return false
+			}
+			continue
+		}
+		for _, t := range r.Tuples() {
+			id, found := w.lookup(int32(ri), t)
+			if !found {
+				return false
+			}
+			ci := w.factComp[id]
+			perComp[ci] = append(perComp[ci], id)
+		}
+	}
+	for ci, need := range perComp {
+		sort.Slice(need, func(a, b int) bool { return need[a] < need[b] })
+		found := false
+		for _, alt := range w.comps[ci].alts {
+			if containsSorted(alt, need) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Certain decides CERT(∗,−): does every world contain every fact of p?
+// True iff each of p's facts is certain. Vacuously true on ∅.
+func (w *WSD) Certain(p *rel.Instance) bool {
+	w.ensure()
+	if w.empty {
+		return true
+	}
+	for _, r := range p.Relations() {
+		ri, ok := w.schemaIdx[r.Name]
+		if !ok {
+			if r.Len() > 0 {
+				return false
+			}
+			continue
+		}
+		for _, t := range r.Tuples() {
+			id, found := w.lookup(int32(ri), t)
+			if !found || !w.certain[id] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// containsSorted reports whether the sorted list sub is contained in the
+// sorted list sup.
+func containsSorted(sup, sub []int32) bool {
+	i := 0
+	for _, want := range sub {
+		for i < len(sup) && sup[i] < want {
+			i++
+		}
+		if i >= len(sup) || sup[i] != want {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// World materializes the world selected by one alternative index per
+// component. It panics on a malformed choice vector (programming error).
+func (w *WSD) World(choice []int) *rel.Instance {
+	w.ensure()
+	if w.empty {
+		panic("wsd: World on the empty world set")
+	}
+	if len(choice) != len(w.comps) {
+		panic("wsd: choice vector length mismatch")
+	}
+	inst := rel.NewInstance()
+	for _, s := range w.schema {
+		inst.AddRelation(rel.NewRelation(s.Name, s.Arity))
+	}
+	for ci, ai := range choice {
+		for _, id := range w.comps[ci].alts[ai] {
+			f := w.facts[id]
+			inst.Relations()[f.rel].Insert(f.tuple)
+		}
+	}
+	return inst
+}
+
+// Each enumerates the worlds of the decomposition in odometer order over
+// the choice vectors, calling fn for each; enumeration stops early (and
+// Each returns true) when fn returns true. Distinct choices yield
+// distinct worlds (normalized invariants), so no dedup pass is needed —
+// but the world count is the product of component sizes, so callers
+// bound the enumeration themselves (see Expand).
+func (w *WSD) Each(fn func(*rel.Instance) bool) bool {
+	w.ensure()
+	if w.empty {
+		return false
+	}
+	choice := make([]int, len(w.comps))
+	for {
+		if fn(w.World(choice)) {
+			return true
+		}
+		i := len(choice) - 1
+		for ; i >= 0; i-- {
+			choice[i]++
+			if choice[i] < len(w.comps[i].alts) {
+				break
+			}
+			choice[i] = 0
+		}
+		if i < 0 {
+			return false
+		}
+	}
+}
+
+// Expand materializes at most limit worlds (limit <= 0 means all — only
+// safe when Count is known small). It is the bounded inverse of
+// FromWorlds: Expand(FromWorlds(W), 0) reproduces W up to order.
+func (w *WSD) Expand(limit int) []*rel.Instance {
+	var out []*rel.Instance
+	w.Each(func(i *rel.Instance) bool {
+		out = append(out, i)
+		return limit > 0 && len(out) >= limit
+	})
+	return out
+}
+
+// Sample draws one world uniformly at random: a uniform independent
+// choice per component, exact because the choice-vector → world map is a
+// bijection onto rep(w). Returns nil on the empty world set.
+func (w *WSD) Sample(rng *rand.Rand) *rel.Instance {
+	w.ensure()
+	if w.empty {
+		return nil
+	}
+	choice := make([]int, len(w.comps))
+	for ci := range w.comps {
+		choice[ci] = rng.Intn(len(w.comps[ci].alts))
+	}
+	return w.World(choice)
+}

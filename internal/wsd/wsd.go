@@ -1,0 +1,373 @@
+// Package wsd implements world-set decompositions: a second backend for
+// representing sets of possible worlds, complementing the conditioned
+// tables of internal/table. Where a c-table denotes rep(T) through a
+// valuation search, a WSD stores the world set directly in factored form —
+// a product of independent components, each a small list of alternative
+// relation-fragments — so that a database denoting 10^6 (or 10^(10^6))
+// worlds occupies kilobytes and the core decision problems stay
+// polynomial in the size of the decomposition.
+//
+// The design follows the world-set-decomposition line of work (Antova,
+// Koch & Olteanu, "10^(10^6) Worlds and Beyond"; Olteanu, Koch & Antova,
+// "World-set decompositions: expressiveness and efficient algorithms"),
+// transposed to this repository's fact model: a world is a complete
+// relational instance (rel.Instance) and a decomposition is
+//
+//	rep(W) = { C₁ ∪ C₂ ∪ … ∪ Cₘ : Cᵢ ∈ componentᵢ }
+//
+// where each component is a non-empty set of alternative fact-sets
+// ("fragments"). After Normalize the components have pairwise disjoint
+// fact supports and pairwise distinct alternatives, which makes the
+// choice-vector → world map injective: |rep(W)| is exactly the product of
+// the component sizes, membership decomposes into one per-component
+// lookup, and a fact is possible (certain) iff some (every) alternative
+// of its component contains it.
+//
+// Facts are interned once into a dense local fact table over sym.Tuple
+// storage; components reference facts by dense int32 IDs, so alternatives
+// are sorted integer lists compared by fingerprint with exact-equality
+// collision buckets (the same idiom as internal/rel).
+package wsd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pw/internal/rel"
+	"pw/internal/sym"
+	"pw/internal/table"
+)
+
+// Fact is one ground fact at the API boundary: a relation name plus a
+// tuple of constant names.
+type Fact struct {
+	Rel  string
+	Args rel.Fact
+}
+
+// String renders the fact in .pw @wsd syntax: Rel(a b c).
+func (f Fact) String() string { return f.Rel + "(" + strings.Join(f.Args, " ") + ")" }
+
+// Alt is one alternative of a component: a set of facts chosen together.
+// The empty alternative (no facts) is legal and means "this component
+// contributes nothing in this world".
+type Alt []Fact
+
+// storedFact is the interned form: a schema-relation index plus an
+// interned constant tuple.
+type storedFact struct {
+	rel   int32
+	tuple sym.Tuple
+}
+
+// component is one factor of the product: a list of alternative
+// fact-ID sets. After Normalize the alternatives are sorted, pairwise
+// distinct, and indexed by fingerprint.
+type component struct {
+	alts     [][]int32
+	altIndex map[uint64][]int32 // fingerprint of sorted IDs -> alt positions
+}
+
+// WSD is a world-set decomposition. The zero value is not usable; build
+// with New (or FromWorlds / ToWSD / the .pw parser).
+//
+// Mutating methods (AddComponent) leave the decomposition denormalized;
+// the query methods re-normalize lazily on first use, so single-threaded
+// callers never need to call Normalize explicitly. Call Normalize once
+// before sharing a WSD between goroutines: after it returns, all query
+// methods are read-only and safe for concurrent use.
+type WSD struct {
+	schema    table.Schema
+	schemaIdx map[string]int
+	facts     []storedFact
+	factIndex map[uint64][]int32 // fact fingerprint -> fact IDs
+	comps     []component
+
+	// empty marks the decomposition that denotes the empty world set ∅
+	// (distinct from the zero-component WSD, which denotes exactly one
+	// world: every relation empty).
+	empty bool
+
+	normalized bool
+	factComp   []int32 // fact ID -> component index (derived)
+	certain    []bool  // fact ID -> present in every alternative (derived)
+}
+
+// New returns an empty decomposition over the given schema: zero
+// components, denoting the single world in which every relation is empty.
+func New(schema table.Schema) *WSD {
+	w := &WSD{
+		schema:     append(table.Schema(nil), schema...),
+		schemaIdx:  make(map[string]int, len(schema)),
+		factIndex:  make(map[uint64][]int32),
+		normalized: true,
+	}
+	for i, r := range w.schema {
+		if _, dup := w.schemaIdx[r.Name]; dup {
+			panic("wsd: duplicate relation " + r.Name + " in schema")
+		}
+		w.schemaIdx[r.Name] = i
+	}
+	return w
+}
+
+// Schema returns the decomposition's schema in declaration order. The
+// slice is owned by the WSD; callers must not mutate it.
+func (w *WSD) Schema() table.Schema { return w.schema }
+
+// Components returns the number of components (0 for the empty world set
+// and for the single-empty-world decomposition; Empty distinguishes them).
+func (w *WSD) Components() int { w.ensure(); return len(w.comps) }
+
+// Alternatives returns the per-component alternative counts.
+func (w *WSD) Alternatives() []int {
+	w.ensure()
+	out := make([]int, len(w.comps))
+	for i, c := range w.comps {
+		out[i] = len(c.alts)
+	}
+	return out
+}
+
+// Size returns the number of distinct facts stored in the decomposition
+// (the total support).
+func (w *WSD) Size() int { w.ensure(); return len(w.facts) }
+
+// Empty reports whether the decomposition denotes the empty world set.
+func (w *WSD) Empty() bool { w.ensure(); return w.empty }
+
+// AddComponent appends a component with the given alternatives. The facts
+// are interned against the schema; unknown relations and arity mismatches
+// are errors. Alternatives may repeat and may overlap other components'
+// supports — Normalize (run lazily by the query methods) deduplicates,
+// merges dependent components and splits independent ones.
+//
+// A component with zero alternatives is legal and collapses the whole
+// decomposition to the empty world set.
+func (w *WSD) AddComponent(alts ...Alt) error {
+	c := component{alts: make([][]int32, 0, len(alts))}
+	for _, alt := range alts {
+		ids := make([]int32, 0, len(alt))
+		for _, f := range alt {
+			id, err := w.internBoundary(f)
+			if err != nil {
+				return err
+			}
+			ids = append(ids, id)
+		}
+		c.alts = append(c.alts, sortDedupIDs(ids))
+	}
+	w.comps = append(w.comps, c)
+	w.normalized = false
+	return nil
+}
+
+// internBoundary interns a boundary fact, validating it against the schema.
+func (w *WSD) internBoundary(f Fact) (int32, error) {
+	ri, ok := w.schemaIdx[f.Rel]
+	if !ok {
+		return 0, fmt.Errorf("wsd: fact %s references unknown relation %s", f, f.Rel)
+	}
+	if len(f.Args) != w.schema[ri].Arity {
+		return 0, fmt.Errorf("wsd: fact %s has arity %d, relation %s expects %d",
+			f, len(f.Args), f.Rel, w.schema[ri].Arity)
+	}
+	return w.intern(int32(ri), f.Args.Intern()), nil
+}
+
+// intern stores (or finds) a fact, returning its dense ID. The tuple is
+// copied only on actual insertion.
+func (w *WSD) intern(relIdx int32, t sym.Tuple) int32 {
+	h := factHash(relIdx, t)
+	for _, id := range w.factIndex[h] {
+		f := w.facts[id]
+		if f.rel == relIdx && f.tuple.Equal(t) {
+			return id
+		}
+	}
+	id := int32(len(w.facts))
+	w.facts = append(w.facts, storedFact{rel: relIdx, tuple: t.Clone()})
+	w.factIndex[h] = append(w.factIndex[h], id)
+	return id
+}
+
+// lookup finds an already-interned fact without growing the fact table.
+func (w *WSD) lookup(relIdx int32, t sym.Tuple) (int32, bool) {
+	for _, id := range w.factIndex[factHash(relIdx, t)] {
+		f := w.facts[id]
+		if f.rel == relIdx && f.tuple.Equal(t) {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// lookupBoundary resolves a boundary fact to its ID without growing any
+// intern table (mirrors rel.Relation.Has: never-seen constants cannot be
+// in the support).
+func (w *WSD) lookupBoundary(relName string, f rel.Fact) (int32, bool) {
+	ri, ok := w.schemaIdx[relName]
+	if !ok || len(f) != w.schema[ri].Arity {
+		return 0, false
+	}
+	t := make(sym.Tuple, len(f))
+	for i, c := range f {
+		id, ok := sym.LookupConst(c)
+		if !ok {
+			return 0, false
+		}
+		t[i] = id
+	}
+	return w.lookup(int32(ri), t)
+}
+
+// resolve converts a stored fact back to boundary form.
+func (w *WSD) resolve(id int32) Fact {
+	f := w.facts[id]
+	return Fact{Rel: w.schema[f.rel].Name, Args: rel.ResolveFact(f.tuple)}
+}
+
+// factLess is the canonical display order of stored facts: schema
+// position first, then tuple by symbol name.
+func (w *WSD) factLess(a, b int32) bool {
+	fa, fb := w.facts[a], w.facts[b]
+	if fa.rel != fb.rel {
+		return fa.rel < fb.rel
+	}
+	for i := range fa.tuple {
+		if c := sym.Compare(fa.tuple[i], fb.tuple[i]); c != 0 {
+			return c < 0
+		}
+	}
+	return false
+}
+
+// ensure lazily re-establishes the normalized invariants after builder
+// mutations. It panics if normalization fails (the only failure mode is
+// the merged-component blow-up guard, a structural property of the input
+// the caller chose to build) — callers that want the error call Normalize
+// themselves.
+func (w *WSD) ensure() {
+	if w.normalized {
+		return
+	}
+	if err := w.Normalize(); err != nil {
+		panic("wsd: " + err.Error())
+	}
+}
+
+// Clone returns a deep copy.
+func (w *WSD) Clone() *WSD {
+	c := New(w.schema)
+	c.empty = w.empty
+	c.normalized = w.normalized
+	c.facts = make([]storedFact, len(w.facts))
+	for i, f := range w.facts {
+		c.facts[i] = storedFact{rel: f.rel, tuple: f.tuple.Clone()}
+	}
+	for h, bucket := range w.factIndex {
+		c.factIndex[h] = append([]int32(nil), bucket...)
+	}
+	c.comps = make([]component, len(w.comps))
+	for i, comp := range w.comps {
+		cc := component{alts: make([][]int32, len(comp.alts))}
+		for j, a := range comp.alts {
+			cc.alts[j] = append([]int32(nil), a...)
+		}
+		if comp.altIndex != nil {
+			cc.altIndex = make(map[uint64][]int32, len(comp.altIndex))
+			for h, bucket := range comp.altIndex {
+				cc.altIndex[h] = append([]int32(nil), bucket...)
+			}
+		}
+		c.comps[i] = cc
+	}
+	c.factComp = append([]int32(nil), w.factComp...)
+	c.certain = append([]bool(nil), w.certain...)
+	return c
+}
+
+// String renders the decomposition in .pw @wsd syntax (parsable by
+// parse.ParseWSD). The output reflects the current component structure;
+// parser and printer round-trip through the normalized form.
+func (w *WSD) String() string {
+	var b strings.Builder
+	b.WriteString("@wsd")
+	for _, r := range w.schema {
+		fmt.Fprintf(&b, "\n  relation: %s(%d)", r.Name, r.Arity)
+	}
+	if w.empty {
+		// Canonical spelling of ∅: a single component with no alternatives.
+		b.WriteString("\n  component:")
+		return b.String()
+	}
+	for _, c := range w.comps {
+		b.WriteString("\n  component:")
+		for _, alt := range c.alts {
+			b.WriteString("\n    alt:")
+			for i, id := range alt {
+				if i > 0 {
+					b.WriteString(",")
+				}
+				b.WriteString(" " + w.resolve(id).String())
+			}
+		}
+	}
+	return b.String()
+}
+
+// sortDedupIDs sorts ids ascending and removes duplicates in place.
+func sortDedupIDs(ids []int32) []int32 {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// idsEqual reports element-wise equality of sorted ID lists.
+func idsEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FNV-1a parameters (word-wise, matching the spirit of sym.HashIDs).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// factHash fingerprints a fact for the fact-table index.
+func factHash(relIdx int32, t sym.Tuple) uint64 {
+	h := uint64(fnvOffset)
+	h ^= uint64(uint32(relIdx))
+	h *= fnvPrime
+	for _, id := range t {
+		h ^= uint64(id)
+		h *= fnvPrime
+	}
+	return sym.Mix(h)
+}
+
+// altHash fingerprints a sorted fact-ID list for alternative dedup and
+// membership probes. Fingerprints accelerate, never decide: every consumer
+// keeps collision buckets and confirms with idsEqual.
+func altHash(ids []int32) uint64 {
+	h := uint64(fnvOffset)
+	for _, id := range ids {
+		h ^= uint64(uint32(id))
+		h *= fnvPrime
+	}
+	return sym.Mix(h)
+}

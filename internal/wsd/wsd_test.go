@@ -1,0 +1,250 @@
+package wsd
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pw/internal/rel"
+	"pw/internal/table"
+)
+
+func schemaR() table.Schema { return table.Schema{{Name: "R", Arity: 2}} }
+
+func alt(facts ...[2]string) Alt {
+	a := make(Alt, 0, len(facts))
+	for _, f := range facts {
+		a = append(a, Fact{Rel: "R", Args: rel.Fact{f[0], f[1]}})
+	}
+	return a
+}
+
+func mustAdd(t *testing.T, w *WSD, alts ...Alt) {
+	t.Helper()
+	if err := w.AddComponent(alts...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func inst(facts ...[2]string) *rel.Instance {
+	i := rel.NewInstance()
+	r := i.EnsureRelation("R", 2)
+	for _, f := range facts {
+		r.AddRow(f[0], f[1])
+	}
+	return i
+}
+
+func TestCountIsProductOfComponents(t *testing.T) {
+	w := New(schemaR())
+	mustAdd(t, w, alt([2]string{"s1", "lo"}), alt([2]string{"s1", "hi"}))
+	mustAdd(t, w, alt([2]string{"s2", "lo"}), alt([2]string{"s2", "hi"}), alt([2]string{"s2", "mid"}))
+	mustAdd(t, w, alt([2]string{"hub", "ok"})) // certain
+	if got := w.Count().Int64(); got != 6 {
+		t.Fatalf("Count = %d, want 6", got)
+	}
+	if got := w.Components(); got != 3 {
+		t.Fatalf("Components = %d, want 3", got)
+	}
+	// Canonical component order is by smallest support fact: the certain
+	// hub fragment, then s1, then s2.
+	if got := w.Alternatives(); len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("Alternatives = %v, want [1 2 3]", got)
+	}
+	if got := w.Size(); got != 6 {
+		t.Fatalf("Size = %d facts, want 6", got)
+	}
+	if n := len(w.Expand(0)); n != 6 {
+		t.Fatalf("Expand yielded %d worlds, want 6", n)
+	}
+}
+
+func TestMemberPossCert(t *testing.T) {
+	w := New(schemaR())
+	mustAdd(t, w, alt([2]string{"s1", "lo"}), alt([2]string{"s1", "hi"}))
+	mustAdd(t, w, alt([2]string{"s2", "lo"}), alt([2]string{"s2", "hi"}))
+	mustAdd(t, w, alt([2]string{"hub", "ok"}))
+
+	if !w.Member(inst([2]string{"s1", "lo"}, [2]string{"s2", "hi"}, [2]string{"hub", "ok"})) {
+		t.Error("valid world rejected")
+	}
+	if w.Member(inst([2]string{"s1", "lo"}, [2]string{"s2", "hi"})) {
+		t.Error("world missing the certain fact accepted")
+	}
+	if w.Member(inst([2]string{"s1", "lo"}, [2]string{"s1", "hi"}, [2]string{"s2", "lo"}, [2]string{"hub", "ok"})) {
+		t.Error("world taking two alternatives of one component accepted")
+	}
+	if w.Member(inst([2]string{"s1", "lo"}, [2]string{"s2", "hi"}, [2]string{"hub", "ok"}, [2]string{"zz", "zz"})) {
+		t.Error("world with a fact outside the support accepted")
+	}
+
+	if !w.PossibleFact("R", rel.Fact{"s1", "lo"}) {
+		t.Error("supported fact not possible")
+	}
+	if w.PossibleFact("R", rel.Fact{"zz", "zz"}) {
+		t.Error("unsupported fact possible")
+	}
+	if !w.CertainFact("R", rel.Fact{"hub", "ok"}) {
+		t.Error("certain fact not certain")
+	}
+	if w.CertainFact("R", rel.Fact{"s1", "lo"}) {
+		t.Error("alternative-dependent fact certain")
+	}
+
+	// Co-occurrence matters for multi-fact possibility: s1→lo and s1→hi
+	// are each possible but never together.
+	if !w.Possible(inst([2]string{"s1", "lo"}, [2]string{"s2", "hi"})) {
+		t.Error("cross-component fact pair not possible")
+	}
+	if w.Possible(inst([2]string{"s1", "lo"}, [2]string{"s1", "hi"})) {
+		t.Error("mutually exclusive alternatives jointly possible")
+	}
+	if !w.Certain(inst([2]string{"hub", "ok"})) {
+		t.Error("certain instance not certain")
+	}
+	if w.Certain(inst([2]string{"s1", "lo"})) {
+		t.Error("uncertain instance certain")
+	}
+}
+
+func TestNormalizeMergesOverlappingComponents(t *testing.T) {
+	// Two "independent" components that can produce the same fact are
+	// dependent; the merge must dedup the union worlds so Count is exact.
+	w := New(schemaR())
+	mustAdd(t, w, alt([2]string{"a", "1"}), alt([2]string{"b", "1"}))
+	mustAdd(t, w, alt([2]string{"a", "1"}), alt([2]string{"c", "1"}))
+	// Unions: {a}, {a,c}, {a,b}, {b,c} — 4 distinct worlds.
+	if got := w.Count().Int64(); got != 4 {
+		t.Fatalf("Count = %d, want 4", got)
+	}
+	if got := len(w.Expand(0)); got != 4 {
+		t.Fatalf("Expand = %d worlds, want 4", got)
+	}
+}
+
+func TestNormalizeSplitsIndependentComponent(t *testing.T) {
+	// One hand-written component that is secretly a 2×2 product.
+	w := New(schemaR())
+	mustAdd(t, w,
+		alt([2]string{"x", "0"}, [2]string{"y", "0"}),
+		alt([2]string{"x", "0"}, [2]string{"y", "1"}),
+		alt([2]string{"x", "1"}, [2]string{"y", "0"}),
+		alt([2]string{"x", "1"}, [2]string{"y", "1"}),
+	)
+	if got := w.Components(); got != 2 {
+		t.Fatalf("split produced %d components, want 2", got)
+	}
+	if got := w.Count().Int64(); got != 4 {
+		t.Fatalf("Count = %d, want 4", got)
+	}
+}
+
+func TestNormalizeKeepsXORAtomic(t *testing.T) {
+	// Pairwise independent but jointly dependent (parity): must NOT split.
+	w := New(schemaR())
+	mustAdd(t, w,
+		alt(),
+		alt([2]string{"x", "1"}, [2]string{"y", "1"}),
+		alt([2]string{"x", "1"}, [2]string{"z", "1"}),
+		alt([2]string{"y", "1"}, [2]string{"z", "1"}),
+	)
+	if got := w.Components(); got != 1 {
+		t.Fatalf("XOR pattern split into %d components, want 1 (atomic)", got)
+	}
+	if got := w.Count().Int64(); got != 4 {
+		t.Fatalf("Count = %d, want 4", got)
+	}
+}
+
+func TestEmptyWorldSet(t *testing.T) {
+	w := New(schemaR())
+	mustAdd(t, w) // zero alternatives: no choice possible
+	if !w.Empty() {
+		t.Fatal("component with no alternatives must denote the empty world set")
+	}
+	if got := w.Count().Int64(); got != 0 {
+		t.Fatalf("Count = %d, want 0", got)
+	}
+	if w.Member(inst()) {
+		t.Error("empty world set has a member")
+	}
+	if w.Possible(inst()) {
+		t.Error("POSS(∅) true on the empty world set")
+	}
+	if !w.Certain(inst([2]string{"a", "b"})) {
+		t.Error("CERT vacuously true on the empty world set")
+	}
+	if w.Sample(rand.New(rand.NewSource(1))) != nil {
+		t.Error("Sample on the empty world set")
+	}
+}
+
+func TestZeroComponentsDenoteOneEmptyWorld(t *testing.T) {
+	w := New(schemaR())
+	if got := w.Count().Int64(); got != 1 {
+		t.Fatalf("Count = %d, want 1", got)
+	}
+	ws := w.Expand(0)
+	if len(ws) != 1 || ws[0].Size() != 0 {
+		t.Fatalf("Expand = %v, want one empty world", ws)
+	}
+	if !w.Member(inst()) {
+		t.Error("empty world not a member")
+	}
+}
+
+func TestSampleIsAWorld(t *testing.T) {
+	w := New(schemaR())
+	mustAdd(t, w, alt([2]string{"s1", "lo"}), alt([2]string{"s1", "hi"}))
+	mustAdd(t, w, alt([2]string{"s2", "lo"}), alt([2]string{"s2", "hi"}))
+	rng := rand.New(rand.NewSource(7))
+	for k := 0; k < 20; k++ {
+		s := w.Sample(rng)
+		if !w.Member(s) {
+			t.Fatalf("sampled instance is not a member:\n%s", s)
+		}
+	}
+}
+
+func TestStringRoundTripStable(t *testing.T) {
+	w := New(schemaR())
+	mustAdd(t, w, alt([2]string{"b", "1"}), alt([2]string{"a", "1"}))
+	mustAdd(t, w, alt([2]string{"c", "1"}))
+	w.ensure()
+	s1 := w.String()
+	if !strings.HasPrefix(s1, "@wsd") {
+		t.Fatalf("String does not start with @wsd: %q", s1)
+	}
+	// Normalization is idempotent: re-normalizing must not change the
+	// printed form.
+	if err := w.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if s2 := w.String(); s2 != s1 {
+		t.Fatalf("String drifted across Normalize:\nfirst:  %q\nsecond: %q", s1, s2)
+	}
+}
+
+func TestAddComponentValidation(t *testing.T) {
+	w := New(schemaR())
+	if err := w.AddComponent(Alt{{Rel: "S", Args: rel.Fact{"a"}}}); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	if err := w.AddComponent(Alt{{Rel: "R", Args: rel.Fact{"a"}}}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	w := New(schemaR())
+	mustAdd(t, w, alt([2]string{"a", "1"}), alt([2]string{"b", "1"}))
+	w.ensure()
+	c := w.Clone()
+	mustAdd(t, w, alt([2]string{"c", "1"}), alt([2]string{"d", "1"}))
+	if got := c.Count().Int64(); got != 2 {
+		t.Fatalf("clone count changed after original mutated: %d", got)
+	}
+	if got := w.Count().Int64(); got != 4 {
+		t.Fatalf("original count = %d, want 4", got)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"pw/internal/valuation"
 	"pw/internal/value"
 	"pw/internal/worlds"
+	"pw/internal/wsd"
 )
 
 // Core value and condition types.
@@ -59,6 +60,22 @@ type (
 	Instance = rel.Instance
 	// Valuation maps variables to constants.
 	Valuation = valuation.V
+	// Schema describes relation names and arities.
+	Schema = table.Schema
+	// SchemaRel is one relation's name and arity in a Schema.
+	SchemaRel = table.SchemaRel
+)
+
+// World-set decomposition types (the second representation backend): a
+// world set stored as a product of independent components, with exact
+// big-int counting and polynomial MEMB/POSS/CERT on the decomposition.
+type (
+	// WSD is a world-set decomposition.
+	WSD = wsd.WSD
+	// WSDFact is one ground fact of a decomposition alternative.
+	WSDFact = wsd.Fact
+	// WSDAlt is one alternative (fact-set) of a decomposition component.
+	WSDAlt = wsd.Alt
 )
 
 // Query types.
@@ -274,6 +291,37 @@ func Normalize(d *Database) (*Database, bool) {
 	}
 	return nd, ok
 }
+
+// NewWSD returns an empty world-set decomposition over the given schema
+// (zero components: the single world with every relation empty). Build it
+// up with AddComponent; the query methods normalize lazily and panic if
+// normalization fails (its only failure mode is the merged-component
+// blow-up guard on heavily entangled inputs) — call Normalize explicitly
+// after building to receive that as an error instead, and before sharing
+// the decomposition across goroutines.
+func NewWSD(schema Schema) *WSD { return wsd.New(schema) }
+
+// WSDFromWorlds factorizes a finite world list into a normalized
+// decomposition denoting exactly that set: Count equals the number of
+// distinct worlds and Expand reproduces them.
+func WSDFromWorlds(ws []*Instance) (*WSD, error) { return wsd.FromWorlds(ws) }
+
+// ToWSD compiles a conditioned-table database into a decomposition
+// denoting exactly rep(d). It errors (wrapping ErrInfiniteRep) when
+// rep(d) is infinite — i.e. some row variable is not forced to a
+// constant by the global condition.
+func ToWSD(d *Database) (*WSD, error) { return wsd.ToWSD(d) }
+
+// ToWSDOverDomain compiles the world set of d restricted to valuations
+// into the given finite domain (nil = the canonical Δ ∪ Δ′, agreeing
+// exactly with Worlds/CountWorlds).
+func ToWSDOverDomain(d *Database, domain []string) (*WSD, error) {
+	return wsd.ToWSDOverDomain(d, domain)
+}
+
+// ErrInfiniteRep is returned (wrapped) by ToWSD for databases whose
+// world set is infinite.
+var ErrInfiniteRep = wsd.ErrInfiniteRep
 
 // Apply evaluates a positive existential query directly on a c-table
 // database, returning a c-table database representing the view q(rep(d))

@@ -1,0 +1,70 @@
+package pw_test
+
+import (
+	"testing"
+
+	"pw"
+)
+
+// TestWSDFacade exercises the decomposition backend through the public
+// API: build, count, decide, round-trip through the enumeration backend.
+func TestWSDFacade(t *testing.T) {
+	w := pw.NewWSD(pw.Schema{{Name: "Emp", Arity: 2}})
+	err := w.AddComponent(
+		pw.WSDAlt{{Rel: "Emp", Args: pw.Fact{"carol", "sales"}}},
+		pw.WSDAlt{{Rel: "Emp", Args: pw.Fact{"carol", "eng"}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.AddComponent(
+		pw.WSDAlt{{Rel: "Emp", Args: pw.Fact{"alice", "sales"}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Count().Int64(); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+	if !w.CertainFact("Emp", pw.Fact{"alice", "sales"}) {
+		t.Error("certain fact not certain")
+	}
+	if !w.PossibleFact("Emp", pw.Fact{"carol", "eng"}) {
+		t.Error("possible fact not possible")
+	}
+
+	// Round trip through the explicit world list.
+	back, err := pw.WSDFromWorlds(w.Expand(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Count().Cmp(w.Count()) != 0 {
+		t.Fatalf("round trip changed the world count: %s vs %s", back.Count(), w.Count())
+	}
+}
+
+// TestToWSDFacade pins the compiler façade: a database with a forced
+// variable compiles; a Codd-table with a free variable reports
+// ErrInfiniteRep; the canonical-domain compiler agrees with Worlds.
+func TestToWSDFacade(t *testing.T) {
+	free := pw.NewTable("T", 2)
+	free.AddTuple(pw.Const("a"), pw.Var("x"))
+	d := pw.NewDatabase(free)
+	if _, err := pw.ToWSD(d); err == nil {
+		t.Fatal("ToWSD accepted an infinite rep")
+	}
+
+	w, err := pw.ToWSDOverDomain(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worlds := pw.Worlds(d)
+	if got := w.Count().Int64(); got != int64(len(worlds)) {
+		t.Fatalf("decomposition has %d worlds, enumeration backend has %d", got, len(worlds))
+	}
+	for _, inst := range worlds {
+		if !w.Member(inst) {
+			t.Fatalf("enumerated world rejected by the decomposition:\n%s", inst)
+		}
+	}
+}
