@@ -26,6 +26,7 @@ import (
 	"pw/internal/table"
 	"pw/internal/value"
 	"pw/internal/worlds"
+	"pw/internal/wsdalg"
 )
 
 // --- Fig. 1: representation hierarchy (semantics microbenchmark) ---
@@ -646,4 +647,66 @@ func BenchmarkWSD_Poss_1M(b *testing.B) {
 			b.Fatal("cross-component fragment must be possible")
 		}
 	}
+}
+
+// --- wsdalg: lifted query evaluation on the same ~10^6-world set ---
+
+// The three gated WSDQuery probes run one positive-algebra operator
+// family each through wsdalg.Eval on the shared 2^20-world builder:
+// selection (answer stays 2^20 worlds), projection (answer collapses to
+// one certain world) and a cross-component natural join. No world is
+// enumerated; the asserted counts pin correctness on every iteration.
+
+func millionWorldQueries() (sel, proj, join query.Query) {
+	scan := algebra.Scan("S", "s", "v")
+	sel = query.NewAlgebra("hi", query.Out{Name: "A",
+		Expr: algebra.Where(scan, algebra.EqP(algebra.Col("v"), algebra.Lit("hi")))})
+	proj = query.NewAlgebra("sensors", query.Out{Name: "A",
+		Expr: algebra.Project{E: scan, Cols: []string{"s"}}})
+	// Dimension-table join: label every reading through a constant
+	// value→label relation. Each component joins the (origin-free)
+	// constant part locally, so the answer keeps the factored form —
+	// joining the uncertain relation with *itself on the value column*
+	// instead would correlate all 20 sensors and degenerate to a world
+	// list, which is exactly what the MaxMergeAlts guard rejects.
+	join = query.NewAlgebra("labels", query.Out{Name: "A",
+		Expr: algebra.Project{
+			E: algebra.Join{
+				L: scan,
+				R: algebra.ConstRel{Cols: []string{"v", "lab"}, Rows: [][]string{{"lo", "low"}, {"hi", "high"}}},
+			},
+			Cols: []string{"s", "lab"},
+		}})
+	return
+}
+
+func benchWSDQuery(b *testing.B, q query.Query, wantCount int64) {
+	w := gen.MillionWorldWSD()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := wsdalg.Eval(w, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c := out.Count(); !c.IsInt64() || c.Int64() != wantCount {
+			b.Fatalf("answer Count = %s, want %d", c, wantCount)
+		}
+	}
+}
+
+func BenchmarkWSDQuery_Select_1M(b *testing.B) {
+	sel, _, _ := millionWorldQueries()
+	benchWSDQuery(b, sel, 1<<20)
+}
+
+func BenchmarkWSDQuery_Project_1M(b *testing.B) {
+	_, proj, _ := millionWorldQueries()
+	benchWSDQuery(b, proj, 1)
+}
+
+func BenchmarkWSDQuery_Join_1M(b *testing.B) {
+	_, _, join := millionWorldQueries()
+	// Every sensor world labels differently, so the answer world-set
+	// stays at 2^20 (the certain hub reading joins nothing and drops).
+	benchWSDQuery(b, join, 1<<20)
 }

@@ -2,23 +2,34 @@
 //
 // Usage:
 //
-//	pwq memb    -db tables.pw -inst instance.pw
-//	pwq uniq    -db tables.pw -inst instance.pw
-//	pwq cont    -db subset.pw -db2 superset.pw
-//	pwq poss    -db tables.pw -facts p.pw
-//	pwq cert    -db tables.pw -facts p.pw
-//	pwq count   -db tables.pw
-//	pwq sample  -db tables.pw [-seed 1] [-n 3]
-//	pwq worlds  -db tables.pw [-limit 20]
-//	pwq kind    -db tables.pw
+//	pwq memb     -db tables.pw -inst instance.pw
+//	pwq uniq     -db tables.pw -inst instance.pw
+//	pwq cont     -db subset.pw -db2 superset.pw [-query q0.pw] [-query2 q.pw]
+//	pwq poss     -db tables.pw -facts p.pw
+//	pwq cert     -db tables.pw -facts p.pw
+//	pwq poss-ans -db tables.pw -query q.pw
+//	pwq cert-ans -db tables.pw -query q.pw
+//	pwq count    -db tables.pw
+//	pwq sample   -db tables.pw [-seed 1] [-n 3]
+//	pwq worlds   -db tables.pw [-limit 20]
+//	pwq kind     -db tables.pw
 //
 // Files use the .pw format of internal/parse; -db accepts either
 // representation backend — a conditioned-table database (@table blocks)
-// or a world-set decomposition (@wsd block). On a decomposition the
-// decision commands run the native polynomial procedures (no world
-// enumeration; count is exact even for astronomically many worlds); on
-// tables they run the decision engine, and count/worlds enumerate the
-// canonical domain. cont requires table databases on both sides.
+// or a world-set decomposition (@wsd block) — and -query/-query2 take
+// @query blocks (positive relational algebra, plus ≠ selections on the
+// table backend). On a decomposition the decision commands run the
+// native polynomial procedures and the query commands run the lifted
+// evaluator of internal/wsdalg — no world enumeration anywhere, so
+// cert-ans/poss-ans/cont answer on 10^6-world decompositions directly
+// on the factored form. On tables they run the decision engine, and
+// count/worlds enumerate the canonical domain.
+//
+// cont accepts any backend combination: the table side of a mixed pair
+// is compiled to a decomposition first (an infinite-rep subset side is
+// simply "no" against a finite superset). Queries with ≠ selections —
+// the non-positive fragment — stay unsupported on the decomposition
+// backend and exit 2 with a clear message.
 //
 // All commands exit 0 with "yes"/"no" (or the requested output) on
 // stdout; structural problems exit 2. -workers bounds the engine's
@@ -41,6 +52,8 @@ import (
 	"pw/internal/query"
 	"pw/internal/rel"
 	"pw/internal/worlds"
+	"pw/internal/wsd"
+	"pw/internal/wsdalg"
 )
 
 func main() {
@@ -58,6 +71,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	db2Path := fs.String("db2", "", "second database for cont (.pw)")
 	instPath := fs.String("inst", "", "complete instance (.pw)")
 	factsPath := fs.String("facts", "", "fact set for poss/cert (.pw)")
+	queryPath := fs.String("query", "", "query (.pw, @query block) for poss-ans/cert-ans, or the -db view for cont")
+	query2Path := fs.String("query2", "", "the -db2 view for cont (.pw, @query block)")
 	limit := fs.Int("limit", 20, "world limit for the worlds command")
 	workersN := fs.Int("workers", 0, "engine worker count (0 = GOMAXPROCS, 1 = sequential)")
 	seed := fs.Int64("seed", 1, "random seed for the sample command")
@@ -73,6 +88,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	src, err := loadSource(*dbPath)
 	if err != nil {
 		return fatal(stderr, err)
+	}
+	if src.Query != nil {
+		return fatal(stderr, fmt.Errorf("%s is a @query file; databases go to -db, queries to -query", *dbPath))
 	}
 	d, w := src.DB, src.WSD
 	switch cmd {
@@ -164,18 +182,74 @@ func run(args []string, stdout, stderr io.Writer) int {
 		yes, err := o.Uniqueness(query.Identity{}, d, i)
 		return answer(stdout, stderr, yes, err)
 	case "cont":
-		if w != nil {
-			return fatal(stderr, fmt.Errorf("cont requires @table databases on both sides"))
+		q0, err := loadQuery(*queryPath, false)
+		if err != nil {
+			return fatal(stderr, err)
+		}
+		q1, err := loadQuery(*query2Path, false)
+		if err != nil {
+			return fatal(stderr, err)
 		}
 		src2, err := loadSource(*db2Path)
 		if err != nil {
 			return fatal(stderr, err)
 		}
-		if src2.WSD != nil {
-			return fatal(stderr, fmt.Errorf("cont requires @table databases on both sides"))
+		if src2.Query != nil {
+			return fatal(stderr, fmt.Errorf("%s is a @query file; databases go to -db2, queries to -query2", *db2Path))
 		}
-		yes, err := o.Containment(query.Identity{}, d, query.Identity{}, src2.DB)
+		d2, w2 := src2.DB, src2.WSD
+		if w == nil && w2 == nil {
+			// Both sides tables: the decision engine handles every query
+			// class, Π₂ᵖ generic fallback included.
+			yes, err := o.Containment(q0, d, q1, d2)
+			return answer(stdout, stderr, yes, err)
+		}
+		// At least one decomposition: run the native wsdalg containment,
+		// compiling a table side to its exact decomposition first.
+		if w == nil {
+			if w, err = wsd.ToWSD(d); errors.Is(err, wsd.ErrInfiniteRep) && query.IsIdentity(q0) {
+				// Infinitely many subset worlds cannot fit in a finite
+				// decomposition's world set.
+				return answer(stdout, stderr, false, nil)
+			} else if err != nil {
+				return fatal(stderr, err)
+			}
+		}
+		if w2 == nil {
+			if w2, err = wsd.ToWSD(d2); err != nil {
+				return fatal(stderr, fmt.Errorf("superset side: %w", err))
+			}
+		}
+		yes, err := wsdalg.ContainmentViews(q0, w, q1, w2)
 		return answer(stdout, stderr, yes, err)
+	case "poss-ans", "cert-ans":
+		q, err := loadQuery(*queryPath, true)
+		if err != nil {
+			return fatal(stderr, err)
+		}
+		var ans *rel.Instance
+		if w != nil {
+			// Decomposition backend: the lifted evaluator produces the
+			// answer world-set in factored form; possibility/certainty of
+			// answer facts are support lookups on it.
+			if cmd == "poss-ans" {
+				ans, err = wsdalg.PossibleAnswers(w, q)
+			} else {
+				ans, err = wsdalg.CertainAnswers(w, q)
+			}
+		} else {
+			if cmd == "poss-ans" {
+				ans, err = o.PossibleAnswers(q, d)
+			} else {
+				ans, err = o.CertainAnswers(q, d)
+			}
+		}
+		if err != nil {
+			return fatal(stderr, err)
+		}
+		if err := parse.PrintInstance(stdout, ans); err != nil {
+			return fatal(stderr, err)
+		}
 	case "poss":
 		p, err := loadInstance(*factsPath)
 		if err != nil {
@@ -214,6 +288,30 @@ func loadSource(path string) (*parse.Source, error) {
 	return parse.ParseSource(f)
 }
 
+// loadQuery reads a @query file; with required=false an empty path
+// means the identity query (cont's view-free form).
+func loadQuery(path string, required bool) (query.Query, error) {
+	if path == "" {
+		if required {
+			return nil, fmt.Errorf("missing -query")
+		}
+		return query.Identity{}, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	src, err := parse.ParseSource(f)
+	if err != nil {
+		return nil, err
+	}
+	if src.Query == nil {
+		return nil, fmt.Errorf("%s does not contain a @query block", path)
+	}
+	return *src.Query, nil
+}
+
 func loadInstance(path string) (*rel.Instance, error) {
 	if path == "" {
 		return nil, fmt.Errorf("missing instance/fact file")
@@ -244,6 +342,6 @@ func fatal(stderr io.Writer, err error) int {
 }
 
 func usage(stderr io.Writer) int {
-	fmt.Fprintln(stderr, "usage: pwq {memb|uniq|cont|poss|cert|count|sample|worlds|kind} -db FILE [...]")
+	fmt.Fprintln(stderr, "usage: pwq {memb|uniq|cont|poss|cert|poss-ans|cert-ans|count|sample|worlds|kind} -db FILE [...]")
 	return 2
 }

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -42,6 +43,21 @@ func TestGolden(t *testing.T) {
 		{"worlds_wsd", []string{"worlds", "-db", data("sensors.pw"), "-limit", "2"}},
 		{"sample_wsd", []string{"sample", "-db", data("sensors.pw"), "-seed", "7", "-n", "2"}},
 		{"sample_tables", []string{"sample", "-db", data("personnel.pw"), "-seed", "3"}},
+		// Query answers: the decomposition backend runs the lifted
+		// evaluator over 2^20 worlds without enumerating any of them.
+		{"cert_ans_wsd", []string{"cert-ans", "-db", data("sensors.pw"), "-query", data("sensors_sensors.pw")}},
+		{"poss_ans_wsd", []string{"poss-ans", "-db", data("sensors.pw"), "-query", data("sensors_hi.pw")}},
+		{"cert_ans_wsd_empty", []string{"cert-ans", "-db", data("sensors.pw"), "-query", data("sensors_hi.pw")}},
+		{"cert_ans_tables", []string{"cert-ans", "-db", data("personnel.pw"), "-query", data("personnel_names.pw")}},
+		{"poss_ans_tables", []string{"poss-ans", "-db", data("personnel.pw"), "-query", data("personnel_names.pw")}},
+		// Containment on decompositions (and mixed backends): the former
+		// "tables only" exit-2 carve-out is gone.
+		{"cont_wsd_yes", []string{"cont", "-db", data("sensors_pinned.pw"), "-db2", data("sensors.pw")}},
+		{"cont_wsd_no", []string{"cont", "-db", data("sensors.pw"), "-db2", data("sensors_pinned.pw")}},
+		{"cont_wsd_views_yes", []string{"cont", "-db", data("sensors_pinned.pw"), "-db2", data("sensors.pw"),
+			"-query", data("sensors_hi.pw"), "-query2", data("sensors_hi.pw")}},
+		{"cont_mixed_yes", []string{"cont", "-db", data("sensors_frozen.pw"), "-db2", data("sensors.pw")}},
+		{"cont_mixed_infinite_no", []string{"cont", "-db", data("personnel.pw"), "-db2", data("sensors.pw")}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -77,6 +93,8 @@ func TestAnswersStableAcrossWorkers(t *testing.T) {
 		{"memb", "-db", data("personnel.pw"), "-inst", data("personnel_world.pw")},
 		{"cont", "-db", data("personnel_loose.pw"), "-db2", data("personnel.pw")},
 		{"cert", "-db", data("personnel.pw"), "-facts", data("personnel_certain.pw")},
+		{"cert-ans", "-db", data("personnel.pw"), "-query", data("personnel_names.pw")},
+		{"poss-ans", "-db", data("personnel.pw"), "-query", data("personnel_names.pw")},
 	}
 	for _, base := range cases {
 		var want string
@@ -96,6 +114,7 @@ func TestAnswersStableAcrossWorkers(t *testing.T) {
 }
 
 func TestBadUsageExits2(t *testing.T) {
+	data := func(name string) string { return filepath.Join("..", "..", "examples", "data", name) }
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"nope"}, &stdout, &stderr); code != 2 {
 		t.Errorf("unknown command: exit %d, want 2", code)
@@ -103,9 +122,32 @@ func TestBadUsageExits2(t *testing.T) {
 	if code := run([]string{"memb"}, &stdout, &stderr); code != 2 {
 		t.Errorf("missing -db: exit %d, want 2", code)
 	}
-	// cont is undefined on the decomposition backend.
-	wsdFile := filepath.Join("..", "..", "examples", "data", "sensors.pw")
-	if code := run([]string{"cont", "-db", wsdFile, "-db2", wsdFile}, &stdout, &stderr); code != 2 {
-		t.Errorf("cont on @wsd: exit %d, want 2", code)
+	if code := run([]string{"poss-ans", "-db", data("sensors.pw")}, &stdout, &stderr); code != 2 {
+		t.Errorf("poss-ans without -query: exit %d, want 2", code)
+	}
+	// A @query file in a database position is a clean structural error,
+	// not a crash.
+	if code := run([]string{"kind", "-db", data("sensors_hi.pw")}, &stdout, &stderr); code != 2 {
+		t.Errorf("@query file as -db: exit %d, want 2", code)
+	}
+	if code := run([]string{"cont", "-db", data("sensors.pw"), "-db2", data("sensors_hi.pw")}, &stdout, &stderr); code != 2 {
+		t.Errorf("@query file as -db2: exit %d, want 2", code)
+	}
+	// The non-positive (≠) fragment stays unsupported on the
+	// decomposition backend, with a clear message.
+	stderr.Reset()
+	if code := run([]string{"cert-ans", "-db", data("sensors.pw"), "-query", data("sensors_not_lo.pw")},
+		&stdout, &stderr); code != 2 {
+		t.Errorf("≠ query on @wsd: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "non-positive") {
+		t.Errorf("≠ rejection should name the fragment, got: %s", stderr.String())
+	}
+	// A mixed cont whose @table superset has infinite rep cannot be
+	// compiled and is a structural error.
+	stderr.Reset()
+	if code := run([]string{"cont", "-db", data("sensors.pw"), "-db2", data("personnel.pw")},
+		&stdout, &stderr); code != 2 {
+		t.Errorf("cont with infinite-rep superset: exit %d, want 2", code)
 	}
 }

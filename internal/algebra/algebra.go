@@ -39,6 +39,14 @@ func Col(name string) Operand { return Operand{col: name} }
 // Lit references a constant.
 func Lit(c string) Operand { return Operand{k: c, isConst: true} }
 
+// Const returns the constant and true when the operand is a constant
+// literal.
+func (o Operand) Const() (string, bool) { return o.k, o.isConst }
+
+// Column returns the column name and true when the operand is a column
+// reference.
+func (o Operand) Column() (string, bool) { return o.col, !o.isConst }
+
 // String renders the operand.
 func (o Operand) String() string {
 	if o.isConst {

@@ -92,6 +92,136 @@ func (o Options) CertainAnswers(q query.Query, d *table.Database) (*rel.Instance
 	return out, nil
 }
 
+// PossibleAnswers computes the possible answer facts of q(rep(d)) over
+// the constants of d and q, for a liftable query: every fact, built from
+// those constants, that some world of the view contains. The domain
+// restriction is what keeps the answer finite — an unconditioned
+// variable row makes facts over arbitrary fresh constants possible, and
+// those are never enumerable; the restricted set is the canonical one
+// (genericity: any possible fact over the inputs' constants is possible
+// within them).
+func PossibleAnswers(q query.Query, d *table.Database) (*rel.Instance, error) {
+	return Options{}.PossibleAnswers(q, d)
+}
+
+// PossibleAnswers is the Options-aware possible-answer computation. The
+// candidate set comes from the rows of the normalized lifted view:
+// every assignment of a row's variables to allowed constants names one
+// candidate fact, and each candidate is confirmed or refuted by the
+// single-fact possibility test (an independent search per candidate, so
+// the sweep runs across the worker pool; answers are inserted in
+// candidate order, making the result identical at every worker count).
+func (o Options) PossibleAnswers(q query.Query, d *table.Database) (*rel.Instance, error) {
+	l, ok := query.AsLiftable(q)
+	if !ok {
+		return nil, fmt.Errorf("decide: PossibleAnswers requires a liftable query, got %s", q.Label())
+	}
+	lifted, err := l.EvalLifted(d)
+	if err != nil {
+		return nil, err
+	}
+	nd, okN := table.Normalize(lifted)
+	if !okN {
+		// rep(d) = ∅: no world, no possible fact.
+		return lifted.EmptyInstance(), nil
+	}
+
+	// Allowed constants, as an ordered list (deterministic candidate
+	// enumeration) and a set. Taken from the *input* database, not the
+	// normalized view: normalization may drop trivially-true residual
+	// atoms and the constants they mention, but facts over those
+	// constants are still possible answers.
+	seen := map[sym.ID]bool{}
+	allowed := d.ConstIDs(nil, seen)
+	for _, c := range q.Consts() {
+		id := sym.Const(c)
+		if !seen[id] {
+			seen[id] = true
+			allowed = append(allowed, id)
+		}
+	}
+
+	// Candidates: per row, the instantiations of its variables into the
+	// allowed pool (constant cells stay fixed; repeated variables stay
+	// equal by construction). Deduplicated per relation.
+	var cands []factRef
+	out := rel.NewInstance()
+	for _, t := range nd.Tables() {
+		r := rel.NewRelation(t.Name, t.Arity)
+		out.AddRelation(r)
+		cset := rel.NewRelation(t.Name, t.Arity)
+		for _, row := range t.Rows {
+			eachRowInstantiation(row.Values, allowed, func(u sym.Tuple) {
+				if cset.Insert(u) {
+					cands = append(cands, factRef{t: t, u: u.Clone()})
+				}
+			})
+		}
+	}
+	keep := make([]bool, len(cands))
+	inner := o.inner()
+	eachIndex(o.workers(), len(cands), func(k int) {
+		p := rel.NewInstance()
+		pr := p.AddRelation(rel.NewRelation(cands[k].t.Name, cands[k].t.Arity))
+		pr.Insert(cands[k].u)
+		yes, perr := inner.possibleIdentity(p, nd)
+		keep[k] = perr == nil && yes
+	})
+	for k, c := range cands {
+		if keep[k] {
+			out.Relation(c.t.Name).Insert(c.u)
+		}
+	}
+	return out, nil
+}
+
+// eachRowInstantiation enumerates the ground facts a conditioned row can
+// denote over the allowed constant pool: the row's distinct variables
+// run through the pool in odometer order. A row with variables but an
+// empty pool denotes no candidate.
+func eachRowInstantiation(vals value.Tuple, allowed []sym.ID, fn func(sym.Tuple)) {
+	var vars []sym.ID
+	pos := map[sym.ID]bool{}
+	for _, v := range vals {
+		id := v.ID()
+		if id.IsVar() && !pos[id] {
+			pos[id] = true
+			vars = append(vars, id)
+		}
+	}
+	if len(vars) > 0 && len(allowed) == 0 {
+		return
+	}
+	assign := make(map[sym.ID]sym.ID, len(vars))
+	choice := make([]int, len(vars))
+	u := make(sym.Tuple, len(vals))
+	for {
+		for i, x := range vars {
+			assign[x] = allowed[choice[i]]
+		}
+		for j, v := range vals {
+			id := v.ID()
+			if id.IsVar() {
+				u[j] = assign[id]
+			} else {
+				u[j] = id
+			}
+		}
+		fn(u)
+		i := len(vars) - 1
+		for ; i >= 0; i-- {
+			choice[i]++
+			if choice[i] < len(allowed) {
+				break
+			}
+			choice[i] = 0
+		}
+		if i < 0 {
+			return
+		}
+	}
+}
+
 // frozenWorld applies the all-distinct-fresh valuation to d, keeping only
 // rows whose local condition it satisfies (unlike table.Freeze, which
 // ignores conditions).

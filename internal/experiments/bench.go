@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"pw/internal/algebra"
 	"pw/internal/cond"
 	"pw/internal/decide"
 	"pw/internal/gen"
@@ -11,6 +12,7 @@ import (
 	"pw/internal/rel"
 	"pw/internal/table"
 	"pw/internal/value"
+	"pw/internal/wsdalg"
 )
 
 // BenchResult is one perf probe's outcome in the machine-readable shape
@@ -62,7 +64,54 @@ func benchProbes(workers int) []benchProbe {
 		{"WSD_Count_1M", 1, probeWSDCount},
 		{"WSD_Memb_1M", 1, probeWSDMemb},
 		{"WSD_Poss_1M", 1, probeWSDPoss},
+		// Lifted query evaluation (internal/wsdalg) on the same
+		// decomposition: selection, projection and a dimension-table
+		// join, each producing the answer world-set in factored form.
+		{"WSDQuery_Select_1M", 1, probeWSDQuerySelect},
+		{"WSDQuery_Project_1M", 1, probeWSDQueryProject},
+		{"WSDQuery_Join_1M", 1, probeWSDQueryJoin},
 	}
+}
+
+func probeWSDQuery(b *testing.B, q query.Query, wantCount int64) {
+	w := gen.MillionWorldWSD()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		out, err := wsdalg.Eval(w, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c := out.Count(); !c.IsInt64() || c.Int64() != wantCount {
+			b.Fatalf("answer Count = %s, want %d", c, wantCount)
+		}
+	}
+}
+
+func probeWSDQuerySelect(b *testing.B) {
+	scan := algebra.Scan("S", "s", "v")
+	q := query.NewAlgebra("hi", query.Out{Name: "A",
+		Expr: algebra.Where(scan, algebra.EqP(algebra.Col("v"), algebra.Lit("hi")))})
+	probeWSDQuery(b, q, 1<<20)
+}
+
+func probeWSDQueryProject(b *testing.B) {
+	q := query.NewAlgebra("sensors", query.Out{Name: "A",
+		Expr: algebra.Project{E: algebra.Scan("S", "s", "v"), Cols: []string{"s"}}})
+	// Projecting the value away collapses all 2^20 worlds to one
+	// certain answer.
+	probeWSDQuery(b, q, 1)
+}
+
+func probeWSDQueryJoin(b *testing.B) {
+	q := query.NewAlgebra("labels", query.Out{Name: "A",
+		Expr: algebra.Project{
+			E: algebra.Join{
+				L: algebra.Scan("S", "s", "v"),
+				R: algebra.ConstRel{Cols: []string{"v", "lab"}, Rows: [][]string{{"lo", "low"}, {"hi", "high"}}},
+			},
+			Cols: []string{"s", "lab"},
+		}})
+	probeWSDQuery(b, q, 1<<20)
 }
 
 func probeWSDCount(b *testing.B) {

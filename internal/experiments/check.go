@@ -12,6 +12,9 @@ var GatedProbes = []string{
 	"WSD_Count_1M",
 	"WSD_Memb_1M",
 	"WSD_Poss_1M",
+	"WSDQuery_Select_1M",
+	"WSDQuery_Project_1M",
+	"WSDQuery_Join_1M",
 }
 
 // CheckTolerance is the relative ns/op slack the regression guard allows

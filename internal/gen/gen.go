@@ -9,7 +9,9 @@ import (
 	"fmt"
 	"math/rand"
 
+	"pw/internal/algebra"
 	"pw/internal/cond"
+	"pw/internal/query"
 	"pw/internal/rel"
 	"pw/internal/sym"
 	"pw/internal/table"
@@ -235,6 +237,160 @@ func RandomWSD(seed int64, comps, maxAlts, arity, consts int) (*wsd.WSD, error) 
 		return nil, err
 	}
 	return w, nil
+}
+
+// queryColPool is the column-name pool RandomPositiveQuery draws from.
+// A small shared pool makes scans of different relations overlap in
+// column names, so natural joins actually join.
+var queryColPool = []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+
+// RandomPositiveQuery generates a seeded, deterministic positive
+// relational-algebra query (no ≠ selections) over the given schema:
+// the wsdalg-evaluable fragment, paired with RandomWSD so the
+// differential suite can cross-validate decomposition-native answers
+// against the worlds oracle and the lifted c-table path. Constants in
+// selection predicates are drawn from the same c0..c{consts-1} pool the
+// table and WSD generators use, so selections sometimes match. depth
+// bounds the operator-tree height (0 = a bare scan). The query is
+// schema-valid by construction; a validation failure is a generator bug
+// and panics.
+func RandomPositiveQuery(seed int64, schema table.Schema, consts, depth int) query.Algebra {
+	if len(schema) == 0 || consts < 1 || depth < 0 {
+		panic("gen: RandomPositiveQuery needs a non-empty schema, consts >= 1, depth >= 0")
+	}
+	for _, r := range schema {
+		if r.Arity > len(queryColPool) {
+			panic(fmt.Sprintf("gen: RandomPositiveQuery supports arity <= %d, got %s/%d",
+				len(queryColPool), r.Name, r.Arity))
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := &queryGen{rng: rng, schema: schema, consts: consts}
+	outs := make([]query.Out, 1+rng.Intn(2))
+	for i := range outs {
+		outs[i] = query.Out{Name: string(rune('A' + i)), Expr: g.expr(depth)}
+	}
+	q := query.NewAlgebra(fmt.Sprintf("rq%d", seed), outs...)
+	for _, o := range q.Outs {
+		if _, err := o.Expr.Schema(); err != nil {
+			panic("gen: RandomPositiveQuery built an invalid expression: " + err.Error())
+		}
+	}
+	if !q.Positive() {
+		panic("gen: RandomPositiveQuery built a non-positive query")
+	}
+	return q
+}
+
+// queryGen holds the RandomPositiveQuery recursion state.
+type queryGen struct {
+	rng    *rand.Rand
+	schema table.Schema
+	consts int
+}
+
+// scan picks a relation and names its columns with distinct pool names.
+func (g *queryGen) scan() algebra.Expr {
+	r := g.schema[g.rng.Intn(len(g.schema))]
+	perm := g.rng.Perm(len(queryColPool))
+	cols := make([]string, r.Arity)
+	for i := range cols {
+		cols[i] = queryColPool[perm[i]]
+	}
+	return algebra.Scan(r.Name, cols...)
+}
+
+// cols reads an expression's (always valid) output schema.
+func (g *queryGen) cols(e algebra.Expr) []string {
+	cs, err := e.Schema()
+	if err != nil {
+		panic("gen: invalid intermediate expression: " + err.Error())
+	}
+	return cs
+}
+
+// expr builds a random positive expression of at most the given height.
+func (g *queryGen) expr(depth int) algebra.Expr {
+	if depth == 0 {
+		return g.scan()
+	}
+	switch g.rng.Intn(6) {
+	case 0:
+		return g.scan()
+	case 1: // projection onto a non-empty column subset
+		e := g.expr(depth - 1)
+		cs := g.cols(e)
+		k := 1 + g.rng.Intn(len(cs))
+		perm := g.rng.Perm(len(cs))
+		keep := make([]string, k)
+		for i := 0; i < k; i++ {
+			keep[i] = cs[perm[i]]
+		}
+		return algebra.Project{E: e, Cols: keep}
+	case 2: // equality selection: col = col or col = const
+		e := g.expr(depth - 1)
+		cs := g.cols(e)
+		n := 1 + g.rng.Intn(2)
+		preds := make([]algebra.Pred, n)
+		for i := range preds {
+			l := algebra.Col(cs[g.rng.Intn(len(cs))])
+			var r algebra.Operand
+			if g.rng.Intn(2) == 0 && len(cs) > 1 {
+				r = algebra.Col(cs[g.rng.Intn(len(cs))])
+			} else {
+				r = algebra.Lit(fmt.Sprintf("c%d", g.rng.Intn(g.consts)))
+			}
+			preds[i] = algebra.EqP(l, r)
+		}
+		return algebra.Select{E: e, Preds: preds}
+	case 3: // rename one column to an unused pool name
+		e := g.expr(depth - 1)
+		cs := g.cols(e)
+		used := make(map[string]bool, len(cs))
+		for _, c := range cs {
+			used[c] = true
+		}
+		var fresh []string
+		for _, c := range queryColPool {
+			if !used[c] {
+				fresh = append(fresh, c)
+			}
+		}
+		if len(fresh) == 0 {
+			return e
+		}
+		from := cs[g.rng.Intn(len(cs))]
+		to := fresh[g.rng.Intn(len(fresh))]
+		return algebra.Rename{E: e, From: []string{from}, To: []string{to}}
+	case 4: // natural join (shared pool names make it selective)
+		return algebra.Join{L: g.expr(depth - 1), R: g.expr(depth - 1)}
+	default: // union of two same-schema branches of one subtree
+		e := g.expr(depth - 1)
+		cs := g.cols(e)
+		sel := func() algebra.Expr {
+			switch g.rng.Intn(3) {
+			case 0:
+				return e
+			case 1:
+				// A constant relation over the same columns: exercises
+				// the evaluators' origin-free (certain) row paths.
+				rows := make([][]string, g.rng.Intn(3))
+				for i := range rows {
+					row := make([]string, len(cs))
+					for j := range row {
+						row[j] = fmt.Sprintf("c%d", g.rng.Intn(g.consts))
+					}
+					rows[i] = row
+				}
+				return algebra.ConstRel{Cols: append([]string(nil), cs...), Rows: rows}
+			default:
+				return algebra.Where(e, algebra.EqP(
+					algebra.Col(cs[g.rng.Intn(len(cs))]),
+					algebra.Lit(fmt.Sprintf("c%d", g.rng.Intn(g.consts)))))
+			}
+		}
+		return algebra.Union{L: sel(), R: sel()}
+	}
 }
 
 // MillionWorldWSD builds the tracked benchmark decomposition: one

@@ -1,6 +1,7 @@
 package gen
 
 import (
+	"strings"
 	"testing"
 
 	"pw/internal/cond"
@@ -102,4 +103,52 @@ func TestPerturbedInstanceDiffers(t *testing.T) {
 	if p.Size() != i.Size()+1 {
 		t.Errorf("perturbation should add one junk fact: %d vs %d", p.Size(), i.Size())
 	}
+}
+
+// TestRandomPositiveQueryDeterministicAndValid: the paired query
+// generator of the wsdalg differential suite is deterministic in the
+// seed, always schema-valid, and always in the positive fragment.
+func TestRandomPositiveQueryDeterministicAndValid(t *testing.T) {
+	schema := table.Schema{{Name: "R", Arity: 2}, {Name: "S", Arity: 1}}
+	for seed := int64(1); seed <= 64; seed++ {
+		q1 := RandomPositiveQuery(seed, schema, 4, 3)
+		q2 := RandomPositiveQuery(seed, schema, 4, 3)
+		if len(q1.Outs) != len(q2.Outs) {
+			t.Fatalf("seed %d: out counts differ", seed)
+		}
+		for i := range q1.Outs {
+			if q1.Outs[i].Name != q2.Outs[i].Name || q1.Outs[i].Expr.String() != q2.Outs[i].Expr.String() {
+				t.Fatalf("seed %d: regeneration differs:\n%s\nvs\n%s",
+					seed, q1.Outs[i].Expr, q2.Outs[i].Expr)
+			}
+			if !q1.Outs[i].Expr.Positive() {
+				t.Fatalf("seed %d: non-positive expression %s", seed, q1.Outs[i].Expr)
+			}
+			if _, err := q1.Outs[i].Expr.Schema(); err != nil {
+				t.Fatalf("seed %d: invalid schema: %v", seed, err)
+			}
+		}
+	}
+	// Distinct seeds produce distinct queries often enough to be useful.
+	distinct := map[string]bool{}
+	for seed := int64(1); seed <= 32; seed++ {
+		q := RandomPositiveQuery(seed, schema, 4, 3)
+		distinct[q.Outs[0].Expr.String()] = true
+	}
+	if len(distinct) < 16 {
+		t.Errorf("only %d distinct expressions across 32 seeds", len(distinct))
+	}
+}
+
+func TestRandomPositiveQueryArityBound(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("arity beyond the column pool must panic with a clear message")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "arity") {
+			t.Fatalf("panic %v should name the arity bound", r)
+		}
+	}()
+	RandomPositiveQuery(1, table.Schema{{Name: "R", Arity: 9}}, 2, 0)
 }

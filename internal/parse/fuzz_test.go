@@ -108,18 +108,64 @@ func FuzzParseWSD(f *testing.F) {
 	})
 }
 
-// FuzzParseSource fuzzes the backend dispatcher with both block forms.
+// FuzzParseSource fuzzes the dispatcher with all three block forms —
+// the @wsd and @query seeds mirror the inputs pwq's query subcommands
+// (poss-ans / cert-ans / cont -query) read.
 func FuzzParseSource(f *testing.F) {
 	f.Add("@table T(2)\n  row: a ?x\n")
 	f.Add("@wsd\n  relation: R(1)\n  component:\n    alt: R(a)\n")
+	f.Add("@wsd\n  relation: Reading(2)\n  component:\n    alt: Reading(s00 lo)\n    alt: Reading(s00 hi)\n")
+	f.Add("@query high\n  out: A = project[s](select[#v = hi](Reading(s v)))\n")
+	f.Add("@query\n  out: A = join(R(a b), S(b c))\n  out: B = union(R(a b), rename[a->x](R(x b)))\n")
+	f.Add("@query neq\n  out: A = select[#a != c0](R(a))\n")
+	f.Add("@query v\n  out: A = values[a b](x y; z w)\n")
 	f.Add("# only a comment\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		src, err := ParseSource(strings.NewReader(input))
 		if err != nil {
 			return
 		}
-		if (src.DB == nil) == (src.WSD == nil) {
-			t.Fatalf("dispatcher returned %v/%v for %q; exactly one backend must be set", src.DB, src.WSD, input)
+		set := 0
+		for _, ok := range []bool{src.DB != nil, src.WSD != nil, src.Query != nil} {
+			if ok {
+				set++
+			}
+		}
+		if set != 1 {
+			t.Fatalf("dispatcher set %d of DB/WSD/Query for %q; exactly one must be set", set, input)
+		}
+	})
+}
+
+// FuzzParseQuery asserts the query parser's safety properties: it never
+// panics, and any query it accepts round-trips — printing reaches a
+// fixed point of parse→print, so the @query grammar is closed under its
+// own printer.
+func FuzzParseQuery(f *testing.F) {
+	f.Add("@query high\n  out: A = project[s](select[#v = hi](Reading(s v)))\n")
+	f.Add("@query\n  out: A = R(a b)\n")
+	f.Add("@query\n  out: A = rename[a->b](R(a))\n  out: B = select[#b = #b](R(b))\n")
+	f.Add("@query\n  out: A = union(values[a](x; y), R(a))\n")
+	f.Add("@query\n  out: A = join(join(R(a b), S(b c)), T(c d))\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := ParseQuery(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var printed strings.Builder
+		if err := PrintQuery(&printed, q); err != nil {
+			t.Fatalf("print failed on accepted input %q: %v", input, err)
+		}
+		q2, err := ParseQuery(strings.NewReader(printed.String()))
+		if err != nil {
+			t.Fatalf("printed form does not re-parse: %v\ninput:   %q\nprinted: %q", err, input, printed.String())
+		}
+		var printed2 strings.Builder
+		if err := PrintQuery(&printed2, q2); err != nil {
+			t.Fatalf("second print failed: %v", err)
+		}
+		if printed2.String() != printed.String() {
+			t.Fatalf("print is not a fixed point:\nfirst:  %q\nsecond: %q", printed.String(), printed2.String())
 		}
 	})
 }

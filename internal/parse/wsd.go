@@ -25,6 +25,7 @@ import (
 	"io"
 	"strings"
 
+	"pw/internal/query"
 	"pw/internal/rel"
 	"pw/internal/table"
 	"pw/internal/wsd"
@@ -137,17 +138,18 @@ func PrintWSD(out io.Writer, w *wsd.WSD) error {
 }
 
 // Source is a parsed .pw file that may carry either representation
-// backend: a conditioned-table database or a world-set decomposition
-// (exactly one is non-nil).
+// backend — a conditioned-table database or a world-set decomposition —
+// or a relational-algebra query block (exactly one field is non-nil).
 type Source struct {
-	DB  *table.Database
-	WSD *wsd.WSD
+	DB    *table.Database
+	WSD   *wsd.WSD
+	Query *query.Algebra
 }
 
 // ParseSource reads a .pw file and dispatches on its first directive:
-// @table files parse as databases, @wsd files as decompositions. Mixing
-// the two block forms in one file is an error (from the respective
-// sub-parsers).
+// @table files parse as databases, @wsd files as decompositions, and
+// @query files as algebra queries. Mixing block forms in one file is an
+// error (from the respective sub-parsers).
 func ParseSource(r io.Reader) (*Source, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
@@ -165,6 +167,13 @@ func ParseSource(r io.Reader) (*Source, error) {
 				return nil, err
 			}
 			return &Source{WSD: w}, nil
+		}
+		if line == "@query" || strings.HasPrefix(line, "@query ") {
+			q, err := ParseQuery(bytes.NewReader(data))
+			if err != nil {
+				return nil, err
+			}
+			return &Source{Query: &q}, nil
 		}
 		break
 	}

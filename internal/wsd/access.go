@@ -1,0 +1,87 @@
+// Read-only structural accessors over a normalized decomposition. They
+// expose the component/alternative structure and the support at the
+// boundary-fact level, so consumers outside the package — chiefly the
+// lifted query evaluator of internal/wsdalg — can walk a decomposition
+// without enumerating worlds and without reaching into the interned
+// representation.
+package wsd
+
+import "pw/internal/rel"
+
+// Support returns every fact stored in the decomposition, in canonical
+// display order. On a normalized decomposition the support is exactly
+// the set of possible facts: every stored fact occurs in some
+// alternative, and the other components are independent.
+func (w *WSD) Support() []Fact {
+	w.ensure()
+	out := make([]Fact, len(w.facts))
+	for id := range w.facts {
+		out[id] = w.resolve(int32(id))
+	}
+	return out
+}
+
+// CertainFacts returns the facts present in every world, in canonical
+// display order. On the empty world set it returns nil (there is no
+// canonical certain set; callers that want the vacuous reading check
+// Empty themselves).
+func (w *WSD) CertainFacts() []Fact {
+	w.ensure()
+	var out []Fact
+	for id := range w.facts {
+		if w.certain[id] {
+			out = append(out, w.resolve(int32(id)))
+		}
+	}
+	return out
+}
+
+// AltCount returns the number of alternatives of component ci.
+func (w *WSD) AltCount(ci int) int {
+	w.ensure()
+	return len(w.comps[ci].alts)
+}
+
+// AltFacts returns alternative ai of component ci as a fresh fact slice
+// in canonical (fact-ID) order. The empty alternative returns nil.
+func (w *WSD) AltFacts(ci, ai int) []Fact {
+	w.ensure()
+	alt := w.comps[ci].alts[ai]
+	out := make([]Fact, len(alt))
+	for k, id := range alt {
+		out[k] = w.resolve(id)
+	}
+	return out
+}
+
+// FactComponent returns the index of the component whose support
+// contains the given fact, or ok=false when the fact is outside the
+// support (equivalently: impossible). Never grows the intern tables.
+func (w *WSD) FactComponent(relName string, f rel.Fact) (int, bool) {
+	w.ensure()
+	if w.empty {
+		return 0, false
+	}
+	id, ok := w.lookupBoundary(relName, f)
+	if !ok {
+		return 0, false
+	}
+	return int(w.factComp[id]), true
+}
+
+// HasAlternative reports whether the given fact set (order- and
+// duplicate-insensitive) is exactly one of component ci's alternatives.
+// Facts outside the support make the answer false (they can be in no
+// alternative).
+func (w *WSD) HasAlternative(ci int, facts []Fact) bool {
+	w.ensure()
+	ids := make([]int32, 0, len(facts))
+	for _, f := range facts {
+		id, ok := w.lookupBoundary(f.Rel, f.Args)
+		if !ok {
+			return false
+		}
+		ids = append(ids, id)
+	}
+	return w.comps[ci].hasAlt(sortDedupIDs(ids))
+}

@@ -1,0 +1,65 @@
+// Decomposition-native answer sets: once Eval has produced the answer
+// world-set as a decomposition, possibility and certainty of answer
+// facts are support lookups — the normalized invariants make the
+// support exactly the possible facts and the every-alternative facts
+// exactly the certain ones. No world is ever expanded.
+package wsdalg
+
+import (
+	"pw/internal/query"
+	"pw/internal/rel"
+	"pw/internal/table"
+	"pw/internal/wsd"
+)
+
+// PossibleAnswers computes every possible answer fact of q over the
+// decomposition: the facts present in at least one world of
+// {q(W) : W ∈ rep(D)}. The result instance is shaped by the query's
+// output schema; on the empty world set it is empty (no world, no
+// possible fact). Unlike the c-table engines, the answer space of a
+// decomposition is ground and finite, so no domain restriction is
+// needed: the support of Eval's result is the complete answer set.
+func PossibleAnswers(w *wsd.WSD, q query.Query) (*rel.Instance, error) {
+	out, err := Eval(w, q)
+	if err != nil {
+		return nil, err
+	}
+	inst := shapedInstance(out.Schema())
+	if out.Empty() {
+		return inst, nil
+	}
+	for _, f := range out.Support() {
+		inst.Relation(f.Rel).Add(f.Args)
+	}
+	return inst, nil
+}
+
+// CertainAnswers computes every certain answer fact of q over the
+// decomposition: the facts present in all worlds of {q(W) : W ∈ rep(D)}.
+// On the empty world set certainty is vacuous and there is no canonical
+// answer set; the schema-shaped empty instance is reported, matching
+// decide.CertainAnswers' convention for rep(d) = ∅.
+func CertainAnswers(w *wsd.WSD, q query.Query) (*rel.Instance, error) {
+	out, err := Eval(w, q)
+	if err != nil {
+		return nil, err
+	}
+	inst := shapedInstance(out.Schema())
+	if out.Empty() {
+		return inst, nil
+	}
+	for _, f := range out.CertainFacts() {
+		inst.Relation(f.Rel).Add(f.Args)
+	}
+	return inst, nil
+}
+
+// shapedInstance builds an empty instance with one relation per schema
+// entry.
+func shapedInstance(s table.Schema) *rel.Instance {
+	inst := rel.NewInstance()
+	for _, r := range s {
+		inst.AddRelation(rel.NewRelation(r.Name, r.Arity))
+	}
+	return inst
+}

@@ -1,0 +1,653 @@
+// Package wsdalg evaluates positive relational-algebra queries directly
+// on world-set decompositions: Eval maps a wsd.WSD D and a query q to a
+// new decomposition denoting exactly {q(W) : W ∈ rep(D)}, without ever
+// enumerating worlds. It is the query-engine layer on top of the
+// decomposition backend, following the world-set-decomposition line of
+// work (Olteanu, Koch & Antova, "World-set decompositions:
+// expressiveness and efficient algorithms"; Antova, Koch & Olteanu,
+// "10^(10^6) Worlds and Beyond"): positive algebra can be pushed through
+// a decomposition with only local recombination, so the paper's §3–§5
+// decision problems over query answers (POSS/CERT of answer facts,
+// CONT of answer world-sets) run at decomposition scale.
+//
+// The evaluator represents each intermediate relation as a *decomposed
+// relation*: a union of independent "parts", where a part is a
+// deterministic function from the alternative choices of a few input
+// components (its origins) to a set of rows. Operators act as follows:
+//
+//   - scans split a relation along the input components that mention it
+//     (one single-origin part per component);
+//   - selection, projection and renaming are tuple-local, so they map
+//     each part's alternatives pointwise and distribute over the union;
+//   - join distributes over the union of parts; each pairwise join
+//     merges the two parts' origin sets and tabulates the joined rows
+//     over the merged choice space (the only place where the product
+//     structure coarsens, and the only blow-up — guarded by the same
+//     wsd.MaxMergeAlts bound Normalize uses);
+//   - union concatenates part lists (no recombination at all).
+//
+// The final answer decomposition groups correlated parts (shared
+// origins) into components, one alternative per joint choice, and hands
+// the result to wsd.Normalize: its counting-argument factorizer merges
+// answer components whose fact supports collide (the same answer fact
+// produced along different paths) and re-splits whatever became
+// independent, so the returned WSD satisfies all decomposition
+// invariants and Count is the exact number of distinct answers.
+//
+// Every step is exact — parts tabulate per-choice values, never
+// approximations — so rep(Eval(D, q)) = q(rep(D)) world-for-world. The
+// supported fragment is positive existential algebra (no ≠ selections)
+// plus the identity query; Supported gates the entry points and the
+// CLIs turn its error into their "unsupported fragment" exit.
+package wsdalg
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"pw/internal/algebra"
+	"pw/internal/cond"
+	"pw/internal/query"
+	"pw/internal/rel"
+	"pw/internal/sym"
+	"pw/internal/table"
+	"pw/internal/unionfind"
+	"pw/internal/wsd"
+)
+
+// ErrUnsupported marks queries outside the decomposition-evaluable
+// fragment (positive existential algebra and the identity query).
+// First-order and DATALOG queries, and algebra with ≠ selections, stay
+// on the per-instance engines.
+var ErrUnsupported = errors.New("query outside the positive-algebra fragment evaluable on decompositions")
+
+// ErrEntangled is wrapped by evaluation errors when a join or the final
+// component assembly would have to tabulate more than wsd.MaxMergeAlts
+// joint alternatives: the answer decomposition is too entangled to
+// build without degenerating into a world list.
+var ErrEntangled = errors.New("answer decomposition too entangled")
+
+// Supported reports whether q lies in the fragment Eval handles:
+// nil for the identity query and for positive (no ≠) relational-algebra
+// queries, an ErrUnsupported-wrapping error otherwise.
+func Supported(q query.Query) error {
+	switch a := q.(type) {
+	case query.Identity:
+		return nil
+	case query.Algebra:
+		if !a.Positive() {
+			return fmt.Errorf("%w: %s uses != selections (non-positive algebra)", ErrUnsupported, a.Label())
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: %s is not a relational-algebra query", ErrUnsupported, q.Label())
+	}
+}
+
+// Eval evaluates a supported query on a decomposition, returning a
+// normalized decomposition of the answer world-set:
+//
+//	rep(Eval(D, q)) = { q(W) : W ∈ rep(D) }.
+//
+// The result's schema is the query's output vector (one relation per
+// Out). Errors: unsupported queries (ErrUnsupported), schema errors
+// from the algebra layer, and the ErrEntangled blow-up guard.
+func Eval(w *wsd.WSD, q query.Query) (*wsd.WSD, error) {
+	if err := Supported(q); err != nil {
+		return nil, err
+	}
+	if query.IsIdentity(q) {
+		return w.Clone(), nil
+	}
+	a := q.(query.Algebra)
+
+	// Output schema: one relation per Out, arity from the expression.
+	outSchema := make(table.Schema, 0, len(a.Outs))
+	seen := map[string]bool{}
+	for _, o := range a.Outs {
+		cols, err := o.Expr.Schema()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Label(), err)
+		}
+		if seen[o.Name] {
+			return nil, fmt.Errorf("%s: duplicate output relation %s", a.Label(), o.Name)
+		}
+		seen[o.Name] = true
+		outSchema = append(outSchema, table.SchemaRel{Name: o.Name, Arity: len(cols)})
+	}
+	out := wsd.New(outSchema)
+
+	// rep(D) = ∅ ⇒ the answer world-set is ∅ too (there is no world to
+	// query). A component with zero alternatives is its canonical form.
+	if w.Empty() {
+		if err := out.AddComponent(); err != nil {
+			return nil, err
+		}
+		return out, out.Normalize()
+	}
+
+	ev := newEvaluator(w)
+	type outPart struct {
+		rel string
+		p   part
+	}
+	var parts []outPart
+	for _, o := range a.Outs {
+		d, err := ev.eval(o.Expr)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Label(), err)
+		}
+		for _, p := range d.parts {
+			parts = append(parts, outPart{rel: o.Name, p: p})
+		}
+	}
+
+	// Group correlated parts: parts sharing an origin component are
+	// functions of the same input choice, so they must land in one
+	// answer component. Origin-free parts (constant rows) are certain;
+	// each becomes a single-alternative component of its own and
+	// Normalize merges all certain components afterwards.
+	uf := unionfind.NewDense(ev.n)
+	for _, op := range parts {
+		if len(op.p.origins) == 0 {
+			continue // constant rows: handled as certain components below
+		}
+		for _, o := range op.p.origins[1:] {
+			uf.Union(int32(op.p.origins[0]), int32(o))
+		}
+	}
+	groups := map[int32][]outPart{}
+	var order []int32
+	for _, op := range parts {
+		if len(op.p.origins) == 0 {
+			alt := make(wsd.Alt, 0, len(op.p.alts[0]))
+			for _, t := range op.p.alts[0] {
+				alt = append(alt, wsd.Fact{Rel: op.rel, Args: rel.ResolveFact(t)})
+			}
+			if err := out.AddComponent(alt); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		r := uf.Find(int32(op.p.origins[0]))
+		if _, ok := groups[r]; !ok {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], op)
+	}
+
+	for _, r := range order {
+		group := groups[r]
+		var origins []int
+		for _, op := range group {
+			origins = mergeOrigins(origins, op.p.origins)
+		}
+		space, err := ev.space(origins)
+		if err != nil {
+			return nil, err
+		}
+		alts := make([]wsd.Alt, 0, space)
+		choice := make([]int, ev.n)
+		ev.odometer(origins, choice, func() {
+			var alt wsd.Alt
+			for _, op := range group {
+				for _, t := range op.p.at(choice, ev.altCounts) {
+					alt = append(alt, wsd.Fact{Rel: op.rel, Args: rel.ResolveFact(t)})
+				}
+			}
+			alts = append(alts, alt)
+		})
+		if err := out.AddComponent(alts...); err != nil {
+			return nil, err
+		}
+	}
+	return out, out.Normalize()
+}
+
+// part is one factor of a decomposed relation: a deterministic function
+// from the alternative choices of its origin components to a row set.
+// alts is indexed by the odometer over origins (last origin fastest),
+// with each origin digit ranging over the input component's full
+// alternative count; origins is sorted and duplicate-free. An
+// origin-free part (origins nil, one entry) is a constant row set.
+type part struct {
+	origins []int
+	alts    [][]sym.Tuple
+}
+
+// at returns the part's row set under a full choice vector (indexed by
+// input component).
+func (p *part) at(choice []int, altCounts []int) []sym.Tuple {
+	idx := 0
+	for _, o := range p.origins {
+		idx = idx*altCounts[o] + choice[o]
+	}
+	return p.alts[idx]
+}
+
+// dRel is a decomposed relation: named columns over a union of parts.
+// The relation's value in a world is the union of every part's value at
+// that world's choice vector.
+type dRel struct {
+	cols  []string
+	parts []part
+}
+
+// evaluator carries the per-evaluation state: the input decomposition,
+// its component alternative counts, and a per-relation scan cache (the
+// same base relation scanned twice shares its parts; parts are never
+// mutated after construction).
+type evaluator struct {
+	w         *wsd.WSD
+	n         int
+	altCounts []int
+	scans     map[string][]part
+}
+
+func newEvaluator(w *wsd.WSD) *evaluator {
+	counts := w.Alternatives()
+	return &evaluator{w: w, n: len(counts), altCounts: counts, scans: map[string][]part{}}
+}
+
+// space returns the joint alternative count of a set of origins,
+// guarded by wsd.MaxMergeAlts.
+func (ev *evaluator) space(origins []int) (int, error) {
+	space := 1
+	for _, o := range origins {
+		space *= ev.altCounts[o]
+		if space > wsd.MaxMergeAlts {
+			return 0, fmt.Errorf("%w: %d correlated components need %d+ joint alternatives (limit %d)",
+				ErrEntangled, len(origins), space, wsd.MaxMergeAlts)
+		}
+	}
+	return space, nil
+}
+
+// odometer enumerates every choice vector over the given origins (last
+// origin fastest, matching part.at's indexing), writing digits into
+// choice and calling fn once per combination.
+func (ev *evaluator) odometer(origins []int, choice []int, fn func()) {
+	for _, o := range origins {
+		choice[o] = 0
+	}
+	for {
+		fn()
+		i := len(origins) - 1
+		for ; i >= 0; i-- {
+			o := origins[i]
+			choice[o]++
+			if choice[o] < ev.altCounts[o] {
+				break
+			}
+			choice[o] = 0
+		}
+		if i < 0 {
+			return
+		}
+	}
+}
+
+// scanParts builds (and caches) the parts of a base relation: one part
+// per input component whose support mentions the relation, tabulating
+// the relation's fragment per alternative.
+func (ev *evaluator) scanParts(name string) []part {
+	if ps, ok := ev.scans[name]; ok {
+		return ps
+	}
+	var ps []part
+	for ci := 0; ci < ev.n; ci++ {
+		alts := make([][]sym.Tuple, ev.altCounts[ci])
+		any := false
+		for ai := range alts {
+			for _, f := range ev.w.AltFacts(ci, ai) {
+				if f.Rel == name {
+					alts[ai] = append(alts[ai], f.Args.Intern())
+					any = true
+				}
+			}
+		}
+		if any {
+			ps = append(ps, part{origins: []int{ci}, alts: alts})
+		}
+	}
+	ev.scans[name] = ps
+	return ps
+}
+
+// eval evaluates one algebra expression to a decomposed relation. It
+// mirrors algebra.evalInst case by case, lifted from row sets to parts.
+func (ev *evaluator) eval(e algebra.Expr) (dRel, error) {
+	switch n := e.(type) {
+	case algebra.ConstRel:
+		cols, err := n.Schema()
+		if err != nil {
+			return dRel{}, err
+		}
+		rows := make([]sym.Tuple, 0, len(n.Rows))
+		for _, r := range n.Rows {
+			rows = append(rows, rel.Fact(r).Intern())
+		}
+		rows = sortDedupTuples(rows)
+		if len(rows) == 0 {
+			return dRel{cols: cols}, nil
+		}
+		return dRel{cols: cols, parts: []part{{alts: [][]sym.Tuple{rows}}}}, nil
+
+	case algebra.Rel:
+		cols, err := n.Schema()
+		if err != nil {
+			return dRel{}, err
+		}
+		ri := -1
+		for i, s := range ev.w.Schema() {
+			if s.Name == n.Name {
+				ri = i
+				break
+			}
+		}
+		if ri < 0 {
+			return dRel{}, fmt.Errorf("wsdalg: relation %s not in decomposition", n.Name)
+		}
+		if ev.w.Schema()[ri].Arity != len(cols) {
+			return dRel{}, fmt.Errorf("wsdalg: scan %s names %d columns, relation has arity %d",
+				n.Name, len(cols), ev.w.Schema()[ri].Arity)
+		}
+		return dRel{cols: cols, parts: ev.scanParts(n.Name)}, nil
+
+	case algebra.Project:
+		in, err := ev.eval(n.E)
+		if err != nil {
+			return dRel{}, err
+		}
+		if _, err := n.Schema(); err != nil {
+			return dRel{}, err
+		}
+		idx := make([]int, len(n.Cols))
+		for i, c := range n.Cols {
+			idx[i] = indexOf(in.cols, c)
+		}
+		return mapParts(in, n.Cols, func(t sym.Tuple) (sym.Tuple, bool) {
+			g := make(sym.Tuple, len(idx))
+			for i, j := range idx {
+				g[i] = t[j]
+			}
+			return g, true
+		}), nil
+
+	case algebra.Select:
+		in, err := ev.eval(n.E)
+		if err != nil {
+			return dRel{}, err
+		}
+		if _, err := n.Schema(); err != nil {
+			return dRel{}, err
+		}
+		// Resolve each predicate once to column indices / interned
+		// constants; alternatives are ground, so selection is an exact
+		// per-row ID comparison (the fragment gate has already excluded
+		// ≠, but the comparison handles both operators uniformly).
+		preds, err := resolvePreds(n.Preds, in.cols)
+		if err != nil {
+			return dRel{}, err
+		}
+		return mapParts(in, in.cols, func(t sym.Tuple) (sym.Tuple, bool) {
+			for _, p := range preds {
+				if !p.holds(t) {
+					return nil, false
+				}
+			}
+			return t, true
+		}), nil
+
+	case algebra.Rename:
+		in, err := ev.eval(n.E)
+		if err != nil {
+			return dRel{}, err
+		}
+		cols, err := n.Schema()
+		if err != nil {
+			return dRel{}, err
+		}
+		return dRel{cols: cols, parts: in.parts}, nil
+
+	case algebra.Join:
+		l, err := ev.eval(n.L)
+		if err != nil {
+			return dRel{}, err
+		}
+		r, err := ev.eval(n.R)
+		if err != nil {
+			return dRel{}, err
+		}
+		cols, err := n.Schema()
+		if err != nil {
+			return dRel{}, err
+		}
+		return ev.joinRels(l, r, cols)
+
+	case algebra.Union:
+		l, err := ev.eval(n.L)
+		if err != nil {
+			return dRel{}, err
+		}
+		r, err := ev.eval(n.R)
+		if err != nil {
+			return dRel{}, err
+		}
+		if _, err := n.Schema(); err != nil {
+			return dRel{}, err
+		}
+		parts := make([]part, 0, len(l.parts)+len(r.parts))
+		parts = append(parts, l.parts...)
+		parts = append(parts, r.parts...)
+		return dRel{cols: l.cols, parts: parts}, nil
+	}
+	return dRel{}, fmt.Errorf("wsdalg: unknown expression %T", e)
+}
+
+// joinRels distributes the natural join over both unions of parts; each
+// pairwise join tabulates over the merged origin space.
+func (ev *evaluator) joinRels(l, r dRel, cols []string) (dRel, error) {
+	var lShared, rShared, rExtra []int
+	for j, c := range r.cols {
+		if i := indexOf(l.cols, c); i >= 0 {
+			lShared = append(lShared, i)
+			rShared = append(rShared, j)
+		} else {
+			rExtra = append(rExtra, j)
+		}
+	}
+	out := dRel{cols: cols}
+	choice := make([]int, ev.n)
+	for li := range l.parts {
+		for ri := range r.parts {
+			lp, rp := &l.parts[li], &r.parts[ri]
+			origins := mergeOrigins(append([]int(nil), lp.origins...), rp.origins)
+			space, err := ev.space(origins)
+			if err != nil {
+				return dRel{}, err
+			}
+			alts := make([][]sym.Tuple, 0, space)
+			any := false
+			ev.odometer(origins, choice, func() {
+				joined := joinTuples(lp.at(choice, ev.altCounts), rp.at(choice, ev.altCounts),
+					lShared, rShared, rExtra, len(cols))
+				if len(joined) > 0 {
+					any = true
+				}
+				alts = append(alts, joined)
+			})
+			if any {
+				out.parts = append(out.parts, part{origins: origins, alts: alts})
+			}
+		}
+	}
+	return out, nil
+}
+
+// joinTuples is the ground natural join of two row sets (hash on the
+// shared columns with exact confirmation, as in algebra.evalInst).
+func joinTuples(ls, rs []sym.Tuple, lShared, rShared, rExtra []int, width int) []sym.Tuple {
+	if len(ls) == 0 || len(rs) == 0 {
+		return nil
+	}
+	key := func(t sym.Tuple, at []int) uint64 {
+		h := uint64(1469598103934665603)
+		for _, j := range at {
+			h ^= uint64(t[j])
+			h *= 1099511628211
+		}
+		return h
+	}
+	index := make(map[uint64][]sym.Tuple, len(rs))
+	for _, rt := range rs {
+		index[key(rt, rShared)] = append(index[key(rt, rShared)], rt)
+	}
+	var out []sym.Tuple
+	for _, lt := range ls {
+	probe:
+		for _, rt := range index[key(lt, lShared)] {
+			for k := range lShared {
+				if lt[lShared[k]] != rt[rShared[k]] {
+					continue probe
+				}
+			}
+			g := make(sym.Tuple, 0, width)
+			g = append(g, lt...)
+			for _, j := range rExtra {
+				g = append(g, rt[j])
+			}
+			out = append(out, g)
+		}
+	}
+	return sortDedupTuples(out)
+}
+
+// mapParts applies a tuple-local map (project, select, …) to every
+// alternative of every part; tuple-local operators distribute over the
+// union of parts, so origins are untouched. Parts whose every
+// alternative maps to the empty set contribute nothing and are dropped.
+func mapParts(in dRel, cols []string, f func(sym.Tuple) (sym.Tuple, bool)) dRel {
+	out := dRel{cols: cols}
+	for i := range in.parts {
+		p := &in.parts[i]
+		alts := make([][]sym.Tuple, len(p.alts))
+		any := false
+		for ai, alt := range p.alts {
+			var rows []sym.Tuple
+			for _, t := range alt {
+				if g, ok := f(t); ok {
+					rows = append(rows, g)
+				}
+			}
+			rows = sortDedupTuples(rows)
+			if len(rows) > 0 {
+				any = true
+			}
+			alts[ai] = rows
+		}
+		if any {
+			out.parts = append(out.parts, part{origins: p.origins, alts: alts})
+		}
+	}
+	return out
+}
+
+// resolvedPred is a selection predicate compiled to column indices and
+// interned constants.
+type resolvedPred struct {
+	eq           bool
+	lIdx, rIdx   int
+	lConst, rCon sym.ID
+}
+
+func (p *resolvedPred) holds(t sym.Tuple) bool {
+	l, r := p.lConst, p.rCon
+	if p.lIdx >= 0 {
+		l = t[p.lIdx]
+	}
+	if p.rIdx >= 0 {
+		r = t[p.rIdx]
+	}
+	return p.eq == (l == r)
+}
+
+func resolvePreds(preds []algebra.Pred, cols []string) ([]resolvedPred, error) {
+	out := make([]resolvedPred, len(preds))
+	for i, p := range preds {
+		rp := resolvedPred{eq: p.Op == cond.Eq, lIdx: -1, rIdx: -1}
+		for side, o := range []algebra.Operand{p.L, p.R} {
+			idx, id, err := resolveOperand(o, cols)
+			if err != nil {
+				return nil, err
+			}
+			if side == 0 {
+				rp.lIdx, rp.lConst = idx, id
+			} else {
+				rp.rIdx, rp.rCon = idx, id
+			}
+		}
+		out[i] = rp
+	}
+	return out, nil
+}
+
+func resolveOperand(o algebra.Operand, cols []string) (idx int, id sym.ID, err error) {
+	if c, isConst := o.Const(); isConst {
+		return -1, sym.Const(c), nil
+	}
+	col, _ := o.Column()
+	j := indexOf(cols, col)
+	if j < 0 {
+		return 0, 0, fmt.Errorf("wsdalg: select column %s not in %v", col, cols)
+	}
+	return j, 0, nil
+}
+
+// sortDedupTuples sorts rows lexicographically by interned ID and
+// removes duplicates in place (relations are sets; projection and join
+// can collapse rows).
+func sortDedupTuples(ts []sym.Tuple) []sym.Tuple {
+	sort.Slice(ts, func(i, j int) bool { return tupleLess(ts[i], ts[j]) })
+	out := ts[:0]
+	for i, t := range ts {
+		if i == 0 || !t.Equal(ts[i-1]) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func tupleLess(a, b sym.Tuple) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// mergeOrigins unions a sorted origin list into dst (kept sorted and
+// duplicate-free).
+func mergeOrigins(dst, src []int) []int {
+	for _, o := range src {
+		i := sort.SearchInts(dst, o)
+		if i < len(dst) && dst[i] == o {
+			continue
+		}
+		dst = append(dst, 0)
+		copy(dst[i+1:], dst[i:])
+		dst[i] = o
+	}
+	return dst
+}
+
+func indexOf(cols []string, c string) int {
+	for i, x := range cols {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}

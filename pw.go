@@ -28,6 +28,7 @@ import (
 	"pw/internal/value"
 	"pw/internal/worlds"
 	"pw/internal/wsd"
+	"pw/internal/wsdalg"
 )
 
 // Core value and condition types.
@@ -85,6 +86,8 @@ type (
 	// AlgebraQuery is a positive existential query (vector of named
 	// relational algebra expressions), evaluable directly on c-tables.
 	AlgebraQuery = query.Algebra
+	// AlgebraOut is one named output relation of an algebra query.
+	AlgebraOut = query.Out
 	// FOQuery is a first-order query vector.
 	FOQuery = query.FO
 	// DatalogQuery is a DATALOG query.
@@ -92,6 +95,39 @@ type (
 	// Expr is a relational algebra expression.
 	Expr = algebra.Expr
 )
+
+// NewAlgebraQuery builds a relational-algebra query from named outputs.
+func NewAlgebraQuery(name string, outs ...AlgebraOut) AlgebraQuery {
+	return query.NewAlgebra(name, outs...)
+}
+
+// Algebra expression constructors, re-exported so downstream users can
+// assemble queries against the façade alone.
+
+// ScanExpr scans a base relation, naming its columns positionally.
+func ScanExpr(rel string, cols ...string) Expr { return algebra.Scan(rel, cols...) }
+
+// ProjectExpr keeps the named columns, in the given order.
+func ProjectExpr(e Expr, cols ...string) Expr { return algebra.Project{E: e, Cols: cols} }
+
+// WhereEqExpr filters e by column = constant.
+func WhereEqExpr(e Expr, col, constant string) Expr {
+	return algebra.Where(e, algebra.EqP(algebra.Col(col), algebra.Lit(constant)))
+}
+
+// WhereEqColsExpr filters e by column = column.
+func WhereEqColsExpr(e Expr, col1, col2 string) Expr {
+	return algebra.Where(e, algebra.EqP(algebra.Col(col1), algebra.Col(col2)))
+}
+
+// RenameExpr renames columns pairwise: from[i] → to[i].
+func RenameExpr(e Expr, from, to []string) Expr { return algebra.Rename{E: e, From: from, To: to} }
+
+// JoinExpr is the natural join on shared column names.
+func JoinExpr(l, r Expr) Expr { return algebra.Join{L: l, R: r} }
+
+// UnionExpr is set union of two same-schema expressions.
+func UnionExpr(l, r Expr) Expr { return algebra.Union{L: l, R: r} }
 
 // Representation kinds, re-exported.
 const (
@@ -175,6 +211,13 @@ func (o Options) CertainFact(relName string, f Fact, q Query, d *Database) (bool
 // independent.
 func (o Options) CertainAnswers(q Query, d *Database) (*Instance, error) {
 	return o.decide().CertainAnswers(q, d)
+}
+
+// PossibleAnswers computes the possible answers of a liftable view over
+// the constants of d and q with this option set; the answer set is
+// worker-count independent.
+func (o Options) PossibleAnswers(q Query, d *Database) (*Instance, error) {
+	return o.decide().PossibleAnswers(q, d)
 }
 
 // Worlds materializes rep(d) with this option set: the valuation space is
@@ -336,3 +379,50 @@ func Apply(q AlgebraQuery, d *Database) (*Database, error) { return q.EvalLifted
 func CertainAnswers(q Query, d *Database) (*Instance, error) {
 	return decide.CertainAnswers(q, d)
 }
+
+// PossibleAnswers computes every possible fact of q(rep(d)) over the
+// constants of d and q, for a liftable query: the answers present in at
+// least one possible world. (Facts over fresh constants may also be
+// possible but form an infinite family; the restriction to the inputs'
+// constants is the canonical finite answer set.)
+func PossibleAnswers(q Query, d *Database) (*Instance, error) {
+	return decide.PossibleAnswers(q, d)
+}
+
+// ApplyWSD evaluates a positive relational-algebra query directly on a
+// world-set decomposition, returning a normalized decomposition of the
+// answer world-set: rep(ApplyWSD(q, w)) = {q(W) : W ∈ rep(w)}. No world
+// is enumerated: component-local operators map alternatives pointwise
+// and cross-component joins recombine only the components they touch.
+// Queries outside the fragment (FO, DATALOG, algebra with ≠) error with
+// ErrUnsupportedQuery.
+func ApplyWSD(q Query, w *WSD) (*WSD, error) { return wsdalg.Eval(w, q) }
+
+// PossibleAnswersWSD computes every possible answer fact of q over the
+// decomposition — the union of the answer world-set, read off the
+// support of the evaluated decomposition.
+func PossibleAnswersWSD(q Query, w *WSD) (*Instance, error) {
+	return wsdalg.PossibleAnswers(w, q)
+}
+
+// CertainAnswersWSD computes every certain answer fact of q over the
+// decomposition — the intersection of the answer world-set.
+func CertainAnswersWSD(q Query, w *WSD) (*Instance, error) {
+	return wsdalg.CertainAnswers(w, q)
+}
+
+// ContainedWSD decides CONT(−,−) natively on decompositions:
+// rep(sub) ⊆ rep(sup)?
+func ContainedWSD(sub, sup *WSD) (bool, error) { return wsdalg.Contains(sub, sup) }
+
+// ContainedViewsWSD decides CONT(q0,q) natively on decompositions:
+// q0(rep(d0)) ⊆ q(rep(d))? Both queries must be in the supported
+// fragment.
+func ContainedViewsWSD(q0 Query, d0 *WSD, q Query, d *WSD) (bool, error) {
+	return wsdalg.ContainmentViews(q0, d0, q, d)
+}
+
+// ErrUnsupportedQuery is returned (wrapped) by the WSD query entry
+// points for queries outside the decomposition-evaluable fragment
+// (positive existential algebra plus the identity query).
+var ErrUnsupportedQuery = wsdalg.ErrUnsupported

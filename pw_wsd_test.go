@@ -68,3 +68,57 @@ func TestToWSDFacade(t *testing.T) {
 		}
 	}
 }
+
+// TestWSDQueryFacade exercises the lifted query evaluator through the
+// public API: ApplyWSD, the answer-set entry points and native
+// containment.
+func TestWSDQueryFacade(t *testing.T) {
+	w := pw.NewWSD(pw.Schema{{Name: "Emp", Arity: 2}})
+	err := w.AddComponent(
+		pw.WSDAlt{{Rel: "Emp", Args: pw.Fact{"carol", "sales"}}},
+		pw.WSDAlt{{Rel: "Emp", Args: pw.Fact{"carol", "eng"}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddComponent(pw.WSDAlt{{Rel: "Emp", Args: pw.Fact{"alice", "sales"}}}); err != nil {
+		t.Fatal(err)
+	}
+
+	names := pw.NewAlgebraQuery("names",
+		pw.AlgebraOut{Name: "Name", Expr: pw.ProjectExpr(pw.ScanExpr("Emp", "who", "dept"), "who")})
+	ans, err := pw.ApplyWSD(names, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both worlds project to {carol, alice}: one certain answer world.
+	if got := ans.Count().Int64(); got != 1 {
+		t.Fatalf("answer Count = %d, want 1", got)
+	}
+	cert, err := pw.CertainAnswersWSD(names, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := cert.Relation("Name"); r == nil || r.Len() != 2 {
+		t.Fatalf("certain answers = %v, want carol and alice", cert)
+	}
+	poss, err := pw.PossibleAnswersWSD(names, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !poss.Equal(cert) {
+		t.Fatalf("possible answers %v must equal certain answers %v here", poss, cert)
+	}
+
+	// The answer world-set is contained in itself; the input is not
+	// contained in the answer (different schemas).
+	if ok, err := pw.ContainedWSD(ans, ans); err != nil || !ok {
+		t.Fatalf("self containment: %v %v", ok, err)
+	}
+	if ok, err := pw.ContainedWSD(w, ans); err != nil || ok {
+		t.Fatalf("schema-mismatched containment must be false: %v %v", ok, err)
+	}
+	if ok, err := pw.ContainedViewsWSD(names, w, names, w); err != nil || !ok {
+		t.Fatalf("view self containment: %v %v", ok, err)
+	}
+}
