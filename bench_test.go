@@ -11,6 +11,7 @@ package pw
 
 import (
 	"fmt"
+	"math/big"
 	"testing"
 
 	"pw/internal/algebra"
@@ -709,4 +710,59 @@ func BenchmarkWSDQuery_Join_1M(b *testing.B) {
 	// Every sensor world labels differently, so the answer world-set
 	// stays at 2^20 (the certain hub reading joins nothing and drops).
 	benchWSDQuery(b, join, 1<<20)
+}
+
+// --- WSDAttr: the attribute-level decomposition on a 2^100-world set ---
+
+// The century grid (gen.CenturyWSD) is 100 independent per-field
+// choices: a world set the tuple-level form cannot even store expanded.
+// The asserted 2^100 count pins exactness on every iteration; the three
+// probes are the acceptance criteria for the attribute-level backend —
+// MEMB, Count and a σ-π query, each well under 10ms/op on the factored
+// form.
+
+func centuryCount() *big.Int {
+	return new(big.Int).Exp(big.NewInt(2), big.NewInt(100), nil)
+}
+
+func BenchmarkWSDAttr_Count_2p100(b *testing.B) {
+	w := gen.CenturyWSD()
+	want := centuryCount()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c := w.Count(); c.Cmp(want) != 0 {
+			b.Fatalf("Count = %s, want 2^100", c)
+		}
+	}
+}
+
+func BenchmarkWSDAttr_Memb_2p100(b *testing.B) {
+	w := gen.CenturyWSD()
+	inst := w.World(make([]int, w.Components()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !w.Member(inst) {
+			b.Fatal("materialized world must be a member")
+		}
+	}
+}
+
+func BenchmarkWSDAttr_Query_2p100(b *testing.B) {
+	q := query.NewAlgebra("hi", query.Out{Name: "A",
+		Expr: algebra.Project{
+			E:    algebra.Where(algebra.Scan("R", "s", "v"), algebra.EqP(algebra.Col("v"), algebra.Lit("hi"))),
+			Cols: []string{"s"},
+		}})
+	w := gen.CenturyWSD()
+	want := centuryCount()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := wsdalg.Eval(w, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c := out.Count(); c.Cmp(want) != 0 {
+			b.Fatalf("answer Count = %s, want 2^100", c)
+		}
+	}
 }

@@ -1,0 +1,142 @@
+// Command covcheck enforces per-package test-coverage floors: it runs
+// `go test -cover` for every package named in a checked-in floors file
+// and exits nonzero when any package's statement coverage has dropped
+// below its floor. It is the CI tripwire that keeps the load-bearing
+// packages (the decomposition backend and the lifted evaluator, whose
+// differential suites are the system's correctness story) from shedding
+// coverage silently.
+//
+// Usage:
+//
+//	covcheck COVERAGE_floors.json               # enforce the floors
+//	covcheck -write COVERAGE_floors.json PKG... # regenerate the floors
+//
+// The floors file maps import paths to minimum statement-coverage
+// percentages. -write measures the named packages and records their
+// current coverage minus a one-point slack (so incidental churn does
+// not trip the gate; genuine drops do). Regeneration is documented in
+// DESIGN.md — raise floors deliberately when a PR adds real coverage.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, goCover))
+}
+
+// writeSlack is subtracted from measured coverage when regenerating
+// floors: enough to absorb line-count churn, small enough to catch a
+// real coverage drop.
+const writeSlack = 1.0
+
+func run(args []string, stdout, stderr io.Writer, cover func(pkg string) (float64, error)) int {
+	fs := flag.NewFlagSet("covcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	write := fs.Bool("write", false, "measure the named packages and rewrite the floors file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() < 1 {
+		fmt.Fprintln(stderr, "usage: covcheck [-write] FLOORS.json [pkg ...]")
+		return 2
+	}
+	path := fs.Arg(0)
+
+	if *write {
+		pkgs := fs.Args()[1:]
+		if len(pkgs) == 0 {
+			fmt.Fprintln(stderr, "covcheck: -write needs at least one package")
+			return 2
+		}
+		floors := map[string]float64{}
+		for _, pkg := range pkgs {
+			got, err := cover(pkg)
+			if err != nil {
+				fmt.Fprintf(stderr, "covcheck: %s: %v\n", pkg, err)
+				return 1
+			}
+			floor := math.Max(0, math.Floor((got-writeSlack)*10)/10)
+			floors[pkg] = floor
+			fmt.Fprintf(stdout, "%-28s %6.1f%% -> floor %.1f%%\n", pkg, got, floor)
+		}
+		data, err := json.MarshalIndent(floors, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "covcheck: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "covcheck: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "covcheck: %v\n", err)
+		return 2
+	}
+	var floors map[string]float64
+	if err := json.Unmarshal(data, &floors); err != nil {
+		fmt.Fprintf(stderr, "covcheck: %s: %v\n", path, err)
+		return 2
+	}
+	pkgs := make([]string, 0, len(floors))
+	for pkg := range floors {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+
+	failed := false
+	for _, pkg := range pkgs {
+		got, err := cover(pkg)
+		if err != nil {
+			fmt.Fprintf(stderr, "covcheck: %s: %v\n", pkg, err)
+			return 1
+		}
+		status := "ok"
+		if got < floors[pkg] {
+			status = "BELOW FLOOR"
+			failed = true
+		}
+		fmt.Fprintf(stdout, "%-28s %6.1f%% (floor %.1f%%) %s\n", pkg, got, floors[pkg], status)
+	}
+	if failed {
+		fmt.Fprintf(stderr, "covcheck: coverage dropped below a checked-in floor; raise the tests, or regenerate %s deliberately (see DESIGN.md)\n", path)
+		return 1
+	}
+	return 0
+}
+
+var coverRE = regexp.MustCompile(`coverage: ([0-9.]+)% of statements`)
+
+// goCover measures one package's statement coverage with `go test
+// -cover` (cache-defeating, so floors always reflect a fresh run).
+func goCover(pkg string) (float64, error) {
+	out, err := exec.Command("go", "test", "-count=1", "-cover", pkg).CombinedOutput()
+	if err != nil {
+		return 0, fmt.Errorf("go test -cover: %v\n%s", err, out)
+	}
+	return parseCoverage(string(out))
+}
+
+// parseCoverage extracts the statement-coverage percentage from `go
+// test -cover` output.
+func parseCoverage(out string) (float64, error) {
+	m := coverRE.FindStringSubmatch(out)
+	if m == nil {
+		return 0, fmt.Errorf("no coverage line in output:\n%s", out)
+	}
+	return strconv.ParseFloat(m[1], 64)
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseCoverage(t *testing.T) {
+	got, err := parseCoverage("ok  \tpw/internal/wsd\t0.5s\tcoverage: 87.3% of statements\n")
+	if err != nil || got != 87.3 {
+		t.Fatalf("parseCoverage = %v, %v; want 87.3", got, err)
+	}
+	if _, err := parseCoverage("ok  \tpw/internal/wsd\t0.5s\n"); err == nil {
+		t.Fatal("missing coverage line must error")
+	}
+}
+
+// fakeCover is an injectable measurement for the gate logic tests.
+func fakeCover(values map[string]float64) func(string) (float64, error) {
+	return func(pkg string) (float64, error) {
+		v, ok := values[pkg]
+		if !ok {
+			return 0, fmt.Errorf("unknown package %s", pkg)
+		}
+		return v, nil
+	}
+}
+
+func writeFloors(t *testing.T, floors map[string]float64) string {
+	t.Helper()
+	data, err := json.Marshal(floors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "floors.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckPassesAtFloor(t *testing.T) {
+	path := writeFloors(t, map[string]float64{"a": 80.0, "b": 75.5})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{path}, &stdout, &stderr, fakeCover(map[string]float64{"a": 80.0, "b": 90.1}))
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; stderr: %s", code, stderr.String())
+	}
+}
+
+func TestCheckFailsBelowFloor(t *testing.T) {
+	path := writeFloors(t, map[string]float64{"a": 80.0, "b": 75.5})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{path}, &stdout, &stderr, fakeCover(map[string]float64{"a": 79.9, "b": 90.0}))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stdout.String(), "BELOW FLOOR") {
+		t.Fatalf("report should flag the failing package:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "DESIGN.md") {
+		t.Fatalf("failure should point at the regeneration doc, got: %s", stderr.String())
+	}
+}
+
+func TestWriteRecordsSlackedFloors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "floors.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-write", path, "a"}, &stdout, &stderr, fakeCover(map[string]float64{"a": 87.36}))
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var floors map[string]float64
+	if err := json.Unmarshal(data, &floors); err != nil {
+		t.Fatal(err)
+	}
+	if floors["a"] != 86.3 { // 87.36 - 1.0 slack, floored to one decimal
+		t.Fatalf("floor = %v, want 86.3", floors["a"])
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr, nil); code != 2 {
+		t.Fatalf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"-write", "floors.json"}, &stdout, &stderr, nil); code != 2 {
+		t.Fatalf("-write without packages: exit %d, want 2", code)
+	}
+	if code := run([]string{filepath.Join(t.TempDir(), "missing.json")}, &stdout, &stderr, nil); code != 2 {
+		t.Fatalf("missing floors file: exit %d, want 2", code)
+	}
+}

@@ -50,6 +50,15 @@ func TestGolden(t *testing.T) {
 		{"cert_ans_wsd_empty", []string{"cert-ans", "-db", data("sensors.pw"), "-query", data("sensors_hi.pw")}},
 		{"cert_ans_tables", []string{"cert-ans", "-db", data("personnel.pw"), "-query", data("personnel_names.pw")}},
 		{"poss_ans_tables", []string{"poss-ans", "-db", data("personnel.pw"), "-query", data("personnel_names.pw")}},
+		// The attribute-level backend: 2^100 worlds in ~100 template
+		// lines, every answer from the factored form.
+		{"kind_grid", []string{"kind", "-db", data("grid.pw")}},
+		{"count_grid", []string{"count", "-db", data("grid.pw")}},
+		{"poss_grid_yes", []string{"poss", "-db", data("grid.pw"), "-facts", data("grid_maybe.pw")}},
+		{"cert_grid_no", []string{"cert", "-db", data("grid.pw"), "-facts", data("grid_maybe.pw")}},
+		{"sample_grid", []string{"sample", "-db", data("grid.pw"), "-seed", "9"}},
+		{"poss_ans_grid", []string{"poss-ans", "-db", data("grid.pw"), "-query", data("grid_hi.pw")}},
+		{"cert_ans_grid", []string{"cert-ans", "-db", data("grid.pw"), "-query", data("grid_hi.pw")}},
 		// Containment on decompositions (and mixed backends): the former
 		// "tables only" exit-2 carve-out is gone.
 		{"cont_wsd_yes", []string{"cont", "-db", data("sensors_pinned.pw"), "-db2", data("sensors.pw")}},
@@ -149,5 +158,29 @@ func TestBadUsageExits2(t *testing.T) {
 	if code := run([]string{"cont", "-db", data("sensors.pw"), "-db2", data("personnel.pw")},
 		&stdout, &stderr); code != 2 {
 		t.Errorf("cont with infinite-rep superset: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "rep is infinite") {
+		t.Errorf("infinite-rep superset rejection should name the cause, got: %s", stderr.String())
+	}
+	// The identity carve-out (infinite subset ⊆ finite superset is
+	// plainly "no", exit 0) does not extend to views: under a query the
+	// subset side must compile, so ErrInfiniteRep is a structural error.
+	stderr.Reset()
+	if code := run([]string{"cont", "-db", data("personnel.pw"), "-db2", data("sensors.pw"),
+		"-query", data("personnel_names.pw"), "-query2", data("personnel_names.pw")},
+		&stdout, &stderr); code != 2 {
+		t.Errorf("cont view with infinite-rep subset: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "rep is infinite") {
+		t.Errorf("infinite-rep subset rejection should name the cause, got: %s", stderr.String())
+	}
+	// Malformed tmpl slot syntax is a parse error, not a crash.
+	stderr.Reset()
+	tmp := filepath.Join(t.TempDir(), "bad.pw")
+	if err := os.WriteFile(tmp, []byte("@wsd\n  relation: R(1)\n  component:\n    tmpl: R({a|{b}})\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"count", "-db", tmp}, &stdout, &stderr); code != 2 {
+		t.Errorf("nested-brace tmpl: exit %d, want 2", code)
 	}
 }

@@ -1,9 +1,23 @@
-package decide
+// Differential validation of the decision engine through the shared
+// metamorphic harness (internal/difftest): the determinism contract —
+// every decision procedure returns identical results at Workers = 1, 2
+// and 8 AND matches the brute-force scan of the canonical world list —
+// enforced across seeded random databases of every representation kind,
+// for the identity query, a genuinely first-order query and a liftable
+// ≠-query, plus the Π₂ᵖ containment cell. The sharding thresholds are
+// lowered so the parallel machinery genuinely engages on these small
+// inputs (and so the race detector sees the real pool/cancellation code
+// paths).
+package decide_test
 
 import (
 	"fmt"
 	"testing"
 
+	"pw/internal/algebra"
+	"pw/internal/decide"
+	"pw/internal/difftest"
+	"pw/internal/fo"
 	"pw/internal/gen"
 	"pw/internal/query"
 	"pw/internal/rel"
@@ -14,187 +28,171 @@ import (
 	"pw/internal/worlds"
 )
 
-// The differential suite is the enforcement of the determinism contract:
-// across ~200 seeded random databases, every decision procedure must
-// return identical results at Workers = 1, 2 and 8 AND match the
-// brute-force worlds oracle. The sharding thresholds are lowered so the
-// parallel machinery genuinely engages on these small inputs (and so the
-// race detector sees the real pool/cancellation code paths).
-
-var diffWorkers = []int{1, 2, 8}
-
 func forceParallel(t *testing.T) {
 	t.Helper()
-	oldSpace, oldPairs := valuation.MinShardedSpace, MinParallelPairs
-	valuation.MinShardedSpace, MinParallelPairs = 1, 1
+	oldSpace, oldPairs := valuation.MinShardedSpace, decide.MinParallelPairs
+	valuation.MinShardedSpace, decide.MinParallelPairs = 1, 1
 	t.Cleanup(func() {
-		valuation.MinShardedSpace, MinParallelPairs = oldSpace, oldPairs
+		valuation.MinShardedSpace, decide.MinParallelPairs = oldSpace, oldPairs
 	})
 }
 
-func genDB(seed int64, kind int) *table.Database {
+// workerSweep is the determinism contract: the same engine at three
+// worker counts, every answer compared to the same oracle.
+func workerSweep(withAnswers bool) []difftest.Backend {
+	return []difftest.Backend{
+		difftest.DecideBackend(1, withAnswers),
+		difftest.DecideBackend(2, withAnswers),
+		difftest.DecideBackend(8, withAnswers),
+	}
+}
+
+func genDB(seed int64, kind int64) *table.Database {
+	rows := 2 + int(seed)%2
 	switch kind {
 	case 0:
-		return table.DB(gen.CoddTable(seed, "T", 3, 2, 4, 0.5))
+		return table.DB(gen.CoddTable(seed, "T", rows, 2, 4, 0.5))
 	case 1:
-		return table.DB(gen.ETable(seed, "T", 3, 2, 4, 2, 0.5))
+		return table.DB(gen.ETable(seed, "T", rows, 2, 4, 2, 0.5))
 	case 2:
-		return table.DB(gen.ITable(seed, "T", 3, 2, 4, 2, 0.5))
+		return table.DB(gen.ITable(seed, "T", rows, 2, 4, 2, 0.5))
 	default:
-		return table.DB(gen.CTable(seed, "T", 3, 2, 4, 2, 0.5, 0.5))
+		return table.DB(gen.CTable(seed, "T", rows, 2, 4, 2, 0.5, 0.5))
 	}
 }
 
-// TestDifferentialIdentityDecisions covers the identity-query cells
-// (matching, backtracking search, per-fact coNP fan-outs) on 152 random
-// databases of every representation kind.
-func TestDifferentialIdentityDecisions(t *testing.T) {
+// decideCase builds a difftest case over the canonical world list of a
+// seeded database of the given kind, bounded for the oracle scan.
+func decideCase(seed int64, q query.Query) (*difftest.Case, bool) {
+	d := genDB(seed, seed%4)
+	if len(d.VarNames()) > 4 {
+		return nil, false
+	}
+	W := worlds.All(d)
+	if len(W) == 0 || len(W) > 400 {
+		return nil, false
+	}
+	return &difftest.Case{Worlds: W, DB: d, Query: q, Consts: d.ConstNames()}, true
+}
+
+// TestDifferentialDecideIdentity covers the identity-query cells
+// (matching, backtracking search, per-fact coNP fan-outs, the lifted
+// answer sets) on seeded databases of every representation kind.
+func TestDifferentialDecideIdentity(t *testing.T) {
 	forceParallel(t)
-	id := query.Identity{}
-	for kind := 0; kind < 4; kind++ {
-		for seed := int64(0); seed < 38; seed++ {
-			d := genDB(seed, kind)
-			i0, ok := gen.MemberInstance(seed, d)
-			if !ok {
-				continue
-			}
-			pert, _ := gen.PerturbedInstance(seed, i0)
-			wantMemb := worlds.Member(i0, d)
-			wantUniq := worlds.Count(d) == 1 && wantMemb
-			wantPoss := worlds.Possible(i0, d)
-			wantCert := worlds.Certain(i0, d)
-			var wantMembPert bool
-			if pert != nil {
-				wantMembPert = worlds.Member(pert, d)
-			}
-			for _, w := range diffWorkers {
-				o := Options{Workers: w}
-				check := func(label string, got bool, err error, want bool) {
-					t.Helper()
-					if err != nil {
-						t.Fatalf("kind %d seed %d workers %d %s: %v", kind, seed, w, label, err)
-					}
-					if got != want {
-						t.Fatalf("kind %d seed %d workers %d %s: decide=%v oracle=%v\n%s\n%s",
-							kind, seed, w, label, got, want, d, i0)
-					}
-				}
-				got, err := o.Membership(i0, id, d)
-				check("MEMB", got, err, wantMemb)
-				if pert != nil {
-					got, err = o.Membership(pert, id, d)
-					check("MEMB(perturbed)", got, err, wantMembPert)
-				}
-				got, err = o.Uniqueness(id, d, i0)
-				check("UNIQ", got, err, wantUniq)
-				got, err = o.Possible(i0, id, d)
-				check("POSS", got, err, wantPoss)
-				got, err = o.Certain(i0, id, d)
-				check("CERT", got, err, wantCert)
-			}
-		}
-	}
-}
-
-// TestDifferentialViewDecisions drives the generic NP/coNP cells — the
-// sharded canonical enumerations — with a genuinely first-order query on
-// 16 databases, plus the certain-answer computation (whose result
-// instance, including order, must be worker-count independent) with a
-// liftable ≠-query.
-func TestDifferentialViewDecisions(t *testing.T) {
-	forceParallel(t)
-	fo := foQuery()
-	neq := neqQuery()
-	for seed := int64(0); seed < 16; seed++ {
-		d := table.DB(gen.ETable(seed, "T", 2, 2, 3, 2, 0.5))
-		i0 := rel.NewInstance()
-		r := i0.EnsureRelation("Q", 1)
-		if seed%2 == 0 {
-			r.AddRow("1")
-		}
-		wantMemb := bruteMembView(i0, fo, d)
-		wantPoss := brutePossView(i0, fo, d)
-		wantCert := bruteCertView(i0, fo, d)
-		var wantAnswers *rel.Instance
-		for _, w := range diffWorkers {
-			o := Options{Workers: w}
-			gotM, err := o.Membership(i0, fo, d)
-			if err != nil {
-				t.Fatal(err)
-			}
-			gotP, err := o.Possible(i0, fo, d)
-			if err != nil {
-				t.Fatal(err)
-			}
-			gotC, err := o.Certain(i0, fo, d)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if gotM != wantMemb || gotP != wantPoss || gotC != wantCert {
-				t.Fatalf("seed %d workers %d: MEMB=%v/%v POSS=%v/%v CERT=%v/%v\n%s\n%s",
-					seed, w, gotM, wantMemb, gotP, wantPoss, gotC, wantCert, d, i0)
-			}
-			ans, err := o.CertainAnswers(neq, d)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if wantAnswers == nil {
-				wantAnswers = ans
-			} else if !ans.Equal(wantAnswers) {
-				t.Fatalf("seed %d workers %d: certain answers differ\n%s\nvs\n%s",
-					seed, w, ans, wantAnswers)
-			}
-		}
-	}
-}
-
-// bruteCont is the brute-force containment oracle: every world of d0
-// (over the constants of both sides plus fresh constants, Proposition
-// 2.1) must be a member of rep(d).
-func bruteCont(d0, d *table.Database) bool {
-	base, prefix := contDomain(d0, nil, d, nil)
-	dom := append([]sym.ID(nil), base...)
-	for i := range d0.VarNames() {
-		dom = append(dom, sym.Const(fmt.Sprintf("%s%d", prefix, i)))
-	}
-	contained := true
-	worlds.Each(d0, dom, func(w *rel.Instance) bool {
-		if !worlds.Member(w, d) {
-			contained = false
-			return true
-		}
-		return false
+	difftest.Run(t, difftest.Config{
+		Tag:      "decide-identity",
+		Cases:    152,
+		Gen:      func(seed int64) (*difftest.Case, bool) { return decideCase(seed, nil) },
+		Backends: workerSweep(true),
 	})
-	return contained
 }
 
-// TestDifferentialContainment covers the Π₂ᵖ cell — the sharded outer
-// universal with sequential inner membership — on 32 database pairs,
-// half of them supersets (usually yes) and half unrelated (usually no).
-func TestDifferentialContainment(t *testing.T) {
+// diffNeqQuery is π[a](σ[a≠b] T) — liftable but not positive.
+func diffNeqQuery() query.Query {
+	return query.NewAlgebra("neq",
+		query.Out{Name: "Q", Expr: algebra.Project{
+			E:    algebra.Where(algebra.Scan("T", "a", "b"), algebra.NeqP(algebra.Col("a"), algebra.Col("b"))),
+			Cols: []string{"a"},
+		}})
+}
+
+// diffFOQuery is {w | ∃a,b T(a,b) ∧ ¬T(b,a) ∧ w=1} — genuinely first
+// order.
+func diffFOQuery() query.Query {
+	va := value.Var
+	return query.NewFO("asym", query.FOOut{Name: "Q", Q: fo.Query{
+		Head: []string{"w"},
+		Body: fo.And{
+			fo.Equal(va("w"), value.Const("1")),
+			fo.Exists{Vars: []string{"a", "b"}, F: fo.And{
+				fo.At("T", va("a"), va("b")),
+				fo.Not{F: fo.At("T", va("b"), va("a"))},
+			}},
+		},
+	}})
+}
+
+// TestDifferentialDecideViews drives the generic NP/coNP cells — the
+// sharded canonical enumerations — with a genuinely first-order query,
+// and the lifted answer computation with a liftable ≠-query, each
+// through the worker sweep.
+func TestDifferentialDecideViews(t *testing.T) {
 	forceParallel(t)
-	id := query.Identity{}
-	for seed := int64(0); seed < 16; seed++ {
-		t0 := gen.ETable(seed, "T", 2, 2, 3, 2, 0.5)
-		sup := t0.Clone()
-		sup.AddTuple(value.Var("wild1"), value.Var("wild2"))
-		other := gen.ITable(seed+100, "T", 2, 2, 3, 1, 0.5)
-		pairs := []struct{ d0, d *table.Database }{
-			{table.DB(t0), table.DB(sup)},
-			{table.DB(t0.Clone()), table.DB(other)},
-		}
-		for pi, pair := range pairs {
-			want := bruteCont(pair.d0, pair.d)
-			for _, w := range diffWorkers {
-				got, err := Options{Workers: w}.Containment(id, pair.d0, id, pair.d)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if got != want {
-					t.Fatalf("seed %d pair %d workers %d: CONT=%v oracle=%v\n%s\n⊆?\n%s",
-						seed, pi, w, got, want, pair.d0, pair.d)
+	difftest.Run(t, difftest.Config{
+		Tag:      "decide-fo",
+		Cases:    150,
+		Gen:      func(seed int64) (*difftest.Case, bool) { return decideCase(seed, diffFOQuery()) },
+		Backends: workerSweep(false), // FO queries are outside the lifted-answers fragment
+	})
+	difftest.Run(t, difftest.Config{
+		Tag:      "decide-neq",
+		Cases:    150,
+		Gen:      func(seed int64) (*difftest.Case, bool) { return decideCase(seed, diffNeqQuery()) },
+		Backends: workerSweep(true),
+	})
+}
+
+// TestDifferentialDecideContainment covers the Π₂ᵖ cell — the sharded
+// outer universal with sequential inner membership — on seeded database
+// pairs, half supersets (usually yes) and half unrelated (usually no).
+// The sub side's worlds enumerate over the joint constant pool plus one
+// fresh constant per sub variable (Proposition 2.1); the sup-side
+// oracle is the engine-independent valuation search, since the sup
+// rep ranges over constants its own canonical enumeration would not
+// realize.
+func TestDifferentialDecideContainment(t *testing.T) {
+	forceParallel(t)
+	difftest.RunContainment(t, difftest.ContConfig{
+		Tag:   "decide-cont",
+		Cases: 150,
+		Gen: func(seed int64) (sub, sup *difftest.Case, ok bool) {
+			t0 := gen.ETable(seed, "T", 2, 2, 3, 2, 0.5)
+			var other *table.Table
+			if seed%2 == 0 {
+				other = t0.Clone()
+				other.AddTuple(value.Var("wild1"), value.Var("wild2"))
+			} else {
+				other = gen.ITable(seed+100, "T", 2, 2, 3, 1, 0.5)
+			}
+			d0, d := table.DB(t0.Clone()), table.DB(other)
+
+			// Enumerate the sub side over consts(both) ∪ Δ′(sub vars).
+			seen := map[sym.ID]bool{}
+			var dom []sym.ID
+			for _, id := range d0.ConstIDs(nil, map[sym.ID]bool{}) {
+				if !seen[id] {
+					seen[id] = true
+					dom = append(dom, id)
 				}
 			}
-		}
-	}
+			for _, id := range d.ConstIDs(nil, map[sym.ID]bool{}) {
+				if !seen[id] {
+					seen[id] = true
+					dom = append(dom, id)
+				}
+			}
+			prefix := table.FreshPrefixIDs(dom)
+			for i := range d0.VarNames() {
+				dom = append(dom, sym.Const(fmt.Sprintf("%s%d", prefix, i)))
+			}
+			var W []*rel.Instance
+			worlds.Each(d0, dom, func(w *rel.Instance) bool {
+				W = append(W, w)
+				return len(W) > 600
+			})
+			if len(W) == 0 || len(W) > 600 {
+				return nil, nil, false
+			}
+			return &difftest.Case{Worlds: W, DB: d0}, &difftest.Case{DB: d}, true
+		},
+		SupMember: func(w *rel.Instance, sup *difftest.Case) bool {
+			return worlds.Member(w, sup.DB)
+		},
+		Backends: []difftest.ContBackend{
+			difftest.DecideContBackend(1),
+			difftest.DecideContBackend(2),
+			difftest.DecideContBackend(8),
+		},
+	})
 }

@@ -1,0 +1,129 @@
+// The containment runner: CONT(q0, q) decided by each backend on
+// seeded case pairs and checked against the brute-force oracle (every
+// image world of the sub side scanned for membership in the sup side's
+// image set).
+package difftest
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"pw/internal/decide"
+	"pw/internal/rel"
+	"pw/internal/wsdalg"
+)
+
+// ContBackend decides rep(q0(sub)) ⊆ rep(q(sup)) from the two cases'
+// handles.
+type ContBackend struct {
+	Name   string
+	Decide func(sub, sup *Case) (bool, error)
+}
+
+// ContConfig parameterizes a containment suite.
+type ContConfig struct {
+	Tag      string
+	Cases    int
+	MaxSeed  int64 // 0 = 40·Cases
+	Gen      func(seed int64) (sub, sup *Case, ok bool)
+	Backends []ContBackend
+
+	// SupMember overrides the sup-side oracle: instead of scanning the
+	// sup case's explicit image list, each sub image world is passed to
+	// this membership decider. Suites use it when the sup side's true
+	// rep ranges over constants its own canonical enumeration would not
+	// realize (e.g. the sub side's constants) — the c-table brute oracle.
+	SupMember func(w *rel.Instance, sup *Case) bool
+}
+
+// RunContainment drives the suite: generate pairs, compute the oracle
+// by scanning, compare every backend.
+func RunContainment(t *testing.T, cfg ContConfig) {
+	t.Helper()
+	if cfg.MaxSeed == 0 {
+		cfg.MaxSeed = 40 * int64(cfg.Cases)
+	}
+	if len(cfg.Backends) == 0 {
+		t.Fatalf("%s: no backends configured", cfg.Tag)
+	}
+	tested := 0
+	for seed := int64(1); tested < cfg.Cases && seed <= cfg.MaxSeed; seed++ {
+		sub, sup, ok := cfg.Gen(seed)
+		if !ok {
+			continue
+		}
+		tag := fmt.Sprintf("%s seed %d", cfg.Tag, seed)
+
+		want := true
+		inSup := func(w *rel.Instance) bool { return cfg.SupMember(w, sup) }
+		if cfg.SupMember == nil {
+			supImage := imageSet(t, tag, sup)
+			inSup = supImage.has
+		}
+		for _, w := range imageSet(t, tag, sub).list {
+			if !inSup(w) {
+				want = false
+				break
+			}
+		}
+		for _, b := range cfg.Backends {
+			got, err := b.Decide(sub, sup)
+			if err != nil {
+				t.Fatalf("%s: backend %s: %v", tag, b.Name, err)
+			}
+			if got != want {
+				t.Fatalf("%s: backend %s: CONT = %v, oracle says %v", tag, b.Name, got, want)
+			}
+		}
+		tested++
+	}
+	if tested < cfg.Cases {
+		t.Fatalf("%s: only %d pairs generated within the seed budget, want %d", cfg.Tag, tested, cfg.Cases)
+	}
+	t.Logf("%s: cross-validated %d pairs × %d backends", cfg.Tag, tested, len(cfg.Backends))
+}
+
+// imageSet computes a case's image world set {q(W)}.
+func imageSet(t *testing.T, tag string, c *Case) *worldSet {
+	t.Helper()
+	q := c.Q()
+	out := newWorldSet(nil)
+	for _, w := range newWorldSet(c.Worlds).list {
+		a, err := q.Eval(w)
+		if err != nil {
+			t.Fatalf("%s: oracle eval %s: %v", tag, q.Label(), err)
+		}
+		out.add(a)
+	}
+	return out
+}
+
+// DecideContBackend decides containment through the c-table engine at a
+// fixed worker count. Both sides must carry databases.
+func DecideContBackend(workers int) ContBackend {
+	return ContBackend{
+		Name: fmt.Sprintf("decide/w%d", workers),
+		Decide: func(sub, sup *Case) (bool, error) {
+			if sub.DB == nil || sup.DB == nil {
+				return false, errors.New("pair carries no databases")
+			}
+			return decide.Options{Workers: workers}.Containment(sub.Q(), sub.DB, sup.Q(), sup.DB)
+		},
+	}
+}
+
+// WSDContBackend decides containment natively on decompositions via the
+// lifted evaluator. Both sides must carry decompositions and
+// wsdalg-supported queries.
+func WSDContBackend() ContBackend {
+	return ContBackend{
+		Name: "wsdalg",
+		Decide: func(sub, sup *Case) (bool, error) {
+			if sub.WSD == nil || sup.WSD == nil {
+				return false, errors.New("pair carries no decompositions")
+			}
+			return wsdalg.ContainmentViews(sub.Q(), sub.WSD, sup.Q(), sup.WSD)
+		},
+	}
+}

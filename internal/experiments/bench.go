@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math/big"
 	"testing"
 
 	"pw/internal/algebra"
@@ -70,6 +71,63 @@ func benchProbes(workers int) []benchProbe {
 		{"WSDQuery_Select_1M", 1, probeWSDQuerySelect},
 		{"WSDQuery_Project_1M", 1, probeWSDQueryProject},
 		{"WSDQuery_Join_1M", 1, probeWSDQueryJoin},
+		// Attribute-level decomposition: the 2^100-world century grid —
+		// a world set the tuple-level alternative lists cannot even
+		// store — answered from the per-slot factored form.
+		{"WSDAttr_Count_2p100", 1, probeWSDAttrCount},
+		{"WSDAttr_Memb_2p100", 1, probeWSDAttrMemb},
+		{"WSDAttr_Query_2p100", 1, probeWSDAttrQuery},
+	}
+}
+
+// centuryCount is 2^100, the exact world count of gen.CenturyWSD.
+func centuryCount() *big.Int {
+	return new(big.Int).Exp(big.NewInt(2), big.NewInt(100), nil)
+}
+
+func probeWSDAttrCount(b *testing.B) {
+	w := gen.CenturyWSD()
+	want := centuryCount()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if c := w.Count(); c.Cmp(want) != 0 {
+			b.Fatalf("Count = %s, want 2^100", c)
+		}
+	}
+}
+
+func probeWSDAttrMemb(b *testing.B) {
+	w := gen.CenturyWSD()
+	i := w.World(make([]int, w.Components()))
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if !w.Member(i) {
+			b.Fatal("materialized world must be a member")
+		}
+	}
+}
+
+func probeWSDAttrQuery(b *testing.B) {
+	// σ-π over the factored form: project the sensor ids of the
+	// hi-reading worlds. Each template contributes a 2-alternative
+	// answer component ({R(sᵢ)} or ∅), so the answer world-set stays at
+	// 2^100 and is never expanded.
+	q := query.NewAlgebra("hi", query.Out{Name: "A",
+		Expr: algebra.Project{
+			E:    algebra.Where(algebra.Scan("R", "s", "v"), algebra.EqP(algebra.Col("v"), algebra.Lit("hi"))),
+			Cols: []string{"s"},
+		}})
+	w := gen.CenturyWSD()
+	want := centuryCount()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		out, err := wsdalg.Eval(w, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c := out.Count(); c.Cmp(want) != 0 {
+			b.Fatalf("answer Count = %s, want 2^100", c)
+		}
 	}
 }
 

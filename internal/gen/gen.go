@@ -197,14 +197,18 @@ func PerturbedInstance(seed int64, i *rel.Instance) (*rel.Instance, bool) {
 }
 
 // RandomWSD generates a random world-set decomposition over a single
-// binary-or-wider relation R: comps components, each with 1..maxAlts
-// alternatives of 0..2 facts drawn from a pool of consts constants.
-// Overlapping supports are intentional — normalization (merge + split)
-// runs as part of generation, so the result is always in product-normal
-// form. Deterministic in the seed. The error is normalization's
-// entanglement guard: a tiny constant pool can overlap so many
-// components that their merged product exceeds wsd.MaxMergeAlts —
-// callers pick a larger pool or fewer components.
+// relation R of the given arity: comps components, each either a
+// tuple-level component with 1..maxAlts alternatives of 0..2 facts, or
+// (one time in three, for positive arity) an attribute-level template
+// whose slots are fixed or 2-value alternative lists — all constants
+// drawn from a pool of consts constants. Overlapping supports are
+// intentional — normalization (merge + vertical/horizontal split) runs
+// as part of generation, so the result is always in product-normal
+// form and routinely mixes both component granularities. Deterministic
+// in the seed. The error is normalization's entanglement guard: a tiny
+// constant pool can overlap so many components that their merged
+// product exceeds wsd.MaxMergeAlts — callers pick a larger pool or
+// fewer components.
 func RandomWSD(seed int64, comps, maxAlts, arity, consts int) (*wsd.WSD, error) {
 	if comps < 0 || maxAlts < 1 || arity < 0 || consts < 1 {
 		return nil, fmt.Errorf("gen: RandomWSD needs comps >= 0, maxAlts >= 1, arity >= 0, consts >= 1 (got %d, %d, %d, %d)",
@@ -213,6 +217,23 @@ func RandomWSD(seed int64, comps, maxAlts, arity, consts int) (*wsd.WSD, error) 
 	rng := rand.New(rand.NewSource(seed))
 	w := wsd.New(table.Schema{{Name: "R", Arity: arity}})
 	for c := 0; c < comps; c++ {
+		if arity > 0 && rng.Intn(3) == 0 {
+			// Attribute-level component: one template, each slot fixed or
+			// a two-value alternative list.
+			cells := make([][]string, arity)
+			for i := range cells {
+				if rng.Intn(2) == 0 {
+					cells[i] = []string{fmt.Sprintf("c%d", rng.Intn(consts))}
+					continue
+				}
+				a, b := rng.Intn(consts), rng.Intn(consts)
+				cells[i] = []string{fmt.Sprintf("c%d", a), fmt.Sprintf("c%d", b)}
+			}
+			if err := w.AddTemplateComponent("R", cells...); err != nil {
+				panic("gen: " + err.Error())
+			}
+			continue
+		}
 		nAlts := 1 + rng.Intn(maxAlts)
 		alts := make([]wsd.Alt, nAlts)
 		for a := range alts {
@@ -414,6 +435,32 @@ func MillionWorldWSD() *wsd.WSD {
 		)
 	}
 	// Disjoint supports by construction: normalization cannot fail.
+	if err := w.Normalize(); err != nil {
+		panic("gen: " + err.Error())
+	}
+	return w
+}
+
+// CenturyWSD builds the tracked attribute-level benchmark
+// decomposition: one certain hub reading plus 100 sensor templates
+// R(s000 {hi|lo}) … R(s099 {hi|lo}) — 2^100 ≈ 1.27·10^30 worlds in ~200
+// symbols, a world set the tuple-level form could not even store as an
+// explicit alternative list per sensor block without attribute
+// factoring of the shared structure. bench_test.go and the pwbench
+// WSDAttr probes share this single builder so the benchmark and its
+// gated probe can never drift apart.
+func CenturyWSD() *wsd.WSD {
+	w := wsd.New(table.Schema{{Name: "R", Arity: 2}})
+	if err := w.AddComponent(wsd.Alt{{Rel: "R", Args: rel.Fact{"hub", "ok"}}}); err != nil {
+		panic("gen: " + err.Error())
+	}
+	for i := 0; i < 100; i++ {
+		if err := w.AddTemplateComponent("R",
+			[]string{fmt.Sprintf("s%03d", i)}, []string{"hi", "lo"}); err != nil {
+			panic("gen: " + err.Error())
+		}
+	}
+	// Distinct sensor ids: supports are disjoint, normalization cannot fail.
 	if err := w.Normalize(); err != nil {
 		panic("gen: " + err.Error())
 	}

@@ -80,6 +80,20 @@ func FuzzParseWSD(f *testing.F) {
 	f.Add("@wsd\n  relation: R(1)\n  component:\n")
 	f.Add("# comment\n\n@wsd\n  relation: R(2)\n  component:\n    alt: R(a b), R(b a)\n    alt: R(a b)\n    alt: R(a b), R(b a)\n")
 	f.Add("@wsd\n  relation: R(1)\n  component:\n    alt: R(x)\n    alt: R(y)\n  component:\n    alt: R(x)\n    alt: R(z)\n")
+	// Attribute-level slot syntax: templates, fixed and open slots,
+	// the comma form, single-value braces, overlapping templates (the
+	// merge path), a template overlapping a tuple-level alternative,
+	// and the rejected shapes — nested braces, unclosed braces, empty
+	// slot values, mixed alt/tmpl components.
+	f.Add("@wsd\n  relation: R(2)\n  component:\n    tmpl: R(a {1|2|3})\n")
+	f.Add("@wsd\n  relation: R(3)\n  component:\n    tmpl: R(a, {1|2|3}, b)\n")
+	f.Add("@wsd\n  relation: R(2)\n  component:\n    tmpl: R({a} {1})\n")
+	f.Add("@wsd\n  relation: R(2)\n  component:\n    tmpl: R({a|b} {1|2})\n  component:\n    tmpl: R({b|c} {2|3})\n")
+	f.Add("@wsd\n  relation: R(1)\n  component:\n    tmpl: R({x|y})\n  component:\n    alt: R(x)\n    alt:\n")
+	f.Add("@wsd\n  relation: R(2)\n  component:\n    tmpl: R({a|{b}} c)\n")
+	f.Add("@wsd\n  relation: R(2)\n  component:\n    tmpl: R({a|b c)\n")
+	f.Add("@wsd\n  relation: R(2)\n  component:\n    tmpl: R({|} c)\n")
+	f.Add("@wsd\n  relation: R(1)\n  component:\n    alt: R(a)\n    tmpl: R({a|b})\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		w, err := ParseWSD(strings.NewReader(input))
 		if err != nil {
@@ -115,6 +129,7 @@ func FuzzParseSource(f *testing.F) {
 	f.Add("@table T(2)\n  row: a ?x\n")
 	f.Add("@wsd\n  relation: R(1)\n  component:\n    alt: R(a)\n")
 	f.Add("@wsd\n  relation: Reading(2)\n  component:\n    alt: Reading(s00 lo)\n    alt: Reading(s00 hi)\n")
+	f.Add("@wsd\n  relation: Reading(2)\n  component:\n    tmpl: Reading(s00 {lo|hi})\n  component:\n    tmpl: Reading(s01 {lo|mid|hi})\n")
 	f.Add("@query high\n  out: A = project[s](select[#v = hi](Reading(s v)))\n")
 	f.Add("@query\n  out: A = join(R(a b), S(b c))\n  out: B = union(R(a b), rename[a->x](R(x b)))\n")
 	f.Add("@query neq\n  out: A = select[#a != c0](R(a))\n")

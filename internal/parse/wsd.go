@@ -1,5 +1,7 @@
 // .pw syntax for world-set decompositions. A @wsd block declares a
-// schema and a list of components, each a list of alternative fact-sets:
+// schema and a list of components, each either a list of alternative
+// fact-sets or one attribute-level fact template with slot-alternative
+// lists:
 //
 //	@wsd
 //	  relation: Emp(2)
@@ -8,14 +10,18 @@
 //	    alt: Emp(carol sales), Emp(dana eng)
 //	    alt: Emp(carol eng), Emp(dana sales)
 //	  component:
-//	    alt: Dept(eng 1)
-//	    alt: Dept(eng 2)
+//	    tmpl: Dept(eng {1|2})
 //
 // Facts are Rel(c1 c2 ...) with ground, whitespace-separated constants;
 // a bare "alt:" is the empty alternative; a component with no alt lines
-// denotes the empty world set. ParseWSD normalizes on the way in, so the
-// printed form (PrintWSD / WSD.String) is canonical and parse→print is a
-// fixed point.
+// denotes the empty world set. A tmpl: line gives one fact template
+// whose slots are either a single constant or a braced alternative list
+// {a|b|c}; the component's alternatives are the cross product of the
+// slot choices (commas between slots are accepted and ignored, so
+// "Dept(eng, {1|2})" parses too). A component holds either alt lines or
+// exactly one tmpl line, never both. ParseWSD normalizes on the way in,
+// so the printed form (PrintWSD / WSD.String) is canonical and
+// parse→print is a fixed point.
 package parse
 
 import (
@@ -39,7 +45,11 @@ func ParseWSD(r io.Reader) (*wsd.WSD, error) {
 	inComponents := false
 	var schema table.Schema
 	schemaSeen := map[string]bool{}
-	var comps [][]wsd.Alt
+	type comp struct {
+		alts []wsd.Alt
+		tmpl *wsdTemplate
+	}
+	var comps []comp
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -73,16 +83,36 @@ func ParseWSD(r io.Reader) (*wsd.WSD, error) {
 				return nil, fmt.Errorf("line %d: component before @wsd", lineNo)
 			}
 			inComponents = true
-			comps = append(comps, nil)
+			comps = append(comps, comp{})
 		case strings.HasPrefix(line, "alt:"):
 			if len(comps) == 0 {
 				return nil, fmt.Errorf("line %d: alt before component", lineNo)
+			}
+			if comps[len(comps)-1].tmpl != nil {
+				return nil, fmt.Errorf("line %d: a component holds either alt lines or one tmpl line, not both", lineNo)
 			}
 			alt, err := parseAlt(strings.TrimPrefix(line, "alt:"))
 			if err != nil {
 				return nil, fmt.Errorf("line %d: %w", lineNo, err)
 			}
-			comps[len(comps)-1] = append(comps[len(comps)-1], alt)
+			c := &comps[len(comps)-1]
+			c.alts = append(c.alts, alt)
+		case strings.HasPrefix(line, "tmpl:"):
+			if len(comps) == 0 {
+				return nil, fmt.Errorf("line %d: tmpl before component", lineNo)
+			}
+			c := &comps[len(comps)-1]
+			if c.tmpl != nil {
+				return nil, fmt.Errorf("line %d: a component holds at most one tmpl line", lineNo)
+			}
+			if len(c.alts) > 0 {
+				return nil, fmt.Errorf("line %d: a component holds either alt lines or one tmpl line, not both", lineNo)
+			}
+			tmpl, err := parseTemplate(strings.TrimPrefix(line, "tmpl:"))
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			c.tmpl = tmpl
 		default:
 			return nil, fmt.Errorf("line %d: unrecognized directive %q", lineNo, line)
 		}
@@ -94,8 +124,14 @@ func ParseWSD(r io.Reader) (*wsd.WSD, error) {
 		return nil, fmt.Errorf("missing @wsd block")
 	}
 	w := wsd.New(schema)
-	for _, alts := range comps {
-		if err := w.AddComponent(alts...); err != nil {
+	for _, c := range comps {
+		if c.tmpl != nil {
+			if err := w.AddTemplateComponent(c.tmpl.rel, c.tmpl.cells...); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := w.AddComponent(c.alts...); err != nil {
 			return nil, err
 		}
 	}
@@ -103,6 +139,70 @@ func ParseWSD(r io.Reader) (*wsd.WSD, error) {
 		return nil, err
 	}
 	return w, nil
+}
+
+// wsdTemplate is one parsed tmpl: line — a relation name plus per-slot
+// alternative value lists.
+type wsdTemplate struct {
+	rel   string
+	cells [][]string
+}
+
+// parseTemplate parses Rel(slot slot ...) where a slot is a single
+// ground constant or a braced alternative list {a|b|c}. Commas between
+// slots are separators; braces do not nest.
+func parseTemplate(s string) (*wsdTemplate, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open <= 0 || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("template %q: want Rel(slot slot ...)", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	if err := checkWSDConst(name); err != nil {
+		return nil, fmt.Errorf("template %q: relation: %w", s, err)
+	}
+	body := s[open+1 : len(s)-1]
+	t := &wsdTemplate{rel: name}
+	for _, tok := range strings.FieldsFunc(body, func(r rune) bool {
+		return r == ' ' || r == '\t' || r == ','
+	}) {
+		if strings.HasPrefix(tok, "{") {
+			if !strings.HasSuffix(tok, "}") {
+				return nil, fmt.Errorf("template %q: slot %q: unclosed brace", s, tok)
+			}
+			inner := tok[1 : len(tok)-1]
+			var cell []string
+			for _, v := range strings.Split(inner, "|") {
+				if err := checkWSDConst(v); err != nil {
+					return nil, fmt.Errorf("template %q: slot %q: %w", s, tok, err)
+				}
+				cell = append(cell, v)
+			}
+			t.cells = append(t.cells, cell)
+			continue
+		}
+		if err := checkWSDConst(tok); err != nil {
+			return nil, fmt.Errorf("template %q: slot %q: %w", s, tok, err)
+		}
+		t.cells = append(t.cells, []string{tok})
+	}
+	return t, nil
+}
+
+// checkWSDConst validates a ground constant of the @wsd grammar: it must
+// be non-empty, not a variable, and free of the slot syntax's reserved
+// characters, so the printed form always re-parses.
+func checkWSDConst(v string) error {
+	if v == "" {
+		return fmt.Errorf("empty constant")
+	}
+	if strings.HasPrefix(v, "?") {
+		return fmt.Errorf("decomposition facts must be ground, got %s", v)
+	}
+	if strings.ContainsAny(v, "{}|,()") {
+		return fmt.Errorf("constant %q uses a reserved character of the slot grammar", v)
+	}
+	return nil
 }
 
 // parseAlt parses a comma-separated list of Rel(c1 c2 ...) facts; empty

@@ -1,83 +1,27 @@
-// Differential validation of the decomposition backend against the two
-// existing engines: the brute-force worlds oracle (enumeration over the
-// canonical domain) and the decide engine (the paper's decision
-// procedures over the true rep).
-//
-// For ≥100 seeded random finite world sets W — drawn both from random
-// conditioned-table databases (W = worlds.All(d)) and from random
-// decompositions (W = Expand) — the suite checks that
-//
-//   - FromWorlds(W) counts exactly |W|,
-//   - MEMB/POSS/CERT on the decomposition agree with scanning W and,
-//     for probes over the databases' constants, with the decide engine,
-//   - Expand(FromWorlds(W)) reproduces W up to fingerprint-confirmed set
-//     equality,
-//
-// and that ToWSDOverDomain(d, nil) denotes exactly worlds.All(d).
+// Differential validation of the decomposition backend through the
+// shared metamorphic harness (internal/difftest): seeded world sets —
+// denoted by random conditioned-table databases and by random
+// decompositions of both granularities — are answered by the
+// decomposition backends (factorized from the explicit world list,
+// compiled from the database, and native) and by the c-table decision
+// engine, and every answer is checked against the brute-force scan of
+// the explicit world list. The attribute-level suite additionally pins
+// the factorize∘expand identity on template-heavy decompositions: the
+// native attr-WSD answers must match both the worlds oracle and the
+// re-factorized (FromWorlds) decomposition, world for world.
 package wsd_test
 
 import (
-	"errors"
 	"fmt"
-	"strings"
+	"math/rand"
 	"testing"
 
-	"pw/internal/cond"
-	"pw/internal/decide"
+	"pw/internal/difftest"
 	"pw/internal/gen"
-	"pw/internal/query"
-	"pw/internal/rel"
 	"pw/internal/table"
-	"pw/internal/value"
 	"pw/internal/worlds"
 	"pw/internal/wsd"
 )
-
-// worldSet is the oracle-side view of a finite world list: fingerprint
-// dedup with exact-equality confirmation (the same idiom as
-// internal/worlds).
-type worldSet struct {
-	list    []*rel.Instance
-	buckets map[uint64][]*rel.Instance
-}
-
-func newWorldSet(ws []*rel.Instance) *worldSet {
-	s := &worldSet{buckets: make(map[uint64][]*rel.Instance)}
-	for _, w := range ws {
-		if !s.has(w) {
-			s.list = append(s.list, w)
-			s.buckets[w.Fingerprint()] = append(s.buckets[w.Fingerprint()], w)
-		}
-	}
-	return s
-}
-
-func (s *worldSet) has(i *rel.Instance) bool {
-	for _, prev := range s.buckets[i.Fingerprint()] {
-		if prev.Equal(i) {
-			return true
-		}
-	}
-	return false
-}
-
-func (s *worldSet) possible(p *rel.Instance) bool {
-	for _, w := range s.list {
-		if p.SubsetOf(w) {
-			return true
-		}
-	}
-	return false
-}
-
-func (s *worldSet) certain(p *rel.Instance) bool {
-	for _, w := range s.list {
-		if !p.SubsetOf(w) {
-			return false
-		}
-	}
-	return true
-}
 
 // smallDB generates one of the four table kinds at differential-test
 // scale: few rows, tiny constant pool, enough nulls to make multiple
@@ -96,298 +40,155 @@ func smallDB(seed int64) *table.Database {
 	}
 }
 
-// checkAgainstWorldSet validates a decomposition against an explicit
-// world set and (optionally, when d != nil and the probes stay inside
-// the database's constants) against the decide engine.
-func checkAgainstWorldSet(t *testing.T, tag string, fw *wsd.WSD, W []*rel.Instance, d *table.Database) {
-	t.Helper()
-	oracle := newWorldSet(W)
-
-	if got := fw.Count(); !got.IsInt64() || got.Int64() != int64(len(oracle.list)) {
-		t.Fatalf("%s: Count = %s, oracle has %d worlds", tag, got, len(oracle.list))
+// dbCase builds a difftest case from a random database: the oracle is
+// the canonical world enumeration; skipped when the enumeration would
+// be unbounded at differential scale.
+func dbCase(seed int64) (*difftest.Case, bool) {
+	d := smallDB(seed)
+	if len(d.VarNames()) > 4 {
+		return nil, false
 	}
-
-	// Every oracle world is a member.
-	for wi, w := range oracle.list {
-		if !fw.Member(w) {
-			t.Fatalf("%s: world %d rejected by the decomposition:\n%s", tag, wi, w)
-		}
+	W := worlds.All(d)
+	if len(W) > 400 {
+		return nil, false
 	}
-
-	// Expand reproduces the set exactly.
-	expanded := fw.Expand(0)
-	if len(expanded) != len(oracle.list) {
-		t.Fatalf("%s: Expand yielded %d worlds, oracle has %d", tag, len(expanded), len(oracle.list))
-	}
-	back := newWorldSet(expanded)
-	if len(back.list) != len(expanded) {
-		t.Fatalf("%s: Expand yielded duplicate worlds", tag)
-	}
-	for _, w := range expanded {
-		if !oracle.has(w) {
-			t.Fatalf("%s: Expand produced a world outside the oracle set:\n%s", tag, w)
-		}
-	}
-
-	if len(oracle.list) == 0 {
-		return
-	}
-
-	// Probe instances: each world's prefix restrictions and single-fact
-	// perturbations within the active constants.
-	var consts []string
-	if d != nil {
-		consts = d.ConstNames()
-	}
-	for wi, w := range oracle.list {
-		if wi >= 8 {
-			break
-		}
-		// Probes: the world itself, a strict subset (one fact dropped),
-		// and a same-size near miss (one cell substituted).
-		probes := []*rel.Instance{w, subsetInstance(w)}
-		if len(consts) > 0 {
-			probes = append(probes, perturbInstance(w, consts[wi%len(consts)]))
-		}
-		for pi, p := range probes {
-			if p == nil {
-				continue
-			}
-			ptag := fmt.Sprintf("%s world %d probe %d", tag, wi, pi)
-
-			wantMemb := oracle.has(p)
-			if got := fw.Member(p); got != wantMemb {
-				t.Errorf("%s: MEMB = %v, oracle says %v\n%s", ptag, got, wantMemb, p)
-			}
-			wantPoss := oracle.possible(p)
-			if got := fw.Possible(p); got != wantPoss {
-				t.Errorf("%s: POSS = %v, oracle says %v\n%s", ptag, got, wantPoss, p)
-			}
-			wantCert := oracle.certain(p)
-			if got := fw.Certain(p); got != wantCert {
-				t.Errorf("%s: CERT = %v, oracle says %v\n%s", ptag, got, wantCert, p)
-			}
-
-			// The decide engine answers over the true rep; its answers
-			// coincide with the canonical world set for probes over the
-			// inputs' constants (genericity, Proposition 2.1).
-			if d != nil {
-				if got, err := decide.Membership(p, query.Identity{}, d); err != nil {
-					t.Fatalf("%s: decide.Membership: %v", ptag, err)
-				} else if got != wantMemb {
-					t.Errorf("%s: decide MEMB = %v, oracle says %v", ptag, got, wantMemb)
-				}
-				if got, err := decide.Possible(p, query.Identity{}, d); err != nil {
-					t.Fatalf("%s: decide.Possible: %v", ptag, err)
-				} else if got != wantPoss {
-					t.Errorf("%s: decide POSS = %v, oracle says %v", ptag, got, wantPoss)
-				}
-				if got, err := decide.Certain(p, query.Identity{}, d); err != nil {
-					t.Fatalf("%s: decide.Certain: %v", ptag, err)
-				} else if got != wantCert {
-					t.Errorf("%s: decide CERT = %v, oracle says %v", ptag, got, wantCert)
-				}
-			}
-		}
-	}
+	return &difftest.Case{Worlds: W, DB: d, Consts: d.ConstNames()}, true
 }
 
-// subsetInstance drops one fact from the first non-empty relation.
-func subsetInstance(w *rel.Instance) *rel.Instance {
-	out := rel.NewInstance()
-	dropped := false
-	for _, r := range w.Relations() {
-		nr := out.EnsureRelation(r.Name, r.Arity)
-		for fi, f := range r.Facts() {
-			if !dropped && fi == 0 {
-				dropped = true
-				continue
-			}
-			nr.Add(f)
-		}
-	}
-	return out
+// TestDifferentialWSDFromDatabases is the database-derived suite: the
+// world sets of seeded conditioned tables, answered by FromWorlds
+// factorization, ToWSDOverDomain compilation, and the c-table decision
+// engine.
+func TestDifferentialWSDFromDatabases(t *testing.T) {
+	difftest.Run(t, difftest.Config{
+		Tag:   "wsd-db",
+		Cases: 150,
+		Gen:   dbCase,
+		Backends: []difftest.Backend{
+			difftest.FromWorldsBackend(),
+			difftest.CompileBackend("wsd/compile", nil),
+			difftest.DecideBackend(0, false),
+		},
+	})
 }
 
-// perturbInstance substitutes c into the first cell of the first fact of
-// the first non-empty relation — a same-size near-miss world. It stays
-// inside the databases' constant pool so the decide engine and the
-// canonical world set agree on the answer. Returns nil when the
-// substitution would be a no-op (c already in place) or no fact has a
-// cell to substitute.
-func perturbInstance(w *rel.Instance, c string) *rel.Instance {
-	out := rel.NewInstance()
-	perturbed := false
-	for _, r := range w.Relations() {
-		nr := out.EnsureRelation(r.Name, r.Arity)
-		for fi, f := range r.Facts() {
-			if !perturbed && fi == 0 && len(f) > 0 && f[0] != c {
-				nf := f.Clone()
-				nf[0] = c
-				nr.Add(nf)
-				perturbed = true
-				continue
+// TestDifferentialWSDRandom is the decomposition-derived suite: random
+// mixed-granularity decompositions answered natively and re-factorized
+// from their own expansion (the factorize∘expand identity).
+func TestDifferentialWSDRandom(t *testing.T) {
+	difftest.Run(t, difftest.Config{
+		Tag:   "wsd-random",
+		Cases: 150,
+		Gen: func(seed int64) (*difftest.Case, bool) {
+			w, err := gen.RandomWSD(seed, 3+int(seed)%2, 3, 2, 4+int(seed)%3)
+			if err != nil {
+				return nil, false
 			}
-			nr.Add(f)
-		}
-	}
-	if !perturbed {
-		return nil
-	}
-	return out
+			consts := make([]string, 4)
+			for i := range consts {
+				consts[i] = fmt.Sprintf("c%d", i)
+			}
+			return &difftest.Case{Worlds: w.Expand(0), WSD: w, Consts: consts}, true
+		},
+		Backends: []difftest.Backend{
+			difftest.WSDBackend("wsd/native"),
+			difftest.FromWorldsBackend(),
+		},
+	})
 }
 
-// TestWSDCrossValidation is the acceptance-criterion suite: ≥100 seeded
-// random finite world sets, each factorized with FromWorlds and checked
-// against the worlds oracle and the decide engine.
-func TestWSDCrossValidation(t *testing.T) {
-	const (
-		dbCases   = 64
-		wsdCases  = 40
-		maxWorlds = 400
-	)
-	tested := 0
-
-	// World sets denoted by random conditioned-table databases.
-	for seed := int64(1); tested < dbCases && seed < 10*dbCases; seed++ {
-		d := smallDB(seed)
-		if len(d.VarNames()) > 4 {
-			continue // keep the oracle enumeration bounded
-		}
-		W := worlds.All(d)
-		if len(W) > maxWorlds {
+// attrWSD builds a template-heavy decomposition: mostly attribute-level
+// components (fixed and open slots over a small pool), plus an
+// occasional tuple-level component so the two granularities interact —
+// overlapping templates exercise the merge path, and the vertical split
+// re-factors whatever the expansion flattened.
+func attrWSD(seed int64) (*wsd.WSD, error) {
+	w := wsd.New(table.Schema{{Name: "R", Arity: 2}})
+	rng := rand.New(rand.NewSource(seed))
+	comps := 3 + int(seed)%3
+	for c := 0; c < comps; c++ {
+		if rng.Intn(4) == 0 {
+			alts := []wsd.Alt{
+				{},
+				{{Rel: "R", Args: []string{fmt.Sprintf("c%d", rng.Intn(5)), fmt.Sprintf("c%d", rng.Intn(5))}}},
+			}
+			if err := w.AddComponent(alts...); err != nil {
+				return nil, err
+			}
 			continue
 		}
-		fw, err := wsd.FromWorlds(W)
-		if err != nil {
-			t.Fatalf("seed %d: FromWorlds: %v", seed, err)
+		cells := make([][]string, 2)
+		for i := range cells {
+			n := 1 + rng.Intn(3)
+			vals := make([]string, n)
+			for k := range vals {
+				vals[k] = fmt.Sprintf("c%d", rng.Intn(5))
+			}
+			cells[i] = vals
 		}
-		checkAgainstWorldSet(t, fmt.Sprintf("db seed %d", seed), fw, W, d)
-		tested++
+		if err := w.AddTemplateComponent("R", cells...); err != nil {
+			return nil, err
+		}
 	}
-	if tested < dbCases {
-		t.Fatalf("only %d database cases generated, want %d", tested, dbCases)
+	if err := w.Normalize(); err != nil {
+		return nil, err
 	}
-
-	// World sets denoted by random decompositions (Expand → re-factorize).
-	for seed := int64(1); seed <= wsdCases; seed++ {
-		w, err := gen.RandomWSD(seed, 3+int(seed)%2, 3, 2, 4+int(seed)%3)
-		if err != nil {
-			t.Fatalf("wsd seed %d: RandomWSD: %v", seed, err)
-		}
-		W := w.Expand(0)
-		if got := w.Count(); !got.IsInt64() || int(got.Int64()) != len(W) {
-			t.Fatalf("wsd seed %d: Count %s but Expand yielded %d (injectivity broken)", seed, got, len(W))
-		}
-		fw, err := wsd.FromWorlds(W)
-		if err != nil {
-			t.Fatalf("wsd seed %d: FromWorlds: %v", seed, err)
-		}
-		checkAgainstWorldSet(t, fmt.Sprintf("wsd seed %d", seed), fw, W, nil)
-		tested++
-	}
-	t.Logf("cross-validated %d seeded world sets", tested)
+	return w, nil
 }
 
-// TestToWSDOverDomainMatchesWorldsOracle checks the compiler against the
-// enumeration backend: over the canonical domain the two must denote
-// exactly the same world set.
-func TestToWSDOverDomainMatchesWorldsOracle(t *testing.T) {
-	tested := 0
-	for seed := int64(1); tested < 32 && seed < 320; seed++ {
-		d := smallDB(seed)
-		if len(d.VarNames()) > 4 {
-			continue
-		}
-		W := worlds.All(d)
-		if len(W) > 400 {
-			continue
-		}
-		cw, err := wsd.ToWSDOverDomain(d, nil)
-		if err != nil {
-			t.Fatalf("seed %d: ToWSDOverDomain: %v", seed, err)
-		}
-		checkAgainstWorldSet(t, fmt.Sprintf("compile seed %d", seed), cw, W, d)
-		tested++
+// TestDifferentialWSDAttr is the attribute-level suite: template-heavy
+// decompositions answered natively (the attr-WSD backend) and through
+// the tuple-level FromWorlds factorization of their expansion, both
+// against the worlds oracle.
+func TestDifferentialWSDAttr(t *testing.T) {
+	consts := make([]string, 5)
+	for i := range consts {
+		consts[i] = fmt.Sprintf("c%d", i)
 	}
-	if tested < 32 {
-		t.Fatalf("only %d compile cases generated", tested)
-	}
+	difftest.Run(t, difftest.Config{
+		Tag:   "wsd-attr",
+		Cases: 150,
+		Gen: func(seed int64) (*difftest.Case, bool) {
+			w, err := attrWSD(seed)
+			if err != nil {
+				return nil, false
+			}
+			if !w.Count().IsInt64() || w.Count().Int64() > 400 {
+				return nil, false
+			}
+			return &difftest.Case{Worlds: w.Expand(0), WSD: w, Consts: consts}, true
+		},
+		Backends: []difftest.Backend{
+			difftest.WSDBackend("wsd/attr"),
+			difftest.FromWorldsBackend(),
+		},
+	})
 }
 
-// TestToWSDStrict pins the true-rep compiler: forced variables compile,
-// unforced row variables error with ErrInfiniteRep.
-func TestToWSDStrict(t *testing.T) {
-	// Forced variable: x = a makes rep finite (a single world).
-	tb := table.New("T", 2)
-	tb.AddTuple(parseVal("a"), parseVal("?x"))
-	tb.Global = append(tb.Global, eq("?x", "b"))
-	d := table.DB(tb)
-	w, err := wsd.ToWSD(d)
-	if err != nil {
-		t.Fatalf("ToWSD on forced-variable table: %v", err)
-	}
-	if got := w.Count().Int64(); got != 1 {
-		t.Fatalf("Count = %d, want 1", got)
-	}
-	if !w.CertainFact("T", rel.Fact{"a", "b"}) {
-		t.Error("forced fact not certain")
-	}
-
-	// Condition-only variable: row fires iff ?y = a is chosen — two
-	// worlds, both finite, no error.
-	tc := table.New("T", 1)
-	tc.Add(table.Row{Values: tupleOf("a"), Cond: conj(eq("?y", "b"))})
-	dc := table.DB(tc)
-	wc, err := wsd.ToWSD(dc)
-	if err != nil {
-		t.Fatalf("ToWSD on condition-only variable: %v", err)
-	}
-	if got := wc.Count().Int64(); got != 2 {
-		t.Fatalf("Count = %d, want 2 (row on / row off)", got)
-	}
-
-	// Unforced row variable: infinite rep.
-	ti := table.New("T", 1)
-	ti.AddTuple(parseVal("?z"))
-	if _, err := wsd.ToWSD(table.DB(ti)); err == nil {
-		t.Fatal("ToWSD accepted an infinite rep")
-	} else if !isInfinite(err) {
-		t.Fatalf("error does not wrap ErrInfiniteRep: %v", err)
-	}
-
-	// Unsatisfiable global: the empty world set, no error.
-	tu := table.New("T", 1)
-	tu.AddTuple(parseVal("a"))
-	tu.Global = append(tu.Global, eq("b", "c"))
-	wu, err := wsd.ToWSD(table.DB(tu))
-	if err != nil {
-		t.Fatalf("ToWSD on unsatisfiable global: %v", err)
-	}
-	if !wu.Empty() || wu.Count().Sign() != 0 {
-		t.Fatal("unsatisfiable database must compile to the empty world set")
-	}
+// TestDifferentialWSDAttrQueries runs the same template-heavy
+// decompositions through seeded positive-algebra queries: the lifted
+// evaluator's slot-aware path (σ/π/ρ over slot alternatives, joins
+// tabulating only joined slots) against the per-world oracle, from both
+// provenances.
+func TestDifferentialWSDAttrQueries(t *testing.T) {
+	schema := table.Schema{{Name: "R", Arity: 2}}
+	difftest.Run(t, difftest.Config{
+		Tag:   "wsd-attr-query",
+		Cases: 150,
+		Gen: func(seed int64) (*difftest.Case, bool) {
+			w, err := attrWSD(seed)
+			if err != nil {
+				return nil, false
+			}
+			if !w.Count().IsInt64() || w.Count().Int64() > 200 {
+				return nil, false
+			}
+			q := gen.RandomPositiveQuery(seed, schema, 5, 2)
+			return &difftest.Case{Worlds: w.Expand(0), WSD: w, Query: q}, true
+		},
+		Backends: []difftest.Backend{
+			difftest.WSDBackend("wsd/attr"),
+			difftest.FromWorldsBackend(),
+		},
+	})
 }
-
-// --- tiny construction helpers ---
-
-func parseVal(s string) value.Value {
-	if strings.HasPrefix(s, "?") {
-		return value.Var(s[1:])
-	}
-	return value.Const(s)
-}
-
-func tupleOf(vals ...string) value.Tuple {
-	t := make(value.Tuple, len(vals))
-	for i, v := range vals {
-		t[i] = parseVal(v)
-	}
-	return t
-}
-
-func eq(l, r string) cond.Atom { return cond.EqAtom(parseVal(l), parseVal(r)) }
-
-func conj(atoms ...cond.Atom) cond.Conjunction { return cond.Conjunction(atoms) }
-
-func isInfinite(err error) bool { return errors.Is(err, wsd.ErrInfiniteRep) }

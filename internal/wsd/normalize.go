@@ -2,24 +2,34 @@
 // invariants every query method relies on.
 //
 //  1. alternatives within a component are pairwise distinct;
-//  2. the fact supports of distinct components are pairwise disjoint;
+//  2. the fact supports of distinct components are pairwise disjoint
+//     (an attribute-level component's support is its template's
+//     instantiation set, never materialized);
 //  3. no component is the trivial {∅} (it contributes nothing);
-//  4. components are maximally factored: no component splits into a
-//     product of smaller independent components;
+//  4. components are maximally factored along both axes: no component
+//     splits horizontally into a product of smaller independent
+//     components (the trace/block splitter), and no tuple-level
+//     component whose alternatives form an exact per-slot product stays
+//     unfactored — the vertical split rewrites it into an
+//     attribute-level template (tryVerticalSplit);
 //  5. facts, alternatives and components are in canonical order, so two
 //     normalizations of the same world set print identically.
 //
 // (2) makes the choice-vector → world map injective, so |rep| is exactly
-// the product of component sizes. (4) is obtained by the trace/block
-// splitter shared with FromWorlds: it factors a component exactly when a
-// verified counting argument proves the factors independent, so
-// normalization never changes the represented world set.
+// the product of component sizes. (4) is obtained by verified counting
+// arguments only: the horizontal trace/block splitter factors a
+// component exactly when the distinct-projection counts multiply to the
+// total, and the vertical splitter factors a component into per-slot
+// alternative lists exactly when Π|slot values| equals the alternative
+// count — either certificate proves the rewrite preserves the
+// represented world set fact-for-fact.
 package wsd
 
 import (
 	"fmt"
 	"sort"
 
+	"pw/internal/sym"
 	"pw/internal/unionfind"
 )
 
@@ -43,14 +53,31 @@ func (w *WSD) Normalize() error {
 		return nil
 	}
 
-	// (1) Deduplicate alternatives within each component.
+	// (1) Deduplicate alternatives within each tuple-level component and
+	// canonicalize attribute-level slot value lists (sorted, distinct —
+	// the template's cross product is then automatically duplicate-free).
 	for i := range w.comps {
+		if a := w.comps[i].attr; a != nil {
+			for j := range a.cells {
+				a.cells[j] = sortDedupCell(a.cells[j])
+			}
+			continue
+		}
 		w.comps[i].alts = dedupAlts(w.comps[i].alts)
 	}
 
 	// A component with no alternatives offers no choice at all: the
-	// product is empty.
+	// product is empty. For a template that means an empty slot domain.
 	for _, c := range w.comps {
+		if c.attr != nil {
+			for _, cell := range c.attr.cells {
+				if len(cell) == 0 {
+					w.clearToEmpty()
+					return nil
+				}
+			}
+			continue
+		}
 		if len(c.alts) == 0 {
 			w.clearToEmpty()
 			return nil
@@ -60,26 +87,46 @@ func (w *WSD) Normalize() error {
 	// (2) Merge components with overlapping supports: they are dependent
 	// (a fact shared between two components breaks the injectivity of the
 	// choice map), so their joint world set is the product of their
-	// alternative unions.
+	// alternative unions. Attribute-level members of an overlapping group
+	// are expanded to tuple level first (the degenerate case; bounded).
 	if err := w.mergeOverlapping(); err != nil {
 		return err
 	}
 
-	// (4) Split each component into independent factors.
+	// (4) Split each tuple-level component into independent horizontal
+	// factors, then try the vertical split on every tuple-level factor:
+	// a component whose alternatives are singleton same-relation facts
+	// forming an exact per-slot product becomes an attribute-level
+	// template. Templates that arrive here untouched by the merge are
+	// already maximally factored (their alternatives share the
+	// one-fact-per-world structure, so no horizontal split applies).
 	var split []component
 	for _, c := range w.comps {
+		if c.attr != nil {
+			split = append(split, c)
+			continue
+		}
 		for _, alts := range splitAlts(c.alts) {
-			split = append(split, component{alts: alts})
+			split = append(split, w.tryVerticalSplit(component{alts: alts}))
 		}
 	}
 	w.comps = split
 
 	// (3) Drop trivial {∅} components; (re-)merge all certain components
-	// (single alternative) into one, so the certain facts live in one
-	// place regardless of how the WSD was built.
+	// (single alternative — including all-fixed templates) into one, so
+	// the certain facts live in one place regardless of how the WSD was
+	// built.
 	var kept []component
 	var certainFacts []int32
 	for _, c := range w.comps {
+		if c.attr != nil {
+			if n, _ := c.attr.countInt(); n == 1 {
+				certainFacts = append(certainFacts, w.intern(c.attr.rel, c.attr.tupleAt(0)))
+				continue
+			}
+			kept = append(kept, c)
+			continue
+		}
 		if len(c.alts) == 1 {
 			certainFacts = append(certainFacts, c.alts[0]...)
 			continue
@@ -106,6 +153,7 @@ func (w *WSD) clearToEmpty() {
 	w.factIndex = make(map[uint64][]int32)
 	w.factComp = nil
 	w.certain = nil
+	w.attrByRel = nil
 	w.empty = true
 	w.normalized = true
 }
@@ -135,17 +183,49 @@ func dedupAlts(alts [][]int32) [][]int32 {
 
 // mergeOverlapping unions components whose supports share a fact, taking
 // the cross product of their alternatives (with dedup). Groups are found
-// with a union–find over component indices keyed by fact ownership.
+// with a union–find over component indices keyed by fact ownership;
+// attribute-level components overlap a peer when their template can
+// instantiate one of its facts (tuple peers) or when the two templates
+// share an instantiation (positionwise slot intersection — no product is
+// ever materialized to decide overlap). Attribute-level members of a
+// multi-component group are the degenerate case: they expand to tuple
+// level (bounded by MaxMergeAlts) before the cross product.
 func (w *WSD) mergeOverlapping() error {
 	uf := unionfind.NewDense(len(w.comps))
 	owner := make(map[int32]int, len(w.facts))
-	for ci, c := range w.comps {
+	var attrIdx []int
+	for ci := range w.comps {
+		c := &w.comps[ci]
+		if c.attr != nil {
+			attrIdx = append(attrIdx, ci)
+			continue
+		}
 		for _, alt := range c.alts {
 			for _, f := range alt {
 				if prev, ok := owner[f]; ok {
 					uf.Union(int32(prev), int32(ci))
 				} else {
 					owner[f] = ci
+				}
+			}
+		}
+	}
+	// Template vs template: shared instantiation.
+	for i, ai := range attrIdx {
+		for _, bi := range attrIdx[i+1:] {
+			if !uf.Same(int32(ai), int32(bi)) && attrOverlap(w.comps[ai].attr, w.comps[bi].attr) {
+				uf.Union(int32(ai), int32(bi))
+			}
+		}
+	}
+	// Template vs tuple-level: a stored fact the template can produce.
+	if len(attrIdx) > 0 {
+		for f, ci := range owner {
+			sf := w.facts[f]
+			for _, ai := range attrIdx {
+				a := w.comps[ai].attr
+				if a.rel == sf.rel && !uf.Same(int32(ai), int32(ci)) && a.contains(sf.tuple) {
+					uf.Union(int32(ai), int32(ci))
 				}
 			}
 		}
@@ -169,8 +249,17 @@ func (w *WSD) mergeOverlapping() error {
 			continue
 		}
 		product := 1
-		for _, ci := range members {
-			product *= len(w.comps[ci].alts)
+		memberAlts := make([][][]int32, len(members))
+		for k, ci := range members {
+			alts := w.comps[ci].alts
+			if a := w.comps[ci].attr; a != nil {
+				var err error
+				if alts, err = w.expandAttr(a); err != nil {
+					return err
+				}
+			}
+			memberAlts[k] = alts
+			product *= len(alts)
 			if product > MaxMergeAlts {
 				return fmt.Errorf("wsd: merging %d dependent components needs %d+ alternatives (limit %d); the decomposition is too entangled to normalize",
 					len(members), product, MaxMergeAlts)
@@ -178,10 +267,10 @@ func (w *WSD) mergeOverlapping() error {
 		}
 		// Cross product of alternative unions.
 		acc := [][]int32{nil}
-		for _, ci := range members {
-			next := make([][]int32, 0, len(acc)*len(w.comps[ci].alts))
+		for _, alts := range memberAlts {
+			next := make([][]int32, 0, len(acc)*len(alts))
 			for _, base := range acc {
-				for _, alt := range w.comps[ci].alts {
+				for _, alt := range alts {
 					u := make([]int32, 0, len(base)+len(alt))
 					u = append(u, base...)
 					u = append(u, alt...)
@@ -194,6 +283,76 @@ func (w *WSD) mergeOverlapping() error {
 	}
 	w.comps = merged
 	return nil
+}
+
+// tryVerticalSplit is the attribute-level factoring rule: a tuple-level
+// component whose alternatives are singleton facts of one relation, and
+// whose alternative count equals the product of its per-slot distinct
+// value counts, is exactly the cross product of those per-slot value
+// sets — the counting argument: the alternatives are pairwise distinct
+// (dedup upstream) and each is a member of the product, so equal
+// cardinality forces set equality. Certified components are rewritten
+// into the template form, which stores Σ|slotᵢ| symbols instead of
+// Π|slotᵢ| alternatives; anything else is returned unchanged.
+//
+// Components whose values would not survive a parse→print round trip
+// (names using the slot grammar's reserved characters) are left at
+// tuple level so String stays closed under ParseWSD.
+func (w *WSD) tryVerticalSplit(c component) component {
+	if len(c.alts) < 2 {
+		return c
+	}
+	relIdx := int32(-1)
+	for _, alt := range c.alts {
+		if len(alt) != 1 {
+			return c
+		}
+		f := w.facts[alt[0]]
+		if relIdx < 0 {
+			relIdx = f.rel
+		} else if f.rel != relIdx {
+			return c
+		}
+	}
+	arity := w.schema[relIdx].Arity
+	if arity == 0 {
+		return c
+	}
+	seen := make([]map[sym.ID]bool, arity)
+	cells := make([][]sym.ID, arity)
+	for i := range seen {
+		seen[i] = make(map[sym.ID]bool)
+	}
+	for _, alt := range c.alts {
+		t := w.facts[alt[0]].tuple
+		for i, id := range t {
+			if !seen[i][id] {
+				seen[i][id] = true
+				cells[i] = append(cells[i], id)
+			}
+		}
+	}
+	product := 1
+	for _, cell := range cells {
+		product *= len(cell)
+		if product > len(c.alts) {
+			return c // the product strictly exceeds the alternatives: not a full product
+		}
+	}
+	if product != len(c.alts) {
+		return c
+	}
+	for _, cell := range cells {
+		for _, id := range cell {
+			if !plainCellValue(id.Name()) {
+				return c
+			}
+		}
+	}
+	for i := range cells {
+		cells[i] = sortDedupCell(cells[i])
+	}
+	return component{attr: &attrComp{rel: relIdx, cells: cells}}
 }
 
 // splitAlts factors one component's alternative list into independent
@@ -402,7 +561,9 @@ func traceKey(tr []uint64) string {
 
 // canonicalize rebuilds the fact table in display order and sorts
 // alternatives and components, so equal world sets normalize to equal
-// printed forms.
+// printed forms. Attribute-level components keep no fact-table entries;
+// their slot value lists are already sorted, and they order among the
+// tuple-level components by their minimal instantiation.
 func (w *WSD) canonicalize() {
 	used := make(map[int32]bool)
 	for _, c := range w.comps {
@@ -433,6 +594,9 @@ func (w *WSD) canonicalize() {
 
 	for ci := range w.comps {
 		c := &w.comps[ci]
+		if c.attr != nil {
+			continue
+		}
 		for ai, alt := range c.alts {
 			for k, f := range alt {
 				alt[k] = remap[f]
@@ -441,11 +605,38 @@ func (w *WSD) canonicalize() {
 		}
 		sort.Slice(c.alts, func(i, j int) bool { return altLess(c.alts[i], c.alts[j]) })
 	}
-	// Supports are disjoint, so the smallest fact of each component is a
+	// Supports are disjoint, so the smallest support fact of each
+	// component — for a template, its minimal instantiation — is a
 	// unique sort key.
 	sort.Slice(w.comps, func(i, j int) bool {
-		return minSupport(w.comps[i]) < minSupport(w.comps[j])
+		ri, ti, oki := w.minSupportFact(&w.comps[i])
+		rj, tj, okj := w.minSupportFact(&w.comps[j])
+		if oki != okj {
+			return oki // fact-less components sort last
+		}
+		if !oki {
+			return false
+		}
+		if ri != rj {
+			return ri < rj
+		}
+		return ti.Compare(tj) < 0
 	})
+}
+
+// minSupportFact returns a component's smallest support fact as a
+// (schema relation, tuple) pair; ok is false when the component has no
+// facts at all.
+func (w *WSD) minSupportFact(c *component) (relIdx int32, t sym.Tuple, ok bool) {
+	if c.attr != nil {
+		return c.attr.rel, c.attr.minTuple(), true
+	}
+	id := minSupport(*c)
+	if id == int32(1<<31-1) {
+		return 0, nil, false
+	}
+	f := w.facts[id]
+	return f.rel, f.tuple, true
 }
 
 // altLess orders alternatives by length, then lexicographically by IDs.
@@ -480,8 +671,16 @@ func (w *WSD) buildIndexes() {
 		w.factComp[i] = -1
 	}
 	w.certain = make([]bool, len(w.facts))
+	w.attrByRel = nil
 	for ci := range w.comps {
 		c := &w.comps[ci]
+		if a := c.attr; a != nil {
+			if w.attrByRel == nil {
+				w.attrByRel = make(map[int32][]int32)
+			}
+			w.attrByRel[a.rel] = append(w.attrByRel[a.rel], int32(ci))
+			continue
+		}
 		c.altIndex = make(map[uint64][]int32, len(c.alts))
 		inAll := make(map[int32]int)
 		for ai, alt := range c.alts {

@@ -11,12 +11,16 @@ import (
 	"sort"
 
 	"pw/internal/rel"
+	"pw/internal/sym"
 )
 
 // Count returns the exact number of worlds the decomposition denotes:
-// the product of the component sizes. Exactness relies on the normalized
-// invariants (disjoint supports, distinct alternatives), which make the
-// choice-vector → world map injective.
+// the product of the component sizes, where an attribute-level
+// component's size is the product of its slot domain sizes — computed
+// without materializing any field product, so a decomposition of a few
+// hundred template slots counts 2^100+ worlds exactly. Exactness relies
+// on the normalized invariants (disjoint supports, distinct
+// alternatives), which make the choice-vector → world map injective.
 func (w *WSD) Count() *big.Int {
 	w.ensure()
 	if w.empty {
@@ -24,6 +28,10 @@ func (w *WSD) Count() *big.Int {
 	}
 	n := big.NewInt(1)
 	for _, c := range w.comps {
+		if c.attr != nil {
+			n.Mul(n, c.attr.count())
+			continue
+		}
 		n.Mul(n, big.NewInt(int64(len(c.alts))))
 	}
 	return n
@@ -48,7 +56,11 @@ func (w *WSD) schemaMatches(i *rel.Instance) bool {
 
 // Member decides MEMB(−) on the decomposition: i ∈ rep(w)? One pass over
 // the instance's facts plus one alternative probe per component —
-// polynomial time, per component, as promised by the WSD papers.
+// polynomial time, per component, as promised by the WSD papers. An
+// attribute-level component never materializes its field product: a
+// fact resolves to it by positionwise slot-domain membership, and the
+// instance matches iff exactly one of its facts instantiates the
+// template (every world contains exactly one instantiation).
 func (w *WSD) Member(i *rel.Instance) bool {
 	w.ensure()
 	if w.empty || !w.schemaMatches(i) {
@@ -57,21 +69,33 @@ func (w *WSD) Member(i *rel.Instance) bool {
 	// Partition the instance's facts by component; a fact outside the
 	// support can appear in no world.
 	perComp := make([][]int32, len(w.comps))
+	attrHits := make([]int, len(w.comps))
 	for _, r := range i.Relations() {
 		ri := int32(w.schemaIdx[r.Name])
 		for _, t := range r.Tuples() {
-			id, ok := w.lookup(ri, t)
+			if id, ok := w.lookup(ri, t); ok {
+				ci := w.factComp[id]
+				perComp[ci] = append(perComp[ci], id)
+				continue
+			}
+			ci, ok := w.attrOwner(ri, t)
 			if !ok {
 				return false
 			}
-			ci := w.factComp[id]
-			perComp[ci] = append(perComp[ci], id)
+			attrHits[ci]++
 		}
 	}
 	// The instance is a world iff its restriction to every component's
 	// support is one of that component's alternatives (including the
-	// empty restriction matching an empty alternative).
+	// empty restriction matching an empty alternative) — for a template,
+	// iff exactly one instance fact instantiates it.
 	for ci := range w.comps {
+		if w.comps[ci].attr != nil {
+			if attrHits[ci] != 1 {
+				return false
+			}
+			continue
+		}
 		ids := perComp[ci]
 		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
 		if !w.comps[ci].hasAlt(ids) {
@@ -79,6 +103,17 @@ func (w *WSD) Member(i *rel.Instance) bool {
 		}
 	}
 	return true
+}
+
+// attrOwner resolves a tuple outside the stored fact table to the
+// attribute-level component whose template can instantiate it.
+func (w *WSD) attrOwner(relIdx int32, t sym.Tuple) (int32, bool) {
+	for _, ci := range w.attrByRel[relIdx] {
+		if w.comps[ci].attr.contains(t) {
+			return ci, true
+		}
+	}
+	return 0, false
 }
 
 // hasAlt reports whether the sorted ID list is one of the component's
@@ -94,15 +129,38 @@ func (c *component) hasAlt(ids []int32) bool {
 
 // PossibleFact decides POSS(1,−): does some world contain the fact? On a
 // normalized decomposition the support is exactly the set of possible
-// facts (every stored fact occurs in some alternative, and the other
-// components are independent), so this is a single lookup.
+// facts (every stored fact occurs in some alternative, every template
+// instantiation in some slot choice, and the other components are
+// independent), so this is a fact-table lookup plus a positionwise
+// template probe.
 func (w *WSD) PossibleFact(relName string, f rel.Fact) bool {
 	w.ensure()
 	if w.empty {
 		return false
 	}
-	_, ok := w.lookupBoundary(relName, f)
+	if _, ok := w.lookupBoundary(relName, f); ok {
+		return true
+	}
+	_, ok := w.attrOwnerBoundary(relName, f)
 	return ok
+}
+
+// attrOwnerBoundary resolves a boundary fact to the attribute-level
+// component that can instantiate it, without growing any intern table.
+func (w *WSD) attrOwnerBoundary(relName string, f rel.Fact) (int32, bool) {
+	ri, ok := w.schemaIdx[relName]
+	if !ok || len(f) != w.schema[ri].Arity || len(w.attrByRel[int32(ri)]) == 0 {
+		return 0, false
+	}
+	t := make(sym.Tuple, len(f))
+	for i, c := range f {
+		id, ok := sym.LookupConst(c)
+		if !ok {
+			return 0, false
+		}
+		t[i] = id
+	}
+	return w.attrOwner(int32(ri), t)
 }
 
 // CertainFact decides CERT(1,−): does every world contain the fact? True
@@ -120,13 +178,16 @@ func (w *WSD) CertainFact(relName string, f rel.Fact) bool {
 // Possible decides POSS(∗,−): does some world contain every fact of p?
 // Because components are independent, this holds iff each component has
 // an alternative containing all of p's facts that fall in its support —
-// checked with sorted-list inclusion, no enumeration.
+// checked with sorted-list inclusion, no enumeration. A template's
+// alternatives are single instantiations, so at most one of p's facts
+// may fall in any one attribute-level component.
 func (w *WSD) Possible(p *rel.Instance) bool {
 	w.ensure()
 	if w.empty {
 		return false
 	}
 	perComp := make(map[int32][]int32)
+	attrHits := make(map[int32]int)
 	for _, r := range p.Relations() {
 		ri, ok := w.schemaIdx[r.Name]
 		if !ok {
@@ -138,7 +199,14 @@ func (w *WSD) Possible(p *rel.Instance) bool {
 		for _, t := range r.Tuples() {
 			id, found := w.lookup(int32(ri), t)
 			if !found {
-				return false
+				ci, ok := w.attrOwner(int32(ri), t)
+				if !ok {
+					return false
+				}
+				if attrHits[ci]++; attrHits[ci] > 1 {
+					return false // two distinct instantiations of one template never co-occur
+				}
+				continue
 			}
 			ci := w.factComp[id]
 			perComp[ci] = append(perComp[ci], id)
@@ -216,6 +284,13 @@ func (w *WSD) World(choice []int) *rel.Instance {
 		inst.AddRelation(rel.NewRelation(s.Name, s.Arity))
 	}
 	for ci, ai := range choice {
+		if a := w.comps[ci].attr; a != nil {
+			if _, ok := a.countInt(); !ok {
+				panic("wsd: World on a template with more alternatives than fit an int; enumerate with Count/Sample instead")
+			}
+			inst.Relations()[a.rel].Insert(a.tupleAt(ai))
+			continue
+		}
 		for _, id := range w.comps[ci].alts[ai] {
 			f := w.facts[id]
 			inst.Relations()[f.rel].Insert(f.tuple)
@@ -243,7 +318,7 @@ func (w *WSD) Each(fn func(*rel.Instance) bool) bool {
 		i := len(choice) - 1
 		for ; i >= 0; i-- {
 			choice[i]++
-			if choice[i] < len(w.comps[i].alts) {
+			if choice[i] < w.comps[i].altCount() {
 				break
 			}
 			choice[i] = 0
@@ -267,16 +342,37 @@ func (w *WSD) Expand(limit int) []*rel.Instance {
 }
 
 // Sample draws one world uniformly at random: a uniform independent
-// choice per component, exact because the choice-vector → world map is a
-// bijection onto rep(w). Returns nil on the empty world set.
+// choice per component — per slot for attribute-level components, so
+// sampling stays exact and cheap even when a template's field product
+// is astronomically large. Exact because the choice-vector → world map
+// is a bijection onto rep(w). Returns nil on the empty world set.
 func (w *WSD) Sample(rng *rand.Rand) *rel.Instance {
 	w.ensure()
 	if w.empty {
 		return nil
 	}
-	choice := make([]int, len(w.comps))
-	for ci := range w.comps {
-		choice[ci] = rng.Intn(len(w.comps[ci].alts))
+	inst := rel.NewInstance()
+	for _, s := range w.schema {
+		inst.AddRelation(rel.NewRelation(s.Name, s.Arity))
 	}
-	return w.World(choice)
+	for ci := range w.comps {
+		c := &w.comps[ci]
+		if a := c.attr; a != nil {
+			t := make(sym.Tuple, len(a.cells))
+			for i, cell := range a.cells {
+				if len(cell) == 1 {
+					t[i] = cell[0] // fixed slot: no choice, no rng draw
+					continue
+				}
+				t[i] = cell[rng.Intn(len(cell))]
+			}
+			inst.Relations()[a.rel].Insert(t)
+			continue
+		}
+		for _, id := range c.alts[rng.Intn(len(c.alts))] {
+			f := w.facts[id]
+			inst.Relations()[f.rel].Insert(f.tuple)
+		}
+	}
+	return inst
 }

@@ -1,0 +1,362 @@
+// Property tests pinning the vertical-split rule and the
+// attribute-level normalization invariants:
+//
+//   - Normalize preserves the represented world set exactly: for seeded
+//     random component builds (both granularities, overlap included),
+//     Expand after Normalize equals a reference expansion computed
+//     directly from the unnormalized component specs;
+//   - attribute splits preserve Count exactly, at big.Int scale;
+//   - the counting certificate really gates the rewrite: full per-slot
+//     products factor into templates, near-products and XOR patterns
+//     stay atomic.
+package wsd_test
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"pw/internal/gen"
+	"pw/internal/rel"
+	"pw/internal/table"
+	"pw/internal/wsd"
+)
+
+// compSpec is one unnormalized component at the test's boundary: either
+// explicit alternatives or a template over relation R.
+type compSpec struct {
+	alts  []wsd.Alt
+	cells [][]string
+}
+
+// refExpand computes the represented world set straight from the specs
+// — the definitional semantics rep = {C₁ ∪ … ∪ Cₘ}, with template
+// components contributing every instantiation as a singleton fragment —
+// deduplicated by canonical fact-set key. It shares no code with the
+// engine's Normalize/Expand.
+func refExpand(specs []compSpec) map[string]bool {
+	fragments := make([][][]string, 0, len(specs)) // per comp: choice -> fact keys
+	for _, s := range specs {
+		var choices [][]string
+		if s.cells != nil {
+			insts := [][]string{nil}
+			for _, cell := range s.cells {
+				var next [][]string
+				for _, base := range insts {
+					for _, v := range cell {
+						next = append(next, append(append([]string(nil), base...), v))
+					}
+				}
+				insts = next
+			}
+			for _, args := range insts {
+				choices = append(choices, []string{"R(" + strings.Join(args, " ") + ")"})
+			}
+		} else {
+			for _, alt := range s.alts {
+				var facts []string
+				for _, f := range alt {
+					facts = append(facts, f.String())
+				}
+				choices = append(choices, facts)
+			}
+		}
+		fragments = append(fragments, choices)
+	}
+
+	worlds := map[string]bool{}
+	var walk func(ci int, acc map[string]bool)
+	walk = func(ci int, acc map[string]bool) {
+		if ci == len(fragments) {
+			keys := make([]string, 0, len(acc))
+			for k := range acc {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			worlds[strings.Join(keys, ";")] = true
+			return
+		}
+		for _, facts := range fragments[ci] {
+			next := make(map[string]bool, len(acc)+len(facts))
+			for k := range acc {
+				next[k] = true
+			}
+			for _, f := range facts {
+				next[f] = true
+			}
+			walk(ci+1, next)
+		}
+	}
+	walk(0, map[string]bool{})
+	return worlds
+}
+
+// worldKey renders an instance in the reference expander's key format.
+func worldKey(i *rel.Instance) string {
+	var keys []string
+	for _, r := range i.Relations() {
+		for _, f := range r.Facts() {
+			keys = append(keys, r.Name+"("+strings.Join(f, " ")+")")
+		}
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ";")
+}
+
+// buildSpecs generates a random unnormalized component list over a tiny
+// constant pool (overlaps are likely and intentional).
+func buildSpecs(seed int64) []compSpec {
+	rng := rand.New(rand.NewSource(seed))
+	var specs []compSpec
+	comps := 1 + rng.Intn(4)
+	for c := 0; c < comps; c++ {
+		if rng.Intn(2) == 0 {
+			cells := make([][]string, 2)
+			for i := range cells {
+				n := 1 + rng.Intn(3)
+				vals := make([]string, n)
+				for k := range vals {
+					vals[k] = fmt.Sprintf("c%d", rng.Intn(4))
+				}
+				cells[i] = vals
+			}
+			specs = append(specs, compSpec{cells: cells})
+			continue
+		}
+		nAlts := 1 + rng.Intn(3)
+		alts := make([]wsd.Alt, nAlts)
+		for a := range alts {
+			nFacts := rng.Intn(3)
+			alt := make(wsd.Alt, 0, nFacts)
+			for f := 0; f < nFacts; f++ {
+				alt = append(alt, wsd.Fact{Rel: "R",
+					Args: rel.Fact{fmt.Sprintf("c%d", rng.Intn(4)), fmt.Sprintf("c%d", rng.Intn(4))}})
+			}
+			alts[a] = alt
+		}
+		specs = append(specs, compSpec{alts: alts})
+	}
+	return specs
+}
+
+// TestNormalizePreservesRep is the round-trip property: for seeded
+// random builds, the normalized decomposition expands to exactly the
+// reference world set, world for world, and Count matches its size.
+func TestNormalizePreservesRep(t *testing.T) {
+	tested := 0
+	for seed := int64(1); tested < 200 && seed < 2000; seed++ {
+		specs := buildSpecs(seed)
+		want := refExpand(specs)
+		if len(want) > 500 {
+			continue
+		}
+		w := wsd.New(table.Schema{{Name: "R", Arity: 2}})
+		for _, s := range specs {
+			var err error
+			if s.cells != nil {
+				err = w.AddTemplateComponent("R", s.cells...)
+			} else {
+				err = w.AddComponent(s.alts...)
+			}
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+		if err := w.Normalize(); err != nil {
+			continue // entanglement guard: legal refusal, not a wrong answer
+		}
+		if got := w.Count(); !got.IsInt64() || got.Int64() != int64(len(want)) {
+			t.Fatalf("seed %d: Count = %s, reference has %d worlds\n%s", seed, got, len(want), w)
+		}
+		seen := map[string]bool{}
+		for _, inst := range w.Expand(0) {
+			k := worldKey(inst)
+			if !want[k] {
+				t.Fatalf("seed %d: Expand produced a world outside the reference set: %q\n%s", seed, k, w)
+			}
+			if seen[k] {
+				t.Fatalf("seed %d: Expand produced duplicate world %q", seed, k)
+			}
+			seen[k] = true
+		}
+		if len(seen) != len(want) {
+			t.Fatalf("seed %d: Expand yielded %d distinct worlds, reference has %d", seed, len(seen), len(want))
+		}
+		// Idempotence: a second normalization cannot change the canonical
+		// printed form.
+		s1 := w.String()
+		if err := w.Normalize(); err != nil {
+			t.Fatalf("seed %d: re-Normalize: %v", seed, err)
+		}
+		if s2 := w.String(); s2 != s1 {
+			t.Fatalf("seed %d: printed form drifted across re-Normalize:\n%s\nvs\n%s", seed, s1, s2)
+		}
+		tested++
+	}
+	if tested < 200 {
+		t.Fatalf("only %d property cases generated, want 200", tested)
+	}
+}
+
+// TestVerticalSplitCertifiesProduct pins the rewrite itself: a
+// tuple-level component whose alternatives are exactly a 2×3 per-slot
+// product must normalize into one attribute-level template, preserving
+// Count.
+func TestVerticalSplitCertifiesProduct(t *testing.T) {
+	w := wsd.New(table.Schema{{Name: "R", Arity: 2}})
+	var alts []wsd.Alt
+	for _, a := range []string{"x", "y"} {
+		for _, b := range []string{"1", "2", "3"} {
+			alts = append(alts, wsd.Alt{{Rel: "R", Args: rel.Fact{a, b}}})
+		}
+	}
+	if err := w.AddComponent(alts...); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Components() != 1 || !w.IsTemplate(0) {
+		t.Fatalf("full product did not factor into a template:\n%s", w)
+	}
+	if got := w.Count().Int64(); got != 6 {
+		t.Fatalf("Count = %d, want 6", got)
+	}
+	relName, cells, ok := w.TemplateSlots(0)
+	if !ok || relName != "R" || len(cells) != 2 || len(cells[0]) != 2 || len(cells[1]) != 3 {
+		t.Fatalf("TemplateSlots = %s %v %v, want R with 2×3 slots", relName, cells, ok)
+	}
+	if !strings.Contains(w.String(), "tmpl: R({x|y} {1|2|3})") {
+		t.Fatalf("canonical print missing the template line:\n%s", w)
+	}
+}
+
+// TestVerticalSplitDeclinesNonProducts: near-products must stay
+// tuple-level — the counting certificate, not a heuristic, gates the
+// rewrite.
+func TestVerticalSplitDeclinesNonProducts(t *testing.T) {
+	cases := [][]wsd.Alt{
+		// Diagonal: {a1, b2} — product would be 4.
+		{{{Rel: "R", Args: rel.Fact{"a", "1"}}}, {{Rel: "R", Args: rel.Fact{"b", "2"}}}},
+		// Missing one corner of a 2×2 product (an attr-level XOR shape).
+		{{{Rel: "R", Args: rel.Fact{"a", "1"}}}, {{Rel: "R", Args: rel.Fact{"a", "2"}}}, {{Rel: "R", Args: rel.Fact{"b", "1"}}}},
+	}
+	for ci, alts := range cases {
+		w := wsd.New(table.Schema{{Name: "R", Arity: 2}})
+		if err := w.AddComponent(alts...); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		if w.Components() != 1 {
+			t.Fatalf("case %d: non-product split into %d components:\n%s", ci, w.Components(), w)
+		}
+		if w.IsTemplate(0) {
+			t.Fatalf("case %d: non-product factored into a template:\n%s", ci, w)
+		}
+		if got := w.Count().Int64(); got != int64(len(alts)) {
+			t.Fatalf("case %d: Count = %d, want %d", ci, got, len(alts))
+		}
+	}
+}
+
+// TestNormalizeKeepsMultiFactXORAtomic re-pins the horizontal
+// counterpart on the same guard: pairwise independent but jointly
+// dependent multi-fact alternatives must neither split nor factor.
+func TestNormalizeKeepsMultiFactXORAtomic(t *testing.T) {
+	w := wsd.New(table.Schema{{Name: "R", Arity: 2}})
+	f := func(a string) wsd.Fact { return wsd.Fact{Rel: "R", Args: rel.Fact{a, "1"}} }
+	if err := w.AddComponent(
+		wsd.Alt{},
+		wsd.Alt{f("x"), f("y")},
+		wsd.Alt{f("x"), f("z")},
+		wsd.Alt{f("y"), f("z")},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Components() != 1 || w.IsTemplate(0) {
+		t.Fatalf("XOR pattern did not stay one atomic tuple-level component:\n%s", w)
+	}
+	if got := w.Count().Int64(); got != 4 {
+		t.Fatalf("Count = %d, want 4", got)
+	}
+}
+
+// TestAttrCountBigInt: attribute splits preserve Count at a scale only
+// big.Int can hold — the 2^100 century decomposition, counted exactly.
+func TestAttrCountBigInt(t *testing.T) {
+	w := gen.CenturyWSD()
+	want := new(big.Int).Exp(big.NewInt(2), big.NewInt(100), nil)
+	if got := w.Count(); got.Cmp(want) != 0 {
+		t.Fatalf("Count = %s, want 2^100 = %s", got, want)
+	}
+	if got := w.Components(); got != 101 {
+		t.Fatalf("Components = %d, want 101 (100 templates + the certain hub)", got)
+	}
+	// The support is 201 facts (hub + 100 templates × 2 instantiations),
+	// never the 2^100-world expansion.
+	if got := w.Size(); got != 201 {
+		t.Fatalf("Size = %d, want 201", got)
+	}
+	// A sampled world is a member; a two-instantiation probe is not
+	// jointly possible.
+	s := w.Sample(rand.New(rand.NewSource(1)))
+	if !w.Member(s) {
+		t.Fatal("sampled world rejected")
+	}
+	p := rel.NewInstance()
+	r := p.EnsureRelation("R", 2)
+	r.AddRow("s000", "hi")
+	r.AddRow("s000", "lo")
+	if w.Possible(p) {
+		t.Fatal("two instantiations of one template jointly possible")
+	}
+}
+
+// TestAddTemplateComponentValidation: slot values that would not
+// survive the printed form's round trip (reserved characters of the
+// slot grammar) are rejected at the builder, matching the parser's
+// strictness — "hi|lo" stored as one value would print as a two-value
+// braced list and silently denote a different world set.
+func TestAddTemplateComponentValidation(t *testing.T) {
+	for _, bad := range []string{"hi|lo", "a{b", "a}b", "a,b", "a(b", "a b", "", "?x"} {
+		w := wsd.New(table.Schema{{Name: "R", Arity: 2}})
+		if err := w.AddTemplateComponent("R", []string{"s1"}, []string{bad, "x"}); err == nil {
+			t.Errorf("slot value %q accepted; it cannot round-trip through the tmpl grammar", bad)
+		}
+	}
+	w := wsd.New(table.Schema{{Name: "R", Arity: 2}})
+	if err := w.AddTemplateComponent("S", []string{"a"}, []string{"b"}); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	if err := w.AddTemplateComponent("R", []string{"a"}); err == nil {
+		t.Error("slot-count/arity mismatch accepted")
+	}
+}
+
+// TestTemplateOverlapMerges: templates sharing an instantiation are
+// dependent and must merge (then re-factor only as far as the counting
+// argument allows), keeping Count exact.
+func TestTemplateOverlapMerges(t *testing.T) {
+	w := wsd.New(table.Schema{{Name: "R", Arity: 2}})
+	if err := w.AddTemplateComponent("R", []string{"a", "b"}, []string{"1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddTemplateComponent("R", []string{"b", "c"}, []string{"1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	// Choices: {a1,b1}, {a1,c1}, {b1}, {b1,c1} — 4 distinct worlds.
+	if got := w.Count().Int64(); got != 4 {
+		t.Fatalf("Count = %d, want 4\n%s", got, w)
+	}
+}

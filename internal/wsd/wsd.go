@@ -16,12 +16,17 @@
 //	rep(W) = { C₁ ∪ C₂ ∪ … ∪ Cₘ : Cᵢ ∈ componentᵢ }
 //
 // where each component is a non-empty set of alternative fact-sets
-// ("fragments"). After Normalize the components have pairwise disjoint
-// fact supports and pairwise distinct alternatives, which makes the
-// choice-vector → world map injective: |rep(W)| is exactly the product of
-// the component sizes, membership decomposes into one per-component
-// lookup, and a fact is possible (certain) iff some (every) alternative
-// of its component contains it.
+// ("fragments"). Components come in two granularities: tuple-level
+// components list whole-fact alternatives explicitly, and
+// attribute-level components (attr.go) store one fact template with
+// per-slot alternative lists whose cross product is the alternative set
+// — exponentially more succinct when fields vary independently. After
+// Normalize the components have pairwise disjoint fact supports and
+// pairwise distinct alternatives, which makes the choice-vector → world
+// map injective: |rep(W)| is exactly the product of the component
+// sizes, membership decomposes into one per-component lookup, and a
+// fact is possible (certain) iff some (every) alternative of its
+// component contains it.
 //
 // Facts are interned once into a dense local fact table over sym.Tuple
 // storage; components reference facts by dense int32 IDs, so alternatives
@@ -31,6 +36,7 @@ package wsd
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -61,12 +67,18 @@ type storedFact struct {
 	tuple sym.Tuple
 }
 
-// component is one factor of the product: a list of alternative
-// fact-ID sets. After Normalize the alternatives are sorted, pairwise
-// distinct, and indexed by fingerprint.
+// component is one factor of the product. It has two storage forms:
+//
+//   - tuple-level (attr == nil): a list of alternative fact-ID sets.
+//     After Normalize the alternatives are sorted, pairwise distinct,
+//     and indexed by fingerprint.
+//   - attribute-level (attr != nil): one fact template with per-slot
+//     alternative lists (see attr.go); the tuple-level alternatives are
+//     the cross product of the slot choices, materialized lazily.
 type component struct {
 	alts     [][]int32
 	altIndex map[uint64][]int32 // fingerprint of sorted IDs -> alt positions
+	attr     *attrComp          // non-nil: attribute-level form; alts/altIndex unused
 }
 
 // WSD is a world-set decomposition. The zero value is not usable; build
@@ -90,8 +102,9 @@ type WSD struct {
 	empty bool
 
 	normalized bool
-	factComp   []int32 // fact ID -> component index (derived)
-	certain    []bool  // fact ID -> present in every alternative (derived)
+	factComp   []int32           // fact ID -> component index (derived)
+	certain    []bool            // fact ID -> present in every alternative (derived)
+	attrByRel  map[int32][]int32 // relation -> attribute-level component indices (derived)
 }
 
 // New returns an empty decomposition over the given schema: zero
@@ -120,19 +133,48 @@ func (w *WSD) Schema() table.Schema { return w.schema }
 // and for the single-empty-world decomposition; Empty distinguishes them).
 func (w *WSD) Components() int { w.ensure(); return len(w.comps) }
 
-// Alternatives returns the per-component alternative counts.
+// Alternatives returns the per-component alternative counts. For an
+// attribute-level component the count is the product of its slot domain
+// sizes, saturating at the int maximum (Count is exact; use it for
+// astronomically factored templates).
 func (w *WSD) Alternatives() []int {
 	w.ensure()
 	out := make([]int, len(w.comps))
 	for i, c := range w.comps {
-		out[i] = len(c.alts)
+		out[i] = c.altCount()
 	}
 	return out
 }
 
-// Size returns the number of distinct facts stored in the decomposition
-// (the total support).
-func (w *WSD) Size() int { w.ensure(); return len(w.facts) }
+// altCount returns a component's alternative count, saturating at the
+// int maximum for attribute-level templates whose product overflows.
+func (c *component) altCount() int {
+	if c.attr != nil {
+		n, _ := c.attr.countInt()
+		return n
+	}
+	return len(c.alts)
+}
+
+// Size returns the number of distinct facts in the decomposition's
+// support. Attribute-level components contribute their instantiation
+// count (the product of their slot domains) without materializing it;
+// the total saturates at the int maximum.
+func (w *WSD) Size() int {
+	w.ensure()
+	n := len(w.facts)
+	for _, c := range w.comps {
+		if c.attr == nil {
+			continue
+		}
+		k, ok := c.attr.countInt()
+		if !ok || n > math.MaxInt-k {
+			return math.MaxInt
+		}
+		n += k
+	}
+	return n
+}
 
 // Empty reports whether the decomposition denotes the empty world set.
 func (w *WSD) Empty() bool { w.ensure(); return w.empty }
@@ -271,6 +313,10 @@ func (w *WSD) Clone() *WSD {
 	}
 	c.comps = make([]component, len(w.comps))
 	for i, comp := range w.comps {
+		if comp.attr != nil {
+			c.comps[i] = component{attr: comp.attr.clone()}
+			continue
+		}
 		cc := component{alts: make([][]int32, len(comp.alts))}
 		for j, a := range comp.alts {
 			cc.alts[j] = append([]int32(nil), a...)
@@ -285,6 +331,12 @@ func (w *WSD) Clone() *WSD {
 	}
 	c.factComp = append([]int32(nil), w.factComp...)
 	c.certain = append([]bool(nil), w.certain...)
+	if w.attrByRel != nil {
+		c.attrByRel = make(map[int32][]int32, len(w.attrByRel))
+		for r, bucket := range w.attrByRel {
+			c.attrByRel[r] = append([]int32(nil), bucket...)
+		}
+	}
 	return c
 }
 
@@ -304,6 +356,10 @@ func (w *WSD) String() string {
 	}
 	for _, c := range w.comps {
 		b.WriteString("\n  component:")
+		if c.attr != nil {
+			b.WriteString("\n    tmpl: " + w.templateString(c.attr))
+			continue
+		}
 		for _, alt := range c.alts {
 			b.WriteString("\n    alt:")
 			for i, id := range alt {

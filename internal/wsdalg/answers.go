@@ -6,6 +6,8 @@
 package wsdalg
 
 import (
+	"fmt"
+
 	"pw/internal/query"
 	"pw/internal/rel"
 	"pw/internal/table"
@@ -27,6 +29,14 @@ func PossibleAnswers(w *wsd.WSD, q query.Query) (*rel.Instance, error) {
 	inst := shapedInstance(out.Schema())
 	if out.Empty() {
 		return inst, nil
+	}
+	// The possible-answer set is the result's support — output-sized,
+	// but an answer template whose instantiation count overflows int
+	// cannot be materialized at all: report the blow-up instead of
+	// letting Support panic.
+	if _, ok := out.SupportSize(); !ok {
+		return nil, fmt.Errorf("%w: the possible-answer set of %s has more facts than fit in memory (an answer template's field product overflows)",
+			ErrEntangled, q.Label())
 	}
 	for _, f := range out.Support() {
 		inst.Relation(f.Rel).Add(f.Args)

@@ -26,6 +26,8 @@ import (
 	"fmt"
 
 	"pw/internal/query"
+	"pw/internal/rel"
+	"pw/internal/sym"
 	"pw/internal/unionfind"
 	"pw/internal/wsd"
 )
@@ -49,15 +51,34 @@ func Contains(sub, sup *wsd.WSD) (bool, error) {
 	}
 
 	// (1) Support inclusion, recording each sub fact's owning component
-	// on both sides.
+	// on both sides. Attribute-level sub components resolve positionwise
+	// whenever their whole instantiation set maps into one sup template
+	// (slot-subset check, no expansion — templateMapped remembers the
+	// pairing so step (3) can skip tabulating them); a template whose
+	// instantiations spread across sup components falls back to bounded
+	// enumeration, and one too wide even for that is the same
+	// entanglement refusal Normalize and Eval give.
 	type factRef struct {
 		subComp int
 		supComp int
 	}
 	nSub := sub.Components()
 	var refs []factRef
-	owner := map[string]int{} // canonical fact key -> sup component
+	templateMapped := map[int]int{} // sub component -> sup template it maps into
 	for ci := 0; ci < nSub; ci++ {
+		if sj, resolved := templateInto(sub, ci, sup); resolved {
+			if sj < 0 {
+				return false, nil // an instantiation outside sup's support
+			}
+			templateMapped[ci] = sj
+			refs = append(refs, factRef{subComp: ci, supComp: sj})
+			continue
+		}
+		if sub.AltCount(ci) > wsd.MaxMergeAlts {
+			return false, fmt.Errorf("wsdalg: containment needs the %d+ alternatives of one spread-out component (limit %d): %w",
+				sub.AltCount(ci), wsd.MaxMergeAlts, ErrEntangled)
+		}
+		seen := map[string]bool{}
 		for ai := 0; ai < sub.AltCount(ci); ai++ {
 			for _, f := range sub.AltFacts(ci, ai) {
 				sj, ok := sup.FactComponent(f.Rel, f.Args)
@@ -65,8 +86,8 @@ func Contains(sub, sup *wsd.WSD) (bool, error) {
 					return false, nil
 				}
 				key := f.String()
-				if _, seen := owner[key]; !seen {
-					owner[key] = sj
+				if !seen[key] {
+					seen[key] = true
 					refs = append(refs, factRef{subComp: ci, supComp: sj})
 				}
 			}
@@ -121,9 +142,26 @@ func Contains(sub, sup *wsd.WSD) (bool, error) {
 	// (usually far smaller) product over those members alone.
 	for _, root := range order {
 		members := clusters[root]
+		if len(members) == 1 {
+			if _, ok := templateMapped[members[0]]; ok {
+				// The lone template maps wholly into one sup template no
+				// other sub component touches: the slot-subset check of
+				// step (1) already proved every joint alternative (every
+				// instantiation) is an alternative of it. Nothing to
+				// tabulate — this is what keeps CONT polynomial on
+				// attribute-level decompositions.
+				continue
+			}
+		}
 		supComps := touched[root]
 		space := 1
 		for _, ci := range members {
+			// Per-member bound first: a saturated attribute-level count
+			// must refuse here, before the product below could overflow.
+			if sub.AltCount(ci) > wsd.MaxMergeAlts {
+				return false, fmt.Errorf("wsdalg: containment cluster needs a member's %d+ alternatives (limit %d): %w",
+					sub.AltCount(ci), wsd.MaxMergeAlts, ErrEntangled)
+			}
 			space *= sub.AltCount(ci)
 			if space > wsd.MaxMergeAlts {
 				return false, fmt.Errorf("wsdalg: containment cluster of %d components needs %d+ joint alternatives (limit %d): %w",
@@ -140,7 +178,10 @@ func Contains(sub, sup *wsd.WSD) (bool, error) {
 			for ai := 0; ai < sub.AltCount(ci); ai++ {
 				m := map[int][]wsd.Fact{}
 				for _, f := range sub.AltFacts(ci, ai) {
-					sj := owner[f.String()]
+					sj, ok := sup.FactComponent(f.Rel, f.Args)
+					if !ok {
+						return false, nil // unreachable after step (1); belt and braces
+					}
 					m[sj] = append(m[sj], f)
 					if !seenSj[sj] {
 						seenSj[sj] = true
@@ -189,6 +230,55 @@ func Contains(sub, sup *wsd.WSD) (bool, error) {
 		}
 	}
 	return true, nil
+}
+
+// templateInto resolves an attribute-level sub component positionwise
+// against sup. resolved=true means the component needed no enumeration:
+// supComp is the sup attribute-level component whose slot domains
+// contain the template's (every instantiation is one of its
+// alternatives), or -1 when some instantiation is provably outside
+// sup's support (the minimal one failed the lookup — containment is
+// false). resolved=false sends the caller to the bounded enumeration
+// fallback (tuple-level sub component, or a template whose
+// instantiations spread across sup components).
+func templateInto(sub *wsd.WSD, ci int, sup *wsd.WSD) (supComp int, resolved bool) {
+	relName, cells, ok := sub.TemplateSlots(ci)
+	if !ok {
+		return 0, false
+	}
+	minInst := make(rel.Fact, len(cells))
+	for i, cell := range cells {
+		minInst[i] = cell[0].Name()
+	}
+	sj, ok := sup.FactComponent(relName, minInst)
+	if !ok {
+		return -1, true
+	}
+	supRel, supCells, ok := sup.TemplateSlots(sj)
+	if !ok || supRel != relName || len(supCells) != len(cells) {
+		return 0, false
+	}
+	for i := range cells {
+		if !cellSubset(cells[i], supCells[i]) {
+			return 0, false
+		}
+	}
+	return sj, true
+}
+
+// cellSubset reports a ⊆ b for sorted slot value lists.
+func cellSubset(a, b []sym.ID) bool {
+	j := 0
+	for _, v := range a {
+		for j < len(b) && sym.Compare(b[j], v) < 0 {
+			j++
+		}
+		if j >= len(b) || b[j] != v {
+			return false
+		}
+		j++
+	}
+	return true
 }
 
 // ContainmentViews decides CONT(q0, q) natively on decompositions:

@@ -1,130 +1,53 @@
-// Differential validation of the lifted evaluator against the two
-// existing engines, per the acceptance criteria:
-//
-//   - on ≥100 seeded (WSD, positive query) pairs, Eval followed by
-//     Expand equals per-world query.Eval world-for-world (the worlds
-//     oracle), and PossibleAnswers/CertainAnswers equal the union /
-//     intersection of the per-world answers;
-//   - on seeded conditioned-table databases compiled to decompositions
-//     (ToWSDOverDomain), the decomposition-native answer sets agree
-//     with the lifted c-table path (decide.PossibleAnswers /
-//     decide.CertainAnswers) on facts over the inputs' constants;
-//   - Contains agrees with brute-force world-by-world membership.
-package wsdalg
+// Differential validation of the lifted evaluator through the shared
+// metamorphic harness (internal/difftest): seeded (decomposition,
+// positive query) pairs answered by Eval — decisions on the answer
+// world-set, Expand, and the possible/certain answer sets — against the
+// per-world oracle; seeded conditioned-table databases compiled to
+// decompositions and answered through Eval against the lifted c-table
+// path (domain-restricted to the constants both engines enumerate);
+// and native containment against the brute-force pair oracle.
+package wsdalg_test
 
 import (
 	"fmt"
 	"testing"
 
-	"pw/internal/decide"
+	"pw/internal/difftest"
 	"pw/internal/gen"
-	"pw/internal/query"
-	"pw/internal/rel"
 	"pw/internal/sym"
 	"pw/internal/table"
 	"pw/internal/worlds"
 	"pw/internal/wsd"
 )
 
-// answerOracle computes the distinct answer set, its union and its
-// intersection by expanding every world of w and evaluating q on it.
-func answerOracle(t *testing.T, w *wsd.WSD, q query.Query) (answers []*rel.Instance, union, inter *rel.Instance) {
-	t.Helper()
-	buckets := map[uint64][]*rel.Instance{}
-	w.Each(func(i *rel.Instance) bool {
-		a, err := q.Eval(i)
-		if err != nil {
-			t.Fatalf("oracle eval: %v", err)
-		}
-		if union == nil {
-			union = a.Clone()
-			inter = a.Clone()
-		} else {
-			for _, r := range a.Relations() {
-				union.EnsureRelation(r.Name, r.Arity).UnionWith(r)
-			}
-			for _, r := range inter.Relations() {
-				other := a.Relation(r.Name)
-				keep := rel.NewRelation(r.Name, r.Arity)
-				for _, u := range r.Tuples() {
-					if other != nil && other.Contains(u) {
-						keep.Insert(u)
-					}
-				}
-				*r = *keep
-			}
-		}
-		h := a.Fingerprint()
-		for _, prev := range buckets[h] {
-			if prev.Equal(a) {
-				return false
-			}
-		}
-		buckets[h] = append(buckets[h], a)
-		answers = append(answers, a)
-		return false
-	})
-	return answers, union, inter
-}
-
-// TestWSDAlgCrossValidation is the acceptance-criterion suite: ≥100
-// seeded (decomposition, positive query) pairs checked world-for-world
-// against the oracle.
-func TestWSDAlgCrossValidation(t *testing.T) {
-	const cases = 104
+// TestDifferentialWSDAlg is the primary suite: random mixed-granularity
+// decompositions under random positive-algebra queries, every decision
+// and answer-set procedure of the lifted evaluator checked against the
+// per-world oracle.
+func TestDifferentialWSDAlg(t *testing.T) {
 	schema := table.Schema{{Name: "R", Arity: 2}}
-	tested := 0
-	for seed := int64(1); tested < cases; seed++ {
-		consts := 4 + int(seed)%3
-		w, err := gen.RandomWSD(seed, 3+int(seed)%2, 3, 2, consts)
-		if err != nil {
-			t.Fatalf("seed %d: RandomWSD: %v", seed, err)
-		}
-		q := gen.RandomPositiveQuery(seed, schema, consts, 2+int(seed)%2)
-		tag := fmt.Sprintf("seed %d (%s)", seed, q.Label())
-
-		got, err := Eval(w, q)
-		if err != nil {
-			t.Fatalf("%s: Eval: %v", tag, err)
-		}
-		answers, union, inter := answerOracle(t, w, q)
-
-		// rep(Eval(w, q)) = {q(W)} world-for-world: counts match and
-		// every oracle answer is a member (membership + exact count ⇒
-		// set equality, by the normalized injectivity invariant).
-		if c := got.Count(); !c.IsInt64() || c.Int64() != int64(len(answers)) {
-			t.Fatalf("%s: Count = %s, oracle has %d distinct answers\ninput:\n%s\nresult:\n%s",
-				tag, c, len(answers), w, got)
-		}
-		for ai, a := range answers {
-			if !got.Member(a) {
-				t.Fatalf("%s: oracle answer %d missing from rep(Eval):\n%s\nresult:\n%s", tag, ai, a, got)
+	difftest.Run(t, difftest.Config{
+		Tag:   "wsdalg",
+		Cases: 150,
+		Gen: func(seed int64) (*difftest.Case, bool) {
+			consts := 4 + int(seed)%3
+			w, err := gen.RandomWSD(seed, 3+int(seed)%2, 3, 2, consts)
+			if err != nil {
+				return nil, false
 			}
-		}
-		// Expand reproduces the answer set exactly (bounded: counts match).
-		expanded := got.Expand(0)
-		if len(expanded) != len(answers) {
-			t.Fatalf("%s: Expand yielded %d answers, oracle has %d", tag, len(expanded), len(answers))
-		}
-
-		// Answer-fact possibility/certainty without expansion.
-		poss, err := PossibleAnswers(w, q)
-		if err != nil {
-			t.Fatalf("%s: PossibleAnswers: %v", tag, err)
-		}
-		if !poss.Equal(union) {
-			t.Fatalf("%s: PossibleAnswers = %v, oracle union = %v", tag, poss, union)
-		}
-		cert, err := CertainAnswers(w, q)
-		if err != nil {
-			t.Fatalf("%s: CertainAnswers: %v", tag, err)
-		}
-		if !cert.Equal(inter) {
-			t.Fatalf("%s: CertainAnswers = %v, oracle intersection = %v", tag, cert, inter)
-		}
-		tested++
-	}
-	t.Logf("cross-validated %d (WSD, query) pairs", tested)
+			if !w.Count().IsInt64() || w.Count().Int64() > 400 {
+				return nil, false
+			}
+			q := gen.RandomPositiveQuery(seed, schema, consts, 2+int(seed)%2)
+			return &difftest.Case{
+				Tag:    fmt.Sprintf("wsdalg seed %d (%s)", seed, q.Label()),
+				Worlds: w.Expand(0),
+				WSD:    w,
+				Query:  q,
+			}, true
+		},
+		Backends: []difftest.Backend{difftest.WSDBackend("wsdalg")},
+	})
 }
 
 // smallDB mirrors the wsd crosscheck generator: one table of each kind
@@ -143,149 +66,106 @@ func smallDB(seed int64) *table.Database {
 	}
 }
 
-// restrictTo keeps only the facts whose constants all lie in allowed.
-func restrictTo(i *rel.Instance, allowed map[string]bool) *rel.Instance {
-	out := rel.NewInstance()
-	for _, r := range i.Relations() {
-		keep := out.EnsureRelation(r.Name, r.Arity)
-	facts:
-		for _, f := range r.Facts() {
-			for _, c := range f {
-				if !allowed[c] {
-					continue facts
-				}
-			}
-			keep.Add(f)
-		}
-	}
-	return out
-}
-
 // viewDomain mirrors the deciders' Δ ∪ Δ′ for view problems: the
 // constants of the database and the query plus one fresh constant per
 // database variable. Compiling over it makes the decomposition denote
 // the same canonical world set the c-table engines reason over
 // (worlds over d's constants alone would miss answers that mention the
 // query's constants).
-func viewDomain(d *table.Database, q query.Query) []string {
+func viewDomain(c *difftest.Case) []string {
 	seen := map[string]bool{}
 	var out []string
-	add := func(c string) {
-		if !seen[c] {
-			seen[c] = true
-			out = append(out, c)
+	add := func(s string) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
 		}
 	}
-	for _, c := range d.Consts(nil, map[string]bool{}) {
-		add(c)
+	for _, s := range c.DB.Consts(nil, map[string]bool{}) {
+		add(s)
 	}
-	for _, c := range q.Consts() {
-		add(c)
+	for _, s := range c.Q().Consts() {
+		add(s)
 	}
 	ids := make([]sym.ID, len(out))
-	for i, c := range out {
-		ids[i] = sym.Const(c)
+	for i, s := range out {
+		ids[i] = sym.Const(s)
 	}
 	prefix := table.FreshPrefixIDs(ids)
-	for i := range d.VarNames() {
+	for i := range c.DB.VarNames() {
 		add(fmt.Sprintf("%s%d", prefix, i))
 	}
 	return out
 }
 
-// TestWSDAlgAgreesWithLiftedCTablePath compiles seeded table databases
-// into decompositions over the canonical domain and checks that the
-// decomposition-native answer sets match the c-table engine's
-// (restricted to the inputs' constants, the domain both sides share —
-// the decomposition also knows answers over the canonical fresh
-// constants, which the c-table path by design does not enumerate).
-func TestWSDAlgAgreesWithLiftedCTablePath(t *testing.T) {
+// TestDifferentialWSDAlgVsLifted compiles seeded table databases into
+// decompositions over the view domain and checks the
+// decomposition-native answer sets against the lifted c-table engine —
+// both domain-restricted to the constants the two engines share (the
+// decomposition also knows answers over the canonical fresh constants,
+// which the c-table path by design does not enumerate). The world list
+// is the compiled decomposition's own expansion, so the worlds oracle
+// arbitrates whenever the two engines disagree.
+func TestDifferentialWSDAlgVsLifted(t *testing.T) {
 	schema := table.Schema{{Name: "T", Arity: 2}}
-	tested := 0
-	for seed := int64(1); tested < 40 && seed < 400; seed++ {
-		d := smallDB(seed)
-		if len(d.VarNames()) > 4 {
-			continue
-		}
-		if len(worlds.All(d)) > 300 {
-			continue
-		}
-		q := gen.RandomPositiveQuery(seed, schema, 3, 2)
-		w, err := wsd.ToWSDOverDomain(d, viewDomain(d, q))
-		if err != nil {
-			t.Fatalf("seed %d: ToWSDOverDomain: %v", seed, err)
-		}
-		tag := fmt.Sprintf("table seed %d (%s)", seed, q.Label())
-
-		allowed := map[string]bool{}
-		for _, c := range d.Consts(nil, map[string]bool{}) {
-			allowed[c] = true
-		}
-		for _, c := range q.Consts() {
-			allowed[c] = true
-		}
-
-		wPoss, err := PossibleAnswers(w, q)
-		if err != nil {
-			t.Fatalf("%s: wsdalg.PossibleAnswers: %v", tag, err)
-		}
-		dPoss, err := decide.PossibleAnswers(q, d)
-		if err != nil {
-			t.Fatalf("%s: decide.PossibleAnswers: %v", tag, err)
-		}
-		if got, want := restrictTo(wPoss, allowed), restrictTo(dPoss, allowed); !got.Equal(want) {
-			t.Fatalf("%s: possible answers disagree:\nwsdalg %v\ndecide %v\nDB:\n%s", tag, got, want, d)
-		}
-
-		wCert, err := CertainAnswers(w, q)
-		if err != nil {
-			t.Fatalf("%s: wsdalg.CertainAnswers: %v", tag, err)
-		}
-		dCert, err := decide.CertainAnswers(q, d)
-		if err != nil {
-			t.Fatalf("%s: decide.CertainAnswers: %v", tag, err)
-		}
-		if got, want := restrictTo(wCert, allowed), restrictTo(dCert, allowed); !got.Equal(want) {
-			t.Fatalf("%s: certain answers disagree:\nwsdalg %v\ndecide %v\nDB:\n%s", tag, got, want, d)
-		}
-		tested++
-	}
-	if tested < 40 {
-		t.Fatalf("only %d table cases generated, want 40", tested)
-	}
+	difftest.Run(t, difftest.Config{
+		Tag:     "wsdalg-lifted",
+		Cases:   150,
+		MaxSeed: 12000,
+		Gen: func(seed int64) (*difftest.Case, bool) {
+			d := smallDB(seed)
+			if len(d.VarNames()) > 4 {
+				return nil, false
+			}
+			if len(worlds.All(d)) > 300 {
+				return nil, false
+			}
+			q := gen.RandomPositiveQuery(seed, schema, 3, 2)
+			c := &difftest.Case{
+				Tag:   fmt.Sprintf("wsdalg-lifted seed %d (%s)", seed, q.Label()),
+				DB:    d,
+				Query: q,
+			}
+			w, err := wsd.ToWSDOverDomain(d, viewDomain(c))
+			if err != nil {
+				return nil, false
+			}
+			if !w.Count().IsInt64() || w.Count().Int64() > 300 {
+				return nil, false
+			}
+			c.Worlds = w.Expand(0)
+			c.WSD = w
+			return c, true
+		},
+		Backends: []difftest.Backend{
+			difftest.WSDBackend("wsdalg/compiled"),
+			difftest.DecideBackend(0, true),
+		},
+	})
 }
 
-// TestContainsCrossValidation checks native containment against the
+// TestDifferentialContains checks native containment against the
 // brute-force oracle on seeded decomposition pairs over a shared
-// constant pool (so containment sometimes holds and sometimes fails).
-func TestContainsCrossValidation(t *testing.T) {
-	for seed := int64(1); seed <= 40; seed++ {
-		sub, err := gen.RandomWSD(seed, 3, 2, 1, 3)
-		if err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
-		}
-		sup, err := gen.RandomWSD(seed+1000, 3, 3, 1, 3)
-		if err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
-		}
-		want := true
-		sub.Each(func(w *rel.Instance) bool {
-			if !sup.Member(w) {
-				want = false
-				return true
+// constant pool (so containment sometimes holds and sometimes fails),
+// including reflexivity.
+func TestDifferentialContains(t *testing.T) {
+	difftest.RunContainment(t, difftest.ContConfig{
+		Tag:   "wsd-contains",
+		Cases: 150,
+		Gen: func(seed int64) (sub, sup *difftest.Case, ok bool) {
+			s, err := gen.RandomWSD(seed, 3, 2, 1, 3)
+			if err != nil {
+				return nil, nil, false
 			}
-			return false
-		})
-		got, err := Contains(sub, sup)
-		if err != nil {
-			t.Fatalf("seed %d: Contains: %v", seed, err)
-		}
-		if got != want {
-			t.Errorf("seed %d: Contains = %v, oracle says %v\nsub:\n%s\nsup:\n%s", seed, got, want, sub, sup)
-		}
-		// Reflexivity, while we are here.
-		if ok, err := Contains(sup, sup); err != nil || !ok {
-			t.Errorf("seed %d: reflexive containment failed: %v %v", seed, ok, err)
-		}
-	}
+			var p *wsd.WSD
+			if seed%5 == 0 {
+				p = s // reflexive pair: containment must hold
+			} else if p, err = gen.RandomWSD(seed+1000, 3, 3, 1, 3); err != nil {
+				return nil, nil, false
+			}
+			return &difftest.Case{Worlds: s.Expand(0), WSD: s},
+				&difftest.Case{Worlds: p.Expand(0), WSD: p}, true
+		},
+		Backends: []difftest.ContBackend{difftest.WSDContBackend()},
+	})
 }

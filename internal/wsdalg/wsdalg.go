@@ -13,17 +13,31 @@
 // The evaluator represents each intermediate relation as a *decomposed
 // relation*: a union of independent "parts", where a part is a
 // deterministic function from the alternative choices of a few input
-// components (its origins) to a set of rows. Operators act as follows:
+// choice *units* (its origins) to a set of rows. A unit is either a
+// whole tuple-level component or one open slot of an attribute-level
+// template — slot granularity is what keeps field products unexpanded:
+// the slots of one template are independent axes, so parts touching
+// different slots recombine freely without ever tabulating the
+// template's cross product. Operators act as follows:
 //
-//   - scans split a relation along the input components that mention it
-//     (one single-origin part per component);
+//   - scans split a relation along the input components that mention
+//     it: one tabulated single-origin part per tuple-level component,
+//     and one symbolic template part per attribute-level component
+//     (out-columns referencing slots, no materialization);
 //   - selection, projection and renaming are tuple-local, so they map
-//     each part's alternatives pointwise and distribute over the union;
+//     tabulated parts' alternatives pointwise; on template parts they
+//     stay symbolic — selection compiles its predicates against the
+//     slot references and projection narrows the origin set to the
+//     slots still referenced, so a π over a few fields of a wide
+//     template depends on exactly those fields' units;
 //   - join distributes over the union of parts; each pairwise join
 //     merges the two parts' origin sets and tabulates the joined rows
 //     over the merged choice space (the only place where the product
 //     structure coarsens, and the only blow-up — guarded by the same
-//     wsd.MaxMergeAlts bound Normalize uses);
+//     wsd.MaxMergeAlts bound Normalize uses). Template parts tabulate
+//     lazily here, over their narrowed origins only — "only the joined
+//     slots" — which keeps the MaxMergeAlts pressure proportional to
+//     the fields a query actually correlates;
 //   - union concatenates part lists (no recombination at all).
 //
 // The final answer decomposition groups correlated parts (shared
@@ -159,10 +173,12 @@ func Eval(w *wsd.WSD, q query.Query) (*wsd.WSD, error) {
 	}
 	groups := map[int32][]outPart{}
 	var order []int32
+	zero := make([]int, ev.n)
 	for _, op := range parts {
 		if len(op.p.origins) == 0 {
-			alt := make(wsd.Alt, 0, len(op.p.alts[0]))
-			for _, t := range op.p.alts[0] {
+			rows := op.p.at(zero, ev) // constant rows: choice-independent
+			alt := make(wsd.Alt, 0, len(rows))
+			for _, t := range rows {
 				alt = append(alt, wsd.Fact{Rel: op.rel, Args: rel.ResolveFact(t)})
 			}
 			if err := out.AddComponent(alt); err != nil {
@@ -179,6 +195,21 @@ func Eval(w *wsd.WSD, q query.Query) (*wsd.WSD, error) {
 
 	for _, r := range order {
 		group := groups[r]
+
+		// Template fast path: a lone predicate-free template part whose
+		// out-columns reference each origin slot exactly once is itself
+		// an attribute-level component of the answer — emit it factored,
+		// never tabulating the field product. This is what lets σ/π/ρ
+		// pipelines over 2^100-world attribute decompositions answer in
+		// decomposition size.
+		if len(group) == 1 {
+			if emitted, err := ev.emitTemplate(out, group[0].rel, &group[0].p); err != nil {
+				return nil, err
+			} else if emitted {
+				continue
+			}
+		}
+
 		var origins []int
 		for _, op := range group {
 			origins = mergeOrigins(origins, op.p.origins)
@@ -192,7 +223,7 @@ func Eval(w *wsd.WSD, q query.Query) (*wsd.WSD, error) {
 		ev.odometer(origins, choice, func() {
 			var alt wsd.Alt
 			for _, op := range group {
-				for _, t := range op.p.at(choice, ev.altCounts) {
+				for _, t := range op.p.at(choice, ev) {
 					alt = append(alt, wsd.Fact{Rel: op.rel, Args: rel.ResolveFact(t)})
 				}
 			}
@@ -205,25 +236,143 @@ func Eval(w *wsd.WSD, q query.Query) (*wsd.WSD, error) {
 	return out, out.Normalize()
 }
 
+// emitTemplate recognizes a part that is exactly an answer-side
+// attribute-level component — template body, no surviving predicates,
+// every origin unit referenced by exactly one out-column — and adds it
+// to the answer decomposition in factored (per-slot) form. Repeated
+// slot references or predicates correlate the columns, which the
+// template form cannot express; those parts fall back to tabulation.
+func (ev *evaluator) emitTemplate(out *wsd.WSD, relName string, p *part) (bool, error) {
+	t := p.tmpl
+	if t == nil || len(t.preds) > 0 {
+		return false, nil
+	}
+	seen := map[int]bool{}
+	cells := make([][]string, len(t.out))
+	for j, c := range t.out {
+		if c.unit < 0 {
+			cells[j] = []string{c.constID.Name()}
+			continue
+		}
+		if seen[c.unit] {
+			return false, nil
+		}
+		seen[c.unit] = true
+		vals := ev.cells[c.unit]
+		names := make([]string, len(vals))
+		for k, id := range vals {
+			names[k] = id.Name()
+		}
+		cells[j] = names
+	}
+	if len(seen) != len(p.origins) {
+		return false, nil
+	}
+	return true, out.AddTemplateComponent(relName, cells...)
+}
+
+// unit is one independent choice axis of the input decomposition: a
+// whole tuple-level component (slot == -1) or one open slot (two or
+// more values) of an attribute-level template. Distinct slots of one
+// template are independent by construction, so treating them as
+// separate axes is exact.
+type unit struct {
+	comp int
+	slot int
+}
+
 // part is one factor of a decomposed relation: a deterministic function
-// from the alternative choices of its origin components to a row set.
-// alts is indexed by the odometer over origins (last origin fastest),
-// with each origin digit ranging over the input component's full
-// alternative count; origins is sorted and duplicate-free. An
-// origin-free part (origins nil, one entry) is a constant row set.
+// from the alternative choices of its origin units to a row set. It has
+// two bodies:
+//
+//   - tabulated: alts indexed by the odometer over origins (last origin
+//     fastest), each origin digit ranging over the unit's alternative
+//     count;
+//   - template (tmpl != nil): a symbolic single-row function — output
+//     columns referencing slot units or constants, filtered by compiled
+//     predicates — evaluated on demand and tabulated only when a join
+//     needs it.
+//
+// origins is sorted and duplicate-free. An origin-free part (origins
+// nil, one tabulated entry) is a constant row set.
 type part struct {
 	origins []int
 	alts    [][]sym.Tuple
+	tmpl    *tmplPart
+}
+
+// tmplPart is the symbolic body of a template-derived part: one output
+// row per surviving choice. A tmplCol with unit < 0 is the constant
+// constID; otherwise the value is the unit's slot value under the
+// current choice.
+type tmplPart struct {
+	out   []tmplCol
+	preds []tmplPred
+}
+
+type tmplCol struct {
+	unit    int
+	constID sym.ID
+}
+
+type tmplPred struct {
+	eq   bool
+	l, r tmplCol
 }
 
 // at returns the part's row set under a full choice vector (indexed by
-// input component).
-func (p *part) at(choice []int, altCounts []int) []sym.Tuple {
+// unit).
+func (p *part) at(choice []int, ev *evaluator) []sym.Tuple {
+	if p.tmpl != nil {
+		return p.tmpl.at(choice, ev)
+	}
 	idx := 0
 	for _, o := range p.origins {
-		idx = idx*altCounts[o] + choice[o]
+		idx = idx*ev.altCounts[o] + choice[o]
 	}
 	return p.alts[idx]
+}
+
+// val resolves a symbolic column under a choice vector.
+func (c tmplCol) val(choice []int, ev *evaluator) sym.ID {
+	if c.unit < 0 {
+		return c.constID
+	}
+	return ev.cells[c.unit][choice[c.unit]]
+}
+
+// at evaluates the template body: nil when a predicate fails, otherwise
+// the single instantiated row.
+func (t *tmplPart) at(choice []int, ev *evaluator) []sym.Tuple {
+	for _, p := range t.preds {
+		if p.eq != (p.l.val(choice, ev) == p.r.val(choice, ev)) {
+			return nil
+		}
+	}
+	row := make(sym.Tuple, len(t.out))
+	for j, c := range t.out {
+		row[j] = c.val(choice, ev)
+	}
+	return []sym.Tuple{row}
+}
+
+// unitsOf collects the sorted distinct units referenced by a template
+// body — the exact origin set of a part with that body.
+func (t *tmplPart) unitsOf() []int {
+	var units []int
+	add := func(c tmplCol) {
+		if c.unit >= 0 {
+			units = mergeOrigins(units, []int{c.unit})
+		}
+	}
+	for _, c := range t.out {
+		add(c)
+	}
+	for _, p := range t.preds {
+		add(p.l)
+		add(p.r)
+	}
+	return units
 }
 
 // dRel is a decomposed relation: named columns over a union of parts.
@@ -234,20 +383,39 @@ type dRel struct {
 	parts []part
 }
 
-// evaluator carries the per-evaluation state: the input decomposition,
-// its component alternative counts, and a per-relation scan cache (the
-// same base relation scanned twice shares its parts; parts are never
-// mutated after construction).
+// evaluator carries the per-evaluation state: the input decomposition
+// flattened into choice units, per-unit alternative counts and slot
+// values, and a per-relation scan cache (the same base relation scanned
+// twice shares its parts; parts are never mutated after construction).
 type evaluator struct {
 	w         *wsd.WSD
 	n         int
+	units     []unit
 	altCounts []int
+	cells     [][]sym.ID // per unit: open-slot values (nil for tuple-level units)
 	scans     map[string][]part
 }
 
 func newEvaluator(w *wsd.WSD) *evaluator {
-	counts := w.Alternatives()
-	return &evaluator{w: w, n: len(counts), altCounts: counts, scans: map[string][]part{}}
+	ev := &evaluator{w: w, scans: map[string][]part{}}
+	for ci := 0; ci < w.Components(); ci++ {
+		if _, cells, ok := w.TemplateSlots(ci); ok {
+			for si, cell := range cells {
+				if len(cell) < 2 {
+					continue // fixed slot: a constant, not a choice axis
+				}
+				ev.units = append(ev.units, unit{comp: ci, slot: si})
+				ev.altCounts = append(ev.altCounts, len(cell))
+				ev.cells = append(ev.cells, cell)
+			}
+			continue
+		}
+		ev.units = append(ev.units, unit{comp: ci, slot: -1})
+		ev.altCounts = append(ev.altCounts, w.AltCount(ci))
+		ev.cells = append(ev.cells, nil)
+	}
+	ev.n = len(ev.units)
+	return ev
 }
 
 // space returns the joint alternative count of a set of origins,
@@ -288,16 +456,33 @@ func (ev *evaluator) odometer(origins []int, choice []int, fn func()) {
 	}
 }
 
-// scanParts builds (and caches) the parts of a base relation: one part
-// per input component whose support mentions the relation, tabulating
-// the relation's fragment per alternative.
+// scanParts builds (and caches) the parts of a base relation: one
+// tabulated part per tuple-level component whose support mentions the
+// relation, and one symbolic template part per attribute-level
+// component over it — the template's field product is never expanded.
 func (ev *evaluator) scanParts(name string) []part {
 	if ps, ok := ev.scans[name]; ok {
 		return ps
 	}
 	var ps []part
-	for ci := 0; ci < ev.n; ci++ {
-		alts := make([][]sym.Tuple, ev.altCounts[ci])
+	for ci := 0; ci < ev.w.Components(); ci++ {
+		if rel, cells, ok := ev.w.TemplateSlots(ci); ok {
+			if rel != name {
+				continue
+			}
+			t := &tmplPart{out: make([]tmplCol, len(cells))}
+			for si, cell := range cells {
+				if len(cell) == 1 {
+					t.out[si] = tmplCol{unit: -1, constID: cell[0]}
+					continue
+				}
+				t.out[si] = tmplCol{unit: ev.unitOf(ci, si)}
+			}
+			ps = append(ps, part{origins: t.unitsOf(), tmpl: t})
+			continue
+		}
+		u := ev.unitOf(ci, -1)
+		alts := make([][]sym.Tuple, ev.altCounts[u])
 		any := false
 		for ai := range alts {
 			for _, f := range ev.w.AltFacts(ci, ai) {
@@ -308,11 +493,22 @@ func (ev *evaluator) scanParts(name string) []part {
 			}
 		}
 		if any {
-			ps = append(ps, part{origins: []int{ci}, alts: alts})
+			ps = append(ps, part{origins: []int{u}, alts: alts})
 		}
 	}
 	ev.scans[name] = ps
 	return ps
+}
+
+// unitOf resolves a (component, slot) pair to its unit index. Panics on
+// a pair that is not a choice axis (programming error).
+func (ev *evaluator) unitOf(ci, slot int) int {
+	for u, un := range ev.units {
+		if un.comp == ci && un.slot == slot {
+			return u
+		}
+	}
+	panic("wsdalg: no unit for component slot")
 }
 
 // eval evaluates one algebra expression to a decomposed relation. It
@@ -367,13 +563,30 @@ func (ev *evaluator) eval(e algebra.Expr) (dRel, error) {
 		for i, c := range n.Cols {
 			idx[i] = indexOf(in.cols, c)
 		}
-		return mapParts(in, n.Cols, func(t sym.Tuple) (sym.Tuple, bool) {
-			g := make(sym.Tuple, len(idx))
-			for i, j := range idx {
-				g[i] = t[j]
+		out := dRel{cols: n.Cols}
+		for i := range in.parts {
+			p := &in.parts[i]
+			if t := p.tmpl; t != nil {
+				// Symbolic projection: reindex the out-columns and narrow
+				// the origins to the slots still referenced — a π over a
+				// few fields of a wide template depends on those fields'
+				// units only.
+				nt := &tmplPart{out: make([]tmplCol, len(idx)), preds: t.preds}
+				for i, j := range idx {
+					nt.out[i] = t.out[j]
+				}
+				out.parts = append(out.parts, part{origins: nt.unitsOf(), tmpl: nt})
+				continue
 			}
-			return g, true
-		}), nil
+			mapPart(&out, p, func(t sym.Tuple) (sym.Tuple, bool) {
+				g := make(sym.Tuple, len(idx))
+				for i, j := range idx {
+					g[i] = t[j]
+				}
+				return g, true
+			})
+		}
+		return out, nil
 
 	case algebra.Select:
 		in, err := ev.eval(n.E)
@@ -391,14 +604,41 @@ func (ev *evaluator) eval(e algebra.Expr) (dRel, error) {
 		if err != nil {
 			return dRel{}, err
 		}
-		return mapParts(in, in.cols, func(t sym.Tuple) (sym.Tuple, bool) {
-			for _, p := range preds {
-				if !p.holds(t) {
-					return nil, false
+		out := dRel{cols: in.cols}
+	selParts:
+		for i := range in.parts {
+			p := &in.parts[i]
+			if t := p.tmpl; t != nil {
+				// Symbolic selection: compile each predicate against the
+				// template's column sources. Constant-only predicates
+				// decide statically (a false one empties the part); the
+				// rest filter per choice, origins untouched.
+				nt := &tmplPart{out: t.out, preds: append([]tmplPred(nil), t.preds...)}
+				for _, rp := range preds {
+					tp := tmplPred{eq: rp.eq,
+						l: tmplColOf(t, rp.lIdx, rp.lConst),
+						r: tmplColOf(t, rp.rIdx, rp.rCon)}
+					if tp.l.unit < 0 && tp.r.unit < 0 {
+						if tp.eq != (tp.l.constID == tp.r.constID) {
+							continue selParts // statically empty part
+						}
+						continue // statically true: drop the predicate
+					}
+					nt.preds = append(nt.preds, tp)
 				}
+				out.parts = append(out.parts, part{origins: nt.unitsOf(), tmpl: nt})
+				continue
 			}
-			return t, true
-		}), nil
+			mapPart(&out, p, func(t sym.Tuple) (sym.Tuple, bool) {
+				for _, p := range preds {
+					if !p.holds(t) {
+						return nil, false
+					}
+				}
+				return t, true
+			})
+		}
+		return out, nil
 
 	case algebra.Rename:
 		in, err := ev.eval(n.E)
@@ -471,7 +711,7 @@ func (ev *evaluator) joinRels(l, r dRel, cols []string) (dRel, error) {
 			alts := make([][]sym.Tuple, 0, space)
 			any := false
 			ev.odometer(origins, choice, func() {
-				joined := joinTuples(lp.at(choice, ev.altCounts), rp.at(choice, ev.altCounts),
+				joined := joinTuples(lp.at(choice, ev), rp.at(choice, ev),
 					lShared, rShared, rExtra, len(cols))
 				if len(joined) > 0 {
 					any = true
@@ -524,34 +764,41 @@ func joinTuples(ls, rs []sym.Tuple, lShared, rShared, rExtra []int, width int) [
 	return sortDedupTuples(out)
 }
 
-// mapParts applies a tuple-local map (project, select, …) to every
-// alternative of every part; tuple-local operators distribute over the
-// union of parts, so origins are untouched. Parts whose every
-// alternative maps to the empty set contribute nothing and are dropped.
-func mapParts(in dRel, cols []string, f func(sym.Tuple) (sym.Tuple, bool)) dRel {
-	out := dRel{cols: cols}
-	for i := range in.parts {
-		p := &in.parts[i]
-		alts := make([][]sym.Tuple, len(p.alts))
-		any := false
-		for ai, alt := range p.alts {
-			var rows []sym.Tuple
-			for _, t := range alt {
-				if g, ok := f(t); ok {
-					rows = append(rows, g)
-				}
+// mapPart applies a tuple-local map (project, select, …) to every
+// alternative of one tabulated part, appending the result to out;
+// tuple-local operators distribute over the union of parts, so origins
+// are untouched. A part whose every alternative maps to the empty set
+// contributes nothing and is dropped. (Template parts transform
+// symbolically at their call sites instead.)
+func mapPart(out *dRel, p *part, f func(sym.Tuple) (sym.Tuple, bool)) {
+	alts := make([][]sym.Tuple, len(p.alts))
+	any := false
+	for ai, alt := range p.alts {
+		var rows []sym.Tuple
+		for _, t := range alt {
+			if g, ok := f(t); ok {
+				rows = append(rows, g)
 			}
-			rows = sortDedupTuples(rows)
-			if len(rows) > 0 {
-				any = true
-			}
-			alts[ai] = rows
 		}
-		if any {
-			out.parts = append(out.parts, part{origins: p.origins, alts: alts})
+		rows = sortDedupTuples(rows)
+		if len(rows) > 0 {
+			any = true
 		}
+		alts[ai] = rows
 	}
-	return out
+	if any {
+		out.parts = append(out.parts, part{origins: p.origins, alts: alts})
+	}
+}
+
+// tmplColOf resolves one compiled predicate operand against a template
+// body: a column index reads the template's column source, a constant
+// stays a constant.
+func tmplColOf(t *tmplPart, idx int, constID sym.ID) tmplCol {
+	if idx >= 0 {
+		return t.out[idx]
+	}
+	return tmplCol{unit: -1, constID: constID}
 }
 
 // resolvedPred is a selection predicate compiled to column indices and

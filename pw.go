@@ -337,12 +337,26 @@ func Normalize(d *Database) (*Database, bool) {
 
 // NewWSD returns an empty world-set decomposition over the given schema
 // (zero components: the single world with every relation empty). Build it
-// up with AddComponent; the query methods normalize lazily and panic if
-// normalization fails (its only failure mode is the merged-component
-// blow-up guard on heavily entangled inputs) — call Normalize explicitly
-// after building to receive that as an error instead, and before sharing
-// the decomposition across goroutines.
+// up with AddComponent (tuple-level alternatives) and AddWSDTemplate
+// (attribute-level per-slot alternatives); the query methods normalize
+// lazily and panic if normalization fails (its only failure mode is the
+// merged-component blow-up guard on heavily entangled inputs) — call
+// Normalize explicitly after building to receive that as an error
+// instead, and before sharing the decomposition across goroutines.
 func NewWSD(schema Schema) *WSD { return wsd.New(schema) }
+
+// AddWSDTemplate appends an attribute-level component to a
+// decomposition: one fact template over relName whose slot i ranges
+// over slots[i], denoting the cross product of the slot choices as its
+// alternatives (one instantiation per world) without ever materializing
+// the product. A database whose fields vary independently — n readings
+// of k values each — is k^n worlds in n·k symbols this way; Count,
+// Member, PossibleFact, CertainFact and Sample all stay polynomial in
+// the decomposition size, and Apply-family queries evaluate on the
+// factored form directly.
+func AddWSDTemplate(w *WSD, relName string, slots ...[]string) error {
+	return w.AddTemplateComponent(relName, slots...)
+}
 
 // WSDFromWorlds factorizes a finite world list into a normalized
 // decomposition denoting exactly that set: Count equals the number of
