@@ -11,7 +11,11 @@ package pw
 
 import (
 	"fmt"
+	"io"
 	"math/big"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"pw/internal/algebra"
@@ -24,6 +28,7 @@ import (
 	"pw/internal/reduce"
 	"pw/internal/rel"
 	"pw/internal/sat"
+	"pw/internal/server"
 	"pw/internal/table"
 	"pw/internal/value"
 	"pw/internal/worlds"
@@ -765,4 +770,81 @@ func BenchmarkWSDAttr_Query_2p100(b *testing.B) {
 			b.Fatalf("answer Count = %s, want 2^100", c)
 		}
 	}
+}
+
+// --- Query server: answer cache, uncached eval, HTTP throughput ---
+
+// serverHiQuery selects the hi readings of gen.MillionWorldWSD's S
+// relation — the same shape as BenchmarkWSDQuery_Select_1M, so the
+// uncached server path is directly comparable to bare wsdalg.Eval.
+const serverHiQuery = "@query hi\n  out: Hi = select[#value = hi](S(sensor value))\n"
+
+func newBenchServer(b *testing.B, cfg server.Config) *server.Server {
+	b.Helper()
+	s := server.New(cfg)
+	if err := s.AddWSD("db", gen.MillionWorldWSD()); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkServerCertAns_Cached_1M(b *testing.B) {
+	s := newBenchServer(b, server.Config{Workers: 1})
+	req := &server.Request{DB: "db", Op: "cert-ans", Query: serverHiQuery}
+	if _, err := s.Do(req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := s.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.Cached {
+			b.Fatal("repeat cert-ans missed the answer cache")
+		}
+	}
+}
+
+func BenchmarkServerCertAns_Uncached_1M(b *testing.B) {
+	s := newBenchServer(b, server.Config{Workers: 1, CacheSize: -1})
+	req := &server.Request{DB: "db", Op: "cert-ans", Query: serverHiQuery}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := s.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.Cached {
+			b.Fatal("cert-ans reported cached with caching disabled")
+		}
+	}
+}
+
+func BenchmarkServerHTTP_FactProbe_w8(b *testing.B) {
+	s := newBenchServer(b, server.Config{Workers: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        16,
+		MaxIdleConnsPerHost: 16,
+	}}
+	body := `{"db":"db","op":"poss","facts":"@relation S(2)\n  fact: s13 hi\n"}`
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := client.Post(ts.URL+"/query", "application/json", strings.NewReader(body))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				b.Errorf("HTTP %d", resp.StatusCode)
+				return
+			}
+		}
+	})
 }

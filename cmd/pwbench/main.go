@@ -106,12 +106,32 @@ func runCheck(baselinePath string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "pwbench: %s: %v\n", baselinePath, err)
 		return 2
 	}
+	known := experiments.KnownProbes()
 	var current []experiments.BenchResult
+	var broken []string
 	for _, name := range experiments.GatedProbes {
-		current = append(current, experiments.RunBenchmarks(name, 0)...)
+		if _, ok := known[name]; !ok {
+			// A gated name with no registered probe would otherwise fall
+			// through as a silent no-op and then read as "missing from
+			// current run" — name the real problem instead.
+			broken = append(broken, fmt.Sprintf("%s: gated probe is not registered in benchProbes", name))
+			continue
+		}
+		res := experiments.RunBenchmarks(name, 0)
+		if len(res) == 0 {
+			broken = append(broken, fmt.Sprintf("%s: probe ran zero iterations (b.Skip or b.Fatal inside the probe)", name))
+			continue
+		}
+		current = append(current, res...)
 	}
 	for _, r := range current {
 		fmt.Fprintf(stdout, "%-28s %14.0f ns/op\n", r.Name, r.NsPerOp)
+	}
+	if len(broken) > 0 {
+		for _, msg := range broken {
+			fmt.Fprintf(stderr, "pwbench: BROKEN PROBE %s\n", msg)
+		}
+		return 2
 	}
 	regressions := experiments.Check(baseline, current, experiments.CheckTolerance)
 	if len(regressions) > 0 {

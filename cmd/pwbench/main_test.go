@@ -70,9 +70,10 @@ func TestCheckExitCodes(t *testing.T) {
 		t.Skip("runs the gated probes twice")
 	}
 	writeBaseline := func(ns float64) string {
+		known := experiments.KnownProbes()
 		var results []experiments.BenchResult
 		for _, name := range experiments.GatedProbes {
-			results = append(results, experiments.BenchResult{Name: name, N: 1, NsPerOp: ns, Workers: 1})
+			results = append(results, experiments.BenchResult{Name: name, N: 1, NsPerOp: ns, Workers: known[name]})
 		}
 		data, err := json.Marshal(results)
 		if err != nil {

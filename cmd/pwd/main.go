@@ -1,0 +1,118 @@
+// Command pwd is the possible-worlds query server: it loads .pw
+// databases once, keeps their decompositions resident and normalized,
+// and answers the pwq command set over HTTP/JSON to many concurrent
+// clients — prepared queries, an answer cache keyed by (database
+// version, query fingerprint), and singleflight batching make repeat
+// and concurrent traffic cost far less than one pwq process each.
+//
+// Usage:
+//
+//	pwd -db name=file.pw [-db name2=file2.pw ...] [-addr :7780]
+//	    [-workers 0] [-cache 256]
+//
+// API (see internal/server):
+//
+//	POST /query         {"db":"name","op":"memb|uniq|poss|cert|count|
+//	                     sample|poss-ans|cert-ans|cont", ...}
+//	GET  /dbs           loaded databases and versions
+//	GET  /stats         cache and concurrency counters
+//	POST /reload?db=X   re-read a database file
+//	GET  /healthz       liveness
+//	GET  /debug/pprof/  profiles; GET /debug/vars for expvar
+//
+// pwd prints "pwd: listening on ADDR" once the socket is bound (ADDR is
+// the resolved address, so -addr :0 is usable by harnesses) and shuts
+// down gracefully on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"pw/internal/server"
+)
+
+var publishOnce sync.Once
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run starts the server and blocks until a signal arrives or shutdown
+// closes. Tests drive it with -addr 127.0.0.1:0 plus a shutdown channel
+// and read the bound address off stdout.
+func run(args []string, stdout, stderr io.Writer, shutdown <-chan struct{}) int {
+	fs := flag.NewFlagSet("pwd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:7780", "listen address (host:port; :0 picks a free port)")
+	workersN := fs.Int("workers", 0, "evaluation worker pool size (0 = GOMAXPROCS)")
+	cacheSize := fs.Int("cache", 0, "answer cache entries (0 = default 256, negative disables)")
+	var dbs []string
+	fs.Func("db", "database to load, as name=file.pw (repeatable)", func(v string) error {
+		dbs = append(dbs, v)
+		return nil
+	})
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if len(dbs) == 0 {
+		fmt.Fprintln(stderr, "pwd: no databases; pass at least one -db name=file.pw")
+		return 2
+	}
+
+	s := server.New(server.Config{Workers: *workersN, CacheSize: *cacheSize})
+	for _, spec := range dbs {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || path == "" {
+			fmt.Fprintf(stderr, "pwd: -db %q is not name=file.pw\n", spec)
+			return 2
+		}
+		if err := s.Open(name, path); err != nil {
+			fmt.Fprintln(stderr, "pwd:", err)
+			return 2
+		}
+	}
+	// expvar.Publish panics on duplicate names; guard so tests can start
+	// pwd more than once per process (only the first server's counters
+	// are published — each pwd process has exactly one anyway).
+	publishOnce.Do(s.PublishExpvar)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "pwd:", err)
+		return 2
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Fprintf(stdout, "pwd: listening on %s\n", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(stderr, "pwd:", err)
+		return 1
+	case <-sig:
+	case <-shutdown:
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(stderr, "pwd: shutdown:", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startPWD runs the server on an ephemeral port and returns its base
+// URL plus a stop function that triggers graceful shutdown and waits
+// for run to return (asserting exit 0).
+func startPWD(t *testing.T, args ...string) (string, func()) {
+	t.Helper()
+	var stdout lockedBuffer
+	var stderr bytes.Buffer
+	shutdown := make(chan struct{})
+	done := make(chan int, 1)
+	go func() {
+		done <- run(append([]string{"-addr", "127.0.0.1:0"}, args...), &stdout, &stderr, shutdown)
+	}()
+
+	// The listen line is printed after the socket is bound.
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("pwd never announced its address; stderr: %s", stderr.String())
+		}
+		out := stdout.String()
+		if i := strings.Index(out, "listening on "); i >= 0 {
+			addr = strings.TrimSpace(out[i+len("listening on "):])
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	stop := func() {
+		close(shutdown)
+		select {
+		case code := <-done:
+			if code != 0 {
+				t.Fatalf("pwd exited %d; stderr: %s", code, stderr.String())
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("pwd did not shut down")
+		}
+	}
+	return "http://" + addr, stop
+}
+
+// lockedBuffer makes the stdout capture race-safe: run writes from its
+// goroutine while the test polls.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+func TestPWDServesQueriesOverHTTP(t *testing.T) {
+	base, stop := startPWD(t,
+		"-db", "sensors=../../examples/data/sensors.pw",
+		"-db", "personnel=../../examples/data/personnel.pw",
+		"-workers", "2")
+	defer stop()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/healthz = %d", resp.StatusCode)
+	}
+
+	body := `{"db":"sensors","op":"poss","facts":"@relation Reading(2)\n  fact: s00 hi\n"}`
+	r, err := http.Post(base+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != 200 {
+		t.Fatalf("/query = %d", r.StatusCode)
+	}
+	var out struct {
+		Answer *bool `json:"answer"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Answer == nil || !*out.Answer {
+		t.Fatalf("poss answer = %v, want yes", out.Answer)
+	}
+
+	// expvar endpoint carries the published counters.
+	ev, err := http.Get(base + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evBody := new(bytes.Buffer)
+	evBody.ReadFrom(ev.Body)
+	ev.Body.Close()
+	if !strings.Contains(evBody.String(), `"pwd"`) {
+		t.Fatalf("/debug/vars missing pwd counters: %s", evBody.String())
+	}
+}
+
+func TestPWDBadInvocations(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb, nil); code != 2 {
+		t.Fatalf("no -db: exit %d, want 2", code)
+	}
+	if code := run([]string{"-db", "malformed"}, &out, &errb, nil); code != 2 {
+		t.Fatalf("malformed -db: exit %d, want 2", code)
+	}
+	if code := run([]string{"-db", "x=/does/not/exist.pw"}, &out, &errb, nil); code != 2 {
+		t.Fatalf("missing file: exit %d, want 2", code)
+	}
+	if code := run([]string{"-db", "q=../../examples/data/sensors_hi.pw"}, &out, &errb, nil); code != 2 {
+		t.Fatalf("@query file as database: exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,234 @@
+// Command pwload drives a running pwd server with query traffic and
+// reports throughput and latency, in the style of hey/vegeta:
+//
+//	pwload -url http://127.0.0.1:7780 -targets load.jsonl \
+//	       [-c 8] [-duration 3s] [-rate 0]
+//
+// The targets file holds one JSON /query request body per line (blank
+// lines and # comments skipped); workers cycle through them in order.
+// -rate 0 runs closed-loop (each of the -c workers fires its next
+// request as soon as the previous answer lands); a positive -rate is an
+// open-loop arrival schedule of that many requests per second spread
+// across workers, the regime that measures queueing rather than server
+// turnaround.
+//
+// Output: request count, error count, achieved req/s, and the latency
+// mean/p50/p95/p99/max. Any non-200 response, transport error, or a run
+// that completes zero requests exits 1 — so a CI smoke job fails on a
+// server that crashes, races, or wedges under load.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pwload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	url := fs.String("url", "http://127.0.0.1:7780", "pwd base URL")
+	targetsPath := fs.String("targets", "", "JSONL file of /query request bodies (required)")
+	concurrency := fs.Int("c", 8, "concurrent client connections")
+	duration := fs.Duration("duration", 3*time.Second, "how long to fire")
+	rate := fs.Int("rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	targets, err := readTargets(*targetsPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "pwload:", err)
+		return 2
+	}
+	if *concurrency < 1 {
+		fmt.Fprintln(stderr, "pwload: -c must be positive")
+		return 2
+	}
+
+	res := fire(*url, targets, *concurrency, *duration, *rate)
+	report(stdout, res, *duration)
+	if res.errs > 0 {
+		fmt.Fprintf(stderr, "pwload: %d request(s) failed; first: %s\n", res.errs, res.firstErr)
+		return 1
+	}
+	if res.done == 0 {
+		fmt.Fprintln(stderr, "pwload: zero completed requests")
+		return 1
+	}
+	return 0
+}
+
+// readTargets loads the request bodies; syntactic validation is the
+// server's job (an invalid body will fail the run as a non-200).
+func readTargets(path string) ([]string, error) {
+	if path == "" {
+		return nil, fmt.Errorf("missing -targets")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var targets []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		targets = append(targets, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("%s holds no targets", path)
+	}
+	return targets, nil
+}
+
+type result struct {
+	done     int64
+	errs     int64
+	firstErr string
+	lats     []time.Duration
+	elapsed  time.Duration
+}
+
+// fire drives the server for the duration and collects per-request
+// latencies. Closed loop: each worker owns a request slot. Open loop: a
+// central ticker hands arrival slots to whichever worker is free — if
+// none is, the tick is dropped and counted as done-nothing (the server
+// is saturated; latency of completed requests still tells the story).
+func fire(url string, targets []string, concurrency int, duration time.Duration, rate int) *result {
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        concurrency * 2,
+		MaxIdleConnsPerHost: concurrency * 2,
+	}}
+	endpoint := url + "/query"
+
+	var (
+		mu       sync.Mutex
+		res      = &result{}
+		next     atomic.Int64
+		deadline = time.Now().Add(duration)
+	)
+	recordErr := func(err error) {
+		atomic.AddInt64(&res.errs, 1)
+		mu.Lock()
+		if res.firstErr == "" {
+			res.firstErr = err.Error()
+		}
+		mu.Unlock()
+	}
+	shoot := func(local *[]time.Duration) {
+		body := targets[int(next.Add(1))%len(targets)]
+		start := time.Now()
+		resp, err := client.Post(endpoint, "application/json", strings.NewReader(body))
+		if err != nil {
+			recordErr(err)
+			return
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			recordErr(fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(out))))
+			return
+		}
+		atomic.AddInt64(&res.done, 1)
+		*local = append(*local, time.Since(start))
+	}
+
+	var wg sync.WaitGroup
+	started := time.Now()
+	if rate <= 0 {
+		for w := 0; w < concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var local []time.Duration
+				for time.Now().Before(deadline) {
+					shoot(&local)
+				}
+				mu.Lock()
+				res.lats = append(res.lats, local...)
+				mu.Unlock()
+			}()
+		}
+	} else {
+		// Open loop: arrivals on a fixed schedule, one buffered slot per
+		// worker so a slow server sheds ticks instead of queueing them
+		// without bound inside the client.
+		arrivals := make(chan struct{}, concurrency)
+		interval := time.Second / time.Duration(rate)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for time.Now().Before(deadline) {
+				<-tick.C
+				select {
+				case arrivals <- struct{}{}:
+				default: // saturated: drop the arrival
+				}
+			}
+			close(arrivals)
+		}()
+		for w := 0; w < concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var local []time.Duration
+				for range arrivals {
+					shoot(&local)
+				}
+				mu.Lock()
+				res.lats = append(res.lats, local...)
+				mu.Unlock()
+			}()
+		}
+	}
+	wg.Wait()
+	res.elapsed = time.Since(started)
+	return res
+}
+
+func report(w io.Writer, res *result, asked time.Duration) {
+	elapsed := res.elapsed
+	if elapsed <= 0 {
+		elapsed = asked
+	}
+	rps := float64(res.done) / elapsed.Seconds()
+	fmt.Fprintf(w, "requests: %d\nerrors:   %d\nreq/s:    %.0f\n", res.done, res.errs, rps)
+	if len(res.lats) == 0 {
+		return
+	}
+	sort.Slice(res.lats, func(i, j int) bool { return res.lats[i] < res.lats[j] })
+	var sum time.Duration
+	for _, l := range res.lats {
+		sum += l
+	}
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(res.lats)-1))
+		return res.lats[i]
+	}
+	fmt.Fprintf(w, "latency:  mean %s  p50 %s  p95 %s  p99 %s  max %s\n",
+		sum/time.Duration(len(res.lats)), pct(0.50), pct(0.95), pct(0.99), res.lats[len(res.lats)-1])
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"pw/internal/server"
+)
+
+func writeTargets(t *testing.T, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "targets.jsonl")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadAgainstInProcessServer(t *testing.T) {
+	s := server.New(server.Config{Workers: 2})
+	if err := s.Open("sensors", "../../examples/data/sensors.pw"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	targets := writeTargets(t,
+		"# comment and blank lines are skipped",
+		"",
+		`{"db":"sensors","op":"poss","facts":"@relation Reading(2)\n  fact: s00 hi\n"}`,
+		`{"db":"sensors","op":"count"}`,
+		`{"db":"sensors","op":"cert-ans","query":"@query hi\n  out: Hi = select[#value = hi](Reading(sensor value))\n"}`,
+	)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-url", ts.URL, "-targets", targets, "-c", "4", "-duration", "300ms"},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"requests:", "errors:   0", "req/s:", "p50", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	if s.Stats().Requests == 0 {
+		t.Fatal("server saw no requests")
+	}
+}
+
+func TestLoadOpenLoopRate(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		hits.Add(1)
+		w.Write([]byte(`{"op":"count","count":"1"}`))
+	}))
+	defer ts.Close()
+	targets := writeTargets(t, `{"db":"x","op":"count"}`)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-url", ts.URL, "-targets", targets, "-c", "2",
+		"-duration", "300ms", "-rate", "50"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr.String())
+	}
+	// ~15 arrivals in 300ms at 50/s; allow generous scheduling slack but
+	// reject closed-loop-style unbounded firing.
+	if n := hits.Load(); n < 3 || n > 40 {
+		t.Fatalf("open loop fired %d requests in 300ms at 50/s", n)
+	}
+}
+
+func TestLoadFailsOnErrorResponses(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, `{"error":"boom"}`, 500)
+	}))
+	defer ts.Close()
+	targets := writeTargets(t, `{"db":"x","op":"count"}`)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-url", ts.URL, "-targets", targets, "-c", "1", "-duration", "100ms"},
+		&stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 on error responses", code)
+	}
+	if !strings.Contains(stderr.String(), "HTTP 500") {
+		t.Fatalf("stderr does not name the failure: %s", stderr.String())
+	}
+}
+
+func TestLoadBadInvocations(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("missing -targets: exit %d, want 2", code)
+	}
+	empty := writeTargets(t, "# nothing")
+	if code := run([]string{"-targets", empty}, &out, &errb); code != 2 {
+		t.Fatalf("empty targets: exit %d, want 2", code)
+	}
+}

@@ -34,9 +34,15 @@ func (o Options) workers() int {
 func (o Options) inner() Options { return Options{Workers: 1} }
 
 // MinParallelPairs is the smallest row×fact product worth parallelizing
-// in the matching-graph builds; below it one core wins. Tests lower it to
-// force the parallel build onto small inputs.
-var MinParallelPairs = 1 << 14
+// in the matching-graph builds; below it one core wins. The build is
+// memory-bandwidth-bound (a cheap predicate per pair, adjacency append
+// per hit), so the fan-out only pays for itself well past the point
+// where the pair sweep outweighs per-worker graph stitching: measured
+// on the gated Fig3_MembMatching_2048 probe (2048×2048 facts×rows =
+// 2^22 pairs), the workers=8 build ran ~10–35% slower than sequential,
+// so the cutoff sits one doubling above it. Tests lower it to force the
+// parallel build onto small inputs.
+var MinParallelPairs = 1 << 23
 
 // errOnce retains the first error any worker reports.
 type errOnce struct {

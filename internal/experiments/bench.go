@@ -77,7 +77,27 @@ func benchProbes(workers int) []benchProbe {
 		{"WSDAttr_Count_2p100", 1, probeWSDAttrCount},
 		{"WSDAttr_Memb_2p100", 1, probeWSDAttrMemb},
 		{"WSDAttr_Query_2p100", 1, probeWSDAttrQuery},
+		// Query server (internal/server) on the million-world WSD: the
+		// answer-cache hit path vs the uncached eval it replaces, and HTTP
+		// fact-probe throughput with an 8-worker pool and a parallel client
+		// fleet (req/s = 1e9 / ns_per_op).
+		{"ServerCertAns_Cached_1M", 1, probeServerCertAnsCached},
+		{"ServerCertAns_Uncached_1M", 1, probeServerCertAnsUncached},
+		{"ServerHTTP_FactProbe_w8", 8, probeServerHTTPFactProbe},
 	}
+}
+
+// KnownProbes maps every registered probe name to the worker count it
+// runs at in the -check configuration (unsuffixed probes sequential).
+// The regression guard uses it to distinguish a gated name that was
+// never registered from a registered probe that failed to run.
+func KnownProbes() map[string]int {
+	probes := benchProbes(0)
+	m := make(map[string]int, len(probes))
+	for _, p := range probes {
+		m[p.name] = p.workers
+	}
+	return m
 }
 
 // centuryCount is 2^100, the exact world count of gen.CenturyWSD.

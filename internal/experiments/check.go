@@ -18,6 +18,9 @@ var GatedProbes = []string{
 	"WSDAttr_Count_2p100",
 	"WSDAttr_Memb_2p100",
 	"WSDAttr_Query_2p100",
+	"ServerCertAns_Cached_1M",
+	"ServerCertAns_Uncached_1M",
+	"ServerHTTP_FactProbe_w8",
 }
 
 // CheckTolerance is the relative ns/op slack the regression guard allows
@@ -44,7 +47,7 @@ func Check(baseline, current []BenchResult, tolerance float64) []string {
 		switch {
 		case !okB:
 			regressions = append(regressions,
-				fmt.Sprintf("%s: missing from baseline", name))
+				fmt.Sprintf("%s: missing from baseline — regenerate it with `pwbench -bench -json`", name))
 		case !okC:
 			regressions = append(regressions,
 				fmt.Sprintf("%s: missing from current run", name))

@@ -8,13 +8,14 @@ import (
 // results builds one BenchResult per gated probe; missing ns values
 // repeat the last given one, so the tests stay valid as probes are added.
 func results(ns ...float64) []BenchResult {
+	known := KnownProbes()
 	out := make([]BenchResult, len(GatedProbes))
 	for i, name := range GatedProbes {
 		v := ns[len(ns)-1]
 		if i < len(ns) {
 			v = ns[i]
 		}
-		out[i] = BenchResult{Name: name, N: 1, NsPerOp: v, Workers: 1}
+		out[i] = BenchResult{Name: name, N: 1, NsPerOp: v, Workers: known[name]}
 	}
 	return out
 }

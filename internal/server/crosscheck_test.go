@@ -1,0 +1,37 @@
+// Differential validation of the server path: seeded random
+// decompositions served through the in-process HTTP handler, every
+// decision and answer operation checked against the per-world oracle by
+// the shared metamorphic harness. Identity cases exercise the full
+// operation set (MEMB/POSS/CERT/UNIQ/count ride the JSON wire format
+// both ways); the view suites in internal/wsdalg add the query path.
+package server_test
+
+import (
+	"fmt"
+	"testing"
+
+	"pw/internal/difftest"
+	"pw/internal/gen"
+)
+
+func TestDifferentialServer(t *testing.T) {
+	difftest.Run(t, difftest.Config{
+		Tag:   "server",
+		Cases: 60,
+		Gen: func(seed int64) (*difftest.Case, bool) {
+			w, err := gen.RandomWSD(seed, 3, 3, 2, 4)
+			if err != nil {
+				return nil, false
+			}
+			if !w.Count().IsInt64() || w.Count().Int64() > 200 {
+				return nil, false
+			}
+			return &difftest.Case{
+				Tag:    fmt.Sprintf("server seed %d", seed),
+				Worlds: w.Expand(0),
+				WSD:    w,
+			}, true
+		},
+		Backends: []difftest.Backend{difftest.ServerBackend("server/http", 2)},
+	})
+}

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the server's HTTP API:
+//
+//	POST /query         one Request (JSON body) → one Response
+//	GET  /dbs           loaded databases (name, backend, version, count)
+//	GET  /stats         cache hit/miss, coalescing and in-flight counters
+//	POST /reload?db=X   re-read a file-backed database, bumping its version
+//	GET  /healthz       liveness ("ok")
+//	GET  /debug/pprof/  CPU/heap/goroutine profiles (net/http/pprof)
+//	GET  /debug/vars    expvar (includes pwd's published counters)
+//
+// The profiling handlers are registered on this mux explicitly rather
+// than through http.DefaultServeMux, so importing the package never
+// leaks debug routes onto an unrelated server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /dbs", s.handleDBs)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /reload", s.handleReload)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+// errorBody is the JSON shape of every non-2xx API response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, 400, badRequest("body: %v", err))
+		return
+	}
+	resp, err := s.Do(&req)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, 200, resp)
+}
+
+func (s *Server) handleDBs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, 200, s.Databases())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, 200, s.Stats())
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("db")
+	if name == "" {
+		writeError(w, 400, badRequest("missing db parameter"))
+		return
+	}
+	if err := s.Reload(name); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, 200, s.Databases())
+}
+
+// PublishExpvar publishes the server's counters as expvar variables
+// (visible at /debug/vars). expvar.Publish panics on duplicate names,
+// so this must be called at most once per process — cmd/pwd calls it;
+// tests and embedded servers read /stats instead.
+func (s *Server) PublishExpvar() {
+	expvar.Publish("pwd", expvar.Func(func() any { return s.Stats() }))
+	expvar.Publish("pwd_dbs", expvar.Func(func() any { return s.Databases() }))
+}

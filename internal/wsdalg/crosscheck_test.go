@@ -46,7 +46,14 @@ func TestDifferentialWSDAlg(t *testing.T) {
 				Query:  q,
 			}, true
 		},
-		Backends: []difftest.Backend{difftest.WSDBackend("wsdalg")},
+		Backends: []difftest.Backend{
+			difftest.WSDBackend("wsdalg"),
+			// The same cases through the query server's HTTP path: the
+			// prepared-query and answer caches must be invisible in the
+			// answers (each answer set is requested twice; the repeat
+			// must be a cache hit and must still match the oracle).
+			difftest.ServerBackend("server", 2),
+		},
 	})
 }
 
