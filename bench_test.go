@@ -32,6 +32,7 @@ import (
 	"pw/internal/table"
 	"pw/internal/value"
 	"pw/internal/worlds"
+	"pw/internal/wsd"
 	"pw/internal/wsdalg"
 )
 
@@ -771,6 +772,39 @@ func BenchmarkWSDAttr_Query_2p100(b *testing.B) {
 		}
 	}
 }
+
+// --- WSDUpdate: incremental renormalization vs the full rebuild ---
+
+// One operation touching one of the fat builder's 21 components
+// (gen.FatMillionWorldWSD, 2^20 worlds, ~2000 facts). The incremental
+// engine re-normalizes only the touched component and shares the other
+// 20 copy-on-write; the full path re-factorizes all of them per
+// operation. Both print byte-identical canonical results (the property
+// suites pin that); the gated probe pair tracks the speed gap — the
+// incremental engine's reason to exist, ≥10x on this shape.
+func benchWSDUpdate(b *testing.B, full bool) {
+	w := gen.FatMillionWorldWSD()
+	u := &wsd.Update{Ops: []wsd.UpdateOp{
+		{Kind: wsd.OpDelete, Rel: "S", Args: []string{"s07f25", wsd.Wildcard}},
+	}}
+	apply := w.ApplyUpdate
+	if full {
+		apply = w.ApplyUpdateFull
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := apply(u)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c := out.Count(); !c.IsInt64() || c.Int64() != 1<<20 {
+			b.Fatalf("post-update Count = %s, want 2^20", c)
+		}
+	}
+}
+
+func BenchmarkWSDUpdate_Incremental_1M(b *testing.B) { benchWSDUpdate(b, false) }
+func BenchmarkWSDUpdate_Full_1M(b *testing.B)        { benchWSDUpdate(b, true) }
 
 // --- Query server: answer cache, uncached eval, HTTP throughput ---
 

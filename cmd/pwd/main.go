@@ -13,10 +13,13 @@
 // API (see internal/server):
 //
 //	POST /query         {"db":"name","op":"memb|uniq|poss|cert|count|
-//	                     sample|poss-ans|cert-ans|cont", ...}
+//	                     sample|poss-ans|cert-ans|cont|write", ...}
 //	GET  /dbs           loaded databases and versions
 //	GET  /stats         cache and concurrency counters
 //	POST /reload?db=X   re-read a database file
+//	POST /update?db=X   apply an @update program (request body) to a
+//	                    decomposition-backed database; installs a new
+//	                    version while readers keep the old snapshot
 //	GET  /healthz       liveness
 //	GET  /debug/pprof/  profiles; GET /debug/vars for expvar
 //

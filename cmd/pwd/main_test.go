@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"net/http"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -115,6 +116,61 @@ func TestPWDServesQueriesOverHTTP(t *testing.T) {
 	ev.Body.Close()
 	if !strings.Contains(evBody.String(), `"pwd"`) {
 		t.Fatalf("/debug/vars missing pwd counters: %s", evBody.String())
+	}
+}
+
+// TestPWDUpdateEndToEnd drives the full write path over a real socket:
+// POST an @update program, then read the installed version back through
+// the query API. The patch halves the sensor network three times
+// (decommission s01, pin s05, assume s00), so the count must drop from
+// 2^20 to 2^17.
+func TestPWDUpdateEndToEnd(t *testing.T) {
+	base, stop := startPWD(t, "-db", "sensors=../../examples/data/sensors.pw")
+	defer stop()
+
+	prog, err := os.ReadFile("../../examples/data/sensors_patch.pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := http.Post(base+"/update?db=sensors", "text/plain", bytes.NewReader(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != 200 {
+		b := new(bytes.Buffer)
+		b.ReadFrom(r.Body)
+		t.Fatalf("/update = %d: %s", r.StatusCode, b.String())
+	}
+	var wrote struct {
+		Version uint64 `json:"version"`
+		Count   string `json:"count"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&wrote); err != nil {
+		t.Fatal(err)
+	}
+	if wrote.Version != 2 {
+		t.Fatalf("write installed version %d, want 2", wrote.Version)
+	}
+	if wrote.Count != "131072" {
+		t.Fatalf("post-update count = %s, want 131072 (2^17)", wrote.Count)
+	}
+
+	q, err := http.Post(base+"/query", "application/json",
+		strings.NewReader(`{"db":"sensors","op":"count"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Body.Close()
+	var out struct {
+		Version uint64 `json:"version"`
+		Count   string `json:"count"`
+	}
+	if err := json.NewDecoder(q.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Version != 2 || out.Count != "131072" {
+		t.Fatalf("count after write = %s at version %d, want 131072 at 2", out.Count, out.Version)
 	}
 }
 

@@ -13,6 +13,7 @@
 //	pwq sample   -db tables.pw [-seed 1] [-n 3]
 //	pwq worlds   -db tables.pw [-limit 20]
 //	pwq kind     -db tables.pw
+//	pwq update   -db wsd.pw -update prog.pw [-out result.pw] [-full]
 //
 // Files use the .pw format of internal/parse; -db accepts either
 // representation backend — a conditioned-table database (@table blocks)
@@ -30,6 +31,13 @@
 // simply "no" against a finite superset). Queries with ≠ selections —
 // the non-positive fragment — stay unsupported on the decomposition
 // backend and exit 2 with a clear message.
+//
+// update applies an @update program (-update, see internal/parse) to a
+// decomposition with the incremental renormalization engine and prints
+// the resulting @wsd block — parsable, Normalize-canonical — to stdout
+// or -out. -full routes every operation through a full renormalization
+// instead (the reference path; the printed result is identical). Update
+// programs apply to decompositions only; a table-backed -db exits 2.
 //
 // All commands exit 0 with "yes"/"no" (or the requested output) on
 // stdout; structural problems exit 2. -workers bounds the engine's
@@ -77,6 +85,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workersN := fs.Int("workers", 0, "engine worker count (0 = GOMAXPROCS, 1 = sequential)")
 	seed := fs.Int64("seed", 1, "random seed for the sample command")
 	samples := fs.Int("n", 1, "number of worlds for the sample command")
+	updatePath := fs.String("update", "", "update program (.pw, @update block) for the update command")
+	outPath := fs.String("out", "", "output file for the update command (default stdout)")
+	full := fs.Bool("full", false, "update: full renormalization per operation instead of incremental")
 	if err := fs.Parse(args[1:]); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -91,6 +102,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if src.Query != nil {
 		return fatal(stderr, fmt.Errorf("%s is a @query file; databases go to -db, queries to -query", *dbPath))
+	}
+	if src.Update != nil {
+		return fatal(stderr, fmt.Errorf("%s is an @update file; databases go to -db, update programs to -update", *dbPath))
 	}
 	d, w := src.DB, src.WSD
 	switch cmd {
@@ -250,6 +264,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err := parse.PrintInstance(stdout, ans); err != nil {
 			return fatal(stderr, err)
 		}
+	case "update":
+		if w == nil {
+			return fatal(stderr, fmt.Errorf("update applies to decompositions; %s is table-backed (compile with wsd first)", *dbPath))
+		}
+		u, err := loadUpdate(*updatePath)
+		if err != nil {
+			return fatal(stderr, err)
+		}
+		apply := w.ApplyUpdate
+		if *full {
+			apply = w.ApplyUpdateFull
+		}
+		out, err := apply(u)
+		if err != nil {
+			return fatal(stderr, err)
+		}
+		dst := stdout
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				return fatal(stderr, err)
+			}
+			defer f.Close()
+			dst = f
+		}
+		if err := parse.PrintWSD(dst, out); err != nil {
+			return fatal(stderr, err)
+		}
 	case "poss":
 		p, err := loadInstance(*factsPath)
 		if err != nil {
@@ -312,6 +354,27 @@ func loadQuery(path string, required bool) (query.Query, error) {
 	return *src.Query, nil
 }
 
+// loadUpdate reads an @update file, rejecting misrouted sources the
+// same way -db rejects @query files.
+func loadUpdate(path string) (*wsd.Update, error) {
+	if path == "" {
+		return nil, fmt.Errorf("missing -update")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	src, err := parse.ParseSource(f)
+	if err != nil {
+		return nil, err
+	}
+	if src.Update == nil {
+		return nil, fmt.Errorf("%s does not contain an @update block", path)
+	}
+	return src.Update, nil
+}
+
 func loadInstance(path string) (*rel.Instance, error) {
 	if path == "" {
 		return nil, fmt.Errorf("missing instance/fact file")
@@ -342,6 +405,6 @@ func fatal(stderr io.Writer, err error) int {
 }
 
 func usage(stderr io.Writer) int {
-	fmt.Fprintln(stderr, "usage: pwq {memb|uniq|cont|poss|cert|poss-ans|cert-ans|count|sample|worlds|kind} -db FILE [...]")
+	fmt.Fprintln(stderr, "usage: pwq {memb|uniq|cont|poss|cert|poss-ans|cert-ans|count|sample|worlds|kind|update} -db FILE [...]")
 	return 2
 }

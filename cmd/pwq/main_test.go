@@ -59,6 +59,12 @@ func TestGolden(t *testing.T) {
 		{"sample_grid", []string{"sample", "-db", data("grid.pw"), "-seed", "9"}},
 		{"poss_ans_grid", []string{"poss-ans", "-db", data("grid.pw"), "-query", data("grid_hi.pw")}},
 		{"cert_ans_grid", []string{"cert-ans", "-db", data("grid.pw"), "-query", data("grid_hi.pw")}},
+		// The write path: an @update program applied to a 2^20-world
+		// decomposition, printed back as a parsable canonical @wsd block.
+		// The -full variant must print byte-identical output — the
+		// incremental engine's canonical-form promise, pinned at the CLI.
+		{"update_wsd", []string{"update", "-db", data("sensors.pw"), "-update", data("sensors_patch.pw")}},
+		{"update_wsd", []string{"update", "-db", data("sensors.pw"), "-update", data("sensors_patch.pw"), "-full"}},
 		// Containment on decompositions (and mixed backends): the former
 		// "tables only" exit-2 carve-out is gone.
 		{"cont_wsd_yes", []string{"cont", "-db", data("sensors_pinned.pw"), "-db2", data("sensors.pw")}},
@@ -173,6 +179,26 @@ func TestBadUsageExits2(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "rep is infinite") {
 		t.Errorf("infinite-rep subset rejection should name the cause, got: %s", stderr.String())
+	}
+	// The update command: table-backed databases, missing programs, and
+	// misrouted @update files are structural errors with clear messages.
+	stderr.Reset()
+	if code := run([]string{"update", "-db", data("personnel.pw"), "-update", data("sensors_patch.pw")},
+		&stdout, &stderr); code != 2 {
+		t.Errorf("update on table-backed db: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "table-backed") {
+		t.Errorf("table-backed update rejection should name the cause, got: %s", stderr.String())
+	}
+	if code := run([]string{"update", "-db", data("sensors.pw")}, &stdout, &stderr); code != 2 {
+		t.Errorf("update without -update: exit %d, want 2", code)
+	}
+	if code := run([]string{"update", "-db", data("sensors.pw"), "-update", data("sensors.pw")},
+		&stdout, &stderr); code != 2 {
+		t.Errorf("@wsd file as -update: exit %d, want 2", code)
+	}
+	if code := run([]string{"kind", "-db", data("sensors_patch.pw")}, &stdout, &stderr); code != 2 {
+		t.Errorf("@update file as -db: exit %d, want 2", code)
 	}
 	// Malformed tmpl slot syntax is a parse error, not a crash.
 	stderr.Reset()

@@ -32,6 +32,9 @@ func DecideBackend(workers int, withAnswers bool) Backend {
 			if c.DB == nil {
 				return nil, errors.New("case carries no database")
 			}
+			if c.Update != nil {
+				return nil, errors.New("the decide backend answers the stored database; it cannot apply the case's update")
+			}
 			q := c.Q()
 			o := decide.Options{Workers: workers}
 			ops := &Ops{
@@ -84,20 +87,25 @@ func WSDBackend(name string) Backend {
 			if c.WSD == nil {
 				return nil, errors.New("case carries no decomposition")
 			}
+			if c.Update != nil {
+				return nil, errors.New("use UpdateBackend for cases that carry an update")
+			}
 			return wsdOps(c.WSD, c.Q())
 		},
 	}
 }
 
-// FromWorldsBackend re-factorizes the case's raw world list with
+// FromWorldsBackend re-factorizes the case's world list with
 // wsd.FromWorlds and answers from the result — the metamorphic
 // factorize∘expand identity: whatever built the case's worlds, the
-// re-factorized decomposition must denote exactly the same set.
+// re-factorized decomposition must denote exactly the same set. On a
+// case with an update, the post-update worlds are factorized, so this
+// is the oracle-side provenance the update engines must match.
 func FromWorldsBackend() Backend {
 	return Backend{
 		Name: "wsd/fromworlds",
 		Make: func(c *Case) (*Ops, error) {
-			w, err := wsd.FromWorlds(c.Worlds)
+			w, err := wsd.FromWorlds(c.oracleWorlds())
 			if err != nil {
 				return nil, err
 			}
@@ -116,6 +124,9 @@ func CompileBackend(name string, domain func(*Case) []string) Backend {
 		Make: func(c *Case) (*Ops, error) {
 			if c.DB == nil {
 				return nil, errors.New("case carries no database")
+			}
+			if c.Update != nil {
+				return nil, errors.New("the compile backend answers the stored database; it cannot apply the case's update")
 			}
 			var dom []string
 			if domain != nil {

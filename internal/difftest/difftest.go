@@ -9,8 +9,8 @@
 //
 // A Case bundles a raw world set with the handles backends need (the
 // conditioned-table database that denotes it, a decomposition denoting
-// it, an optional query). The harness derives the oracle answers
-// itself:
+// it, an optional query, an optional update applied to every world
+// before the query). The harness derives the oracle answers itself:
 //
 //   - the *image* world set {q(W) : W ∈ worlds} (the raw set under the
 //     identity query), deduplicated by fingerprint with exact-equality
@@ -52,9 +52,21 @@ type Case struct {
 	Tag    string
 	Worlds []*rel.Instance // the raw world set; the oracle scans it
 	Query  query.Query     // nil = identity; the image set is {q(W)}
+	Update *wsd.Update     // optional update applied before the query
 	DB     *table.Database // for c-table engine backends
 	WSD    *wsd.WSD        // for decomposition backends
 	Consts []string        // probe-perturbation constant pool
+}
+
+// oracleWorlds is the world list the oracle scans: the raw worlds, with
+// the case's update (if any) applied world-by-world first. Backends
+// that factorize from the explicit list use the same view, so the
+// factorize∘expand identity holds across the write path too.
+func (c *Case) oracleWorlds() []*rel.Instance {
+	if c.Update == nil {
+		return c.Worlds
+	}
+	return wsd.ApplyUpdateToWorlds(c.Worlds, c.Update)
 }
 
 // Q returns the case's query, defaulting to the identity.
@@ -142,7 +154,7 @@ func runCase(t *testing.T, cfg Config, c *Case) {
 	t.Helper()
 	q := c.Q()
 	image := newWorldSet(nil)
-	raw := newWorldSet(c.Worlds)
+	raw := newWorldSet(c.oracleWorlds())
 	for _, w := range raw.list {
 		a, err := q.Eval(w)
 		if err != nil {

@@ -34,43 +34,53 @@ func ServerBackend(name string, workers int) Backend {
 			if c.WSD == nil {
 				return nil, errors.New("case carries no decomposition")
 			}
+			if c.Update != nil {
+				return nil, errors.New("use ServerUpdateBackend for cases that carry an update")
+			}
 			s := server.New(server.Config{Workers: workers})
 			if err := s.AddWSD("case", c.WSD); err != nil {
 				return nil, err
 			}
-			h := s.Handler()
-			queryText, err := queryText(c.Q())
+			return serverOps(s.Handler(), c)
+		},
+	}
+}
+
+// serverOps wires the handler's current database state into the
+// operation set: answer sets always, decision ops and count on identity
+// cases (the server's decision ops interrogate the stored database, not
+// a view of it).
+func serverOps(h http.Handler, c *Case) (*Ops, error) {
+	queryText, err := queryText(c.Q())
+	if err != nil {
+		return nil, err
+	}
+	ops := &Ops{
+		PossAns: func() (*rel.Instance, error) {
+			return serverAnswer(h, "poss-ans", queryText)
+		},
+		CertAns: func() (*rel.Instance, error) {
+			return serverAnswer(h, "cert-ans", queryText)
+		},
+	}
+	if query.IsIdentity(c.Q()) {
+		ops.Member = func(i *rel.Instance) (bool, error) { return serverDecide(h, "memb", "inst", i) }
+		ops.Possible = func(i *rel.Instance) (bool, error) { return serverDecide(h, "poss", "facts", i) }
+		ops.Certain = func(i *rel.Instance) (bool, error) { return serverDecide(h, "cert", "facts", i) }
+		ops.Unique = func(i *rel.Instance) (bool, error) { return serverDecide(h, "uniq", "inst", i) }
+		ops.Count = func() (*big.Int, error) {
+			resp, err := serverDo(h, &server.Request{DB: "case", Op: "count"})
 			if err != nil {
 				return nil, err
 			}
-			ops := &Ops{
-				PossAns: func() (*rel.Instance, error) {
-					return serverAnswer(h, "poss-ans", queryText)
-				},
-				CertAns: func() (*rel.Instance, error) {
-					return serverAnswer(h, "cert-ans", queryText)
-				},
+			n, ok := new(big.Int).SetString(resp.Count, 10)
+			if !ok {
+				return nil, fmt.Errorf("server count %q is not a decimal", resp.Count)
 			}
-			if query.IsIdentity(c.Q()) {
-				ops.Member = func(i *rel.Instance) (bool, error) { return serverDecide(h, "memb", "inst", i) }
-				ops.Possible = func(i *rel.Instance) (bool, error) { return serverDecide(h, "poss", "facts", i) }
-				ops.Certain = func(i *rel.Instance) (bool, error) { return serverDecide(h, "cert", "facts", i) }
-				ops.Unique = func(i *rel.Instance) (bool, error) { return serverDecide(h, "uniq", "inst", i) }
-				ops.Count = func() (*big.Int, error) {
-					resp, err := serverDo(h, &server.Request{DB: "case", Op: "count"})
-					if err != nil {
-						return nil, err
-					}
-					n, ok := new(big.Int).SetString(resp.Count, 10)
-					if !ok {
-						return nil, fmt.Errorf("server count %q is not a decimal", resp.Count)
-					}
-					return n, nil
-				}
-			}
-			return ops, nil
-		},
+			return n, nil
+		}
 	}
+	return ops, nil
 }
 
 // queryText renders the case's query as the server's wire form: the

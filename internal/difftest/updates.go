@@ -1,0 +1,88 @@
+// Update backends: the write path wrapped as difftest Backends. A case
+// carrying an Update is answered post-update — the oracle applies the
+// program world-by-world (wsd.ApplyUpdateToWorlds), and these backends
+// must land on exactly the same world set through their own routes: the
+// incremental renormalization engine, the full-renormalization
+// reference, and the server's write endpoint (parse → apply → install →
+// read back, the complete production sequence).
+package difftest
+
+import (
+	"errors"
+	"fmt"
+
+	"pw/internal/server"
+	"pw/internal/wsd"
+)
+
+// UpdateBackend applies the case's update to its decomposition with the
+// incremental engine (full=false) or per-op full renormalization
+// (full=true) and answers natively from the result. Beyond the world-set
+// agreement the harness checks, it asserts the structural property the
+// incremental engine promises: its output prints in Normalize-canonical
+// form, byte-identical to the full renormalization of the same update.
+func UpdateBackend(name string, full bool) Backend {
+	return Backend{
+		Name: name,
+		Make: func(c *Case) (*Ops, error) {
+			if c.WSD == nil {
+				return nil, errors.New("case carries no decomposition")
+			}
+			if c.Update == nil {
+				return nil, errors.New("case carries no update")
+			}
+			var out *wsd.WSD
+			var err error
+			if full {
+				out, err = c.WSD.ApplyUpdateFull(c.Update)
+			} else {
+				out, err = c.WSD.ApplyUpdate(c.Update)
+				if err == nil {
+					ref, refErr := c.WSD.ApplyUpdateFull(c.Update)
+					if refErr != nil {
+						return nil, fmt.Errorf("full renormalization failed where incremental succeeded: %w", refErr)
+					}
+					if got, want := out.String(), ref.String(); got != want {
+						return nil, fmt.Errorf("incremental result is not Normalize-canonical\nincremental:\n%s\nfull:\n%s", got, want)
+					}
+				}
+			}
+			if err != nil {
+				return nil, fmt.Errorf("apply %q: %w", c.Update, err)
+			}
+			return wsdOps(out, c.Q())
+		},
+	}
+}
+
+// ServerUpdateBackend routes the case's update through an in-process
+// query server: load the decomposition, POST the printed @update
+// program (the wire form), and answer every subsequent operation from
+// the installed post-write version — decision ops, count, and the
+// cached answer sets, exactly as a network client would see them.
+func ServerUpdateBackend(name string, workers int) Backend {
+	return Backend{
+		Name: name,
+		Make: func(c *Case) (*Ops, error) {
+			if c.WSD == nil {
+				return nil, errors.New("case carries no decomposition")
+			}
+			if c.Update == nil {
+				return nil, errors.New("case carries no update")
+			}
+			s := server.New(server.Config{Workers: workers})
+			if err := s.AddWSD("case", c.WSD); err != nil {
+				return nil, err
+			}
+			h := s.Handler()
+			resp, err := serverDo(h, &server.Request{DB: "case", Op: "write", Update: c.Update.String()})
+			if err != nil {
+				return nil, fmt.Errorf("write %q: %w", c.Update, err)
+			}
+			if resp.Version != 2 {
+				return nil, fmt.Errorf("write installed version %d, want 2", resp.Version)
+			}
+			return serverOps(h, c)
+		},
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"pw/internal/rel"
 	"pw/internal/table"
 	"pw/internal/value"
+	"pw/internal/wsd"
 	"pw/internal/wsdalg"
 )
 
@@ -77,6 +78,13 @@ func benchProbes(workers int) []benchProbe {
 		{"WSDAttr_Count_2p100", 1, probeWSDAttrCount},
 		{"WSDAttr_Memb_2p100", 1, probeWSDAttrMemb},
 		{"WSDAttr_Query_2p100", 1, probeWSDAttrQuery},
+		// The update engine on the fat 2^20-world builder (~2000 facts):
+		// one operation touching one component, applied incrementally
+		// (touched component re-normalized, the rest shared copy-on-write)
+		// vs the per-operation full re-factorization. The pair tracks the
+		// incremental engine's speed advantage — its reason to exist.
+		{"WSDUpdate_Incremental_1M", 1, probeWSDUpdateIncremental},
+		{"WSDUpdate_Full_1M", 1, probeWSDUpdateFull},
 		// Query server (internal/server) on the million-world WSD: the
 		// answer-cache hit path vs the uncached eval it replaces, and HTTP
 		// fact-probe throughput with an 8-worker pool and a parallel client
@@ -191,6 +199,33 @@ func probeWSDQueryJoin(b *testing.B) {
 		}})
 	probeWSDQuery(b, q, 1<<20)
 }
+
+// probeWSDUpdate mirrors bench_test.go's benchWSDUpdate: one
+// single-component delete on gen.FatMillionWorldWSD, incremental vs full
+// renormalization, with the 2^20 world count asserted per iteration.
+func probeWSDUpdate(b *testing.B, full bool) {
+	w := gen.FatMillionWorldWSD()
+	u := &wsd.Update{Ops: []wsd.UpdateOp{
+		{Kind: wsd.OpDelete, Rel: "S", Args: []string{"s07f25", wsd.Wildcard}},
+	}}
+	apply := w.ApplyUpdate
+	if full {
+		apply = w.ApplyUpdateFull
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		out, err := apply(u)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c := out.Count(); !c.IsInt64() || c.Int64() != 1<<20 {
+			b.Fatalf("post-update Count = %s, want 2^20", c)
+		}
+	}
+}
+
+func probeWSDUpdateIncremental(b *testing.B) { probeWSDUpdate(b, false) }
+func probeWSDUpdateFull(b *testing.B)        { probeWSDUpdate(b, true) }
 
 func probeWSDCount(b *testing.B) {
 	w := gen.MillionWorldWSD()

@@ -18,6 +18,8 @@ var GatedProbes = []string{
 	"WSDAttr_Count_2p100",
 	"WSDAttr_Memb_2p100",
 	"WSDAttr_Query_2p100",
+	"WSDUpdate_Incremental_1M",
+	"WSDUpdate_Full_1M",
 	"ServerCertAns_Cached_1M",
 	"ServerCertAns_Uncached_1M",
 	"ServerHTTP_FactProbe_w8",

@@ -441,6 +441,41 @@ func MillionWorldWSD() *wsd.WSD {
 	return w
 }
 
+// FatMillionWorldWSD builds the tracked update-benchmark decomposition:
+// the MillionWorldWSD component structure (one certain hub fact plus 20
+// independent binary choices, 2^20 worlds) but with 50 facts per
+// alternative — ~2000 facts total. The fact volume is the point: a full
+// renormalization re-factorizes every component after each operation,
+// while the incremental engine re-normalizes only the components an
+// operation touches, so the gap between the two is visible instead of
+// drowning in fixed costs. bench_test.go and the pwbench WSDUpdate
+// probes share this single builder so the benchmark and its gated probe
+// can never drift apart.
+func FatMillionWorldWSD() *wsd.WSD {
+	w := wsd.New(table.Schema{{Name: "S", Arity: 2}})
+	add := func(alts ...wsd.Alt) {
+		if err := w.AddComponent(alts...); err != nil {
+			panic("gen: " + err.Error())
+		}
+	}
+	add(wsd.Alt{{Rel: "S", Args: rel.Fact{"hub", "ok"}}})
+	for i := 0; i < 20; i++ {
+		lo := make(wsd.Alt, 0, 50)
+		hi := make(wsd.Alt, 0, 50)
+		for j := 0; j < 50; j++ {
+			s := fmt.Sprintf("s%02df%02d", i, j)
+			lo = append(lo, wsd.Fact{Rel: "S", Args: rel.Fact{s, "lo"}})
+			hi = append(hi, wsd.Fact{Rel: "S", Args: rel.Fact{s, "hi"}})
+		}
+		add(lo, hi)
+	}
+	// Disjoint supports by construction: normalization cannot fail.
+	if err := w.Normalize(); err != nil {
+		panic("gen: " + err.Error())
+	}
+	return w
+}
+
 // CenturyWSD builds the tracked attribute-level benchmark
 // decomposition: one certain hub reading plus 100 sensor templates
 // R(s000 {hi|lo}) … R(s099 {hi|lo}) — 2^100 ≈ 1.27·10^30 worlds in ~200

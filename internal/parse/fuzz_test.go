@@ -122,9 +122,10 @@ func FuzzParseWSD(f *testing.F) {
 	})
 }
 
-// FuzzParseSource fuzzes the dispatcher with all three block forms —
+// FuzzParseSource fuzzes the dispatcher with all four block forms —
 // the @wsd and @query seeds mirror the inputs pwq's query subcommands
-// (poss-ans / cert-ans / cont -query) read.
+// (poss-ans / cert-ans / cont -query) read, the @update seeds what
+// `pwq update` and the server's write op read.
 func FuzzParseSource(f *testing.F) {
 	f.Add("@table T(2)\n  row: a ?x\n")
 	f.Add("@wsd\n  relation: R(1)\n  component:\n    alt: R(a)\n")
@@ -134,6 +135,8 @@ func FuzzParseSource(f *testing.F) {
 	f.Add("@query\n  out: A = join(R(a b), S(b c))\n  out: B = union(R(a b), rename[a->x](R(x b)))\n")
 	f.Add("@query neq\n  out: A = select[#a != c0](R(a))\n")
 	f.Add("@query v\n  out: A = values[a b](x y; z w)\n")
+	f.Add("@update\n  insert: R(a b)\n  delete: R(a *)\n")
+	f.Add("@update\n  update: R(* lo) set 2 = hi, 1 = x\n  assume-not: R(c d)\n")
 	f.Add("# only a comment\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		src, err := ParseSource(strings.NewReader(input))
@@ -141,13 +144,13 @@ func FuzzParseSource(f *testing.F) {
 			return
 		}
 		set := 0
-		for _, ok := range []bool{src.DB != nil, src.WSD != nil, src.Query != nil} {
+		for _, ok := range []bool{src.DB != nil, src.WSD != nil, src.Query != nil, src.Update != nil} {
 			if ok {
 				set++
 			}
 		}
 		if set != 1 {
-			t.Fatalf("dispatcher set %d of DB/WSD/Query for %q; exactly one must be set", set, input)
+			t.Fatalf("dispatcher set %d of DB/WSD/Query/Update for %q; exactly one must be set", set, input)
 		}
 	})
 }
@@ -177,6 +180,39 @@ func FuzzParseQuery(f *testing.F) {
 		}
 		var printed2 strings.Builder
 		if err := PrintQuery(&printed2, q2); err != nil {
+			t.Fatalf("second print failed: %v", err)
+		}
+		if printed2.String() != printed.String() {
+			t.Fatalf("print is not a fixed point:\nfirst:  %q\nsecond: %q", printed.String(), printed2.String())
+		}
+	})
+}
+
+// FuzzParseUpdate asserts the @update parser's safety properties: it
+// never panics, and any program it accepts round-trips — printing
+// reaches a fixed point of parse→print, so the update grammar is closed
+// under its own printer.
+func FuzzParseUpdate(f *testing.F) {
+	f.Add("@update\n  insert: R(a b)\n")
+	f.Add("@update\n  delete: R(a *)\n  assume: R(a b)\n")
+	f.Add("@update\n  update: R(* lo) set 2 = hi\n")
+	f.Add("@update\n  update: R(x y) set 2 = hi, 1 = boss\n  assume-not: R(c d)\n")
+	f.Add("@update\n  insert: R()\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		u, err := ParseUpdate(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var printed strings.Builder
+		if err := PrintUpdate(&printed, u); err != nil {
+			t.Fatalf("print failed on accepted input %q: %v", input, err)
+		}
+		u2, err := ParseUpdate(strings.NewReader(printed.String()))
+		if err != nil {
+			t.Fatalf("printed form does not re-parse: %v\ninput:   %q\nprinted: %q", err, input, printed.String())
+		}
+		var printed2 strings.Builder
+		if err := PrintUpdate(&printed2, u2); err != nil {
 			t.Fatalf("second print failed: %v", err)
 		}
 		if printed2.String() != printed.String() {

@@ -1,0 +1,89 @@
+package parse
+
+import (
+	"strings"
+	"testing"
+
+	"pw/internal/wsd"
+)
+
+func TestParseUpdateRoundTrip(t *testing.T) {
+	in := strings.Join([]string{
+		"# write path exercise",
+		"@update",
+		"  insert: Emp(carol sales)",
+		"  delete: Emp(carol *)",
+		"  update: Emp(* sales) set 2 = eng, 1 = boss",
+		"  assume: Dept(eng 1)",
+		"  assume-not: Dept(eng 2)",
+	}, "\n")
+	u, err := ParseUpdate(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []wsd.UpdateOp{
+		{Kind: wsd.OpInsert, Rel: "Emp", Args: []string{"carol", "sales"}},
+		{Kind: wsd.OpDelete, Rel: "Emp", Args: []string{"carol", "*"}},
+		{Kind: wsd.OpSet, Rel: "Emp", Args: []string{"*", "sales"},
+			Set: []wsd.SlotAssign{{Slot: 1, Value: "eng"}, {Slot: 0, Value: "boss"}}},
+		{Kind: wsd.OpAssume, Rel: "Dept", Args: []string{"eng", "1"}},
+		{Kind: wsd.OpAssumeNot, Rel: "Dept", Args: []string{"eng", "2"}},
+	}
+	if len(u.Ops) != len(want) {
+		t.Fatalf("parsed %d ops, want %d", len(u.Ops), len(want))
+	}
+	for i, op := range u.Ops {
+		if op.String() != want[i].String() {
+			t.Errorf("op %d: %q, want %q", i, op.String(), want[i].String())
+		}
+	}
+	// Print → parse is a fixed point.
+	again, err := ParseUpdate(strings.NewReader(u.String()))
+	if err != nil {
+		t.Fatalf("re-parse printed form: %v", err)
+	}
+	if again.String() != u.String() {
+		t.Fatalf("print/parse not a fixed point:\n%s\nvs\n%s", u, again)
+	}
+}
+
+func TestParseUpdateErrors(t *testing.T) {
+	bad := []struct {
+		name, in, want string
+	}{
+		{"missing block", "insert: R(a)", "before @update"},
+		{"no block at all", "# empty\n", "missing @update"},
+		{"empty block", "@update\n", "no operations"},
+		{"duplicate block", "@update\n@update\n", "duplicate @update"},
+		{"bad keyword", "@update\n  upsert: R(a)", "unrecognized update operation"},
+		{"no parens", "@update\n  insert: R a", "want Rel(arg"},
+		{"variable arg", "@update\n  insert: R(?x)", "must be ground"},
+		{"reserved char", "@update\n  insert: R(a=b)", "reserved character"},
+		{"set on delete", "@update\n  delete: R(a) set 1 = b", "unexpected trailing"},
+		{"update without set", "@update\n  update: R(a)", "want a 'set"},
+		{"set bad slot", "@update\n  update: R(a) set 0 = b", "positive integer"},
+		{"set missing eq", "@update\n  update: R(a) set 1 b", "want SLOT = CONST"},
+		{"set wildcard value", "@update\n  update: R(a) set 1 = *", "reserved character"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseUpdate(strings.NewReader(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseSourceUpdate(t *testing.T) {
+	src, err := ParseSource(strings.NewReader("@update\n  insert: R(a b)\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Update == nil || src.DB != nil || src.WSD != nil || src.Query != nil {
+		t.Fatalf("ParseSource dispatched wrong field: %+v", src)
+	}
+	if got := src.Update.String(); got != "@update\n  insert: R(a b)" {
+		t.Fatalf("parsed update renders %q", got)
+	}
+}

@@ -239,17 +239,20 @@ func PrintWSD(out io.Writer, w *wsd.WSD) error {
 
 // Source is a parsed .pw file that may carry either representation
 // backend — a conditioned-table database or a world-set decomposition —
-// or a relational-algebra query block (exactly one field is non-nil).
+// a relational-algebra query block, or an update program (exactly one
+// field is non-nil).
 type Source struct {
-	DB    *table.Database
-	WSD   *wsd.WSD
-	Query *query.Algebra
+	DB     *table.Database
+	WSD    *wsd.WSD
+	Query  *query.Algebra
+	Update *wsd.Update
 }
 
 // ParseSource reads a .pw file and dispatches on its first directive:
-// @table files parse as databases, @wsd files as decompositions, and
-// @query files as algebra queries. Mixing block forms in one file is an
-// error (from the respective sub-parsers).
+// @table files parse as databases, @wsd files as decompositions, @query
+// files as algebra queries, and @update files as update programs.
+// Mixing block forms in one file is an error (from the respective
+// sub-parsers).
 func ParseSource(r io.Reader) (*Source, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
@@ -274,6 +277,13 @@ func ParseSource(r io.Reader) (*Source, error) {
 				return nil, err
 			}
 			return &Source{Query: &q}, nil
+		}
+		if line == "@update" {
+			u, err := ParseUpdate(bytes.NewReader(data))
+			if err != nil {
+				return nil, err
+			}
+			return &Source{Update: u}, nil
 		}
 		break
 	}

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"expvar"
+	"io"
 	"net/http"
 	"net/http/pprof"
 )
@@ -10,6 +11,8 @@ import (
 // Handler returns the server's HTTP API:
 //
 //	POST /query         one Request (JSON body) → one Response
+//	POST /update?db=X   apply an @update program (request body) to a
+//	                    decomposition database, bumping its version
 //	GET  /dbs           loaded databases (name, backend, version, count)
 //	GET  /stats         cache hit/miss, coalescing and in-flight counters
 //	POST /reload?db=X   re-read a file-backed database, bumping its version
@@ -23,6 +26,7 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /update", s.handleUpdate)
 	mux.HandleFunc("GET /dbs", s.handleDBs)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("POST /reload", s.handleReload)
@@ -65,6 +69,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp, err := s.Do(&req)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, 200, resp)
+}
+
+// handleUpdate is the raw-text write endpoint: the body is the @update
+// program itself (no JSON envelope), mirroring how pwq pipes .pw files.
+// The JSON-envelope path (POST /query with op "write") accepts the same
+// programs via the Update field.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("db")
+	if name == "" {
+		writeError(w, 400, badRequest("missing db parameter"))
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeError(w, 400, badRequest("body: %v", err))
+		return
+	}
+	resp, err := s.Do(&Request{DB: name, Op: "write", Update: string(body)})
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return

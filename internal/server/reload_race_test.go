@@ -1,0 +1,78 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestReloadSerializesReadAndInstall is the regression test for the
+// reload read-then-install race: two concurrent reloads used to be able
+// to read the file in one order and install in the other, leaving stale
+// file content live at the higher version. The white-box hook pauses
+// the first reload between its read and its install — with the fix, the
+// second reload cannot start its read until the first has installed, so
+// the newest file content always lands at the highest version.
+func TestReloadSerializesReadAndInstall(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.pw")
+	write := func(c string) {
+		t.Helper()
+		body := "@wsd\n  relation: R(1)\n  component:\n    alt: R(" + c + ")\n"
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("v1")
+	s := New(Config{Workers: 1})
+	if err := s.Open("db", path); err != nil {
+		t.Fatal(err)
+	}
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	testHookReloadAfterRead = func(string) {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+	}
+	defer func() { testHookReloadAfterRead = nil }()
+
+	done1 := make(chan error, 1)
+	go func() { done1 <- s.Reload("db") }()
+	<-entered // reload 1 has parsed v1 and holds the write lock
+
+	write("v2")
+	done2 := make(chan error, 1)
+	go func() { done2 <- s.Reload("db") }()
+	select {
+	case err := <-done2:
+		t.Fatalf("second reload finished (%v) while the first was between read and install", err)
+	case <-time.After(20 * time.Millisecond):
+		// blocked on the write lock, as required
+	}
+
+	close(release)
+	if err := <-done1; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done2; err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := s.Do(&Request{DB: "db", Op: "cert-ans"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Version != 3 {
+		t.Fatalf("version after two reloads = %d, want 3", resp.Version)
+	}
+	if !strings.Contains(resp.Facts, "fact: v2") || strings.Contains(resp.Facts, "fact: v1") {
+		t.Fatalf("stale content live at the highest version:\n%s", resp.Facts)
+	}
+}

@@ -25,14 +25,16 @@
 //
 // Lock discipline: the Server's own RWMutex guards only the name →
 // database map; each database carries its own RWMutex guarding the
-// {backend, version} pair. Request handling takes the database read
-// lock just long enough to snapshot that pair, then evaluates outside
-// any lock — the loaded backends are immutable after normalization.
-// Reload installs a freshly parsed backend under the write lock and
-// bumps the version; because every cache and singleflight key embeds
-// the version, stale answers are never served after a reload and the
-// old entries simply age out of the LRU. The future update path gets
-// the same invalidation story for free: a write is a version bump.
+// {backend, version} pair plus a writeMu serializing mutations. Request
+// handling takes the database read lock just long enough to snapshot
+// that pair, then evaluates outside any lock — the loaded backends are
+// immutable after normalization, and the write path preserves that:
+// an @update is applied copy-on-write against the snapshot (readers
+// keep serving the old version throughout) and the result is installed
+// as a new version in one short critical section. Because every cache
+// and singleflight key embeds the version, stale answers are never
+// served after a reload or write; entries keyed on dead versions are
+// purged from the answer cache at install time.
 package server
 
 import (
@@ -99,10 +101,17 @@ type Server struct {
 }
 
 // database is one loaded .pw database. mu guards the {wsd, tab,
-// version} triple; exactly one of wsd/tab is non-nil.
+// version} triple; exactly one of wsd/tab is non-nil. writeMu
+// serializes the slow half of every mutation (file re-parse, update
+// application) so concurrent reloads and writes cannot interleave their
+// read-compute-install sequences; it is always acquired before mu and
+// never held while answering queries, so readers keep snapshotting the
+// current version through db.mu alone.
 type database struct {
 	name string
 	path string // "" for databases registered in-memory
+
+	writeMu sync.Mutex
 
 	mu      sync.RWMutex
 	version uint64
@@ -216,9 +225,19 @@ func (s *Server) Open(name, path string) error {
 	return s.register(db)
 }
 
+// testHookReloadAfterRead, when non-nil, runs after a reload has parsed
+// the file but before it installs the result — with writeMu held. Tests
+// use it to prove reloads serialize: a second reload started during the
+// hook must observe the first one's install.
+var testHookReloadAfterRead func(name string)
+
 // Reload re-reads a file-backed database and installs the fresh backend
 // under the write lock, bumping the version. Every answer cached
-// against the old version becomes unreachable at that instant.
+// against the old version becomes unreachable at that instant and is
+// purged from the answer cache. Concurrent reloads of one database are
+// serialized by its writeMu: without it, two reloads could each read
+// the file and then install in the opposite order, leaving the older
+// file content live at the higher version.
 func (s *Server) Reload(name string) error {
 	s.mu.RLock()
 	db := s.dbs[name]
@@ -229,15 +248,49 @@ func (s *Server) Reload(name string) error {
 	if db.path == "" {
 		return &Error{Status: 400, Err: fmt.Errorf("database %q is in-memory and cannot be reloaded", name)}
 	}
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
 	fresh := &database{name: name, path: db.path}
 	if err := loadInto(fresh, db.path); err != nil {
 		return err
 	}
+	if testHookReloadAfterRead != nil {
+		testHookReloadAfterRead(name)
+	}
 	db.mu.Lock()
 	db.wsd, db.tab = fresh.wsd, fresh.tab
 	db.version++
+	live := db.version
 	db.mu.Unlock()
+	s.purgeStale(name, live)
 	return nil
+}
+
+// purgeStale drops every answer-cache entry that references database
+// name at a version other than live — both entries keyed directly on
+// the database and cont entries embedding it as the superset side.
+func (s *Server) purgeStale(name string, live uint64) {
+	current := strconv.FormatUint(live, 10)
+	s.cacheMu.Lock()
+	s.answers.purge(func(key string) bool {
+		// Key layout: kind \x00 db \x00 version \x00 rest; cont keys embed
+		// db2 \x00 version2 at the head of rest.
+		parts := strings.SplitN(key, "\x00", 4)
+		if len(parts) < 4 {
+			return false
+		}
+		if parts[1] == name && parts[2] != current {
+			return true
+		}
+		if parts[0] == "cont" {
+			rest := strings.SplitN(parts[3], "\x00", 3)
+			if len(rest) >= 2 && rest[0] == name && rest[1] != current {
+				return true
+			}
+		}
+		return false
+	})
+	s.cacheMu.Unlock()
 }
 
 func loadInto(db *database, path string) error {
@@ -360,8 +413,9 @@ type Request struct {
 	DB2    string `json:"db2,omitempty"`    // superset database for cont
 	Inst   string `json:"inst,omitempty"`   // .pw instance text for memb/uniq
 	Facts  string `json:"facts,omitempty"`  // .pw instance text for poss/cert
+	Update string `json:"update,omitempty"` // @update text for write
 	N      int    `json:"n,omitempty"`      // sample count (default 1)
-	Seed   int64  `json:"seed,omitempty"`   // sample seed (default 1)
+	Seed   int64  `json:"seed,omitempty"`   // sample seed (0 means the documented default)
 }
 
 // Response is the answer to one Request.
@@ -394,6 +448,9 @@ func (s *Server) Do(req *Request) (*Response, error) {
 func (s *Server) dispatch(req *Request) (*Response, error) {
 	if req.DB == "" {
 		return nil, badRequest("missing db")
+	}
+	if req.Op == "write" {
+		return s.opWrite(req)
 	}
 	v, err := s.view(req.DB)
 	if err != nil {
@@ -533,6 +590,13 @@ func (s *Server) opCount(v dbView, resp *Response) (*Response, error) {
 	return resp, nil
 }
 
+// defaultSampleSeed is the seed used when a sample request omits the
+// field (JSON zero value). It is deliberately not a small seed a client
+// would plausibly pick: the old behavior coerced 0 to 1, silently
+// aliasing the default onto the explicit seed=1 stream so the two
+// requests drew identical worlds.
+const defaultSampleSeed = 0x705753_1987 // "pw" / the paper's year
+
 func (s *Server) opSample(req *Request, v dbView, resp *Response) (*Response, error) {
 	n := req.N
 	if n == 0 {
@@ -543,7 +607,7 @@ func (s *Server) opSample(req *Request, v dbView, resp *Response) (*Response, er
 	}
 	seed := req.Seed
 	if seed == 0 {
-		seed = 1
+		seed = defaultSampleSeed
 	}
 	rng := rand.New(rand.NewSource(seed))
 	for k := 0; k < n; k++ {
@@ -567,6 +631,54 @@ func (s *Server) opSample(req *Request, v dbView, resp *Response) (*Response, er
 		}
 		resp.Worlds = append(resp.Worlds, text)
 	}
+	return resp, nil
+}
+
+// opWrite applies an @update program to a decomposition-backed database
+// and installs the result as a new version. The slow half — parsing the
+// program and the incremental renormalization — runs under the
+// database's writeMu only, so concurrent readers keep answering against
+// the pre-update snapshot (ApplyUpdate is copy-on-write: the installed
+// result shares untouched components with the old version, which is
+// never mutated). The install itself is one short critical section
+// under db.mu, after which cache entries for dead versions are purged.
+func (s *Server) opWrite(req *Request) (*Response, error) {
+	if req.Update == "" {
+		return nil, badRequest("missing update")
+	}
+	u, err := parse.ParseUpdate(strings.NewReader(req.Update))
+	if err != nil {
+		return nil, badRequest("update: %v", err)
+	}
+	s.mu.RLock()
+	db := s.dbs[req.DB]
+	s.mu.RUnlock()
+	if db == nil {
+		return nil, &Error{Status: 404, Err: fmt.Errorf("unknown database %q", req.DB)}
+	}
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	db.mu.RLock()
+	base := db.wsd
+	db.mu.RUnlock()
+	if base == nil {
+		return nil, &Error{Status: 422, Err: fmt.Errorf(
+			"database %q is table-backed; updates need a decomposition (@wsd) database", req.DB)}
+	}
+	release := s.acquire()
+	next, err := base.ApplyUpdate(u)
+	release()
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	db.wsd = next
+	db.version++
+	live := db.version
+	db.mu.Unlock()
+	s.purgeStale(req.DB, live)
+	resp := &Response{DB: req.DB, Op: "write", Version: live}
+	resp.Count = next.Count().String()
 	return resp, nil
 }
 

@@ -29,6 +29,9 @@ func (w *WSD) Support() []Fact {
 	w.ensure()
 	out := make([]Fact, 0, len(w.facts))
 	for id := range w.facts {
+		if w.factComp[id] < 0 {
+			continue // hole left by an update: outside the support
+		}
 		out = append(out, w.resolve(int32(id)))
 	}
 	for _, c := range w.comps {
@@ -44,7 +47,7 @@ func (w *WSD) Support() []Fact {
 			out = append(out, Fact{Rel: w.schema[a.rel].Name, Args: rel.ResolveFact(a.tupleAt(ai))})
 		}
 	}
-	if w.attrByRel != nil {
+	if w.attrByRel != nil || w.factsLoose {
 		sort.Slice(out, func(i, j int) bool { return factBoundaryLess(out[i], out[j], w.schemaIdx) })
 	}
 	return out
@@ -56,7 +59,7 @@ func (w *WSD) Support() []Fact {
 // support check this first and surface an error instead.
 func (w *WSD) SupportSize() (n int, ok bool) {
 	w.ensure()
-	n = len(w.facts)
+	n = len(w.facts) - w.holes
 	for _, c := range w.comps {
 		if c.attr == nil {
 			continue
@@ -91,6 +94,9 @@ func (w *WSD) CertainFacts() []Fact {
 		if w.certain[id] {
 			out = append(out, w.resolve(int32(id)))
 		}
+	}
+	if w.factsLoose {
+		sort.Slice(out, func(i, j int) bool { return factBoundaryLess(out[i], out[j], w.schemaIdx) })
 	}
 	return out
 }
@@ -151,7 +157,7 @@ func (w *WSD) FactComponent(relName string, f rel.Fact) (int, bool) {
 	if w.empty {
 		return 0, false
 	}
-	if id, ok := w.lookupBoundary(relName, f); ok {
+	if id, ok := w.lookupBoundary(relName, f); ok && w.factComp[id] >= 0 {
 		return int(w.factComp[id]), true
 	}
 	ci, ok := w.attrOwnerBoundary(relName, f)

@@ -52,6 +52,10 @@ func (w *WSD) Normalize() error {
 		w.clearToEmpty()
 		return nil
 	}
+	// A snapshot clone (update.go) shares alternative slices and the
+	// fact table with its parent; the rewrites below mutate both, so
+	// deep-copy first — the parent must stay a valid snapshot.
+	w.unshareAll()
 
 	// (1) Deduplicate alternatives within each tuple-level component and
 	// canonicalize attribute-level slot value lists (sorted, distinct —
@@ -143,6 +147,10 @@ func (w *WSD) Normalize() error {
 	w.canonicalize()
 	w.buildIndexes()
 	w.normalized = true
+	// The canonical rebuild dropped unused facts and restored display
+	// order, clearing any incremental-update residue (see update.go).
+	w.holes = 0
+	w.factsLoose = false
 	return nil
 }
 
@@ -156,6 +164,33 @@ func (w *WSD) clearToEmpty() {
 	w.attrByRel = nil
 	w.empty = true
 	w.normalized = true
+	w.factsShared = false
+	w.compsShared = false
+	w.holes = 0
+	w.factsLoose = false
+}
+
+// unshareAll deep-copies everything a snapshot clone shares with its
+// parent (see update.go) so in-place rewrites cannot reach the parent.
+func (w *WSD) unshareAll() {
+	w.cowFacts()
+	if !w.compsShared {
+		return
+	}
+	comps := make([]component, len(w.comps))
+	for i, c := range w.comps {
+		if c.attr != nil {
+			comps[i] = component{attr: c.attr.clone()}
+			continue
+		}
+		alts := make([][]int32, len(c.alts))
+		for j, a := range c.alts {
+			alts[j] = append([]int32(nil), a...)
+		}
+		comps[i] = component{alts: alts}
+	}
+	w.comps = comps
+	w.compsShared = false
 }
 
 // dedupAlts removes duplicate alternatives (sorted ID lists) preserving

@@ -73,7 +73,9 @@ func (w *WSD) Member(i *rel.Instance) bool {
 	for _, r := range i.Relations() {
 		ri := int32(w.schemaIdx[r.Name])
 		for _, t := range r.Tuples() {
-			if id, ok := w.lookup(ri, t); ok {
+			// A stored fact without a component is a hole left by an
+			// update: outside the support unless a template covers it.
+			if id, ok := w.lookup(ri, t); ok && w.factComp[id] >= 0 {
 				ci := w.factComp[id]
 				perComp[ci] = append(perComp[ci], id)
 				continue
@@ -138,7 +140,7 @@ func (w *WSD) PossibleFact(relName string, f rel.Fact) bool {
 	if w.empty {
 		return false
 	}
-	if _, ok := w.lookupBoundary(relName, f); ok {
+	if id, ok := w.lookupBoundary(relName, f); ok && w.factComp[id] >= 0 {
 		return true
 	}
 	_, ok := w.attrOwnerBoundary(relName, f)
@@ -198,7 +200,7 @@ func (w *WSD) Possible(p *rel.Instance) bool {
 		}
 		for _, t := range r.Tuples() {
 			id, found := w.lookup(int32(ri), t)
-			if !found {
+			if !found || w.factComp[id] < 0 {
 				ci, ok := w.attrOwner(int32(ri), t)
 				if !ok {
 					return false

@@ -1,0 +1,1000 @@
+// Updates on decompositions with incremental renormalization. An Update
+// is a sequence of operations with "apply to every world" semantics:
+//
+//	insert: R(a b)            every world gains the fact
+//	delete: R(a *)            every world loses the facts matching the pattern
+//	update: R(* lo) set 2=hi  matching facts are rewritten slot-wise
+//	assume: R(a b)            keep only the worlds containing the fact
+//	assume-not: R(a b)        keep only the worlds lacking the fact
+//
+// The first three are the classical WSD update operations (Antova, Koch
+// & Olteanu; Olteanu, Koch & Antova treat updates on decompositions
+// directly); the two world-filtering forms are the `choice-of`-style
+// hypothetical updates of Koch's world-set algebra, restricting the
+// world set by a condition instead of editing worlds.
+//
+// ApplyUpdate is incremental: an operation touches only the components
+// whose supports it matches, and only those are re-factored (dedup,
+// horizontal trace/block split, vertical template split, certain fold).
+// Untouched components — their alternative lists and alternative
+// indexes — and the fact table itself are structurally shared with the
+// input decomposition, which is never mutated: the pre-update WSD stays
+// a valid consistent snapshot, so a server can keep answering reads
+// from it while the update builds its successor. The fact table is
+// copied lazily, only when an operation interns a fact the snapshot has
+// never seen (copy-on-write).
+//
+// The incremental result satisfies every normalized invariant the query
+// methods rely on (distinct alternatives, disjoint supports, maximal
+// factoring, at most one certain component) and prints identically to a
+// from-scratch Normalize of the same world set; only its internal fact
+// IDs are not display-ordered. Deleted facts leave holes in the shared
+// table (they cannot be removed without breaking the snapshot); the
+// query paths treat a fact without a component as outside the support,
+// and ApplyUpdate compacts the table once holes outnumber live facts.
+package wsd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pw/internal/rel"
+	"pw/internal/sym"
+)
+
+// Wildcard is the pattern slot that matches any constant in delete and
+// conditional-update patterns.
+const Wildcard = "*"
+
+// UpdateKind enumerates the operations of the @update language.
+type UpdateKind int
+
+const (
+	// OpInsert adds a ground fact to every world.
+	OpInsert UpdateKind = iota
+	// OpDelete removes the facts matching a pattern from every world.
+	OpDelete
+	// OpSet rewrites the slots of every fact matching a pattern
+	// (the conditional update; keyword "update" in the syntax).
+	OpSet
+	// OpAssume keeps only the worlds that contain a ground fact.
+	OpAssume
+	// OpAssumeNot keeps only the worlds that lack a ground fact.
+	OpAssumeNot
+)
+
+// keyword returns the .pw directive spelling of the kind.
+func (k UpdateKind) keyword() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpSet:
+		return "update"
+	case OpAssume:
+		return "assume"
+	case OpAssumeNot:
+		return "assume-not"
+	}
+	return fmt.Sprintf("op(%d)", int(k))
+}
+
+// SlotAssign is one `set` assignment of a conditional update: slot Slot
+// (0-based) of every matching fact becomes the constant Value.
+type SlotAssign struct {
+	Slot  int
+	Value string
+}
+
+// UpdateOp is one operation. Args holds one entry per slot of the
+// relation: a constant name, or Wildcard for OpDelete/OpSet patterns
+// (the other kinds take ground facts only).
+type UpdateOp struct {
+	Kind UpdateKind
+	Rel  string
+	Args []string
+	Set  []SlotAssign // OpSet only
+}
+
+// String renders the operation as one @update body line.
+func (op UpdateOp) String() string {
+	var b strings.Builder
+	b.WriteString(op.Kind.keyword())
+	b.WriteString(": ")
+	b.WriteString(op.Rel)
+	b.WriteString("(")
+	b.WriteString(strings.Join(op.Args, " "))
+	b.WriteString(")")
+	for i, a := range op.Set {
+		sep := ", "
+		if i == 0 {
+			sep = " set "
+		}
+		fmt.Fprintf(&b, "%s%d = %s", sep, a.Slot+1, a.Value)
+	}
+	return b.String()
+}
+
+// Update is a sequence of operations applied in order: each operation
+// maps the whole world set (worlds that become equal merge, so the
+// result is again a set).
+type Update struct {
+	Ops []UpdateOp
+}
+
+// String renders the update in .pw @update syntax (parsable by
+// parse.ParseUpdate).
+func (u *Update) String() string {
+	var b strings.Builder
+	b.WriteString("@update")
+	for _, op := range u.Ops {
+		b.WriteString("\n  ")
+		b.WriteString(op.String())
+	}
+	return b.String()
+}
+
+// ApplyToWorld applies the update to one explicit world — the reference
+// "each world separately" semantics the decomposition engine is
+// differential-tested against. ok is false when a world-filtering
+// operation rejects the world. The input instance is not mutated.
+func (u *Update) ApplyToWorld(w *rel.Instance) (out *rel.Instance, ok bool) {
+	cur := w.Clone()
+	for i := range u.Ops {
+		op := &u.Ops[i]
+		switch op.Kind {
+		case OpInsert:
+			cur.EnsureRelation(op.Rel, len(op.Args)).Insert(rel.Fact(op.Args).Intern())
+		case OpAssume, OpAssumeNot:
+			r := cur.Relation(op.Rel)
+			t, known := lookupArgs(op.Args)
+			has := r != nil && known && r.Contains(t)
+			if has != (op.Kind == OpAssume) {
+				return nil, false
+			}
+		case OpDelete, OpSet:
+			r := cur.Relation(op.Rel)
+			if r == nil {
+				continue
+			}
+			pat, live := resolveArgsPattern(op.Args)
+			if !live {
+				continue
+			}
+			nr := rel.NewRelation(r.Name, r.Arity)
+			for _, t := range r.Tuples() {
+				if !pat.matches(t) {
+					nr.Insert(t)
+					continue
+				}
+				if op.Kind == OpDelete {
+					continue
+				}
+				nt := t.Clone()
+				for _, a := range op.Set {
+					nt[a.Slot] = sym.Const(a.Value)
+				}
+				nr.Insert(nt)
+			}
+			next := rel.NewInstance()
+			for _, rr := range cur.Relations() {
+				if rr.Name == r.Name {
+					next.AddRelation(nr)
+					continue
+				}
+				next.AddRelation(rr)
+			}
+			cur = next
+		}
+	}
+	return cur, true
+}
+
+// ApplyUpdateToWorlds is the world-wise reference semantics shared by
+// the differential tests: the update applied to each explicit world
+// separately, non-surviving worlds (failed assumptions) dropped, and
+// the results deduplicated.
+func ApplyUpdateToWorlds(ws []*rel.Instance, u *Update) []*rel.Instance {
+	var out []*rel.Instance
+	seen := make(map[string]bool, len(ws))
+	for _, w := range ws {
+		img, ok := u.ApplyToWorld(w)
+		if !ok {
+			continue
+		}
+		if k := img.Key(); !seen[k] {
+			seen[k] = true
+			out = append(out, img)
+		}
+	}
+	return out
+}
+
+// lookupArgs resolves ground args to an interned tuple without growing
+// the symbol table; ok is false when a constant has never been seen
+// (such a fact is in no stored world).
+func lookupArgs(args []string) (sym.Tuple, bool) {
+	t := make(sym.Tuple, len(args))
+	for i, c := range args {
+		id, ok := sym.LookupConst(c)
+		if !ok {
+			return nil, false
+		}
+		t[i] = id
+	}
+	return t, true
+}
+
+// symPattern is a resolved match pattern: one slot per relation
+// position, either a constant symbol or a wildcard.
+type symPattern struct {
+	slots []sym.ID
+	anys  []bool
+}
+
+// resolveArgsPattern resolves pattern args; live is false when a
+// constant slot names a never-seen symbol (nothing can match).
+func resolveArgsPattern(args []string) (symPattern, bool) {
+	p := symPattern{slots: make([]sym.ID, len(args)), anys: make([]bool, len(args))}
+	for i, a := range args {
+		if a == Wildcard {
+			p.anys[i] = true
+			continue
+		}
+		id, ok := sym.LookupConst(a)
+		if !ok {
+			return p, false
+		}
+		p.slots[i] = id
+	}
+	return p, true
+}
+
+// matches reports whether the tuple matches the pattern positionwise.
+func (p symPattern) matches(t sym.Tuple) bool {
+	for i, id := range t {
+		if !p.anys[i] && p.slots[i] != id {
+			return false
+		}
+	}
+	return true
+}
+
+// matchesTemplate reports whether the pattern matches at least one
+// instantiation of the template: positionwise, every constrained slot's
+// constant must be in the cell.
+func (p symPattern) matchesTemplate(a *attrComp) bool {
+	if len(p.slots) != len(a.cells) {
+		return false
+	}
+	for i := range p.slots {
+		if !p.anys[i] && !cellHas(a.cells[i], p.slots[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ApplyUpdate applies the update with incremental renormalization and
+// returns the successor decomposition. The receiver is unchanged and
+// remains a valid snapshot: untouched components, their alternative
+// indexes, and (until an op interns a new fact) the fact table are
+// shared copy-on-write between the two. The only errors are schema
+// mismatches and the MaxMergeAlts blow-up guard; on error the receiver
+// is still unchanged.
+func (w *WSD) ApplyUpdate(u *Update) (*WSD, error) {
+	if err := w.Normalize(); err != nil {
+		return nil, err
+	}
+	out := w.snapshotClone()
+	for i := range u.Ops {
+		if err := out.applyOp(&u.Ops[i], false); err != nil {
+			return nil, err
+		}
+	}
+	// Deleted facts accumulate as holes in the shared table; once they
+	// outnumber the live facts, pay for one canonical rebuild so a
+	// long-running update stream cannot leak.
+	if out.holes > 64 && out.holes > len(out.facts)-out.holes {
+		out = out.compacted()
+	}
+	return out, nil
+}
+
+// ApplyUpdateFull is the reference implementation: a deep clone with a
+// from-scratch Normalize after every operation. It exists for the
+// differential and property tests (the incremental path must produce
+// the identical canonical form) and as the benchmark baseline that the
+// incremental path is measured against.
+func (w *WSD) ApplyUpdateFull(u *Update) (*WSD, error) {
+	if err := w.Normalize(); err != nil {
+		return nil, err
+	}
+	out := w.Clone()
+	for i := range u.Ops {
+		if err := out.applyOp(&u.Ops[i], true); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// snapshotClone returns the copy the incremental path mutates:
+// component headers, factComp/certain and attrByRel are copied, while
+// alternative lists, alternative indexes, the fact table and the fact
+// index are shared with the receiver. The update engine treats every
+// shared structure as immutable — touched components are rebuilt into
+// fresh slices, and intern copies the fact table first (cowFacts).
+func (w *WSD) snapshotClone() *WSD {
+	c := &WSD{
+		schema:      w.schema,
+		schemaIdx:   w.schemaIdx,
+		facts:       w.facts[:len(w.facts):len(w.facts)],
+		factIndex:   w.factIndex,
+		factsShared: true,
+		compsShared: true,
+		comps:       append([]component(nil), w.comps...),
+		empty:       w.empty,
+		normalized:  true,
+		factComp:    append([]int32(nil), w.factComp...),
+		certain:     append([]bool(nil), w.certain...),
+		holes:       w.holes,
+		factsLoose:  w.factsLoose,
+	}
+	if w.attrByRel != nil {
+		c.attrByRel = make(map[int32][]int32, len(w.attrByRel))
+		for r, bucket := range w.attrByRel {
+			c.attrByRel[r] = append([]int32(nil), bucket...)
+		}
+	}
+	return c
+}
+
+// cowFacts un-shares the fact table and fact index before the first
+// intern into a snapshot clone (copy-on-write; bucket slices stay
+// shared but capacity-pinned, so an append reallocates).
+func (w *WSD) cowFacts() {
+	if !w.factsShared {
+		return
+	}
+	w.facts = append(make([]storedFact, 0, len(w.facts)+8), w.facts...)
+	idx := make(map[uint64][]int32, len(w.factIndex))
+	for h, b := range w.factIndex {
+		idx[h] = b[:len(b):len(b)]
+	}
+	w.factIndex = idx
+	w.factsShared = false
+}
+
+// compacted returns a fully re-canonicalized copy (fact-table holes
+// dropped, IDs back in display order). Normalization of an
+// already-valid decomposition cannot hit the merge guard; if it ever
+// errored the un-compacted decomposition is returned unchanged.
+func (w *WSD) compacted() *WSD {
+	c := w.Clone()
+	c.normalized = false
+	if err := c.Normalize(); err != nil {
+		return w
+	}
+	c.holes, c.factsLoose = 0, false
+	return c
+}
+
+// opPlan is the outcome of planning one operation: either a trivial
+// verdict, or a set of components to drop and the raw (pre-renorm)
+// alternative lists replacing them.
+type opPlan struct {
+	noop   bool
+	empty  bool
+	drop   []int32
+	groups [][][]int32
+}
+
+// applyOp plans one operation and installs it, incrementally or via a
+// full renormalization.
+func (w *WSD) applyOp(op *UpdateOp, full bool) error {
+	ri, err := w.opRelIndex(op)
+	if err != nil {
+		return err
+	}
+	if w.empty {
+		return nil // every operation maps ∅ to ∅
+	}
+	var p opPlan
+	switch op.Kind {
+	case OpInsert:
+		err = w.planInsert(ri, op, &p)
+	case OpDelete, OpSet:
+		err = w.planRewrite(ri, op, &p)
+	case OpAssume:
+		err = w.planAssume(ri, op, true, &p)
+	case OpAssumeNot:
+		err = w.planAssume(ri, op, false, &p)
+	default:
+		err = fmt.Errorf("wsd: unknown update op kind %d", int(op.Kind))
+	}
+	if err != nil {
+		return err
+	}
+	if p.noop {
+		return nil
+	}
+	if p.empty {
+		w.clearToEmpty()
+		return nil
+	}
+	if full {
+		return w.installFull(&p)
+	}
+	return w.installIncremental(&p)
+}
+
+// opRelIndex validates the operation against the schema.
+func (w *WSD) opRelIndex(op *UpdateOp) (int32, error) {
+	ri, ok := w.schemaIdx[op.Rel]
+	if !ok {
+		return 0, fmt.Errorf("wsd: update references unknown relation %s", op.Rel)
+	}
+	arity := w.schema[ri].Arity
+	if len(op.Args) != arity {
+		return 0, fmt.Errorf("wsd: update %s: %s takes %d slots, got %d",
+			op.Kind.keyword(), op.Rel, arity, len(op.Args))
+	}
+	if op.Kind != OpDelete && op.Kind != OpSet {
+		for _, a := range op.Args {
+			if a == Wildcard {
+				return 0, fmt.Errorf("wsd: update %s requires a ground fact; %q is the pattern wildcard",
+					op.Kind.keyword(), Wildcard)
+			}
+		}
+	}
+	if op.Kind == OpSet && len(op.Set) == 0 {
+		return 0, fmt.Errorf("wsd: conditional update on %s has no set assignments", op.Rel)
+	}
+	for _, a := range op.Set {
+		if a.Slot < 0 || a.Slot >= arity {
+			return 0, fmt.Errorf("wsd: update on %s sets slot %d, relation has %d slots",
+				op.Rel, a.Slot+1, arity)
+		}
+		if a.Value == Wildcard {
+			return 0, fmt.Errorf("wsd: update on %s sets slot %d to the wildcard; set values must be constants",
+				op.Rel, a.Slot+1)
+		}
+	}
+	return int32(ri), nil
+}
+
+// planInsert plans W → W ∪ {f}: the fact joins every alternative of
+// its owning component (certain fold happens in the install), or forms
+// a new certain component when it is outside the support.
+func (w *WSD) planInsert(ri int32, op *UpdateOp, p *opPlan) error {
+	t := rel.Fact(op.Args).Intern()
+	if id, ok := w.lookup(ri, t); ok && w.factComp[id] >= 0 {
+		if w.certain[id] {
+			p.noop = true
+			return nil
+		}
+		ci := w.factComp[id]
+		c := &w.comps[ci]
+		alts := make([][]int32, len(c.alts))
+		for i, alt := range c.alts {
+			alts[i] = insertSorted(alt, id)
+		}
+		p.drop = []int32{ci}
+		p.groups = [][][]int32{alts}
+		return nil
+	}
+	if ci, ok := w.attrOwner(ri, t); ok {
+		alts, err := w.expandAttr(w.comps[ci].attr)
+		if err != nil {
+			return err
+		}
+		id := w.intern(ri, t)
+		for i, alt := range alts {
+			alts[i] = insertSorted(alt, id)
+		}
+		p.drop = []int32{ci}
+		p.groups = [][][]int32{alts}
+		return nil
+	}
+	// Outside the support: a brand-new certain fact.
+	id := w.intern(ri, t)
+	p.groups = [][][]int32{{{id}}}
+	return nil
+}
+
+// planAssume plans the world filters: keep the worlds where the fact's
+// presence equals keep. Independence makes this local: only the owning
+// component's alternatives are filtered.
+func (w *WSD) planAssume(ri int32, op *UpdateOp, keep bool, p *opPlan) error {
+	id, ci := int32(-1), int32(-1)
+	if t, known := lookupArgs(op.Args); known {
+		if sid, ok := w.lookup(ri, t); ok && w.factComp[sid] >= 0 {
+			id, ci = sid, w.factComp[sid]
+		} else if aci, ok := w.attrOwner(ri, t); ok {
+			ci = aci
+			// The template owns the fact; materialize its ID lazily below.
+		}
+	}
+	if ci < 0 {
+		// The fact is possible in no world.
+		if keep {
+			p.empty = true
+		} else {
+			p.noop = true
+		}
+		return nil
+	}
+	c := &w.comps[ci]
+	if a := c.attr; a != nil {
+		t, _ := lookupArgs(op.Args)
+		if keep {
+			// Exactly one instantiation survives: the fact becomes certain.
+			p.drop = []int32{ci}
+			p.groups = [][][]int32{{{w.intern(ri, t)}}}
+			return nil
+		}
+		alts, err := w.expandAttr(a)
+		if err != nil {
+			return err
+		}
+		fid := w.intern(ri, t)
+		kept := alts[:0]
+		for _, alt := range alts {
+			if len(alt) == 1 && alt[0] == fid {
+				continue
+			}
+			kept = append(kept, alt)
+		}
+		p.drop = []int32{ci}
+		p.groups = [][][]int32{kept}
+		return nil
+	}
+	if w.certain[id] {
+		if keep {
+			p.noop = true
+		} else {
+			p.empty = true
+		}
+		return nil
+	}
+	kept := make([][]int32, 0, len(c.alts))
+	for _, alt := range c.alts {
+		if containsSorted(alt, []int32{id}) == keep {
+			kept = append(kept, alt)
+		}
+	}
+	p.drop = []int32{ci}
+	p.groups = [][][]int32{kept}
+	return nil
+}
+
+// planRewrite plans delete and conditional update: every component
+// whose support matches the pattern is rewritten alternative-wise.
+// Conditional updates may intern new facts; collisions with other
+// components' supports are resolved by the install's overlap merge.
+func (w *WSD) planRewrite(ri int32, op *UpdateOp, p *opPlan) error {
+	pat, live := resolveArgsPattern(op.Args)
+	if !live {
+		p.noop = true
+		return nil
+	}
+	var assigns []SlotAssign
+	if op.Kind == OpSet {
+		assigns = op.Set
+	}
+	matched := make(map[int32]bool)
+	for id := range w.facts {
+		ci := w.factComp[id]
+		if ci < 0 || w.facts[id].rel != ri {
+			continue
+		}
+		if pat.matches(w.facts[id].tuple) {
+			matched[ci] = true
+		}
+	}
+	for _, ci := range w.attrByRel[ri] {
+		if pat.matchesTemplate(w.comps[ci].attr) {
+			matched[ci] = true
+		}
+	}
+	if len(matched) == 0 {
+		p.noop = true
+		return nil
+	}
+	order := make([]int32, 0, len(matched))
+	for ci := range matched {
+		order = append(order, ci)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, ci := range order {
+		c := &w.comps[ci]
+		src := c.alts
+		if c.attr != nil {
+			var err error
+			if src, err = w.expandAttr(c.attr); err != nil {
+				return err
+			}
+		}
+		dst := make([][]int32, len(src))
+		for i, alt := range src {
+			dst[i] = w.rewriteAlt(alt, ri, pat, op.Kind == OpDelete, assigns)
+		}
+		p.drop = append(p.drop, ci)
+		p.groups = append(p.groups, dst)
+	}
+	return nil
+}
+
+// rewriteAlt maps one alternative through the delete/update image,
+// always into a fresh sorted slice.
+func (w *WSD) rewriteAlt(alt []int32, ri int32, pat symPattern, del bool, assigns []SlotAssign) []int32 {
+	out := make([]int32, 0, len(alt))
+	for _, id := range alt {
+		f := w.facts[id]
+		if f.rel != ri || !pat.matches(f.tuple) {
+			out = append(out, id)
+			continue
+		}
+		if del {
+			continue
+		}
+		t := f.tuple.Clone()
+		for _, a := range assigns {
+			t[a.Slot] = sym.Const(a.Value)
+		}
+		out = append(out, w.intern(ri, t))
+	}
+	return sortDedupIDs(out)
+}
+
+// insertSorted returns a fresh sorted copy of alt with id included.
+func insertSorted(alt []int32, id int32) []int32 {
+	out := make([]int32, 0, len(alt)+1)
+	placed := false
+	for _, f := range alt {
+		if !placed && id <= f {
+			if id < f {
+				out = append(out, id)
+			}
+			placed = true
+		}
+		out = append(out, f)
+	}
+	if !placed {
+		out = append(out, id)
+	}
+	return out
+}
+
+// installFull splices the plan's replacement groups in as plain
+// components and runs the from-scratch Normalize — the reference path.
+func (w *WSD) installFull(p *opPlan) error {
+	drop := make(map[int32]bool, len(p.drop))
+	for _, ci := range p.drop {
+		drop[ci] = true
+	}
+	kept := make([]component, 0, len(w.comps)+len(p.groups))
+	for ci := range w.comps {
+		if !drop[int32(ci)] {
+			kept = append(kept, w.comps[ci])
+		}
+	}
+	for _, g := range p.groups {
+		kept = append(kept, component{alts: g})
+	}
+	w.comps = kept
+	w.normalized = false
+	if err := w.Normalize(); err != nil {
+		return err
+	}
+	w.holes, w.factsLoose = 0, false
+	return nil
+}
+
+// installIncremental re-establishes the normalized invariants touching
+// only the plan's groups: overlap closure pulls in any component whose
+// support a rewritten fact collided with, each independent class is
+// merged and locally re-factored (dedup, horizontal split, vertical
+// split, certain fold), and only the cheap derived arrays are rebuilt
+// globally. Untouched components pass through by value, alternative
+// lists and indexes shared.
+func (w *WSD) installIncremental(p *opPlan) error {
+	drop := make(map[int32]bool, len(p.drop))
+	for _, ci := range p.drop {
+		drop[ci] = true
+	}
+
+	// Overlap closure over the replacement groups: walk every fact of
+	// every group; a fact owned by a surviving component pulls that
+	// component into the working set (its alternatives join the merge),
+	// and a fact shared between two groups unions them. Pulled-in
+	// components cannot cascade further — their supports are disjoint
+	// from everything else — but their facts still register for unions.
+	slots := make([][][]int32, len(p.groups))
+	copy(slots, p.groups)
+	parent := make([]int, len(slots))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	factGroup := make(map[int32]int)
+	pulled := make(map[int32]int)
+	for qi := 0; qi < len(slots); qi++ {
+		for _, alt := range slots[qi] {
+			for _, f := range alt {
+				if g, seen := factGroup[f]; seen {
+					union(qi, g)
+				} else {
+					factGroup[f] = qi
+				}
+				if int(f) < len(w.factComp) {
+					if ci := w.factComp[f]; ci >= 0 && !drop[ci] {
+						if slot, ok := pulled[ci]; ok {
+							union(qi, slot)
+						} else {
+							drop[ci] = true
+							slots = append(slots, w.comps[ci].alts)
+							parent = append(parent, len(slots)-1)
+							pulled[ci] = len(slots) - 1
+							union(qi, len(slots)-1)
+						}
+					}
+				}
+				sf := w.facts[f]
+				for _, ci := range w.attrByRel[sf.rel] {
+					if drop[ci] || !w.comps[ci].attr.contains(sf.tuple) {
+						continue
+					}
+					alts, err := w.expandAttr(w.comps[ci].attr)
+					if err != nil {
+						return err
+					}
+					drop[ci] = true
+					slots = append(slots, alts)
+					parent = append(parent, len(slots)-1)
+					pulled[ci] = len(slots) - 1
+					union(qi, len(slots)-1)
+				}
+			}
+		}
+	}
+
+	// Gather the union-find classes in slot order (deterministic).
+	classIdx := make(map[int]int)
+	var classes [][]int
+	for i := range slots {
+		r := find(i)
+		k, ok := classIdx[r]
+		if !ok {
+			k = len(classes)
+			classIdx[r] = k
+			classes = append(classes, nil)
+		}
+		classes[k] = append(classes[k], i)
+	}
+
+	// Merge each class (cross product, bounded like mergeOverlapping)
+	// and re-factor it locally.
+	var newComps []component
+	var certainIDs []int32
+	for _, members := range classes {
+		var alts [][]int32
+		if len(members) == 1 {
+			alts = dedupAlts(append([][]int32(nil), slots[members[0]]...))
+		} else {
+			product := 1
+			for _, m := range members {
+				product *= len(slots[m])
+				if product > MaxMergeAlts {
+					return fmt.Errorf("wsd: update merges %d dependent components into %d+ alternatives (limit %d); the decomposition is too entangled to update in place",
+						len(members), product, MaxMergeAlts)
+				}
+			}
+			acc := [][]int32{nil}
+			for _, m := range members {
+				next := make([][]int32, 0, len(acc)*len(slots[m]))
+				for _, base := range acc {
+					for _, alt := range slots[m] {
+						u := make([]int32, 0, len(base)+len(alt))
+						u = append(u, base...)
+						u = append(u, alt...)
+						next = append(next, sortDedupIDs(u))
+					}
+				}
+				acc = next
+			}
+			alts = dedupAlts(acc)
+		}
+		if len(alts) == 0 {
+			w.clearToEmpty()
+			return nil
+		}
+		for _, sub := range splitAlts(alts) {
+			c := w.tryVerticalSplit(component{alts: sub})
+			if c.attr != nil {
+				newComps = append(newComps, c)
+				continue
+			}
+			if len(sub) == 1 {
+				certainIDs = append(certainIDs, sub[0]...)
+				continue
+			}
+			newComps = append(newComps, w.finishComponent(sub))
+		}
+	}
+
+	// Fold new certain facts into the (single) certain component.
+	if len(certainIDs) > 0 {
+		for ci := range w.comps {
+			if drop[int32(ci)] || w.comps[ci].attr != nil || len(w.comps[ci].alts) != 1 {
+				continue
+			}
+			drop[int32(ci)] = true
+			certainIDs = append(certainIDs, w.comps[ci].alts[0]...)
+			break
+		}
+		newComps = append(newComps, w.finishComponent([][]int32{sortDedupIDs(certainIDs)}))
+	}
+
+	// Assemble: survivors by value (alternative lists and indexes
+	// shared), new components, canonical component order.
+	final := make([]component, 0, len(w.comps)+len(newComps))
+	for ci := range w.comps {
+		if !drop[int32(ci)] {
+			final = append(final, w.comps[ci])
+		}
+	}
+	final = append(final, newComps...)
+	// Decorate-sort: the display key is a full support scan with symbol
+	// lookups, so compute it once per component, not once per comparison.
+	type dispKey struct {
+		ok  bool
+		rel int32
+		t   sym.Tuple
+	}
+	keys := make([]dispKey, len(final))
+	ord := make([]int, len(final))
+	for i := range final {
+		ri, ti, oki := w.displayMinSupportFact(&final[i])
+		keys[i] = dispKey{ok: oki, rel: ri, t: ti}
+		ord[i] = i
+	}
+	sort.Slice(ord, func(i, j int) bool {
+		a, b := keys[ord[i]], keys[ord[j]]
+		if a.ok != b.ok {
+			return a.ok
+		}
+		if !a.ok {
+			return false
+		}
+		if a.rel != b.rel {
+			return a.rel < b.rel
+		}
+		return a.t.Compare(b.t) < 0
+	})
+	sorted := make([]component, len(final))
+	for i, o := range ord {
+		sorted[i] = final[o]
+	}
+	w.comps = sorted
+	w.rebuildDerived()
+	return nil
+}
+
+// finishComponent builds a fresh tuple-level component: alternatives in
+// display-canonical order plus the fingerprint index. Alternative ID
+// lists are shared with the caller (never mutated).
+func (w *WSD) finishComponent(alts [][]int32) component {
+	keys := make([][]int32, len(alts))
+	for i, alt := range alts {
+		k := append([]int32(nil), alt...)
+		sort.Slice(k, func(a, b int) bool { return w.factLess(k[a], k[b]) })
+		keys[i] = k
+	}
+	ord := make([]int, len(alts))
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool { return w.altDisplayLess(keys[ord[a]], keys[ord[b]]) })
+	sorted := make([][]int32, len(alts))
+	for i, o := range ord {
+		sorted[i] = alts[o]
+	}
+	c := component{alts: sorted, altIndex: make(map[uint64][]int32, len(sorted))}
+	for ai, alt := range sorted {
+		h := altHash(alt)
+		c.altIndex[h] = append(c.altIndex[h], int32(ai))
+	}
+	return c
+}
+
+// altDisplayLess orders display-sorted alternative fact lists by
+// length, then lexicographically by fact display order — the order
+// altLess produces when fact IDs are display-canonical.
+func (w *WSD) altDisplayLess(a, b []int32) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return w.factLess(a[i], b[i])
+		}
+	}
+	return false
+}
+
+// displayMinSupportFact mirrors minSupportFact under non-canonical IDs:
+// the display-least support fact found by scanning the alternatives.
+func (w *WSD) displayMinSupportFact(c *component) (relIdx int32, t sym.Tuple, ok bool) {
+	if c.attr != nil {
+		return c.attr.rel, c.attr.minTuple(), true
+	}
+	best := int32(-1)
+	for _, alt := range c.alts {
+		for _, f := range alt {
+			if best < 0 || w.factLess(f, best) {
+				best = f
+			}
+		}
+	}
+	if best < 0 {
+		return 0, nil, false
+	}
+	f := w.facts[best]
+	return f.rel, f.tuple, true
+}
+
+// rebuildDerived recomputes the cheap derived arrays (factComp,
+// certain, attrByRel, hole count) after an incremental install. Facts
+// no longer in any component become holes. Certainty needs no
+// counting: after the local split, a multi-alternative component has no
+// all-alternative fact, so the certain facts are exactly the facts of
+// the single-alternative component.
+func (w *WSD) rebuildDerived() {
+	w.factComp = make([]int32, len(w.facts))
+	for i := range w.factComp {
+		w.factComp[i] = -1
+	}
+	w.certain = make([]bool, len(w.facts))
+	w.attrByRel = nil
+	for ci := range w.comps {
+		c := &w.comps[ci]
+		if a := c.attr; a != nil {
+			if w.attrByRel == nil {
+				w.attrByRel = make(map[int32][]int32)
+			}
+			w.attrByRel[a.rel] = append(w.attrByRel[a.rel], int32(ci))
+			continue
+		}
+		isCertain := len(c.alts) == 1
+		for _, alt := range c.alts {
+			for _, f := range alt {
+				w.factComp[f] = int32(ci)
+				w.certain[f] = isCertain
+			}
+		}
+	}
+	w.holes = 0
+	for _, ci := range w.factComp {
+		if ci < 0 {
+			w.holes++
+		}
+	}
+	w.factsLoose = true
+}

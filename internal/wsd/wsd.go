@@ -105,6 +105,19 @@ type WSD struct {
 	factComp   []int32           // fact ID -> component index (derived)
 	certain    []bool            // fact ID -> present in every alternative (derived)
 	attrByRel  map[int32][]int32 // relation -> attribute-level component indices (derived)
+
+	// Incremental-update state (see update.go). factsShared marks the
+	// fact table and index as shared with a snapshot parent (copied on
+	// the first intern); compsShared marks component alternative slices
+	// as shared (deep-copied before any full normalization, which
+	// mutates them in place); holes counts fact-table entries outside
+	// every component's support (factComp < 0); factsLoose records that
+	// fact IDs are no longer in display order, so accessors that
+	// promise display order must sort.
+	factsShared bool
+	compsShared bool
+	holes       int
+	factsLoose  bool
 }
 
 // New returns an empty decomposition over the given schema: zero
@@ -162,7 +175,7 @@ func (c *component) altCount() int {
 // the total saturates at the int maximum.
 func (w *WSD) Size() int {
 	w.ensure()
-	n := len(w.facts)
+	n := len(w.facts) - w.holes
 	for _, c := range w.comps {
 		if c.attr == nil {
 			continue
@@ -219,9 +232,19 @@ func (w *WSD) internBoundary(f Fact) (int32, error) {
 }
 
 // intern stores (or finds) a fact, returning its dense ID. The tuple is
-// copied only on actual insertion.
+// copied only on actual insertion. On a snapshot clone the table and
+// index are un-shared first (copy-on-write; see update.go).
 func (w *WSD) intern(relIdx int32, t sym.Tuple) int32 {
 	h := factHash(relIdx, t)
+	if w.factsShared {
+		for _, id := range w.factIndex[h] {
+			f := w.facts[id]
+			if f.rel == relIdx && f.tuple.Equal(t) {
+				return id
+			}
+		}
+		w.cowFacts()
+	}
 	for _, id := range w.factIndex[h] {
 		f := w.facts[id]
 		if f.rel == relIdx && f.tuple.Equal(t) {
@@ -304,6 +327,8 @@ func (w *WSD) Clone() *WSD {
 	c := New(w.schema)
 	c.empty = w.empty
 	c.normalized = w.normalized
+	c.holes = w.holes
+	c.factsLoose = w.factsLoose
 	c.facts = make([]storedFact, len(w.facts))
 	for i, f := range w.facts {
 		c.facts[i] = storedFact{rel: f.rel, tuple: f.tuple.Clone()}
@@ -361,8 +386,16 @@ func (w *WSD) String() string {
 			continue
 		}
 		for _, alt := range c.alts {
+			ids := alt
+			if w.factsLoose {
+				// Incrementally updated decompositions keep stable (not
+				// display-ordered) fact IDs; render in display order so the
+				// printed form stays canonical.
+				ids = append([]int32(nil), alt...)
+				sort.Slice(ids, func(i, j int) bool { return w.factLess(ids[i], ids[j]) })
+			}
 			b.WriteString("\n    alt:")
-			for i, id := range alt {
+			for i, id := range ids {
 				if i > 0 {
 					b.WriteString(",")
 				}
