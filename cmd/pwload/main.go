@@ -13,19 +13,30 @@
 // turnaround.
 //
 // Output: request count, error count, achieved req/s, and the latency
-// mean/p50/p95/p99/max. Any non-200 response, transport error, or a run
-// that completes zero requests exits 1 — so a CI smoke job fails on a
-// server that crashes, races, or wedges under load.
+// mean/p50/p95/p99/max. Failed requests are additionally broken down
+// per op and error class (400/404/409/422/4xx/5xx/transport). Any
+// non-200 response, transport error, or a run that completes zero
+// requests exits 1 — so a CI smoke job fails on a server that crashes,
+// races, or wedges under load.
+//
+// pwload also scrapes GET /metrics before and after the run and reports
+// the server's own view of the traffic next to the client percentiles:
+// the /query request delta and the answer-cache hit ratio over the run.
+// -check-server-total turns the cross-check into a hard failure: exit 1
+// unless the server-side /query delta equals the number of responses
+// the client saw — the accounting invariant the CI load job pins.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -44,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	concurrency := fs.Int("c", 8, "concurrent client connections")
 	duration := fs.Duration("duration", 3*time.Second, "how long to fire")
 	rate := fs.Int("rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
+	checkTotal := fs.Bool("check-server-total", false, "fail unless the server-side /query counter delta matches the client's response count")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -57,22 +69,117 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	before, errBefore := scrapeMetrics(*url)
 	res := fire(*url, targets, *concurrency, *duration, *rate)
+	after, errAfter := scrapeMetrics(*url)
 	report(stdout, res, *duration)
+
+	code := 0
 	if res.errs > 0 {
 		fmt.Fprintf(stderr, "pwload: %d request(s) failed; first: %s\n", res.errs, res.firstErr)
-		return 1
+		code = 1
 	}
 	if res.done == 0 {
 		fmt.Fprintln(stderr, "pwload: zero completed requests")
-		return 1
+		code = 1
 	}
-	return 0
+	if err := reportServer(stdout, before, after, errBefore, errAfter, res, *checkTotal); err != nil {
+		fmt.Fprintln(stderr, "pwload:", err)
+		code = 1
+	}
+	return code
+}
+
+// reportServer prints the server's own accounting of the run (scraped
+// from /metrics) and, under -check-server-total, enforces that the
+// server counted exactly the responses the client received.
+func reportServer(w io.Writer, before, after map[string]float64, errBefore, errAfter error, res *result, check bool) error {
+	if errBefore != nil || errAfter != nil {
+		err := errBefore
+		if err == nil {
+			err = errAfter
+		}
+		if check {
+			return fmt.Errorf("metrics scrape failed: %v", err)
+		}
+		fmt.Fprintf(w, "server:   metrics unavailable (%v)\n", err)
+		return nil
+	}
+	queryDelta := seriesSum(after, "pwd_http_requests_total", `path="/query"`) -
+		seriesSum(before, "pwd_http_requests_total", `path="/query"`)
+	hits := seriesSum(after, "pwd_answer_cache_hits_total", "") -
+		seriesSum(before, "pwd_answer_cache_hits_total", "")
+	misses := seriesSum(after, "pwd_answer_cache_misses_total", "") -
+		seriesSum(before, "pwd_answer_cache_misses_total", "")
+	ratio := "n/a"
+	if hits+misses > 0 {
+		ratio = fmt.Sprintf("%.2f", hits/(hits+misses))
+	}
+	fmt.Fprintf(w, "server:   /query %.0f  cache hits %.0f  misses %.0f  hit-ratio %s\n",
+		queryDelta, hits, misses, ratio)
+	if check && int64(queryDelta) != res.resps {
+		return fmt.Errorf("server counted %.0f /query requests, client saw %d responses", queryDelta, res.resps)
+	}
+	return nil
+}
+
+// scrapeMetrics fetches /metrics and returns every series as
+// name{labels} → value (comment and blank lines skipped).
+func scrapeMetrics(base string) (map[string]float64, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return nil, fmt.Errorf("GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	m := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		m[line[:i]] = v
+	}
+	return m, sc.Err()
+}
+
+// seriesSum adds every series of the named family whose label block
+// contains labelSub ("" sums the whole family).
+func seriesSum(m map[string]float64, name, labelSub string) float64 {
+	var sum float64
+	for k, v := range m {
+		fam, _, _ := strings.Cut(k, "{")
+		if fam == name && (labelSub == "" || strings.Contains(k, labelSub)) {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// target is one request body plus the op extracted from it — the label
+// errors are broken down under.
+type target struct {
+	body string
+	op   string
 }
 
 // readTargets loads the request bodies; syntactic validation is the
-// server's job (an invalid body will fail the run as a non-200).
-func readTargets(path string) ([]string, error) {
+// server's job (an invalid body will fail the run as a non-200). The op
+// field is peeled off here once so the error breakdown doesn't parse
+// JSON on the hot path (an unparsable line reports as op "other").
+func readTargets(path string) ([]target, error) {
 	if path == "" {
 		return nil, fmt.Errorf("missing -targets")
 	}
@@ -81,7 +188,7 @@ func readTargets(path string) ([]string, error) {
 		return nil, err
 	}
 	defer f.Close()
-	var targets []string
+	var targets []target
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -89,7 +196,14 @@ func readTargets(path string) ([]string, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		targets = append(targets, line)
+		var probe struct {
+			Op string `json:"op"`
+		}
+		op := "other"
+		if json.Unmarshal([]byte(line), &probe) == nil && probe.Op != "" {
+			op = probe.Op
+		}
+		targets = append(targets, target{body: line, op: op})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -103,9 +217,29 @@ func readTargets(path string) ([]string, error) {
 type result struct {
 	done     int64
 	errs     int64
+	resps    int64 // requests that got any HTTP response (incl. non-200)
 	firstErr string
 	lats     []time.Duration
 	elapsed  time.Duration
+	classes  map[string]map[string]int64 // op → error class → count
+}
+
+// errClass buckets a failure for the per-op breakdown: the interesting
+// API codes individually, the rest by century, transport errors apart.
+func errClass(status int) string {
+	switch status {
+	case 0:
+		return "transport"
+	case 400, 404, 409, 422:
+		return strconv.Itoa(status)
+	}
+	switch {
+	case status >= 500:
+		return "5xx"
+	case status >= 400:
+		return "4xx"
+	}
+	return strconv.Itoa(status)
 }
 
 // fire drives the server for the duration and collects per-request
@@ -113,7 +247,7 @@ type result struct {
 // central ticker hands arrival slots to whichever worker is free — if
 // none is, the tick is dropped and counted as done-nothing (the server
 // is saturated; latency of completed requests still tells the story).
-func fire(url string, targets []string, concurrency int, duration time.Duration, rate int) *result {
+func fire(url string, targets []target, concurrency int, duration time.Duration, rate int) *result {
 	client := &http.Client{Transport: &http.Transport{
 		MaxIdleConns:        concurrency * 2,
 		MaxIdleConnsPerHost: concurrency * 2,
@@ -122,30 +256,38 @@ func fire(url string, targets []string, concurrency int, duration time.Duration,
 
 	var (
 		mu       sync.Mutex
-		res      = &result{}
+		res      = &result{classes: make(map[string]map[string]int64)}
 		next     atomic.Int64
 		deadline = time.Now().Add(duration)
 	)
-	recordErr := func(err error) {
+	recordErr := func(op string, status int, err error) {
 		atomic.AddInt64(&res.errs, 1)
+		class := errClass(status)
 		mu.Lock()
 		if res.firstErr == "" {
 			res.firstErr = err.Error()
 		}
+		byClass := res.classes[op]
+		if byClass == nil {
+			byClass = make(map[string]int64)
+			res.classes[op] = byClass
+		}
+		byClass[class]++
 		mu.Unlock()
 	}
 	shoot := func(local *[]time.Duration) {
-		body := targets[int(next.Add(1))%len(targets)]
+		t := targets[int(next.Add(1))%len(targets)]
 		start := time.Now()
-		resp, err := client.Post(endpoint, "application/json", strings.NewReader(body))
+		resp, err := client.Post(endpoint, "application/json", strings.NewReader(t.body))
 		if err != nil {
-			recordErr(err)
+			recordErr(t.op, 0, err)
 			return
 		}
 		out, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
+		atomic.AddInt64(&res.resps, 1)
 		if resp.StatusCode != 200 {
-			recordErr(fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(out))))
+			recordErr(t.op, resp.StatusCode, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(out))))
 			return
 		}
 		atomic.AddInt64(&res.done, 1)
@@ -217,6 +359,26 @@ func report(w io.Writer, res *result, asked time.Duration) {
 	}
 	rps := float64(res.done) / elapsed.Seconds()
 	fmt.Fprintf(w, "requests: %d\nerrors:   %d\nreq/s:    %.0f\n", res.done, res.errs, rps)
+	if len(res.classes) > 0 {
+		ops := make([]string, 0, len(res.classes))
+		for op := range res.classes {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		for _, op := range ops {
+			byClass := res.classes[op]
+			classes := make([]string, 0, len(byClass))
+			for class := range byClass {
+				classes = append(classes, class)
+			}
+			sort.Strings(classes)
+			var parts []string
+			for _, class := range classes {
+				parts = append(parts, fmt.Sprintf("%s=%d", class, byClass[class]))
+			}
+			fmt.Fprintf(w, "errors[%s]: %s\n", op, strings.Join(parts, " "))
+		}
+	}
 	if len(res.lats) == 0 {
 		return
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -103,5 +104,135 @@ func TestLoadBadInvocations(t *testing.T) {
 	empty := writeTargets(t, "# nothing")
 	if code := run([]string{"-targets", empty}, &out, &errb); code != 2 {
 		t.Fatalf("empty targets: exit %d, want 2", code)
+	}
+}
+
+func TestErrorClassBreakdownPerOp(t *testing.T) {
+	// Fail by op so the breakdown has distinct rows: memb → 404,
+	// poss → 500, count → 200.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		switch {
+		case bytes.Contains(body, []byte(`"memb"`)):
+			http.Error(w, `{"error":"no such db"}`, 404)
+		case bytes.Contains(body, []byte(`"poss"`)):
+			http.Error(w, `{"error":"boom"}`, 500)
+		default:
+			w.Write([]byte(`{"op":"count","count":"1"}`))
+		}
+	}))
+	defer ts.Close()
+	targets := writeTargets(t,
+		`{"db":"x","op":"memb","inst":"w"}`,
+		`{"db":"x","op":"poss","facts":"f"}`,
+		`{"db":"x","op":"count"}`,
+	)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-url", ts.URL, "-targets", targets, "-c", "2", "-duration", "200ms"},
+		&stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 with failing ops\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "errors[memb]: 404=") {
+		t.Errorf("breakdown missing memb 404 row:\n%s", out)
+	}
+	if !strings.Contains(out, "errors[poss]: 5xx=") {
+		t.Errorf("breakdown missing poss 5xx row:\n%s", out)
+	}
+	if strings.Contains(out, "errors[count]") {
+		t.Errorf("count succeeded but appears in the error breakdown:\n%s", out)
+	}
+}
+
+func TestErrClass(t *testing.T) {
+	for _, tc := range []struct {
+		status int
+		want   string
+	}{
+		{0, "transport"}, {400, "400"}, {404, "404"}, {409, "409"},
+		{422, "422"}, {418, "4xx"}, {500, "5xx"}, {503, "5xx"},
+	} {
+		if got := errClass(tc.status); got != tc.want {
+			t.Errorf("errClass(%d) = %q, want %q", tc.status, got, tc.want)
+		}
+	}
+}
+
+// Against a real pwd server the scrape-based cross-check holds: the
+// server's /query counter delta equals the client's response count, and
+// repeat cert-ans traffic shows up as a server-side cache-hit ratio.
+func TestCheckServerTotalAgainstRealServer(t *testing.T) {
+	s := server.New(server.Config{Workers: 2})
+	if err := s.Open("sensors", "../../examples/data/sensors.pw"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	targets := writeTargets(t,
+		`{"db":"sensors","op":"cert-ans","query":"@query hi\n  out: Hi = select[#value = hi](Reading(sensor value))\n"}`,
+	)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-url", ts.URL, "-targets", targets, "-c", "2",
+		"-duration", "300ms", "-check-server-total"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "server:   /query ") {
+		t.Fatalf("report missing server-side line:\n%s", out)
+	}
+	if !strings.Contains(out, "hit-ratio 0.") && !strings.Contains(out, "hit-ratio 1.00") {
+		t.Errorf("report missing cache hit-ratio:\n%s", out)
+	}
+}
+
+// A server whose /metrics does not account for the traffic fails the
+// cross-check.
+func TestCheckServerTotalMismatch(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("{}"))
+	}))
+	defer ts.Close()
+	targets := writeTargets(t, `{"db":"x","op":"count"}`)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-url", ts.URL, "-targets", targets, "-c", "1",
+		"-duration", "100ms", "-check-server-total"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 on counter mismatch", code)
+	}
+	if !strings.Contains(stderr.String(), "server counted") {
+		t.Fatalf("stderr does not explain the mismatch: %s", stderr.String())
+	}
+}
+
+func TestScrapeAndSeriesSum(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		io.WriteString(w, "# HELP pwd_http_requests_total x\n"+
+			"# TYPE pwd_http_requests_total counter\n"+
+			`pwd_http_requests_total{path="/query",code="200"} 7`+"\n"+
+			`pwd_http_requests_total{path="/query",code="404"} 2`+"\n"+
+			`pwd_http_requests_total{path="/stats",code="200"} 9`+"\n")
+	}))
+	defer ts.Close()
+	m, err := scrapeMetrics(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := seriesSum(m, "pwd_http_requests_total", `path="/query"`); got != 9 {
+		t.Errorf(`seriesSum(path="/query") = %g, want 9`, got)
+	}
+	if got := seriesSum(m, "pwd_http_requests_total", ""); got != 18 {
+		t.Errorf("seriesSum(all) = %g, want 18", got)
+	}
+	if got := seriesSum(m, "pwd_absent_total", ""); got != 0 {
+		t.Errorf("seriesSum(absent) = %g, want 0", got)
 	}
 }

@@ -43,6 +43,11 @@
 // stdout; structural problems exit 2. -workers bounds the engine's
 // goroutine budget (0 = GOMAXPROCS); answers are identical at every
 // worker count.
+//
+// -trace prints an indented span tree and the engine's nonzero cost
+// counters (parse bytes, components visited, alternatives tabulated,
+// valuations enumerated, …) to stderr after the answer — the offline
+// twin of the server's ?trace=1.
 package main
 
 import (
@@ -56,6 +61,7 @@ import (
 
 	"pw/internal/decide"
 	"pw/internal/gen"
+	"pw/internal/obs"
 	"pw/internal/parse"
 	"pw/internal/query"
 	"pw/internal/rel"
@@ -88,15 +94,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	updatePath := fs.String("update", "", "update program (.pw, @update block) for the update command")
 	outPath := fs.String("out", "", "output file for the update command (default stdout)")
 	full := fs.Bool("full", false, "update: full renormalization per operation instead of incremental")
+	traced := fs.Bool("trace", false, "print a span tree and engine cost counters to stderr")
 	if err := fs.Parse(args[1:]); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
 		return 2
 	}
-	o := decide.Options{Workers: *workersN}
+	var tr *obs.Trace
+	if *traced {
+		tr = obs.NewTrace(cmd, "pwq")
+		defer func() {
+			tr.Finish()
+			tr.WriteText(stderr)
+		}()
+	}
+	cost := tr.Cost() // nil when untraced; every sink is nil-safe
+	o := decide.Options{Workers: *workersN, Cost: cost}
 
-	src, err := loadSource(*dbPath)
+	sp := tr.Root().StartChild("parse")
+	src, err := loadSource(*dbPath, cost)
+	sp.End()
 	if err != nil {
 		return fatal(stderr, err)
 	}
@@ -173,7 +191,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "-- sample %d --\n%s\n", k+1, inst)
 		}
 	case "memb":
-		i, err := loadInstance(*instPath)
+		i, err := loadInstance(*instPath, cost)
 		if err != nil {
 			return fatal(stderr, err)
 		}
@@ -183,7 +201,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		yes, err := o.Membership(i, query.Identity{}, d)
 		return answer(stdout, stderr, yes, err)
 	case "uniq":
-		i, err := loadInstance(*instPath)
+		i, err := loadInstance(*instPath, cost)
 		if err != nil {
 			return fatal(stderr, err)
 		}
@@ -196,15 +214,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		yes, err := o.Uniqueness(query.Identity{}, d, i)
 		return answer(stdout, stderr, yes, err)
 	case "cont":
-		q0, err := loadQuery(*queryPath, false)
+		q0, err := loadQuery(*queryPath, false, cost)
 		if err != nil {
 			return fatal(stderr, err)
 		}
-		q1, err := loadQuery(*query2Path, false)
+		q1, err := loadQuery(*query2Path, false, cost)
 		if err != nil {
 			return fatal(stderr, err)
 		}
-		src2, err := loadSource(*db2Path)
+		src2, err := loadSource(*db2Path, cost)
 		if err != nil {
 			return fatal(stderr, err)
 		}
@@ -237,7 +255,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		yes, err := wsdalg.ContainmentViews(q0, w, q1, w2)
 		return answer(stdout, stderr, yes, err)
 	case "poss-ans", "cert-ans":
-		q, err := loadQuery(*queryPath, true)
+		q, err := loadQuery(*queryPath, true, cost)
 		if err != nil {
 			return fatal(stderr, err)
 		}
@@ -246,11 +264,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			// Decomposition backend: the lifted evaluator produces the
 			// answer world-set in factored form; possibility/certainty of
 			// answer facts are support lookups on it.
+			sp := tr.Root().StartChild("eval")
 			if cmd == "poss-ans" {
-				ans, err = wsdalg.PossibleAnswers(w, q)
+				ans, err = wsdalg.PossibleAnswersObserved(w, q, cost)
 			} else {
-				ans, err = wsdalg.CertainAnswers(w, q)
+				ans, err = wsdalg.CertainAnswersObserved(w, q, cost)
 			}
+			sp.End()
 		} else {
 			if cmd == "poss-ans" {
 				ans, err = o.PossibleAnswers(q, d)
@@ -268,15 +288,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if w == nil {
 			return fatal(stderr, fmt.Errorf("update applies to decompositions; %s is table-backed (compile with wsd first)", *dbPath))
 		}
-		u, err := loadUpdate(*updatePath)
+		u, err := loadUpdate(*updatePath, cost)
 		if err != nil {
 			return fatal(stderr, err)
 		}
-		apply := w.ApplyUpdate
+		apply := func(u *wsd.Update) (*wsd.WSD, error) { return w.ApplyUpdateObserved(u, cost) }
 		if *full {
 			apply = w.ApplyUpdateFull
 		}
+		sp := tr.Root().StartChild("apply-update")
 		out, err := apply(u)
+		sp.End()
 		if err != nil {
 			return fatal(stderr, err)
 		}
@@ -293,7 +315,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fatal(stderr, err)
 		}
 	case "poss":
-		p, err := loadInstance(*factsPath)
+		p, err := loadInstance(*factsPath, cost)
 		if err != nil {
 			return fatal(stderr, err)
 		}
@@ -303,7 +325,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		yes, err := o.Possible(p, query.Identity{}, d)
 		return answer(stdout, stderr, yes, err)
 	case "cert":
-		p, err := loadInstance(*factsPath)
+		p, err := loadInstance(*factsPath, cost)
 		if err != nil {
 			return fatal(stderr, err)
 		}
@@ -318,7 +340,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func loadSource(path string) (*parse.Source, error) {
+func loadSource(path string, c *obs.Cost) (*parse.Source, error) {
 	if path == "" {
 		return nil, fmt.Errorf("missing -db")
 	}
@@ -327,12 +349,12 @@ func loadSource(path string) (*parse.Source, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return parse.ParseSource(f)
+	return parse.ParseSourceObserved(f, c)
 }
 
 // loadQuery reads a @query file; with required=false an empty path
 // means the identity query (cont's view-free form).
-func loadQuery(path string, required bool) (query.Query, error) {
+func loadQuery(path string, required bool, c *obs.Cost) (query.Query, error) {
 	if path == "" {
 		if required {
 			return nil, fmt.Errorf("missing -query")
@@ -344,7 +366,7 @@ func loadQuery(path string, required bool) (query.Query, error) {
 		return nil, err
 	}
 	defer f.Close()
-	src, err := parse.ParseSource(f)
+	src, err := parse.ParseSourceObserved(f, c)
 	if err != nil {
 		return nil, err
 	}
@@ -356,7 +378,7 @@ func loadQuery(path string, required bool) (query.Query, error) {
 
 // loadUpdate reads an @update file, rejecting misrouted sources the
 // same way -db rejects @query files.
-func loadUpdate(path string) (*wsd.Update, error) {
+func loadUpdate(path string, c *obs.Cost) (*wsd.Update, error) {
 	if path == "" {
 		return nil, fmt.Errorf("missing -update")
 	}
@@ -365,7 +387,7 @@ func loadUpdate(path string) (*wsd.Update, error) {
 		return nil, err
 	}
 	defer f.Close()
-	src, err := parse.ParseSource(f)
+	src, err := parse.ParseSourceObserved(f, c)
 	if err != nil {
 		return nil, err
 	}
@@ -375,7 +397,7 @@ func loadUpdate(path string) (*wsd.Update, error) {
 	return src.Update, nil
 }
 
-func loadInstance(path string) (*rel.Instance, error) {
+func loadInstance(path string, c *obs.Cost) (*rel.Instance, error) {
 	if path == "" {
 		return nil, fmt.Errorf("missing instance/fact file")
 	}
@@ -384,7 +406,7 @@ func loadInstance(path string) (*rel.Instance, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return parse.ParseInstance(f)
+	return parse.ParseInstanceObserved(f, c)
 }
 
 func answer(stdout, stderr io.Writer, yes bool, err error) int {

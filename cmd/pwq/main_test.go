@@ -210,3 +210,32 @@ func TestBadUsageExits2(t *testing.T) {
 		t.Errorf("nested-brace tmpl: exit %d, want 2", code)
 	}
 }
+
+// -trace prints an indented span tree and the engine's nonzero cost
+// counters to stderr without disturbing the stdout answer.
+func TestTraceFlag(t *testing.T) {
+	data := func(name string) string { return filepath.Join("..", "..", "examples", "data", name) }
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"cert-ans", "-trace",
+		"-db", data("sensors.pw"), "-query", data("sensors_hi.pw")}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "@relation Hi(2)") {
+		t.Fatalf("stdout missing the answer:\n%s", stdout.String())
+	}
+	trace := stderr.String()
+	for _, want := range []string{"cert-ans ", "  parse ", "  eval ", "cost: ", "parse_bytes=", "eval_components="} {
+		if !strings.Contains(trace, want) {
+			t.Errorf("trace output missing %q:\n%s", want, trace)
+		}
+	}
+
+	// Untraced runs keep stderr silent.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"cert-ans", "-db", data("sensors.pw"), "-query", data("sensors_hi.pw")},
+		&stdout, &stderr); code != 0 || stderr.Len() != 0 {
+		t.Fatalf("untraced run: exit %d, stderr %q", code, stderr.String())
+	}
+}

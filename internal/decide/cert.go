@@ -97,7 +97,7 @@ func (o Options) certainIdentity(p *rel.Instance, d *table.Database) (bool, erro
 func (o Options) certainGeneric(p *rel.Instance, q query.Query, d *table.Database) (bool, error) {
 	base, prefix := genericDomain(d, q, p)
 	var evalErr errOnce
-	violated := valuation.EnumerateCanonicalSharded(d.Universe(), base, prefix, o.workers(), func(v valuation.V) bool {
+	violated := o.enumerate(d.Universe(), base, prefix, func(v valuation.V) bool {
 		w := applyValuation(v, d)
 		if w == nil {
 			return false

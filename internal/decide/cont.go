@@ -70,7 +70,7 @@ func (o Options) containmentIdentity(d0, d *table.Database) (bool, error) {
 	base, prefix := contDomain(nd0, nil, d, nil)
 	var memErr errOnce
 	inner := o.inner()
-	counterexample := valuation.EnumerateCanonicalSharded(nd0.Universe(), base, prefix, o.workers(), func(v valuation.V) bool {
+	counterexample := o.enumerate(nd0.Universe(), base, prefix, func(v valuation.V) bool {
 		w := applyValuation(v, nd0)
 		if w == nil {
 			return false
@@ -136,7 +136,7 @@ func (o Options) containmentGeneric(q0 query.Query, d0 *table.Database, q query.
 	base, prefix := contDomain(d0, q0, d, q)
 	var innerErr errOnce
 	inner := o.inner()
-	counterexample := valuation.EnumerateCanonicalSharded(d0.Universe(), base, prefix, o.workers(), func(v valuation.V) bool {
+	counterexample := o.enumerate(d0.Universe(), base, prefix, func(v valuation.V) bool {
 		w := applyValuation(v, d0)
 		if w == nil {
 			return false

@@ -335,7 +335,7 @@ func (s *membState) residualSatisfiable() bool {
 func (o Options) membershipGeneric(i0 *rel.Instance, q query.Query, d *table.Database) (bool, error) {
 	base, prefix := genericDomain(d, q, i0)
 	var evalErr errOnce
-	found := valuation.EnumerateCanonicalSharded(d.Universe(), base, prefix, o.workers(), func(v valuation.V) bool {
+	found := o.enumerate(d.Universe(), base, prefix, func(v valuation.V) bool {
 		w := applyValuation(v, d)
 		if w == nil {
 			return false

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pw/internal/obs"
+	"pw/internal/sym"
 	"pw/internal/valuation"
 )
 
@@ -18,6 +20,12 @@ type Options struct {
 	// builds of the polynomial cells. 0 means GOMAXPROCS; 1 reproduces
 	// the sequential engine bit-for-bit (visit order, witness choice).
 	Workers int
+
+	// Cost, when non-nil, receives the search's cost counters: shards
+	// spawned, early cancellations, valuations visited, and the visit
+	// count at which the first witness was found. Counting is attached
+	// only when a sink is present, so the untraced path is unchanged.
+	Cost *obs.Cost
 }
 
 // workers resolves the effective worker count.
@@ -30,8 +38,28 @@ func (o Options) workers() int {
 
 // inner is the options for decision sub-procedures nested inside a
 // parallel enumeration (the membership tests of the Π₂ᵖ containment
-// cells): sequential, so the outer fan-out owns the pool.
-func (o Options) inner() Options { return Options{Workers: 1} }
+// cells): sequential, so the outer fan-out owns the pool. The cost sink
+// carries over — nested valuation visits are part of the request.
+func (o Options) inner() Options { return Options{Workers: 1, Cost: o.Cost} }
+
+// enumerate runs the sharded canonical valuation search with the
+// options' cost sink attached: the enumerator records shards and
+// cancellations, and a wrapper counts valuations visited and the
+// witness depth. Without a sink the predicate runs unwrapped.
+func (o Options) enumerate(u *sym.Universe, base []sym.ID, prefix string, fn func(valuation.V) bool) bool {
+	if c := o.Cost; c != nil {
+		inner := fn
+		fn = func(v valuation.V) bool {
+			n := c.Add(obs.DecideValuations, 1)
+			if inner(v) {
+				c.Max(obs.DecideWitnessDepth, n)
+				return true
+			}
+			return false
+		}
+	}
+	return valuation.EnumerateCanonicalShardedObserved(u, base, prefix, o.workers(), o.Cost, fn)
+}
 
 // MinParallelPairs is the smallest row×fact product worth parallelizing
 // in the matching-graph builds; below it one core wins. The build is

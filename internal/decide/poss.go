@@ -158,7 +158,7 @@ func possSearch(p *rel.Instance, d *table.Database) bool {
 func (o Options) possibleGeneric(p *rel.Instance, q query.Query, d *table.Database) (bool, error) {
 	base, prefix := genericDomain(d, q, p)
 	var evalErr errOnce
-	found := valuation.EnumerateCanonicalSharded(d.Universe(), base, prefix, o.workers(), func(v valuation.V) bool {
+	found := o.enumerate(d.Universe(), base, prefix, func(v valuation.V) bool {
 		w := applyValuation(v, d)
 		if w == nil {
 			return false

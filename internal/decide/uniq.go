@@ -208,7 +208,7 @@ func (o Options) uniqueGeneric(q0 query.Query, d0 *table.Database, i *rel.Instan
 	base, prefix := genericDomain(d0, q0, i)
 	var sawWorld atomic.Bool
 	var evalErr errOnce
-	diff := valuation.EnumerateCanonicalSharded(d0.Universe(), base, prefix, o.workers(), func(v valuation.V) bool {
+	diff := o.enumerate(d0.Universe(), base, prefix, func(v valuation.V) bool {
 		w := applyValuation(v, d0)
 		if w == nil {
 			return false

@@ -92,6 +92,9 @@ func benchProbes(workers int) []benchProbe {
 		{"ServerCertAns_Cached_1M", 1, probeServerCertAnsCached},
 		{"ServerCertAns_Uncached_1M", 1, probeServerCertAnsUncached},
 		{"ServerHTTP_FactProbe_w8", 8, probeServerHTTPFactProbe},
+		// The same fleet with ?trace=1 on every request: gates the
+		// span/cost instrumentation overhead next to the untraced path.
+		{"ServerHTTP_FactProbe_traced", 8, probeServerHTTPFactProbeTraced},
 	}
 }
 

@@ -23,6 +23,7 @@ var GatedProbes = []string{
 	"ServerCertAns_Cached_1M",
 	"ServerCertAns_Uncached_1M",
 	"ServerHTTP_FactProbe_w8",
+	"ServerHTTP_FactProbe_traced",
 }
 
 // CheckTolerance is the relative ns/op slack the regression guard allows

@@ -1,0 +1,202 @@
+// Package obs is the engine's zero-dependency observability core:
+// per-request cost accounting (Cost), a lightweight span/trace API with
+// context propagation (Trace, Span), and process-wide metrics — atomic
+// counters, gauges and fixed-bucket histograms — exposed in the
+// Prometheus text format (Registry).
+//
+// The design constraint throughout is that instrumentation must be
+// cheap enough to leave compiled into the hot layers: every Cost and
+// Span method is nil-receiver safe, so the engine threads optional
+// sinks through unconditionally and an untraced call path pays one
+// predictable nil check per record point; Registry metrics are single
+// atomic operations with pre-resolved handles on the hot paths.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// CostKind names one per-request cost counter. The counters form the
+// engine's structured cost model: each hot layer (parse, wsd.Normalize,
+// wsd.ApplyUpdate, wsdalg.Eval, decide, the server's cache and
+// admission layers) records the quantities its asymptotics depend on,
+// so a slow request explains itself without a profiler.
+type CostKind int
+
+const (
+	// ParseBytes counts input bytes consumed by the parser.
+	ParseBytes CostKind = iota
+
+	// NormComponentsMerged counts components merged by Normalize's
+	// dependent-component cross products (incl. incremental renorm).
+	NormComponentsMerged
+	// NormVerticalSplits counts tuple-level components rewritten into
+	// attribute-level templates by the counting-certificate rule.
+	NormVerticalSplits
+	// NormCertainFolds counts single-alternative components folded into
+	// the certain component.
+	NormCertainFolds
+
+	// UpdateTouchedComponents counts components rebuilt by an update's
+	// incremental renormalization (the op's own groups plus the
+	// overlap-closure pulls); UpdateSurvivorComponents counts the
+	// components that passed through by value, sharing their
+	// alternative lists with the pre-update snapshot.
+	UpdateTouchedComponents
+	UpdateSurvivorComponents
+	// UpdateCOWUnshares counts copy-on-write unshare events (the fact
+	// table or the component headers being deep-copied on first write).
+	UpdateCOWUnshares
+
+	// EvalComponents is the input decomposition's component count seen
+	// by wsdalg.Eval (the components visited to build choice units).
+	EvalComponents
+	// EvalParts counts decomposed-relation parts built while evaluating
+	// the algebra expression tree.
+	EvalParts
+	// EvalAltsTabulated counts joint alternatives enumerated by the
+	// odometer (join tabulation and final component assembly).
+	EvalAltsTabulated
+	// EvalMergeSpaceMax is the largest joint alternative space any
+	// single assembly needed (max semantics — record via Max). The
+	// headroom against wsd.MaxMergeAlts is the distance to ErrEntangled.
+	EvalMergeSpaceMax
+
+	// DecideShards counts enumeration shards spawned by the parallel
+	// valuation searches; DecideCancels counts searches that were
+	// cancelled early (a witness in one shard aborting the rest);
+	// DecideValuations counts valuations visited; DecideWitnessDepth is
+	// the visit count at which the (first) witness was found (max
+	// semantics).
+	DecideShards
+	DecideCancels
+	DecideValuations
+	DecideWitnessDepth
+
+	// CacheHits/CacheMisses count answer-cache outcomes for this
+	// request; CoalescedWaits counts evaluations this request
+	// piggybacked on instead of running; SemWaitNanos is time spent
+	// queued on the admission semaphore.
+	CacheHits
+	CacheMisses
+	CoalescedWaits
+	SemWaitNanos
+
+	numCostKinds
+)
+
+// costNames is the canonical counter naming scheme (snake_case, layer
+// prefix) used in trace JSON, slow-query log lines, and DESIGN.md.
+var costNames = [numCostKinds]string{
+	"parse_bytes",
+	"norm_components_merged",
+	"norm_vertical_splits",
+	"norm_certain_folds",
+	"update_touched_components",
+	"update_survivor_components",
+	"update_cow_unshares",
+	"eval_components",
+	"eval_parts",
+	"eval_alts_tabulated",
+	"eval_merge_space_max",
+	"decide_shards",
+	"decide_cancels",
+	"decide_valuations",
+	"decide_witness_depth",
+	"cache_hits",
+	"cache_misses",
+	"coalesced_waits",
+	"sem_wait_ns",
+}
+
+// String returns the counter's canonical name.
+func (k CostKind) String() string {
+	if k < 0 || k >= numCostKinds {
+		return fmt.Sprintf("cost(%d)", int(k))
+	}
+	return costNames[k]
+}
+
+// Cost is one request's cost-accounting sink: a fixed array of atomic
+// counters, one per CostKind. All methods are safe on a nil *Cost (they
+// record nothing and read zero), so instrumented code threads a
+// possibly-nil sink without branching at every call site. Counters are
+// int64 and atomic: a request's evaluation may fan out across worker
+// goroutines that record concurrently.
+type Cost struct {
+	c [numCostKinds]atomic.Int64
+}
+
+// NewCost returns a zeroed cost sink.
+func NewCost() *Cost { return &Cost{} }
+
+// Add adds n to the counter and returns its new value. On a nil
+// receiver it records nothing and returns 0.
+func (c *Cost) Add(k CostKind, n int64) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.c[k].Add(n)
+}
+
+// Max raises the counter to n if n is larger (for high-water-mark
+// counters like EvalMergeSpaceMax and DecideWitnessDepth).
+func (c *Cost) Max(k CostKind, n int64) {
+	if c == nil {
+		return
+	}
+	for {
+		cur := c.c[k].Load()
+		if n <= cur || c.c[k].CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Get reads one counter (0 on a nil receiver).
+func (c *Cost) Get(k CostKind) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.c[k].Load()
+}
+
+// Counters snapshots the nonzero counters as a name → value map — the
+// shape embedded in traced JSON responses.
+func (c *Cost) Counters() map[string]int64 {
+	if c == nil {
+		return nil
+	}
+	m := make(map[string]int64)
+	for k := CostKind(0); k < numCostKinds; k++ {
+		if v := c.c[k].Load(); v != 0 {
+			m[costNames[k]] = v
+		}
+	}
+	return m
+}
+
+// String renders the nonzero counters as "name=value ..." in name
+// order — the slow-query-log shape. Empty string when nothing fired.
+func (c *Cost) String() string {
+	m := c.Counters()
+	if len(m) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", n, m[n])
+	}
+	return b.String()
+}

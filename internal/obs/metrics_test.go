@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Bucket boundaries are le-inclusive: an observation equal to an upper
+// bound lands in that bucket, matching the Prometheus histogram
+// contract.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(1)   // exactly on the first bound → bucket 0
+	h.Observe(1.5) // between the bounds → bucket 1
+	h.Observe(2)   // exactly on the second bound → bucket 1
+	h.Observe(3)   // past every bound → +Inf bucket
+	for i, want := range []uint64{1, 2, 1} {
+		if got := h.BucketCount(i); got != want {
+			t.Errorf("bucket %d = %d, want %d", i, got, want)
+		}
+	}
+	if got := h.Count(); got != 4 {
+		t.Errorf("Count = %d, want 4", got)
+	}
+	if got := h.Sum(); got != 7.5 {
+		t.Errorf("Sum = %g, want 7.5", got)
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-increasing bounds must panic")
+		}
+	}()
+	newHistogram([]float64{1, 1})
+}
+
+// Counters wrap on uint64 overflow — the Prometheus convention, where a
+// scraper treats any decrease as a counter reset.
+func TestCounterOverflowWraps(t *testing.T) {
+	var c Counter
+	c.Add(math.MaxUint64)
+	if got := c.Value(); got != math.MaxUint64 {
+		t.Fatalf("Value = %d, want MaxUint64", got)
+	}
+	c.Inc()
+	if got := c.Value(); got != 0 {
+		t.Errorf("Value after wrap = %d, want 0", got)
+	}
+	c.Add(5)
+	if got := c.Value(); got != 5 {
+		t.Errorf("Value after wrap+5 = %d, want 5", got)
+	}
+}
+
+// Concurrent increments across counters, vec series and histograms must
+// not lose updates (run under -race in CI).
+func TestMetricsConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "c")
+	g := reg.Gauge("g", "g")
+	h := reg.Histogram("h_seconds", "h", []float64{1})
+	cv := reg.CounterVec("cv_total", "cv", "op")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			op := []string{"a", "b"}[w%2]
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.5)
+				cv.With(op).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != workers*per {
+		t.Errorf("gauge = %d, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+	if got := h.Sum(); got != float64(workers*per)*0.5 {
+		t.Errorf("histogram sum = %g, want %g", got, float64(workers*per)*0.5)
+	}
+	if a, b := cv.With("a").Value(), cv.With("b").Value(); a+b != workers*per {
+		t.Errorf("vec series a=%d b=%d, want sum %d", a, b, workers*per)
+	}
+}
+
+// The golden test pins the text exposition format itself: HELP/TYPE
+// ordering, label rendering, cumulative le-inclusive histogram buckets
+// with _sum/_count, series sorted by label values, integer-valued
+// samples rendered without a decimal point.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_ops_total", "Operations performed.")
+	g := reg.Gauge("test_level", "Current level.")
+	reg.GaugeFunc("test_fn", "Computed at scrape time.", func() float64 { return 2.5 })
+	h := reg.Histogram("test_seconds", "Latency.", []float64{1, 2})
+	cv := reg.CounterVec("test_by_op_total", "By op.", "op")
+
+	c.Add(3)
+	g.Set(-2)
+	h.Observe(1)   // le="1" (inclusive)
+	h.Observe(1.5) // le="2"
+	h.Observe(8)   // +Inf
+	cv.With("b").Inc()
+	cv.With("a").Add(2)
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	want := `# HELP test_ops_total Operations performed.
+# TYPE test_ops_total counter
+test_ops_total 3
+# HELP test_level Current level.
+# TYPE test_level gauge
+test_level -2
+# HELP test_fn Computed at scrape time.
+# TYPE test_fn gauge
+test_fn 2.5
+# HELP test_seconds Latency.
+# TYPE test_seconds histogram
+test_seconds_bucket{le="1"} 1
+test_seconds_bucket{le="2"} 2
+test_seconds_bucket{le="+Inf"} 3
+test_seconds_sum 10.5
+test_seconds_count 3
+# HELP test_by_op_total By op.
+# TYPE test_by_op_total counter
+test_by_op_total{op="a"} 2
+test_by_op_total{op="b"} 1
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// WriteFamily is the scrape-time hook for dynamically computed series
+// (the per-database families); its output must splice seamlessly into
+// the registry's.
+func TestWriteFamily(t *testing.T) {
+	var sb strings.Builder
+	WriteFamily(&sb, "test_db_version", "gauge", "Version per db.",
+		Series{Labels: []Label{{Key: "db", Value: `quo"te`}}, Value: 7},
+	)
+	want := "# HELP test_db_version Version per db.\n" +
+		"# TYPE test_db_version gauge\n" +
+		"test_db_version{db=\"quo\\\"te\"} 7\n"
+	if got := sb.String(); got != want {
+		t.Errorf("WriteFamily:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dup_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration must panic")
+		}
+	}()
+	reg.Counter("dup_total", "y")
+}
+
+func TestVecLabelArityPanics(t *testing.T) {
+	reg := NewRegistry()
+	cv := reg.CounterVec("arity_total", "x", "op", "code")
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong label arity must panic")
+		}
+	}()
+	cv.With("only-one")
+}

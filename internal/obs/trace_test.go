@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestTraceNil(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != "" || tr.Root() != nil || tr.Cost() != nil || tr.Tree() != nil {
+		t.Error("nil trace accessors must return zero values")
+	}
+	tr.Finish() // no panic
+	var sb strings.Builder
+	tr.WriteText(&sb)
+	if sb.Len() != 0 {
+		t.Errorf("nil WriteText wrote %q", sb.String())
+	}
+	// Nil spans chain through child creation and End.
+	var sp *Span
+	if sp.StartChild("x") != nil {
+		t.Error("nil span StartChild must return nil")
+	}
+	sp.End()
+}
+
+func TestTraceTree(t *testing.T) {
+	tr := NewTrace("cert-ans", "req-1")
+	if got := tr.ID(); got != "req-1" {
+		t.Errorf("ID = %q, want req-1", got)
+	}
+	parse := tr.Root().StartChild("parse")
+	parse.End()
+	eval := tr.Root().StartChild("eval")
+	tab := eval.StartChild("tabulate")
+	tab.End()
+	eval.End()
+	tr.Cost().Add(EvalParts, 2)
+	tr.Finish()
+
+	n := tr.Tree()
+	if n.Name != "cert-ans" {
+		t.Fatalf("root name = %q", n.Name)
+	}
+	if len(n.Children) != 2 || n.Children[0].Name != "parse" || n.Children[1].Name != "eval" {
+		t.Fatalf("children = %+v, want [parse eval]", n.Children)
+	}
+	if len(n.Children[1].Children) != 1 || n.Children[1].Children[0].Name != "tabulate" {
+		t.Fatalf("eval children = %+v, want [tabulate]", n.Children[1].Children)
+	}
+	if n.DurUS < 0 || n.Children[0].StartUS < 0 {
+		t.Errorf("negative timings: %+v", n)
+	}
+
+	var sb strings.Builder
+	tr.WriteText(&sb)
+	out := sb.String()
+	for _, want := range []string{"cert-ans ", "\n  parse ", "\n  eval ", "\n    tabulate ", "cost: eval_parts=2\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	if got := FromContext(context.Background()); got != nil {
+		t.Errorf("FromContext(empty) = %v, want nil", got)
+	}
+	tr := NewTrace("q", "id")
+	ctx := NewContext(context.Background(), tr)
+	if got := FromContext(ctx); got != tr {
+		t.Errorf("FromContext = %v, want the installed trace", got)
+	}
+}
+
+// Spans may be started from worker goroutines concurrently.
+func TestSpanConcurrentChildren(t *testing.T) {
+	tr := NewTrace("q", "id")
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 100; j++ {
+				tr.Root().StartChild("w").End()
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	tr.Finish()
+	if got := len(tr.Tree().Children); got != 800 {
+		t.Errorf("children = %d, want 800", got)
+	}
+}

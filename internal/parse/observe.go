@@ -1,0 +1,55 @@
+// Observed parse entry points: identical parsers with a per-request
+// cost-accounting sink recording the bytes consumed (the parse-side
+// contribution to a request's cost profile — parse time is linear in
+// it). The wrappers count at the reader, so every dispatch path of the
+// underlying parser is covered without threading the sink through the
+// grammar.
+package parse
+
+import (
+	"io"
+
+	"pw/internal/obs"
+	"pw/internal/rel"
+	"pw/internal/wsd"
+)
+
+// countingReader records every byte read into the cost sink.
+type countingReader struct {
+	r io.Reader
+	c *obs.Cost
+}
+
+func (cr countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	if n > 0 {
+		cr.c.Add(obs.ParseBytes, int64(n))
+	}
+	return n, err
+}
+
+// observed wraps r so reads record into c; a nil sink is the identity.
+func observed(r io.Reader, c *obs.Cost) io.Reader {
+	if c == nil {
+		return r
+	}
+	return countingReader{r: r, c: c}
+}
+
+// ParseSourceObserved is ParseSource with input bytes recorded into c
+// (nil c: exactly ParseSource).
+func ParseSourceObserved(r io.Reader, c *obs.Cost) (*Source, error) {
+	return ParseSource(observed(r, c))
+}
+
+// ParseInstanceObserved is ParseInstance with input bytes recorded into
+// c (nil c: exactly ParseInstance).
+func ParseInstanceObserved(r io.Reader, c *obs.Cost) (*rel.Instance, error) {
+	return ParseInstance(observed(r, c))
+}
+
+// ParseUpdateObserved is ParseUpdate with input bytes recorded into c
+// (nil c: exactly ParseUpdate).
+func ParseUpdateObserved(r io.Reader, c *obs.Cost) (*wsd.Update, error) {
+	return ParseUpdate(observed(r, c))
+}

@@ -1,0 +1,63 @@
+package parse
+
+import (
+	"strings"
+	"testing"
+
+	"pw/internal/obs"
+)
+
+const obsSrc = "@table T(2)\n  row: a b\n"
+
+// Every observed entry point must record exactly the bytes consumed and
+// behave identically to its unobserved twin with a nil sink.
+func TestObservedParsersRecordBytes(t *testing.T) {
+	c := obs.NewCost()
+	src, err := ParseSourceObserved(strings.NewReader(obsSrc), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.DB == nil {
+		t.Fatal("observed parse lost the database")
+	}
+	if got := c.Get(obs.ParseBytes); got != int64(len(obsSrc)) {
+		t.Errorf("parse_bytes = %d, want %d", got, len(obsSrc))
+	}
+
+	// Nil sink: the wrapper is exactly the plain parser, no counting.
+	if _, err := ParseSourceObserved(strings.NewReader(obsSrc), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	inst := "@relation R(1)\n  fact: x\n"
+	c2 := obs.NewCost()
+	if _, err := ParseInstanceObserved(strings.NewReader(inst), c2); err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Get(obs.ParseBytes); got != int64(len(inst)) {
+		t.Errorf("instance parse_bytes = %d, want %d", got, len(inst))
+	}
+	if _, err := ParseInstanceObserved(strings.NewReader(inst), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	upd := "@update\n  insert: R(x)\n"
+	c3 := obs.NewCost()
+	if _, err := ParseUpdateObserved(strings.NewReader(upd), c3); err != nil {
+		t.Fatal(err)
+	}
+	if got := c3.Get(obs.ParseBytes); got != int64(len(upd)) {
+		t.Errorf("update parse_bytes = %d, want %d", got, len(upd))
+	}
+	if _, err := ParseUpdateObserved(strings.NewReader(upd), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Errors pass through the counting reader unchanged.
+func TestObservedParserPropagatesErrors(t *testing.T) {
+	c := obs.NewCost()
+	if _, err := ParseUpdateObserved(strings.NewReader("@nonsense\n"), c); err == nil {
+		t.Fatal("observed parse of garbage succeeded")
+	}
+}

@@ -1,24 +1,38 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"io"
 	"net/http"
 	"net/http/pprof"
+	rpprof "runtime/pprof"
+	"strconv"
+
+	"pw/internal/obs"
 )
 
 // Handler returns the server's HTTP API:
 //
-//	POST /query         one Request (JSON body) → one Response
+//	POST /query         one Request (JSON body) → one Response;
+//	                    ?trace=1 embeds the span tree, cost counters
+//	                    and request ID in the Response
 //	POST /update?db=X   apply an @update program (request body) to a
 //	                    decomposition database, bumping its version
-//	GET  /dbs           loaded databases (name, backend, version, count)
-//	GET  /stats         cache hit/miss, coalescing and in-flight counters
+//	                    (?trace=1 as above)
+//	GET  /dbs           loaded databases (name, backend, kind, version, count)
+//	GET  /stats         cache hit/miss, coalescing, in-flight and per-db counters
+//	GET  /metrics       Prometheus text exposition of every counter,
+//	                    gauge and histogram, including per-db families
 //	POST /reload?db=X   re-read a file-backed database, bumping its version
 //	GET  /healthz       liveness ("ok")
 //	GET  /debug/pprof/  CPU/heap/goroutine profiles (net/http/pprof)
 //	GET  /debug/vars    expvar (includes pwd's published counters)
+//
+// Every response carries an X-Request-Id header, and every request is
+// counted into pwd_http_requests_total{path,code} (unknown paths are
+// labeled "other" to bound cardinality).
 //
 // The profiling handlers are registered on this mux explicitly rather
 // than through http.DefaultServeMux, so importing the package never
@@ -29,6 +43,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /update", s.handleUpdate)
 	mux.HandleFunc("GET /dbs", s.handleDBs)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /reload", s.handleReload)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -40,7 +55,52 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("GET /debug/vars", expvar.Handler())
-	return mux
+	return s.instrument(mux)
+}
+
+// metricPaths are the routes with dedicated pwd_http_requests_total
+// series; anything else counts under "other".
+var metricPaths = map[string]bool{
+	"/query": true, "/update": true, "/dbs": true, "/stats": true,
+	"/metrics": true, "/reload": true, "/healthz": true,
+}
+
+// statusWriter captures the response status code for the HTTP counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the mux: mint a request ID (X-Request-Id on every
+// response), then count the request by path and final status code.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := s.RequestID()
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w, code: 200}
+		next.ServeHTTP(sw, r.WithContext(withRequestID(r.Context(), id)))
+		path := r.URL.Path
+		if !metricPaths[path] {
+			path = "other"
+		}
+		s.metrics.httpRequests.With(path, strconv.Itoa(sw.code)).Inc()
+	})
+}
+
+type requestIDKey struct{}
+
+func withRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
 }
 
 // errorBody is the JSON shape of every non-2xx API response.
@@ -60,6 +120,41 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
+// traced reports whether the request opted into per-request tracing.
+func traced(r *http.Request) bool {
+	switch r.URL.Query().Get("trace") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+// doHTTP runs one Request through the engine, honoring ?trace=1: a
+// traced request gets a span tree rooted at its op, pprof labels
+// (op, db — inherited by the worker goroutines the evaluation spawns),
+// and the trace embedded in the Response.
+func (s *Server) doHTTP(r *http.Request, req *Request) (*Response, error) {
+	if !traced(r) {
+		return s.Do(req)
+	}
+	id := requestIDFrom(r.Context())
+	tr := obs.NewTrace(req.Op, id)
+	var resp *Response
+	var err error
+	labels := rpprof.Labels("pwd_op", req.Op, "pwd_db", req.DB, "pwd_request", id)
+	rpprof.Do(r.Context(), labels, func(context.Context) {
+		resp, err = s.DoTraced(req, tr)
+	})
+	tr.Finish()
+	if err != nil {
+		return nil, err
+	}
+	resp.RequestID = id
+	resp.Trace = tr.Tree()
+	resp.Cost = tr.Cost().Counters()
+	return resp, nil
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req Request
 	dec := json.NewDecoder(r.Body)
@@ -68,7 +163,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, 400, badRequest("body: %v", err))
 		return
 	}
-	resp, err := s.Do(&req)
+	resp, err := s.doHTTP(r, &req)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -91,7 +186,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, 400, badRequest("body: %v", err))
 		return
 	}
-	resp, err := s.Do(&Request{DB: name, Op: "write", Update: string(body)})
+	resp, err := s.doHTTP(r, &Request{DB: name, Op: "write", Update: string(body)})
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -105,6 +200,11 @@ func (s *Server) handleDBs(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, 200, s.Stats())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.WriteMetrics(w)
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {

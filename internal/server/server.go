@@ -40,6 +40,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math/big"
 	"math/rand"
 	"os"
@@ -49,9 +50,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pw/internal/decide"
 	"pw/internal/gen"
+	"pw/internal/obs"
 	"pw/internal/parse"
 	"pw/internal/query"
 	"pw/internal/rel"
@@ -76,6 +79,13 @@ type Config struct {
 	// PreparedSize bounds the prepared-query cache (entries). 0 means
 	// 512; a negative value disables it (every request re-parses).
 	PreparedSize int
+	// SlowQueryThreshold enables the slow-query log: every request
+	// taking at least this long is logged with its op, database,
+	// canonical query fingerprint and cost counters. 0 disables it.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives slow-query lines (os.Stderr when nil and a
+	// threshold is set).
+	SlowQueryLog io.Writer
 }
 
 const (
@@ -98,6 +108,12 @@ type Server struct {
 
 	flight flightGroup
 	stats  stats
+
+	metrics       *serverMetrics
+	slowThreshold time.Duration
+	slowLog       io.Writer
+	idBase        string
+	idSeq         atomic.Uint64
 }
 
 // database is one loaded .pw database. mu guards the {wsd, tab,
@@ -117,6 +133,12 @@ type database struct {
 	version uint64
 	wsd     *wsd.WSD
 	tab     *table.Database
+
+	// Per-database answer-cache traffic, surfaced by /stats and the
+	// per-db /metrics families (the aggregate counters hide which
+	// database's cache is churning).
+	ansHits   atomic.Int64
+	ansMisses atomic.Int64
 }
 
 // dbView is an immutable snapshot of a database taken under its read
@@ -126,6 +148,7 @@ type dbView struct {
 	version uint64
 	wsd     *wsd.WSD
 	tab     *table.Database
+	db      *database // for per-db cache attribution; never nil from view()
 }
 
 // stats are the server's own counters, exposed at /stats and (in pwd)
@@ -141,18 +164,89 @@ type stats struct {
 	InFlightEvals  atomic.Int64
 }
 
-// Stats is a point-in-time snapshot of the server counters.
+// Stats is a point-in-time snapshot of the server counters, including
+// the per-database breakdown.
 type Stats struct {
-	Requests       int64 `json:"requests"`
-	Errors         int64 `json:"errors"`
-	PreparedHits   int64 `json:"prepared_hits"`
-	PreparedMisses int64 `json:"prepared_misses"`
-	AnswerHits     int64 `json:"answer_hits"`
-	AnswerMisses   int64 `json:"answer_misses"`
-	Coalesced      int64 `json:"coalesced"`
-	InFlightEvals  int64 `json:"in_flight_evals"`
-	AnswerEntries  int   `json:"answer_entries"`
-	PreparedCached int   `json:"prepared_entries"`
+	Requests       int64     `json:"requests"`
+	Errors         int64     `json:"errors"`
+	PreparedHits   int64     `json:"prepared_hits"`
+	PreparedMisses int64     `json:"prepared_misses"`
+	AnswerHits     int64     `json:"answer_hits"`
+	AnswerMisses   int64     `json:"answer_misses"`
+	Coalesced      int64     `json:"coalesced"`
+	InFlightEvals  int64     `json:"in_flight_evals"`
+	AnswerEntries  int       `json:"answer_entries"`
+	PreparedCached int       `json:"prepared_entries"`
+	DBs            []DBStats `json:"dbs,omitempty"`
+}
+
+// DBStats is one database's slice of the server counters: its installed
+// version, the resident backend kind, and the answer-cache traffic
+// attributed to it.
+type DBStats struct {
+	Name          string `json:"name"`
+	Version       uint64 `json:"version"`
+	Backend       string `json:"backend"` // "wsd" or "table"
+	Kind          string `json:"kind"`    // "tuple", "attr", or "table"
+	AnswerHits    int64  `json:"answer_hits"`
+	AnswerMisses  int64  `json:"answer_misses"`
+	AnswerEntries int    `json:"answer_entries"`
+}
+
+// backendKind classifies a database's resident representation: "table"
+// for conditioned tables, and for decompositions "attr" when any
+// component is an attribute-level template, else "tuple".
+func backendKind(w *wsd.WSD, tab *table.Database) (backend, kind string) {
+	if w == nil {
+		return "table", "table"
+	}
+	for ci := 0; ci < w.Components(); ci++ {
+		if _, _, ok := w.TemplateSlots(ci); ok {
+			return "wsd", "attr"
+		}
+	}
+	return "wsd", "tuple"
+}
+
+// DBStats snapshots the per-database counters, sorted by name.
+func (s *Server) DBStats() []DBStats {
+	s.mu.RLock()
+	dbs := make([]*database, 0, len(s.dbs))
+	for _, db := range s.dbs {
+		dbs = append(dbs, db)
+	}
+	s.mu.RUnlock()
+
+	// Live answer-cache entries per database: the cache key embeds the
+	// database name as its second \x00-separated field.
+	entries := make(map[string]int, len(dbs))
+	s.cacheMu.Lock()
+	s.answers.each(func(key string) {
+		parts := strings.SplitN(key, "\x00", 3)
+		if len(parts) >= 2 {
+			entries[parts[1]]++
+		}
+	})
+	s.cacheMu.Unlock()
+
+	out := make([]DBStats, 0, len(dbs))
+	for _, db := range dbs {
+		db.mu.RLock()
+		version, w, tab := db.version, db.wsd, db.tab
+		db.mu.RUnlock()
+		backend, kind := backendKind(w, tab)
+		out = append(out, DBStats{
+			Name:          db.name,
+			Version:       version,
+			Backend:       backend,
+			Kind:          kind,
+			AnswerHits:    db.ansHits.Load(),
+			AnswerMisses:  db.ansMisses.Load(),
+			AnswerEntries: entries[db.name],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // New returns a Server with no databases loaded.
@@ -169,13 +263,22 @@ func New(cfg Config) *Server {
 	if preparedSize == 0 {
 		preparedSize = defaultPreparedSize
 	}
-	return &Server{
-		workers:  workers,
-		sem:      make(chan struct{}, workers),
-		dbs:      make(map[string]*database),
-		prepared: newLRU(preparedSize),
-		answers:  newLRU(cacheSize),
+	slowLog := cfg.SlowQueryLog
+	if slowLog == nil && cfg.SlowQueryThreshold > 0 {
+		slowLog = os.Stderr
 	}
+	s := &Server{
+		workers:       workers,
+		sem:           make(chan struct{}, workers),
+		dbs:           make(map[string]*database),
+		prepared:      newLRU(preparedSize),
+		answers:       newLRU(cacheSize),
+		slowThreshold: cfg.SlowQueryThreshold,
+		slowLog:       slowLog,
+		idBase:        fmt.Sprintf("%06x", rand.Int31n(1<<24)),
+	}
+	s.metrics = newServerMetrics(s)
+	return s
 }
 
 // Workers reports the effective worker/admission pool size.
@@ -197,6 +300,7 @@ func (s *Server) Stats() Stats {
 		InFlightEvals:  s.stats.InFlightEvals.Load(),
 		AnswerEntries:  ansN,
 		PreparedCached: prepN,
+		DBs:            s.DBStats(),
 	}
 }
 
@@ -272,7 +376,7 @@ func (s *Server) Reload(name string) error {
 func (s *Server) purgeStale(name string, live uint64) {
 	current := strconv.FormatUint(live, 10)
 	s.cacheMu.Lock()
-	s.answers.purge(func(key string) bool {
+	purged := s.answers.purge(func(key string) bool {
 		// Key layout: kind \x00 db \x00 version \x00 rest; cont keys embed
 		// db2 \x00 version2 at the head of rest.
 		parts := strings.SplitN(key, "\x00", 4)
@@ -291,6 +395,7 @@ func (s *Server) purgeStale(name string, live uint64) {
 		return false
 	})
 	s.cacheMu.Unlock()
+	s.metrics.ansPurged.Add(uint64(purged))
 }
 
 func loadInto(db *database, path string) error {
@@ -338,7 +443,7 @@ func (s *Server) view(name string) (dbView, error) {
 		return dbView{}, &Error{Status: 404, Err: fmt.Errorf("unknown database %q", name)}
 	}
 	db.mu.RLock()
-	v := dbView{name: db.name, version: db.version, wsd: db.wsd, tab: db.tab}
+	v := dbView{name: db.name, version: db.version, wsd: db.wsd, tab: db.tab, db: db}
 	db.mu.RUnlock()
 	return v, nil
 }
@@ -349,6 +454,7 @@ type DBInfo struct {
 	Path    string `json:"path,omitempty"`
 	Version uint64 `json:"version"`
 	Backend string `json:"backend"` // "wsd" or "table"
+	Kind    string `json:"kind"`    // "tuple", "attr", or "table"
 	Count   string `json:"count,omitempty"`
 }
 
@@ -360,11 +466,9 @@ func (s *Server) Databases() []DBInfo {
 	for _, db := range s.dbs {
 		db.mu.RLock()
 		info := DBInfo{Name: db.name, Path: db.path, Version: db.version}
+		info.Backend, info.Kind = backendKind(db.wsd, db.tab)
 		if db.wsd != nil {
-			info.Backend = "wsd"
 			info.Count = db.wsd.Count().String()
-		} else {
-			info.Backend = "table"
 		}
 		db.mu.RUnlock()
 		out = append(out, info)
@@ -432,25 +536,47 @@ type Response struct {
 	// request's in-flight evaluation.
 	Cached    bool `json:"cached,omitempty"`
 	Coalesced bool `json:"coalesced,omitempty"`
+	// RequestID, Trace and Cost are filled by the HTTP layer on ?trace=1
+	// requests: the span tree and the nonzero cost counters recorded
+	// while answering this request.
+	RequestID string           `json:"request_id,omitempty"`
+	Trace     *obs.SpanNode    `json:"trace,omitempty"`
+	Cost      map[string]int64 `json:"cost,omitempty"`
 }
 
 // Do answers one request. It is the transport-independent core the HTTP
 // layer (and the benchmarks, and the difftest backend) call.
 func (s *Server) Do(req *Request) (*Response, error) {
+	return s.DoTraced(req, nil)
+}
+
+// DoTraced answers one request with an optional trace attached: spans
+// and cost counters record into tr (nil tr: exactly Do, except that
+// cost counters still accumulate into a request-local sink so the
+// slow-query log can report them).
+func (s *Server) DoTraced(req *Request, tr *obs.Trace) (*Response, error) {
+	rc := newReqCtx(tr)
+	start := time.Now()
 	s.stats.Requests.Add(1)
-	resp, err := s.dispatch(req)
+	op := s.metrics.op(req.Op)
+	s.metrics.requests[op].Inc()
+	resp, err := s.dispatch(req, rc)
 	if err != nil {
 		s.stats.Errors.Add(1)
+		s.metrics.errors[op].Inc()
 	}
+	dur := time.Since(start)
+	s.metrics.latency[op].Observe(dur.Seconds())
+	s.maybeLogSlow(req, rc, dur, err)
 	return resp, err
 }
 
-func (s *Server) dispatch(req *Request) (*Response, error) {
+func (s *Server) dispatch(req *Request, rc *reqCtx) (*Response, error) {
 	if req.DB == "" {
 		return nil, badRequest("missing db")
 	}
 	if req.Op == "write" {
-		return s.opWrite(req)
+		return s.opWrite(req, rc)
 	}
 	v, err := s.view(req.DB)
 	if err != nil {
@@ -459,19 +585,19 @@ func (s *Server) dispatch(req *Request) (*Response, error) {
 	resp := &Response{DB: v.name, Op: req.Op, Version: v.version}
 	switch req.Op {
 	case "memb":
-		return s.opMemb(req, v, resp)
+		return s.opMemb(req, v, resp, rc)
 	case "uniq":
-		return s.opUniq(req, v, resp)
+		return s.opUniq(req, v, resp, rc)
 	case "poss", "cert":
-		return s.opPossCert(req, v, resp)
+		return s.opPossCert(req, v, resp, rc)
 	case "count":
-		return s.opCount(v, resp)
+		return s.opCount(v, resp, rc)
 	case "sample":
-		return s.opSample(req, v, resp)
+		return s.opSample(req, v, resp, rc)
 	case "poss-ans", "cert-ans":
-		return s.opAnswers(req, v, resp)
+		return s.opAnswers(req, v, resp, rc)
 	case "cont":
-		return s.opCont(req, v, resp)
+		return s.opCont(req, v, resp, rc)
 	case "":
 		return nil, badRequest("missing op")
 	default:
@@ -482,23 +608,37 @@ func (s *Server) dispatch(req *Request) (*Response, error) {
 // acquire blocks until an admission slot frees up. Heavy procedures —
 // anything that evaluates a query, runs a c-table decision search, or
 // counts by enumeration — pass through here; decomposition-native fact
-// probes do not, so they cannot be starved by expensive traffic.
-func (s *Server) acquire() func() {
+// probes do not, so they cannot be starved by expensive traffic. The
+// wait is recorded three ways: a span on the trace, the request's
+// SemWaitNanos counter, and the process-wide wait histogram.
+func (s *Server) acquire(rc *reqCtx) func() {
+	sp := rc.span("admission")
+	start := time.Now()
 	s.sem <- struct{}{}
+	wait := time.Since(start)
+	sp.End()
+	rc.cost.Add(obs.SemWaitNanos, wait.Nanoseconds())
+	s.metrics.semWait.Observe(wait.Seconds())
 	s.stats.InFlightEvals.Add(1)
+	s.metrics.inflight.Add(1)
 	return func() {
 		s.stats.InFlightEvals.Add(-1)
+		s.metrics.inflight.Add(-1)
 		<-s.sem
 	}
 }
 
-func (s *Server) opts() decide.Options { return decide.Options{Workers: s.workers} }
+func (s *Server) opts(rc *reqCtx) decide.Options {
+	return decide.Options{Workers: s.workers, Cost: rc.cost}
+}
 
-func parseInstanceText(field, text string) (*rel.Instance, error) {
+func parseInstanceText(field, text string, rc *reqCtx) (*rel.Instance, error) {
 	if text == "" {
 		return nil, badRequest("missing %s", field)
 	}
-	inst, err := parse.ParseInstance(strings.NewReader(text))
+	sp := rc.span("parse")
+	inst, err := parse.ParseInstanceObserved(strings.NewReader(text), rc.cost)
+	sp.End()
 	if err != nil {
 		return nil, badRequest("%s: %v", field, err)
 	}
@@ -515,56 +655,68 @@ func printInstance(inst *rel.Instance) (string, error) {
 
 func yes(resp *Response, v bool) *Response { resp.Answer = &v; return resp }
 
-func (s *Server) opMemb(req *Request, v dbView, resp *Response) (*Response, error) {
-	inst, err := parseInstanceText("inst", req.Inst)
+func (s *Server) opMemb(req *Request, v dbView, resp *Response, rc *reqCtx) (*Response, error) {
+	inst, err := parseInstanceText("inst", req.Inst, rc)
 	if err != nil {
 		return nil, err
 	}
 	if v.wsd != nil {
+		sp := rc.span("probe")
+		defer sp.End()
 		return yes(resp, v.wsd.Member(inst)), nil
 	}
-	defer s.acquire()()
-	ok, err := s.opts().Membership(inst, query.Identity{}, v.tab)
+	defer s.acquire(rc)()
+	sp := rc.span("decide")
+	defer sp.End()
+	ok, err := s.opts(rc).Membership(inst, query.Identity{}, v.tab)
 	if err != nil {
 		return nil, err
 	}
 	return yes(resp, ok), nil
 }
 
-func (s *Server) opUniq(req *Request, v dbView, resp *Response) (*Response, error) {
-	inst, err := parseInstanceText("inst", req.Inst)
+func (s *Server) opUniq(req *Request, v dbView, resp *Response, rc *reqCtx) (*Response, error) {
+	inst, err := parseInstanceText("inst", req.Inst, rc)
 	if err != nil {
 		return nil, err
 	}
 	if v.wsd != nil {
+		sp := rc.span("probe")
+		defer sp.End()
 		one := v.wsd.Count().Cmp(big.NewInt(1)) == 0
 		return yes(resp, one && v.wsd.Member(inst)), nil
 	}
-	defer s.acquire()()
-	ok, err := s.opts().Uniqueness(query.Identity{}, v.tab, inst)
+	defer s.acquire(rc)()
+	sp := rc.span("decide")
+	defer sp.End()
+	ok, err := s.opts(rc).Uniqueness(query.Identity{}, v.tab, inst)
 	if err != nil {
 		return nil, err
 	}
 	return yes(resp, ok), nil
 }
 
-func (s *Server) opPossCert(req *Request, v dbView, resp *Response) (*Response, error) {
-	facts, err := parseInstanceText("facts", req.Facts)
+func (s *Server) opPossCert(req *Request, v dbView, resp *Response, rc *reqCtx) (*Response, error) {
+	facts, err := parseInstanceText("facts", req.Facts, rc)
 	if err != nil {
 		return nil, err
 	}
 	if v.wsd != nil {
+		sp := rc.span("probe")
+		defer sp.End()
 		if req.Op == "poss" {
 			return yes(resp, v.wsd.Possible(facts)), nil
 		}
 		return yes(resp, v.wsd.Certain(facts)), nil
 	}
-	defer s.acquire()()
+	defer s.acquire(rc)()
+	sp := rc.span("decide")
+	defer sp.End()
 	var ok bool
 	if req.Op == "poss" {
-		ok, err = s.opts().Possible(facts, query.Identity{}, v.tab)
+		ok, err = s.opts(rc).Possible(facts, query.Identity{}, v.tab)
 	} else {
-		ok, err = s.opts().Certain(facts, query.Identity{}, v.tab)
+		ok, err = s.opts(rc).Certain(facts, query.Identity{}, v.tab)
 	}
 	if err != nil {
 		return nil, err
@@ -572,14 +724,18 @@ func (s *Server) opPossCert(req *Request, v dbView, resp *Response) (*Response, 
 	return yes(resp, ok), nil
 }
 
-func (s *Server) opCount(v dbView, resp *Response) (*Response, error) {
+func (s *Server) opCount(v dbView, resp *Response, rc *reqCtx) (*Response, error) {
 	if v.wsd != nil {
+		sp := rc.span("probe")
+		defer sp.End()
 		resp.Count = v.wsd.Count().String()
 		return resp, nil
 	}
 	key := cacheKey("count", v.name, v.version, "")
-	n, cached, coalesced, err := s.cachedEval(key, func() (any, error) {
-		defer s.acquire()()
+	n, cached, coalesced, err := s.cachedEval(v.db, key, rc, func() (any, error) {
+		defer s.acquire(rc)()
+		sp := rc.span("count")
+		defer sp.End()
 		return worlds.Options{Workers: s.workers}.Count(v.tab), nil
 	})
 	if err != nil {
@@ -597,7 +753,7 @@ func (s *Server) opCount(v dbView, resp *Response) (*Response, error) {
 // requests drew identical worlds.
 const defaultSampleSeed = 0x705753_1987 // "pw" / the paper's year
 
-func (s *Server) opSample(req *Request, v dbView, resp *Response) (*Response, error) {
+func (s *Server) opSample(req *Request, v dbView, resp *Response, rc *reqCtx) (*Response, error) {
 	n := req.N
 	if n == 0 {
 		n = 1
@@ -617,7 +773,7 @@ func (s *Server) opSample(req *Request, v dbView, resp *Response) (*Response, er
 				return nil, badRequest("cannot sample from the empty world set")
 			}
 		} else {
-			release := s.acquire()
+			release := s.acquire(rc)
 			var ok bool
 			inst, ok = gen.MemberInstance(seed+int64(k), v.tab)
 			release()
@@ -642,11 +798,13 @@ func (s *Server) opSample(req *Request, v dbView, resp *Response) (*Response, er
 // result shares untouched components with the old version, which is
 // never mutated). The install itself is one short critical section
 // under db.mu, after which cache entries for dead versions are purged.
-func (s *Server) opWrite(req *Request) (*Response, error) {
+func (s *Server) opWrite(req *Request, rc *reqCtx) (*Response, error) {
 	if req.Update == "" {
 		return nil, badRequest("missing update")
 	}
-	u, err := parse.ParseUpdate(strings.NewReader(req.Update))
+	sp := rc.span("parse")
+	u, err := parse.ParseUpdateObserved(strings.NewReader(req.Update), rc.cost)
+	sp.End()
 	if err != nil {
 		return nil, badRequest("update: %v", err)
 	}
@@ -665,8 +823,10 @@ func (s *Server) opWrite(req *Request) (*Response, error) {
 		return nil, &Error{Status: 422, Err: fmt.Errorf(
 			"database %q is table-backed; updates need a decomposition (@wsd) database", req.DB)}
 	}
-	release := s.acquire()
-	next, err := base.ApplyUpdate(u)
+	release := s.acquire(rc)
+	sp = rc.span("apply-update")
+	next, err := base.ApplyUpdateObserved(u, rc.cost)
+	sp.End()
 	release()
 	if err != nil {
 		return nil, err
@@ -691,16 +851,20 @@ type preparedQuery struct {
 }
 
 // prepare compiles @query text through the prepared-query cache.
-func (s *Server) prepare(text string) (*preparedQuery, error) {
+func (s *Server) prepare(text string, rc *reqCtx) (*preparedQuery, error) {
 	s.cacheMu.Lock()
 	if v, ok := s.prepared.get(text); ok {
 		s.cacheMu.Unlock()
 		s.stats.PreparedHits.Add(1)
+		s.metrics.prepHits.Inc()
 		return v.(*preparedQuery), nil
 	}
 	s.cacheMu.Unlock()
 	s.stats.PreparedMisses.Add(1)
-	src, err := parse.ParseSource(strings.NewReader(text))
+	s.metrics.prepMisses.Inc()
+	sp := rc.span("prepare")
+	defer sp.End()
+	src, err := parse.ParseSourceObserved(strings.NewReader(text), rc.cost)
 	if err != nil {
 		return nil, badRequest("query: %v", err)
 	}
@@ -720,11 +884,11 @@ func (s *Server) prepare(text string) (*preparedQuery, error) {
 
 // prepareOrIdentity resolves optional query text (cont's views): empty
 // text is the identity query with a reserved fingerprint.
-func (s *Server) prepareOrIdentity(text string) (query.Query, string, error) {
+func (s *Server) prepareOrIdentity(text string, rc *reqCtx) (query.Query, string, error) {
 	if text == "" {
 		return query.Identity{}, "~identity", nil
 	}
-	p, err := s.prepare(text)
+	p, err := s.prepare(text, rc)
 	if err != nil {
 		return nil, "", err
 	}
@@ -739,16 +903,24 @@ func cacheKey(kind, db string, version uint64, rest string) string {
 // returns immediately; otherwise concurrent callers with the same key
 // share one execution of fn, whose result is cached for the next
 // request. With caching disabled the flight still coalesces identical
-// in-flight work.
-func (s *Server) cachedEval(key string, fn func() (any, error)) (val any, cached, coalesced bool, err error) {
+// in-flight work. Outcomes are recorded globally, per database, and in
+// the request's cost counters; coalesced requests correctly lack eval
+// spans — fn ran on the first caller's goroutine.
+func (s *Server) cachedEval(db *database, key string, rc *reqCtx, fn func() (any, error)) (val any, cached, coalesced bool, err error) {
 	s.cacheMu.Lock()
 	if v, ok := s.answers.get(key); ok {
 		s.cacheMu.Unlock()
 		s.stats.AnswerHits.Add(1)
+		s.metrics.ansHits.Inc()
+		db.ansHits.Add(1)
+		rc.cost.Add(obs.CacheHits, 1)
 		return v, true, false, nil
 	}
 	s.cacheMu.Unlock()
 	s.stats.AnswerMisses.Add(1)
+	s.metrics.ansMisses.Inc()
+	db.ansMisses.Add(1)
+	rc.cost.Add(obs.CacheMisses, 1)
 	val, err, coalesced = s.flight.do(key, func() (any, error) {
 		v, err := fn()
 		if err != nil {
@@ -761,6 +933,8 @@ func (s *Server) cachedEval(key string, fn func() (any, error)) (val any, cached
 	})
 	if coalesced {
 		s.stats.Coalesced.Add(1)
+		s.metrics.coalesced.Inc()
+		rc.cost.Add(obs.CoalescedWaits, 1)
 	}
 	return val, false, coalesced, err
 }
@@ -800,22 +974,25 @@ func (e *evalEntry) certAnswers() (*rel.Instance, error) {
 // which has no reusable intermediate decomposition).
 type ansEntry struct{ inst *rel.Instance }
 
-func (s *Server) opAnswers(req *Request, v dbView, resp *Response) (*Response, error) {
+func (s *Server) opAnswers(req *Request, v dbView, resp *Response, rc *reqCtx) (*Response, error) {
 	// An empty query is the identity: the possible/certain facts of the
 	// database's own world set.
-	q, fp, err := s.prepareOrIdentity(req.Query)
+	q, fp, err := s.prepareOrIdentity(req.Query, rc)
 	if err != nil {
 		return nil, err
 	}
+	rc.fp = fp
 	var inst *rel.Instance
 	if v.wsd != nil {
 		// One cache line per (db-version, fingerprint) holds the
 		// evaluated answer decomposition; poss-ans and cert-ans on the
 		// same query share it.
 		key := cacheKey("eval", v.name, v.version, fp)
-		val, cached, coalesced, err := s.cachedEval(key, func() (any, error) {
-			defer s.acquire()()
-			out, err := wsdalg.Eval(v.wsd, q)
+		val, cached, coalesced, err := s.cachedEval(v.db, key, rc, func() (any, error) {
+			defer s.acquire(rc)()
+			sp := rc.span("eval")
+			defer sp.End()
+			out, err := wsdalg.EvalObserved(v.wsd, q, rc.cost)
 			if err != nil {
 				return nil, err
 			}
@@ -825,25 +1002,29 @@ func (s *Server) opAnswers(req *Request, v dbView, resp *Response) (*Response, e
 			return nil, err
 		}
 		entry := val.(*evalEntry)
+		sp := rc.span("answers")
 		if req.Op == "poss-ans" {
 			inst, err = entry.possAnswers()
 		} else {
 			inst, err = entry.certAnswers()
 		}
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
 		resp.Cached, resp.Coalesced = cached, coalesced
 	} else {
 		key := cacheKey("tans:"+req.Op, v.name, v.version, fp)
-		val, cached, coalesced, err := s.cachedEval(key, func() (any, error) {
-			defer s.acquire()()
+		val, cached, coalesced, err := s.cachedEval(v.db, key, rc, func() (any, error) {
+			defer s.acquire(rc)()
+			sp := rc.span("decide")
+			defer sp.End()
 			var a *rel.Instance
 			var err error
 			if req.Op == "poss-ans" {
-				a, err = s.opts().PossibleAnswers(q, v.tab)
+				a, err = s.opts(rc).PossibleAnswers(q, v.tab)
 			} else {
-				a, err = s.opts().CertainAnswers(q, v.tab)
+				a, err = s.opts(rc).CertainAnswers(q, v.tab)
 			}
 			if err != nil {
 				return nil, err
@@ -864,7 +1045,7 @@ func (s *Server) opAnswers(req *Request, v dbView, resp *Response) (*Response, e
 	return resp, nil
 }
 
-func (s *Server) opCont(req *Request, v dbView, resp *Response) (*Response, error) {
+func (s *Server) opCont(req *Request, v dbView, resp *Response, rc *reqCtx) (*Response, error) {
 	if req.DB2 == "" {
 		return nil, badRequest("missing db2")
 	}
@@ -872,19 +1053,22 @@ func (s *Server) opCont(req *Request, v dbView, resp *Response) (*Response, erro
 	if err != nil {
 		return nil, err
 	}
-	q0, fp0, err := s.prepareOrIdentity(req.Query)
+	q0, fp0, err := s.prepareOrIdentity(req.Query, rc)
 	if err != nil {
 		return nil, err
 	}
-	q1, fp1, err := s.prepareOrIdentity(req.Query2)
+	q1, fp1, err := s.prepareOrIdentity(req.Query2, rc)
 	if err != nil {
 		return nil, err
 	}
+	rc.fp = fp0 + " ⊆ " + fp1
 	rest := v2.name + "\x00" + strconv.FormatUint(v2.version, 10) + "\x00" + fp0 + "\x00" + fp1
 	key := cacheKey("cont", v.name, v.version, rest)
-	val, cached, coalesced, err := s.cachedEval(key, func() (any, error) {
-		defer s.acquire()()
-		return contDecide(q0, v, q1, v2, s.opts())
+	val, cached, coalesced, err := s.cachedEval(v.db, key, rc, func() (any, error) {
+		defer s.acquire(rc)()
+		sp := rc.span("decide")
+		defer sp.End()
+		return contDecide(q0, v, q1, v2, s.opts(rc))
 	})
 	if err != nil {
 		return nil, err

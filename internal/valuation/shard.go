@@ -19,6 +19,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pw/internal/obs"
 	"pw/internal/sym"
 )
 
@@ -309,8 +310,18 @@ func canonSuffix(v V, base, fresh []sym.ID, i, used, k int, stop *atomic.Bool, f
 // fn may be called from multiple goroutines concurrently. Workers <= 1
 // and small spaces dispatch to the sequential EnumerateCanonical.
 func EnumerateCanonicalSharded(u *sym.Universe, base []sym.ID, prefix string, workers int, fn func(V) bool) bool {
+	return EnumerateCanonicalShardedObserved(u, base, prefix, workers, nil, fn)
+}
+
+// EnumerateCanonicalShardedObserved is EnumerateCanonicalSharded with a
+// cost-accounting sink: it records the number of prefix shards spawned
+// (1 when the search dispatched to the sequential enumerator) and one
+// cancellation event when a witness aborted the remaining shards. A nil
+// sink makes it exactly EnumerateCanonicalSharded.
+func EnumerateCanonicalShardedObserved(u *sym.Universe, base []sym.ID, prefix string, workers int, c *obs.Cost, fn func(V) bool) bool {
 	k := u.Len()
 	if workers <= 1 || k < 2 || canonCount(len(base), k, MinShardedSpace) < MinShardedSpace {
+		c.Add(obs.DecideShards, 1)
 		return EnumerateCanonical(u, base, prefix, fn)
 	}
 	fresh := make([]sym.ID, k)
@@ -324,10 +335,15 @@ func EnumerateCanonicalSharded(u *sym.Universe, base []sym.ID, prefix string, wo
 		prefixes = expandCanon(prefixes, base, fresh, k)
 		depth++
 	}
-	return ParallelAny(workers, len(prefixes), func(s int, stop *atomic.Bool) bool {
+	c.Add(obs.DecideShards, int64(len(prefixes)))
+	found := ParallelAny(workers, len(prefixes), func(s int, stop *atomic.Bool) bool {
 		v := Make(u)
 		p := prefixes[s]
 		copy(v.Vals, p.vals)
 		return canonSuffix(v, base, fresh, depth, p.used, k, stop, fn)
 	})
+	if found {
+		c.Add(obs.DecideCancels, 1)
+	}
+	return found
 }

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"sort"
 
+	"pw/internal/obs"
 	"pw/internal/sym"
 	"pw/internal/unionfind"
 )
@@ -126,6 +127,7 @@ func (w *WSD) Normalize() error {
 		if c.attr != nil {
 			if n, _ := c.attr.countInt(); n == 1 {
 				certainFacts = append(certainFacts, w.intern(c.attr.rel, c.attr.tupleAt(0)))
+				w.obsCost.Add(obs.NormCertainFolds, 1)
 				continue
 			}
 			kept = append(kept, c)
@@ -133,6 +135,7 @@ func (w *WSD) Normalize() error {
 		}
 		if len(c.alts) == 1 {
 			certainFacts = append(certainFacts, c.alts[0]...)
+			w.obsCost.Add(obs.NormCertainFolds, 1)
 			continue
 		}
 		kept = append(kept, c)
@@ -191,6 +194,7 @@ func (w *WSD) unshareAll() {
 	}
 	w.comps = comps
 	w.compsShared = false
+	w.obsCost.Add(obs.UpdateCOWUnshares, 1)
 }
 
 // dedupAlts removes duplicate alternatives (sorted ID lists) preserving
@@ -283,6 +287,7 @@ func (w *WSD) mergeOverlapping() error {
 			merged = append(merged, w.comps[members[0]])
 			continue
 		}
+		w.obsCost.Add(obs.NormComponentsMerged, int64(len(members)))
 		product := 1
 		memberAlts := make([][][]int32, len(members))
 		for k, ci := range members {
@@ -387,6 +392,7 @@ func (w *WSD) tryVerticalSplit(c component) component {
 	for i := range cells {
 		cells[i] = sortDedupCell(cells[i])
 	}
+	w.obsCost.Add(obs.NormVerticalSplits, 1)
 	return component{attr: &attrComp{rel: relIdx, cells: cells}}
 }
 

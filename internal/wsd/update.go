@@ -39,6 +39,7 @@ import (
 	"sort"
 	"strings"
 
+	"pw/internal/obs"
 	"pw/internal/rel"
 	"pw/internal/sym"
 )
@@ -285,10 +286,20 @@ func (p symPattern) matchesTemplate(a *attrComp) bool {
 // mismatches and the MaxMergeAlts blow-up guard; on error the receiver
 // is still unchanged.
 func (w *WSD) ApplyUpdate(u *Update) (*WSD, error) {
+	return w.ApplyUpdateObserved(u, nil)
+}
+
+// ApplyUpdateObserved is ApplyUpdate with a cost-accounting sink: the
+// update engine records touched/survivor component counts and COW
+// unshare events into c (which may be nil — then this is exactly
+// ApplyUpdate). The sink is detached from the successor before it is
+// returned, so it never outlives the request that supplied it.
+func (w *WSD) ApplyUpdateObserved(u *Update, c *obs.Cost) (*WSD, error) {
 	if err := w.Normalize(); err != nil {
 		return nil, err
 	}
 	out := w.snapshotClone()
+	out.obsCost = c
 	for i := range u.Ops {
 		if err := out.applyOp(&u.Ops[i], false); err != nil {
 			return nil, err
@@ -300,6 +311,7 @@ func (w *WSD) ApplyUpdate(u *Update) (*WSD, error) {
 	if out.holes > 64 && out.holes > len(out.facts)-out.holes {
 		out = out.compacted()
 	}
+	out.obsCost = nil
 	return out, nil
 }
 
@@ -366,6 +378,7 @@ func (w *WSD) cowFacts() {
 	}
 	w.factIndex = idx
 	w.factsShared = false
+	w.obsCost.Add(obs.UpdateCOWUnshares, 1)
 }
 
 // compacted returns a fully re-canonicalized copy (fact-table holes
@@ -860,6 +873,8 @@ func (w *WSD) installIncremental(p *opPlan) error {
 			final = append(final, w.comps[ci])
 		}
 	}
+	w.obsCost.Add(obs.UpdateTouchedComponents, int64(len(drop)))
+	w.obsCost.Add(obs.UpdateSurvivorComponents, int64(len(final)))
 	final = append(final, newComps...)
 	// Decorate-sort: the display key is a full support scan with symbol
 	// lookups, so compute it once per component, not once per comparison.

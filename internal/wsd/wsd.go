@@ -40,6 +40,7 @@ import (
 	"sort"
 	"strings"
 
+	"pw/internal/obs"
 	"pw/internal/rel"
 	"pw/internal/sym"
 	"pw/internal/table"
@@ -118,7 +119,19 @@ type WSD struct {
 	compsShared bool
 	holes       int
 	factsLoose  bool
+
+	// obsCost, when non-nil, receives structural cost counters from the
+	// mutating paths (Normalize's merges/splits/folds, the update
+	// engine's touched/survivor classification and COW unshares). It is
+	// per-operation state: neither Clone nor snapshotClone copies it.
+	obsCost *obs.Cost
 }
+
+// SetObsCost attaches a cost-accounting sink to the decomposition's
+// mutating paths. Pass nil to detach. The sink is owned by one
+// operation (a request, a load): Normalize and the update planner are
+// single-writer by contract, so no synchronization is added here.
+func (w *WSD) SetObsCost(c *obs.Cost) { w.obsCost = c }
 
 // New returns an empty decomposition over the given schema: zero
 // components, denoting the single world in which every relation is empty.

@@ -62,6 +62,7 @@ import (
 
 	"pw/internal/algebra"
 	"pw/internal/cond"
+	"pw/internal/obs"
 	"pw/internal/query"
 	"pw/internal/rel"
 	"pw/internal/sym"
@@ -108,9 +109,19 @@ func Supported(q query.Query) error {
 // Out). Errors: unsupported queries (ErrUnsupported), schema errors
 // from the algebra layer, and the ErrEntangled blow-up guard.
 func Eval(w *wsd.WSD, q query.Query) (*wsd.WSD, error) {
+	return EvalObserved(w, q, nil)
+}
+
+// EvalObserved is Eval with a cost-accounting sink: the evaluator
+// records the input component count, parts built, joint alternatives
+// tabulated by the odometer, and the largest joint space any assembly
+// needed (the MaxMergeAlts headroom) into c. A nil c makes this exactly
+// Eval.
+func EvalObserved(w *wsd.WSD, q query.Query, c *obs.Cost) (*wsd.WSD, error) {
 	if err := Supported(q); err != nil {
 		return nil, err
 	}
+	c.Add(obs.EvalComponents, int64(w.Components()))
 	if query.IsIdentity(q) {
 		return w.Clone(), nil
 	}
@@ -142,6 +153,7 @@ func Eval(w *wsd.WSD, q query.Query) (*wsd.WSD, error) {
 	}
 
 	ev := newEvaluator(w)
+	ev.cost = c
 	type outPart struct {
 		rel string
 		p   part
@@ -156,6 +168,7 @@ func Eval(w *wsd.WSD, q query.Query) (*wsd.WSD, error) {
 			parts = append(parts, outPart{rel: o.Name, p: p})
 		}
 	}
+	c.Add(obs.EvalParts, int64(len(parts)))
 
 	// Group correlated parts: parts sharing an origin component are
 	// functions of the same input choice, so they must land in one
@@ -233,7 +246,12 @@ func Eval(w *wsd.WSD, q query.Query) (*wsd.WSD, error) {
 			return nil, err
 		}
 	}
-	return out, out.Normalize()
+	// The answer-side Normalize accounts to the same sink: its merges,
+	// splits and folds are part of this evaluation's cost.
+	out.SetObsCost(c)
+	err := out.Normalize()
+	out.SetObsCost(nil)
+	return out, err
 }
 
 // emitTemplate recognizes a part that is exactly an answer-side
@@ -394,6 +412,7 @@ type evaluator struct {
 	altCounts []int
 	cells     [][]sym.ID // per unit: open-slot values (nil for tuple-level units)
 	scans     map[string][]part
+	cost      *obs.Cost // per-request sink (nil when untraced)
 }
 
 func newEvaluator(w *wsd.WSD) *evaluator {
@@ -429,6 +448,10 @@ func (ev *evaluator) space(origins []int) (int, error) {
 				ErrEntangled, len(origins), space, wsd.MaxMergeAlts)
 		}
 	}
+	// Every space() call is followed by an odometer sweep of exactly
+	// `space` joint alternatives, so this is also the tabulation count.
+	ev.cost.Max(obs.EvalMergeSpaceMax, int64(space))
+	ev.cost.Add(obs.EvalAltsTabulated, int64(space))
 	return space, nil
 }
 
