@@ -15,6 +15,13 @@
 // allocs_per_op, bytes_per_op} objects, the shape tracked across PRs in
 // BENCH_*.json files. -check re-runs the gated probes and exits nonzero
 // when any is more than 25% slower (ns/op) than the baseline file.
+//
+// -history FILE appends one JSON line per run — timestamp, git commit,
+// and the probe results — to FILE (with -bench or -check). The line is
+// appended even when -check finds a regression: the history records
+// what the machine measured, the exit code records the verdict. CI
+// uploads the accumulated BENCH_history.jsonl as an artifact, so the
+// perf trajectory of the gated probes survives across PRs.
 package main
 
 import (
@@ -24,6 +31,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"strings"
 	"time"
 
 	"pw/internal/experiments"
@@ -42,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	asJSON := fs.Bool("json", false, "with -bench: emit machine-readable JSON")
 	workers := fs.Int("workers", 0, "worker count for the unsuffixed probes (0 = sequential, the baseline-comparable configuration; note pwq's -workers 0 means GOMAXPROCS)")
 	check := fs.String("check", "", "baseline BENCH_*.json: run gated probes, exit 1 on >25% ns/op regression")
+	history := fs.String("history", "", "append one timestamped, git-SHA-stamped JSON line of results to this file (with -bench or -check)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -50,13 +60,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *check != "" {
-		return runCheck(*check, stdout, stderr)
+		return runCheck(*check, *history, stdout, stderr)
 	}
 
 	if *bench {
 		results := experiments.RunBenchmarks(*only, *workers)
 		if len(results) == 0 {
 			fmt.Fprintf(stderr, "pwbench: no probe matches -only=%s\n", *only)
+			return 1
+		}
+		if err := appendHistory(*history, results); err != nil {
+			fmt.Fprintf(stderr, "pwbench: %v\n", err)
 			return 1
 		}
 		if *asJSON {
@@ -92,10 +106,56 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// historyRecord is one line of a BENCH_history.jsonl file: when and at
+// what commit the probes ran, and what they measured.
+type historyRecord struct {
+	Time    string                    `json:"time"`
+	GitSHA  string                    `json:"git_sha"`
+	Results []experiments.BenchResult `json:"results"`
+}
+
+// gitSHA resolves the commit being measured: the working tree's HEAD,
+// falling back to CI's GITHUB_SHA, else "unknown" (the record is still
+// worth keeping for its timestamp).
+func gitSHA() string {
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		if sha := strings.TrimSpace(string(out)); sha != "" {
+			return sha
+		}
+	}
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		return sha
+	}
+	return "unknown"
+}
+
+// appendHistory appends one historyRecord line to path ("" disables).
+func appendHistory(path string, results []experiments.BenchResult) error {
+	if path == "" || len(results) == 0 {
+		return nil
+	}
+	rec := historyRecord{
+		Time:    time.Now().UTC().Format(time.RFC3339),
+		GitSHA:  gitSHA(),
+		Results: results,
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(append(line, '\n'))
+	return err
+}
+
 // runCheck is the benchmark regression guard: re-run the gated probes
 // sequentially (their baseline-comparable configuration) and compare
 // against the committed baseline.
-func runCheck(baselinePath string, stdout, stderr io.Writer) int {
+func runCheck(baselinePath, historyPath string, stdout, stderr io.Writer) int {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
 		fmt.Fprintf(stderr, "pwbench: %v\n", err)
@@ -126,6 +186,10 @@ func runCheck(baselinePath string, stdout, stderr io.Writer) int {
 	}
 	for _, r := range current {
 		fmt.Fprintf(stdout, "%-28s %14.0f ns/op\n", r.Name, r.NsPerOp)
+	}
+	if err := appendHistory(historyPath, current); err != nil {
+		fmt.Fprintf(stderr, "pwbench: %v\n", err)
+		return 2
 	}
 	if len(broken) > 0 {
 		for _, msg := range broken {

@@ -104,3 +104,37 @@ func TestCheckExitCodes(t *testing.T) {
 		t.Errorf("missing baseline file: exit %d, want 2", code)
 	}
 }
+
+// TestHistoryAppend: -history appends one decodable JSON line per run,
+// timestamped and commit-stamped, and accumulates across runs.
+func TestHistoryAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.jsonl")
+	var stdout, stderr bytes.Buffer
+	for i := 0; i < 2; i++ {
+		stdout.Reset()
+		stderr.Reset()
+		if code := run([]string{"-bench", "-only", "WSD_Count_1M", "-history", path}, &stdout, &stderr); code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(data), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("history holds %d lines, want 2:\n%s", len(lines), data)
+	}
+	for _, line := range lines {
+		var rec historyRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("history line does not decode: %v\n%s", err, line)
+		}
+		if rec.Time == "" || rec.GitSHA == "" {
+			t.Errorf("history record missing stamps: %+v", rec)
+		}
+		if len(rec.Results) != 1 || rec.Results[0].Name != "WSD_Count_1M" || rec.Results[0].NsPerOp <= 0 {
+			t.Errorf("history results implausible: %+v", rec.Results)
+		}
+	}
+}

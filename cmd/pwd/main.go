@@ -8,28 +8,35 @@
 // Usage:
 //
 //	pwd -db name=file.pw [-db name2=file2.pw ...] [-addr :7780]
-//	    [-workers 0] [-cache 256] [-slowquery 0]
+//	    [-workers 0] [-cache 256] [-slowquery 0] [-flightsize 128]
 //
 // API (see internal/server):
 //
-//	POST /query         {"db":"name","op":"memb|uniq|poss|cert|count|
+//	POST /query          {"db":"name","op":"memb|uniq|poss|cert|count|
 //	                     sample|poss-ans|cert-ans|cont|write", ...};
-//	                    append ?trace=1 to embed a span tree, engine
-//	                    cost counters and the request ID in the answer
-//	GET  /dbs           loaded databases and versions
-//	GET  /stats         cache and concurrency counters, per-db versions
-//	GET  /metrics       Prometheus text exposition of every counter,
-//	                    gauge and histogram (per-op latency, cache
-//	                    traffic, per-db versions and backend kinds)
-//	POST /reload?db=X   re-read a database file
-//	POST /update?db=X   apply an @update program (request body) to a
-//	                    decomposition-backed database; installs a new
-//	                    version while readers keep the old snapshot
-//	GET  /healthz       liveness
-//	GET  /debug/pprof/  profiles; GET /debug/vars for expvar
+//	                     append ?trace=1 to embed a span tree, engine
+//	                     cost counters and the request ID in the answer,
+//	                     and/or ?explain=1 to embed the evaluation plan
+//	                     (estimates vs actuals; a summary probe plan on
+//	                     decomposition-native ops)
+//	GET  /dbs            loaded databases and versions
+//	GET  /stats          cache and concurrency counters, per-db versions
+//	GET  /metrics        Prometheus text exposition of every counter,
+//	                     gauge and histogram (per-op latency, cache
+//	                     traffic, per-db versions and backend kinds)
+//	GET  /debug/requests flight recorder: the last -flightsize requests
+//	                     (newest first) with ids, durations, statuses,
+//	                     cost counters and plan summaries
+//	POST /reload?db=X    re-read a database file
+//	POST /update?db=X    apply an @update program (request body) to a
+//	                     decomposition-backed database; installs a new
+//	                     version while readers keep the old snapshot
+//	GET  /healthz        liveness
+//	GET  /debug/pprof/   profiles; GET /debug/vars for expvar
 //
-// -slowquery DUR logs every request slower than DUR to stderr with its
-// op, database, canonical query fingerprint and cost counters.
+// -slowquery DUR logs every request slower than DUR to stderr as one
+// JSON line with its request id, op, database, canonical query
+// fingerprint, plan summary and cost counters.
 //
 // pwd prints "pwd: listening on ADDR" once the socket is bound (ADDR is
 // the resolved address, so -addr :0 is usable by harnesses) and shuts
@@ -69,6 +76,7 @@ func run(args []string, stdout, stderr io.Writer, shutdown <-chan struct{}) int 
 	workersN := fs.Int("workers", 0, "evaluation worker pool size (0 = GOMAXPROCS)")
 	cacheSize := fs.Int("cache", 0, "answer cache entries (0 = default 256, negative disables)")
 	slowQuery := fs.Duration("slowquery", 0, "log queries slower than this to stderr (0 disables)")
+	flightSize := fs.Int("flightsize", 0, "flight-recorder ring size for /debug/requests (0 = default 128, negative disables)")
 	var dbs []string
 	fs.Func("db", "database to load, as name=file.pw (repeatable)", func(v string) error {
 		dbs = append(dbs, v)
@@ -87,6 +95,7 @@ func run(args []string, stdout, stderr io.Writer, shutdown <-chan struct{}) int 
 		CacheSize:          *cacheSize,
 		SlowQueryThreshold: *slowQuery,
 		SlowQueryLog:       stderr,
+		FlightSize:         *flightSize,
 	})
 	for _, spec := range dbs {
 		name, path, ok := strings.Cut(spec, "=")

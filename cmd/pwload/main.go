@@ -25,6 +25,12 @@
 // -check-server-total turns the cross-check into a hard failure: exit 1
 // unless the server-side /query delta equals the number of responses
 // the client saw — the accounting invariant the CI load job pins.
+//
+// -json replaces the text report with one JSON object (requests,
+// errors, responses, req_per_sec, latency_us{mean,p50,p95,p99,max},
+// error_classes by op and class, and the server-side accounting) so CI
+// jobs and dashboards consume the run without parsing prose. Exit codes
+// are identical in both modes.
 package main
 
 import (
@@ -56,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	duration := fs.Duration("duration", 3*time.Second, "how long to fire")
 	rate := fs.Int("rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
 	checkTotal := fs.Bool("check-server-total", false, "fail unless the server-side /query counter delta matches the client's response count")
+	jsonOut := fs.Bool("json", false, "emit the run summary as one JSON object instead of the text report")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -72,7 +79,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	before, errBefore := scrapeMetrics(*url)
 	res := fire(*url, targets, *concurrency, *duration, *rate)
 	after, errAfter := scrapeMetrics(*url)
-	report(stdout, res, *duration)
+	if *jsonOut {
+		sum := summarize(res, *duration, before, after, errBefore, errAfter)
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(sum)
+	} else {
+		report(stdout, res, *duration)
+	}
 
 	code := 0
 	if res.errs > 0 {
@@ -83,11 +97,96 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "pwload: zero completed requests")
 		code = 1
 	}
-	if err := reportServer(stdout, before, after, errBefore, errAfter, res, *checkTotal); err != nil {
+	var serverOut io.Writer = stdout
+	if *jsonOut {
+		serverOut = io.Discard // the summary already carries the server section
+	}
+	if err := reportServer(serverOut, before, after, errBefore, errAfter, res, *checkTotal); err != nil {
 		fmt.Fprintln(stderr, "pwload:", err)
 		code = 1
 	}
 	return code
+}
+
+// summary is the -json output shape: the same numbers the text report
+// prints, as one machine-readable object (latencies in microseconds).
+type summary struct {
+	Requests     int64                       `json:"requests"`
+	Errors       int64                       `json:"errors"`
+	Responses    int64                       `json:"responses"`
+	ReqPerSec    float64                     `json:"req_per_sec"`
+	Latency      *latencySummary             `json:"latency_us,omitempty"`
+	ErrorClasses map[string]map[string]int64 `json:"error_classes,omitempty"`
+	Server       *serverSummary              `json:"server,omitempty"`
+}
+
+type latencySummary struct {
+	Mean int64 `json:"mean"`
+	P50  int64 `json:"p50"`
+	P95  int64 `json:"p95"`
+	P99  int64 `json:"p99"`
+	Max  int64 `json:"max"`
+}
+
+// serverSummary is the server's own accounting of the run, scraped from
+// /metrics; absent when either scrape failed. HitRatio is -1 when the
+// run produced no answer-cache traffic.
+type serverSummary struct {
+	QueryDelta  int64   `json:"query_delta"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	HitRatio    float64 `json:"hit_ratio"`
+}
+
+func summarize(res *result, asked time.Duration, before, after map[string]float64, errBefore, errAfter error) *summary {
+	elapsed := res.elapsed
+	if elapsed <= 0 {
+		elapsed = asked
+	}
+	sum := &summary{
+		Requests:  res.done,
+		Errors:    res.errs,
+		Responses: res.resps,
+		ReqPerSec: float64(res.done) / elapsed.Seconds(),
+	}
+	if len(res.classes) > 0 {
+		sum.ErrorClasses = res.classes
+	}
+	if len(res.lats) > 0 {
+		sort.Slice(res.lats, func(i, j int) bool { return res.lats[i] < res.lats[j] })
+		var total time.Duration
+		for _, l := range res.lats {
+			total += l
+		}
+		pct := func(p float64) int64 {
+			return res.lats[int(p*float64(len(res.lats)-1))].Microseconds()
+		}
+		sum.Latency = &latencySummary{
+			Mean: (total / time.Duration(len(res.lats))).Microseconds(),
+			P50:  pct(0.50),
+			P95:  pct(0.95),
+			P99:  pct(0.99),
+			Max:  res.lats[len(res.lats)-1].Microseconds(),
+		}
+	}
+	if errBefore == nil && errAfter == nil {
+		hits := seriesSum(after, "pwd_answer_cache_hits_total", "") -
+			seriesSum(before, "pwd_answer_cache_hits_total", "")
+		misses := seriesSum(after, "pwd_answer_cache_misses_total", "") -
+			seriesSum(before, "pwd_answer_cache_misses_total", "")
+		ratio := -1.0
+		if hits+misses > 0 {
+			ratio = hits / (hits + misses)
+		}
+		sum.Server = &serverSummary{
+			QueryDelta: int64(seriesSum(after, "pwd_http_requests_total", `path="/query"`) -
+				seriesSum(before, "pwd_http_requests_total", `path="/query"`)),
+			CacheHits:   int64(hits),
+			CacheMisses: int64(misses),
+			HitRatio:    ratio,
+		}
+	}
+	return sum
 }
 
 // reportServer prints the server's own accounting of the run (scraped

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -234,5 +235,62 @@ func TestScrapeAndSeriesSum(t *testing.T) {
 	}
 	if got := seriesSum(m, "pwd_absent_total", ""); got != 0 {
 		t.Errorf("seriesSum(absent) = %g, want 0", got)
+	}
+}
+
+// TestLoadJSONSummary: -json replaces the text report with one JSON
+// object carrying the same numbers, including the server-side
+// accounting scraped from /metrics.
+func TestLoadJSONSummary(t *testing.T) {
+	s := server.New(server.Config{Workers: 2})
+	if err := s.Open("sensors", "../../examples/data/sensors.pw"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	targets := writeTargets(t,
+		`{"db":"sensors","op":"count"}`,
+		`{"db":"sensors","op":"cert-ans","query":"@query hi\n  out: Hi = select[#value = hi](Reading(sensor value))\n"}`,
+	)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-url", ts.URL, "-targets", targets, "-c", "2", "-duration", "200ms", "-json"},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	var sum struct {
+		Requests  int64   `json:"requests"`
+		Errors    int64   `json:"errors"`
+		Responses int64   `json:"responses"`
+		ReqPerSec float64 `json:"req_per_sec"`
+		Latency   *struct {
+			Mean int64 `json:"mean"`
+			P50  int64 `json:"p50"`
+			P99  int64 `json:"p99"`
+			Max  int64 `json:"max"`
+		} `json:"latency_us"`
+		Server *struct {
+			QueryDelta int64   `json:"query_delta"`
+			CacheHits  int64   `json:"cache_hits"`
+			HitRatio   float64 `json:"hit_ratio"`
+		} `json:"server"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &sum); err != nil {
+		t.Fatalf("-json output does not decode: %v\n%s", err, stdout.String())
+	}
+	if sum.Requests == 0 || sum.Errors != 0 || sum.ReqPerSec <= 0 {
+		t.Errorf("summary numbers implausible: %+v", sum)
+	}
+	if sum.Latency == nil || sum.Latency.P50 <= 0 || sum.Latency.Max < sum.Latency.P50 {
+		t.Errorf("latency section implausible: %+v", sum.Latency)
+	}
+	if sum.Server == nil || sum.Server.QueryDelta != sum.Responses {
+		t.Errorf("server section missing or inconsistent: %+v vs %d responses", sum.Server, sum.Responses)
+	}
+	// The cert-ans target repeats, so the cache must have hits and the
+	// ratio must be a real fraction.
+	if sum.Server != nil && (sum.Server.CacheHits == 0 || sum.Server.HitRatio <= 0 || sum.Server.HitRatio > 1) {
+		t.Errorf("cache accounting implausible: %+v", sum.Server)
 	}
 }

@@ -9,6 +9,7 @@
 //	pwq cert     -db tables.pw -facts p.pw
 //	pwq poss-ans -db tables.pw -query q.pw
 //	pwq cert-ans -db tables.pw -query q.pw
+//	pwq explain  -db wsd.pw -query q.pw [-json]
 //	pwq count    -db tables.pw
 //	pwq sample   -db tables.pw [-seed 1] [-n 3]
 //	pwq worlds   -db tables.pw [-limit 20]
@@ -48,9 +49,19 @@
 // counters (parse bytes, components visited, alternatives tabulated,
 // valuations enumerated, …) to stderr after the answer — the offline
 // twin of the server's ?trace=1.
+//
+// explain runs a query on a decomposition through the planned evaluator
+// and prints the EXPLAIN/ANALYZE record: the operator tree with
+// per-node estimates (computed before each operator runs) and actuals
+// (measured while it runs), assembly and normalization phases, the
+// world count of the answer and the run's cost counters. -json emits
+// the same record as one JSON object — the offline twin of the server's
+// ?explain=1. A refused query (≠ selections, entanglement) prints its
+// partial, error-annotated plan and exits 2.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -95,6 +106,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	outPath := fs.String("out", "", "output file for the update command (default stdout)")
 	full := fs.Bool("full", false, "update: full renormalization per operation instead of incremental")
 	traced := fs.Bool("trace", false, "print a span tree and engine cost counters to stderr")
+	jsonOut := fs.Bool("json", false, "explain: emit the plan as JSON instead of text")
 	if err := fs.Parse(args[1:]); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -284,6 +296,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err := parse.PrintInstance(stdout, ans); err != nil {
 			return fatal(stderr, err)
 		}
+	case "explain":
+		if w == nil {
+			return fatal(stderr, fmt.Errorf("explain applies to decompositions; %s is table-backed (compile with wsd first)", *dbPath))
+		}
+		q, err := loadQuery(*queryPath, true, cost)
+		if err != nil {
+			return fatal(stderr, err)
+		}
+		_, plan, evalErr := wsdalg.EvalPlanned(w, q, cost)
+		if *jsonOut {
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(plan); err != nil {
+				return fatal(stderr, err)
+			}
+		} else {
+			plan.WriteText(stdout)
+		}
+		if evalErr != nil {
+			// The partial plan above shows where it stopped; the exit code
+			// and message match what cert-ans would have reported.
+			return fatal(stderr, evalErr)
+		}
 	case "update":
 		if w == nil {
 			return fatal(stderr, fmt.Errorf("update applies to decompositions; %s is table-backed (compile with wsd first)", *dbPath))
@@ -427,6 +462,6 @@ func fatal(stderr io.Writer, err error) int {
 }
 
 func usage(stderr io.Writer) int {
-	fmt.Fprintln(stderr, "usage: pwq {memb|uniq|cont|poss|cert|poss-ans|cert-ans|count|sample|worlds|kind|update} -db FILE [...]")
+	fmt.Fprintln(stderr, "usage: pwq {memb|uniq|cont|poss|cert|poss-ans|cert-ans|explain|count|sample|worlds|kind|update} -db FILE [...]")
 	return 2
 }

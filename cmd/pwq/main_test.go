@@ -2,11 +2,16 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
+	"reflect"
+	"regexp"
 	"strings"
 	"testing"
+
+	"pw/internal/wsdalg"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -237,5 +242,91 @@ func TestTraceFlag(t *testing.T) {
 	if code := run([]string{"cert-ans", "-db", data("sensors.pw"), "-query", data("sensors_hi.pw")},
 		&stdout, &stderr); code != 0 || stderr.Len() != 0 {
 		t.Fatalf("untraced run: exit %d, stderr %q", code, stderr.String())
+	}
+}
+
+// normalizeDurations rewrites every wall-clock figure in a rendered
+// plan to a fixed token, so goldens pin the plan's structure (operator
+// tree, estimates, actuals, counters) without pinning machine speed.
+func normalizeDurations(b []byte) []byte {
+	b = regexp.MustCompile(`\bus=\d+`).ReplaceAll(b, []byte("us=X"))
+	return regexp.MustCompile(`\b\d+us\b`).ReplaceAll(b, []byte("Xus"))
+}
+
+// TestExplainGolden pins the rendered EXPLAIN/ANALYZE plan for the two
+// decomposition examples (the 2^20-world sensors db and the 2^100-world
+// attribute-template grid), durations normalized; and checks that the
+// -json form decodes back into the same Plan shape.
+func TestExplainGolden(t *testing.T) {
+	data := func(name string) string { return filepath.Join("..", "..", "examples", "data", name) }
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"explain_sensors", []string{"explain", "-db", data("sensors.pw"), "-query", data("sensors_hi.pw")}},
+		{"explain_grid", []string{"explain", "-db", data("grid.pw"), "-query", data("grid_hi.pw")}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 0 {
+				t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+			}
+			got := normalizeDurations(stdout.Bytes())
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("output drifted from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+			}
+
+			// The -json form is one decodable Plan carrying the same tree.
+			stdout.Reset()
+			stderr.Reset()
+			if code := run(append(tc.args, "-json"), &stdout, &stderr); code != 0 {
+				t.Fatalf("-json: exit %d, stderr: %s", code, stderr.String())
+			}
+			var plan wsdalg.Plan
+			if err := json.Unmarshal(stdout.Bytes(), &plan); err != nil {
+				t.Fatalf("-json output does not decode: %v\n%s", err, stdout.String())
+			}
+			if plan.Components <= 0 || len(plan.Outs) == 0 || plan.WorldCount == "" {
+				t.Errorf("-json plan incomplete: %+v", plan)
+			}
+			round, err := json.Marshal(&plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back wsdalg.Plan
+			if err := json.Unmarshal(round, &back); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(&plan, &back) {
+				t.Error("-json plan does not round-trip")
+			}
+		})
+	}
+
+	// A refused query still prints its error-annotated partial plan.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"explain", "-db", data("sensors.pw"), "-query", data("sensors_not_lo.pw")},
+		&stdout, &stderr); code != 2 {
+		t.Fatalf("≠ explain: exit %d, want 2", code)
+	}
+	if !strings.Contains(stdout.String(), "!unsupported") {
+		t.Errorf("refused explain missing !unsupported marker:\n%s", stdout.String())
+	}
+	// Table-backed databases are a structural error.
+	if code := run([]string{"explain", "-db", data("personnel.pw"), "-query", data("personnel_names.pw")},
+		&stdout, &stderr); code != 2 {
+		t.Errorf("table-backed explain: exit %d, want 2", code)
 	}
 }

@@ -95,6 +95,8 @@ func benchProbes(workers int) []benchProbe {
 		// The same fleet with ?trace=1 on every request: gates the
 		// span/cost instrumentation overhead next to the untraced path.
 		{"ServerHTTP_FactProbe_traced", 8, probeServerHTTPFactProbeTraced},
+		// And with ?explain=1: gates plan attachment + flight recording.
+		{"ServerHTTP_FactProbe_explain", 8, probeServerHTTPFactProbeExplain},
 	}
 }
 

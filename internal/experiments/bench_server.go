@@ -129,3 +129,36 @@ func probeServerHTTPFactProbeTraced(b *testing.B) {
 		}
 	})
 }
+
+// probeServerHTTPFactProbeExplain is the FactProbe fleet with ?explain=1
+// on every request: each response carries the probe's plan (components,
+// world count, duration). Gated against probeServerHTTPFactProbe's
+// baseline it bounds the EXPLAIN overhead on the hot fact-probe path —
+// plan attachment and flight recording must not tax plain requests.
+func probeServerHTTPFactProbeExplain(b *testing.B) {
+	s := newBenchServer(b, server.Config{Workers: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        16,
+		MaxIdleConnsPerHost: 16,
+	}}
+	body := `{"db":"db","op":"poss","facts":"@relation S(2)\n  fact: s13 hi\n"}`
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := client.Post(ts.URL+"/query?explain=1", "application/json", strings.NewReader(body))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				b.Errorf("HTTP %d", resp.StatusCode)
+				return
+			}
+		}
+	})
+}

@@ -24,6 +24,7 @@ var GatedProbes = []string{
 	"ServerCertAns_Uncached_1M",
 	"ServerHTTP_FactProbe_w8",
 	"ServerHTTP_FactProbe_traced",
+	"ServerHTTP_FactProbe_explain",
 }
 
 // CheckTolerance is the relative ns/op slack the regression guard allows

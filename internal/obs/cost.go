@@ -179,6 +179,71 @@ func (c *Cost) Counters() map[string]int64 {
 	return m
 }
 
+// CostSnapshot is a point-in-time copy of a Cost's counters: a plain
+// value with no atomics, cheap to store (the flight recorder keeps one
+// per ring slot) and to diff (plan nodes subtract two snapshots to
+// attribute Normalize work).
+type CostSnapshot [numCostKinds]int64
+
+// Get reads one counter from the snapshot.
+func (s CostSnapshot) Get(k CostKind) int64 {
+	if k < 0 || k >= numCostKinds {
+		return 0
+	}
+	return s[k]
+}
+
+// Counters converts the snapshot to the name → value map shape used in
+// JSON responses, dropping zero counters. Nil when nothing fired.
+func (s CostSnapshot) Counters() map[string]int64 {
+	var m map[string]int64
+	for k := CostKind(0); k < numCostKinds; k++ {
+		if s[k] != 0 {
+			if m == nil {
+				m = make(map[string]int64)
+			}
+			m[costNames[k]] = s[k]
+		}
+	}
+	return m
+}
+
+// Snapshot copies the current counter values (zero value on a nil
+// receiver).
+func (c *Cost) Snapshot() CostSnapshot {
+	var s CostSnapshot
+	if c == nil {
+		return s
+	}
+	for k := CostKind(0); k < numCostKinds; k++ {
+		s[k] = c.c[k].Load()
+	}
+	return s
+}
+
+// AddSnapshot folds a snapshot into the sink, respecting each counter's
+// semantics: high-water-mark kinds (EvalMergeSpaceMax,
+// DecideWitnessDepth) merge via Max, everything else is additive. This
+// is how an evaluation run against a private Cost (so its counters can
+// be reported exactly, e.g. in a Plan) is reconciled into the
+// request-wide sink afterwards.
+func (c *Cost) AddSnapshot(s CostSnapshot) {
+	if c == nil {
+		return
+	}
+	for k := CostKind(0); k < numCostKinds; k++ {
+		if s[k] == 0 {
+			continue
+		}
+		switch k {
+		case EvalMergeSpaceMax, DecideWitnessDepth:
+			c.Max(k, s[k])
+		default:
+			c.Add(k, s[k])
+		}
+	}
+}
+
 // String renders the nonzero counters as "name=value ..." in name
 // order — the slow-query-log shape. Empty string when nothing fired.
 func (c *Cost) String() string {

@@ -92,3 +92,42 @@ func TestCostConcurrent(t *testing.T) {
 		t.Errorf("DecideWitnessDepth = %d, want %d", got, workers*per-1)
 	}
 }
+
+// TestCostSnapshot: Snapshot/AddSnapshot fold a private run's counters
+// into a shared sink, preserving Max semantics for high-water kinds —
+// the mechanism EvalPlanned uses to give each plan an exact private
+// cost breakdown under a request-wide sink.
+func TestCostSnapshot(t *testing.T) {
+	var nilCost *Cost
+	if s := nilCost.Snapshot(); s.Counters() != nil {
+		t.Error("nil Snapshot must be all-zero")
+	}
+	nilCost.AddSnapshot(CostSnapshot{}) // no panic
+
+	private := NewCost()
+	private.Add(EvalParts, 3)
+	private.Max(EvalMergeSpaceMax, 10)
+	snap := private.Snapshot()
+	if snap.Get(EvalParts) != 3 || snap.Get(EvalMergeSpaceMax) != 10 {
+		t.Fatalf("snapshot = %v", snap.Counters())
+	}
+	if snap.Get(CostKind(-1)) != 0 || snap.Get(numCostKinds) != 0 {
+		t.Error("out-of-range Get must return 0")
+	}
+
+	sink := NewCost()
+	sink.Add(EvalParts, 1)
+	sink.Max(EvalMergeSpaceMax, 25) // higher water than the snapshot
+	sink.AddSnapshot(snap)
+	if got := sink.Get(EvalParts); got != 4 {
+		t.Errorf("additive fold: eval_parts = %d, want 4", got)
+	}
+	if got := sink.Get(EvalMergeSpaceMax); got != 25 {
+		t.Errorf("max fold must keep the higher water mark, got %d", got)
+	}
+	sink2 := NewCost()
+	sink2.AddSnapshot(snap)
+	if got := sink2.Get(EvalMergeSpaceMax); got != 10 {
+		t.Errorf("max fold into empty sink = %d, want 10", got)
+	}
+}

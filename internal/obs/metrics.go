@@ -90,12 +90,26 @@ func (h *Histogram) Sum() float64  { return math.Float64frombits(h.sumBits.Load(
 // i == len(bounds) is the +Inf bucket.
 func (h *Histogram) BucketCount(i int) uint64 { return h.counts[i].Load() }
 
+// MaxVecSeries bounds the number of distinct label combinations one
+// CounterVec/HistogramVec will materialize. Label values often come
+// from request data (db names, op strings); without a bound a hostile
+// or buggy client could grow the exposition without limit. Once the cap
+// is reached, further new combinations all collapse into a single
+// reserved series whose every label value is "overflow" — existing
+// series keep counting normally, and the overflow series makes the
+// cardinality blowout itself visible in the exposition.
+const MaxVecSeries = 256
+
+// vecOverflow is the label value of the collapsed overflow series.
+const vecOverflow = "overflow"
+
 // vec is the shared label-series machinery of CounterVec/HistogramVec:
 // a lock-free read path (sync.Map keyed by joined label values) over
-// lazily created series.
+// lazily created series, bounded at MaxVecSeries distinct combinations.
 type vec struct {
 	labels []string
 	m      sync.Map // joined values -> *series
+	n      atomic.Int64
 }
 
 type series struct {
@@ -113,7 +127,27 @@ func (v *vec) with(values []string, mk func() any) any {
 	if s, ok := v.m.Load(key); ok {
 		return s.(*series).metric
 	}
-	s, _ := v.m.LoadOrStore(key, &series{values: append([]string(nil), values...), metric: mk()})
+	// New combination: admit it only under the cardinality cap,
+	// otherwise redirect to the shared overflow series. The count is
+	// approximate under races (two goroutines can admit the 256th
+	// series concurrently); the bound only needs to hold within a small
+	// constant, not exactly.
+	if v.n.Load() >= MaxVecSeries {
+		ov := make([]string, len(v.labels))
+		for i := range ov {
+			ov[i] = vecOverflow
+		}
+		key = vecKey(ov)
+		if s, ok := v.m.Load(key); ok {
+			return s.(*series).metric
+		}
+		s, _ := v.m.LoadOrStore(key, &series{values: ov, metric: mk()})
+		return s.(*series).metric
+	}
+	s, loaded := v.m.LoadOrStore(key, &series{values: append([]string(nil), values...), metric: mk()})
+	if !loaded {
+		v.n.Add(1)
+	}
 	return s.(*series).metric
 }
 

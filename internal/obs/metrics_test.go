@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"sync"
@@ -181,4 +182,33 @@ func TestVecLabelArityPanics(t *testing.T) {
 		}
 	}()
 	cv.With("only-one")
+}
+
+// TestVecCardinalityBound: a label vec stops minting new series at
+// MaxVecSeries, collapsing further label combinations into one
+// "overflow" series — a buggy or hostile label source cannot grow the
+// scrape without bound.
+func TestVecCardinalityBound(t *testing.T) {
+	reg := NewRegistry()
+	cv := reg.CounterVec("test_card_total", "x", "who")
+	for i := 0; i < MaxVecSeries+50; i++ {
+		cv.With(fmt.Sprintf("w%04d", i)).Inc()
+	}
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	series := strings.Count(out, "test_card_total{")
+	if series != MaxVecSeries+1 {
+		t.Errorf("vec exposes %d series, want %d named + 1 overflow", series, MaxVecSeries)
+	}
+	if !strings.Contains(out, `test_card_total{who="overflow"} 50`) {
+		t.Errorf("overflow series missing or miscounted:\n%s", out[len(out)-400:])
+	}
+	// Existing series keep recording after the cap.
+	cv.With("w0000").Inc()
+	sb.Reset()
+	reg.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `test_card_total{who="w0000"} 2`) {
+		t.Error("pre-cap series stopped recording after the cap")
+	}
 }

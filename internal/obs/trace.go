@@ -18,6 +18,7 @@ type Span struct {
 
 	mu       sync.Mutex
 	end      time.Time
+	errClass string
 	children []*Span
 }
 
@@ -48,13 +49,29 @@ func (s *Span) End() {
 	s.mu.Unlock()
 }
 
+// SetError annotates the span with an error class (e.g. "entangled",
+// "unsupported"). The span still times and closes normally — errors
+// mark the tree, they never abandon it. Safe on a nil receiver; the
+// first class wins on repeat calls.
+func (s *Span) SetError(class string) {
+	if s == nil || class == "" {
+		return
+	}
+	s.mu.Lock()
+	if s.errClass == "" {
+		s.errClass = class
+	}
+	s.mu.Unlock()
+}
+
 // SpanNode is the JSON shape of a finished span tree: name, start
-// offset and duration in microseconds, nested children. It is embedded
-// in ?trace=1 query responses.
+// offset and duration in microseconds, an optional error class, nested
+// children. It is embedded in ?trace=1 query responses.
 type SpanNode struct {
 	Name     string      `json:"name"`
 	StartUS  int64       `json:"start_us"`
 	DurUS    int64       `json:"us"`
+	Error    string      `json:"error,omitempty"`
 	Children []*SpanNode `json:"children,omitempty"`
 }
 
@@ -63,6 +80,7 @@ type SpanNode struct {
 func (s *Span) node(epoch time.Time) *SpanNode {
 	s.mu.Lock()
 	end := s.end
+	errClass := s.errClass
 	children := append([]*Span(nil), s.children...)
 	s.mu.Unlock()
 	if end.IsZero() {
@@ -72,6 +90,7 @@ func (s *Span) node(epoch time.Time) *SpanNode {
 		Name:    s.name,
 		StartUS: s.start.Sub(epoch).Microseconds(),
 		DurUS:   end.Sub(s.start).Microseconds(),
+		Error:   errClass,
 	}
 	for _, c := range children {
 		n.Children = append(n.Children, c.node(epoch))
@@ -129,20 +148,68 @@ func (t *Trace) Tree() *SpanNode {
 	return t.root.node(t.root.start)
 }
 
+// Renderer bounds: a span tree is for human eyes, so WriteText clips
+// pathological shapes instead of flooding the terminal. Deeper subtrees
+// render as a "... (N deeper)" marker, and only the first
+// maxRenderChildren children of any node are listed, followed by a
+// "... (+N more)" marker. The JSON Tree() shape is never truncated.
+const (
+	maxRenderDepth    = 16
+	maxRenderChildren = 32
+)
+
+// countNodes reports the size of a span subtree (for the depth marker).
+func countNodes(n *SpanNode) int {
+	total := 1
+	for _, c := range n.Children {
+		total += countNodes(c)
+	}
+	return total
+}
+
 // WriteText renders the span tree and the nonzero cost counters as
-// indented text — the pwq -trace / debugging shape.
+// indented text — the pwq -trace / debugging shape. Error-marked spans
+// carry a trailing "!class". Trees deeper than maxRenderDepth or wider
+// than maxRenderChildren per node are clipped with "..." markers.
 func (t *Trace) WriteText(w io.Writer) {
 	if t == nil {
 		return
 	}
-	var walk func(n *SpanNode, depth int)
-	walk = func(n *SpanNode, depth int) {
+	indent := func(depth int) {
 		for i := 0; i < depth; i++ {
 			io.WriteString(w, "  ")
 		}
-		fmt.Fprintf(w, "%s %dus (+%dus)\n", n.Name, n.DurUS, n.StartUS)
-		for _, c := range n.Children {
+	}
+	var walk func(n *SpanNode, depth int)
+	walk = func(n *SpanNode, depth int) {
+		indent(depth)
+		if n.Error != "" {
+			fmt.Fprintf(w, "%s %dus (+%dus) !%s\n", n.Name, n.DurUS, n.StartUS, n.Error)
+		} else {
+			fmt.Fprintf(w, "%s %dus (+%dus)\n", n.Name, n.DurUS, n.StartUS)
+		}
+		if len(n.Children) == 0 {
+			return
+		}
+		if depth+1 >= maxRenderDepth {
+			hidden := 0
+			for _, c := range n.Children {
+				hidden += countNodes(c)
+			}
+			indent(depth + 1)
+			fmt.Fprintf(w, "... (%d deeper)\n", hidden)
+			return
+		}
+		shown := n.Children
+		if len(shown) > maxRenderChildren {
+			shown = shown[:maxRenderChildren]
+		}
+		for _, c := range shown {
 			walk(c, depth+1)
+		}
+		if hidden := len(n.Children) - len(shown); hidden > 0 {
+			indent(depth + 1)
+			fmt.Fprintf(w, "... (+%d more)\n", hidden)
 		}
 	}
 	walk(t.Tree(), 0)

@@ -94,3 +94,83 @@ func TestSpanConcurrentChildren(t *testing.T) {
 		t.Errorf("children = %d, want 800", got)
 	}
 }
+
+// TestSpanSetError: error classes stick to spans (first writer wins),
+// survive into the tree, and render with a ! marker.
+func TestSpanSetError(t *testing.T) {
+	var nilSpan *Span
+	nilSpan.SetError("x") // no panic
+
+	tr := NewTrace("cert-ans", "req-9")
+	eval := tr.Root().StartChild("eval")
+	eval.SetError("unsupported")
+	eval.SetError("shadowed") // first class wins
+	eval.End()
+	tr.Root().SetError("unsupported")
+	tr.Finish()
+
+	n := tr.Tree()
+	if n.Error != "unsupported" || n.Children[0].Error != "unsupported" {
+		t.Fatalf("error classes lost: root=%q eval=%q", n.Error, n.Children[0].Error)
+	}
+	var sb strings.Builder
+	tr.WriteText(&sb)
+	if !strings.Contains(sb.String(), "!unsupported") {
+		t.Errorf("rendered trace missing !unsupported marker:\n%s", sb.String())
+	}
+}
+
+// TestWriteTextTruncation: the text renderer bounds both depth and
+// fan-out so a pathological span tree cannot flood a terminal; the JSON
+// tree stays complete.
+func TestWriteTextTruncation(t *testing.T) {
+	tr := NewTrace("deep", "id")
+	sp := tr.Root()
+	const depth = 40
+	for i := 0; i < depth; i++ {
+		sp = sp.StartChild("d")
+	}
+	tr.Finish()
+	var sb strings.Builder
+	tr.WriteText(&sb)
+	out := sb.String()
+	if got := strings.Count(out, "\n"); got > maxRenderDepth+3 {
+		t.Errorf("deep render emitted %d lines, want ≤ %d", got, maxRenderDepth+3)
+	}
+	if !strings.Contains(out, "deeper)") {
+		t.Errorf("deep render missing elision marker:\n%s", out)
+	}
+	// The full chain survives in the JSON tree.
+	n, levels := tr.Tree(), 0
+	for ; n != nil; n = firstChild(n) {
+		levels++
+	}
+	if levels != depth+1 {
+		t.Errorf("JSON tree has %d levels, want %d", levels, depth+1)
+	}
+
+	wide := NewTrace("wide", "id")
+	for i := 0; i < 100; i++ {
+		wide.Root().StartChild("w").End()
+	}
+	wide.Finish()
+	sb.Reset()
+	wide.WriteText(&sb)
+	out = sb.String()
+	if got := strings.Count(out, "\n  w "); got != maxRenderChildren {
+		t.Errorf("wide render shows %d children, want %d", got, maxRenderChildren)
+	}
+	if !strings.Contains(out, "(+68 more)") {
+		t.Errorf("wide render missing elision marker:\n%s", out)
+	}
+	if got := len(wide.Tree().Children); got != 100 {
+		t.Errorf("JSON tree has %d children, want 100", got)
+	}
+}
+
+func firstChild(n *SpanNode) *SpanNode {
+	if len(n.Children) == 0 {
+		return nil
+	}
+	return n.Children[0]
+}

@@ -1,0 +1,138 @@
+// The flight recorder: a bounded ring of the last N requests the server
+// answered, served at GET /debug/requests. Each slot stores the
+// request's identity (request id, op, db, version, fingerprint), its
+// outcome (status, error, cache/coalesce flags, duration), a cost
+// snapshot, and — for slow or failed requests with a plan — a one-line
+// plan summary. The ring is the "what just happened" complement to the
+// cumulative /metrics surface: when a dashboard shows a latency spike,
+// the recorder names the requests inside it, correlated to client logs
+// by X-Request-Id.
+//
+// Storage discipline: slots hold plain values (obs.CostSnapshot, not a
+// map) so steady-state recording allocates nothing per request beyond
+// the strings the request already owns; the JSON shape is materialized
+// only when /debug/requests is scraped.
+package server
+
+import (
+	"sync"
+	"time"
+
+	"pw/internal/obs"
+)
+
+const defaultFlightSize = 128
+
+// flightEntry is one ring slot (internal, value-typed).
+type flightEntry struct {
+	id        string
+	t         time.Time
+	op        string
+	db        string
+	fp        string
+	version   uint64
+	dur       time.Duration
+	status    int
+	errMsg    string
+	cached    bool
+	coalesced bool
+	slow      bool
+	cost      obs.CostSnapshot
+	plan      string
+}
+
+// FlightRecord is the JSON shape of one recorded request, newest first
+// in the GET /debug/requests array.
+type FlightRecord struct {
+	RequestID string           `json:"request_id,omitempty"`
+	Time      time.Time        `json:"time"`
+	Op        string           `json:"op"`
+	DB        string           `json:"db,omitempty"`
+	Version   uint64           `json:"version,omitempty"`
+	Fp        string           `json:"fp,omitempty"`
+	DurUS     int64            `json:"us"`
+	Status    int              `json:"status"`
+	Error     string           `json:"error,omitempty"`
+	Cached    bool             `json:"cached,omitempty"`
+	Coalesced bool             `json:"coalesced,omitempty"`
+	Slow      bool             `json:"slow,omitempty"`
+	Cost      map[string]int64 `json:"cost,omitempty"`
+	Plan      string           `json:"plan,omitempty"`
+}
+
+// flightRecorder is the mutex-guarded ring. A nil recorder (FlightSize
+// < 0) records nothing; all methods are nil-safe.
+type flightRecorder struct {
+	mu   sync.Mutex
+	ring []flightEntry
+	next int // slot the next record lands in
+	n    int // live entries (≤ len(ring))
+}
+
+func newFlightRecorder(size int) *flightRecorder {
+	if size < 0 {
+		return nil
+	}
+	if size == 0 {
+		size = defaultFlightSize
+	}
+	return &flightRecorder{ring: make([]flightEntry, size)}
+}
+
+func (f *flightRecorder) record(e flightEntry) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.ring[f.next] = e
+	f.next = (f.next + 1) % len(f.ring)
+	if f.n < len(f.ring) {
+		f.n++
+	}
+	f.mu.Unlock()
+}
+
+func (f *flightRecorder) len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+// snapshot materializes the live entries newest-first.
+func (f *flightRecorder) snapshot() []FlightRecord {
+	out := []FlightRecord{} // never nil: /debug/requests serves [], not null
+	if f == nil {
+		return out
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := 0; i < f.n; i++ {
+		e := &f.ring[(f.next-1-i+len(f.ring))%len(f.ring)]
+		out = append(out, FlightRecord{
+			RequestID: e.id,
+			Time:      e.t,
+			Op:        e.op,
+			DB:        e.db,
+			Version:   e.version,
+			Fp:        e.fp,
+			DurUS:     e.dur.Microseconds(),
+			Status:    e.status,
+			Error:     e.errMsg,
+			Cached:    e.cached,
+			Coalesced: e.coalesced,
+			Slow:      e.slow,
+			Cost:      e.cost.Counters(),
+			Plan:      e.plan,
+		})
+	}
+	return out
+}
+
+// FlightRecords snapshots the flight recorder, newest first — the GET
+// /debug/requests body. Empty (never nil) when recording is disabled.
+func (s *Server) FlightRecords() []FlightRecord {
+	return s.recorder.snapshot()
+}

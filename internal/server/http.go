@@ -17,7 +17,9 @@ import (
 //
 //	POST /query         one Request (JSON body) → one Response;
 //	                    ?trace=1 embeds the span tree, cost counters
-//	                    and request ID in the Response
+//	                    and request ID in the Response (success or
+//	                    error); ?explain=1 embeds the EXPLAIN/ANALYZE
+//	                    plan
 //	POST /update?db=X   apply an @update program (request body) to a
 //	                    decomposition database, bumping its version
 //	                    (?trace=1 as above)
@@ -27,6 +29,8 @@ import (
 //	                    gauge and histogram, including per-db families
 //	POST /reload?db=X   re-read a file-backed database, bumping its version
 //	GET  /healthz       liveness ("ok")
+//	GET  /debug/requests flight recorder: the last N answered requests
+//	                    (id, op, db, duration, status, cost), newest first
 //	GET  /debug/pprof/  CPU/heap/goroutine profiles (net/http/pprof)
 //	GET  /debug/vars    expvar (includes pwd's published counters)
 //
@@ -49,6 +53,7 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
 	})
+	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -63,6 +68,7 @@ func (s *Server) Handler() http.Handler {
 var metricPaths = map[string]bool{
 	"/query": true, "/update": true, "/dbs": true, "/stats": true,
 	"/metrics": true, "/reload": true, "/healthz": true,
+	"/debug/requests": true,
 }
 
 // statusWriter captures the response status code for the HTTP counter.
@@ -103,9 +109,15 @@ func requestIDFrom(ctx context.Context) string {
 	return id
 }
 
-// errorBody is the JSON shape of every non-2xx API response.
+// errorBody is the JSON shape of every non-2xx API response. A traced
+// request's failure still carries its request ID, the complete
+// error-annotated span tree and the cost counters spent before the
+// failure — the error path is exactly when that context matters.
 type errorBody struct {
-	Error string `json:"error"`
+	Error     string           `json:"error"`
+	RequestID string           `json:"request_id,omitempty"`
+	Trace     *obs.SpanNode    `json:"trace,omitempty"`
+	Cost      map[string]int64 `json:"cost,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -120,39 +132,62 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
-// traced reports whether the request opted into per-request tracing.
-func traced(r *http.Request) bool {
-	switch r.URL.Query().Get("trace") {
+// writeErrorTraced is writeError plus the trace context a ?trace=1
+// request earned: request ID, finished span tree, cost counters.
+func writeErrorTraced(w http.ResponseWriter, status int, err error, tr *obs.Trace) {
+	body := errorBody{Error: err.Error()}
+	if tr != nil {
+		body.RequestID = tr.ID()
+		body.Trace = tr.Tree()
+		body.Cost = tr.Cost().Counters()
+	}
+	writeJSON(w, status, body)
+}
+
+// boolParam reports whether a query parameter opted in ("1", "true",
+// "yes").
+func boolParam(r *http.Request, name string) bool {
+	switch r.URL.Query().Get(name) {
 	case "1", "true", "yes":
 		return true
 	}
 	return false
 }
 
-// doHTTP runs one Request through the engine, honoring ?trace=1: a
-// traced request gets a span tree rooted at its op, pprof labels
-// (op, db — inherited by the worker goroutines the evaluation spawns),
-// and the trace embedded in the Response.
-func (s *Server) doHTTP(r *http.Request, req *Request) (*Response, error) {
+// traced reports whether the request opted into per-request tracing.
+func traced(r *http.Request) bool { return boolParam(r, "trace") }
+
+// explained reports whether the request asked for an EXPLAIN plan.
+func explained(r *http.Request) bool { return boolParam(r, "explain") }
+
+// doHTTP runs one Request through the engine, honoring ?trace=1 and
+// ?explain=1: a traced request gets a span tree rooted at its op, pprof
+// labels (op, db — inherited by the worker goroutines the evaluation
+// spawns), and the trace embedded in the Response; on failure the
+// finished trace comes back alongside the error so the handler can
+// embed it in the error body.
+func (s *Server) doHTTP(r *http.Request, req *Request) (*Response, *obs.Trace, error) {
+	opts := CallOptions{Explain: explained(r), RequestID: requestIDFrom(r.Context())}
 	if !traced(r) {
-		return s.Do(req)
+		resp, err := s.DoCall(req, opts)
+		return resp, nil, err
 	}
-	id := requestIDFrom(r.Context())
-	tr := obs.NewTrace(req.Op, id)
+	tr := obs.NewTrace(req.Op, opts.RequestID)
+	opts.Trace = tr
 	var resp *Response
 	var err error
-	labels := rpprof.Labels("pwd_op", req.Op, "pwd_db", req.DB, "pwd_request", id)
+	labels := rpprof.Labels("pwd_op", req.Op, "pwd_db", req.DB, "pwd_request", opts.RequestID)
 	rpprof.Do(r.Context(), labels, func(context.Context) {
-		resp, err = s.DoTraced(req, tr)
+		resp, err = s.DoCall(req, opts)
 	})
 	tr.Finish()
 	if err != nil {
-		return nil, err
+		return nil, tr, err
 	}
-	resp.RequestID = id
+	resp.RequestID = opts.RequestID
 	resp.Trace = tr.Tree()
 	resp.Cost = tr.Cost().Counters()
-	return resp, nil
+	return resp, tr, nil
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -163,9 +198,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, 400, badRequest("body: %v", err))
 		return
 	}
-	resp, err := s.doHTTP(r, &req)
+	resp, tr, err := s.doHTTP(r, &req)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeErrorTraced(w, statusFor(err), err, tr)
 		return
 	}
 	writeJSON(w, 200, resp)
@@ -186,9 +221,9 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, 400, badRequest("body: %v", err))
 		return
 	}
-	resp, err := s.doHTTP(r, &Request{DB: name, Op: "write", Update: string(body)})
+	resp, tr, err := s.doHTTP(r, &Request{DB: name, Op: "write", Update: string(body)})
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeErrorTraced(w, statusFor(err), err, tr)
 		return
 	}
 	writeJSON(w, 200, resp)
@@ -200,6 +235,10 @@ func (s *Server) handleDBs(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, 200, s.Stats())
+}
+
+func (s *Server) handleDebugRequests(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, 200, s.FlightRecords())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -11,11 +11,13 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"time"
 
 	"pw/internal/obs"
+	"pw/internal/wsdalg"
 )
 
 // metricOps are the request ops with dedicated metric series; anything
@@ -46,6 +48,9 @@ type serverMetrics struct {
 	semWait    *obs.Histogram
 	inflight   *obs.Gauge
 	slow       *obs.Counter
+
+	explain       *obs.Counter
+	flightRecords *obs.Counter
 }
 
 func newServerMetrics(s *Server) *serverMetrics {
@@ -74,6 +79,11 @@ func newServerMetrics(s *Server) *serverMetrics {
 	m.semWait = reg.Histogram("pwd_sem_wait_seconds", "Time heavy evaluations spent queued on the admission semaphore.", nil)
 	m.inflight = reg.Gauge("pwd_inflight_evals", "Heavy evaluations currently holding an admission slot.")
 	m.slow = reg.Counter("pwd_slow_queries_total", "Requests that exceeded the slow-query threshold.")
+	m.explain = reg.Counter("pwd_explain_total", "Requests that asked for a query plan (?explain=1).")
+	m.flightRecords = reg.Counter("pwd_flight_records_total", "Requests recorded into the flight recorder.")
+	reg.GaugeFunc("pwd_flight_entries", "Live entries in the flight recorder ring.", func() float64 {
+		return float64(s.recorder.len())
+	})
 	reg.GaugeFunc("pwd_answer_cache_entries", "Live answer-cache entries.", func() float64 {
 		s.cacheMu.Lock()
 		n := s.answers.len()
@@ -130,11 +140,16 @@ func (s *Server) WriteMetrics(w io.Writer) {
 // reqCtx is the per-request observability context threaded through
 // dispatch: the trace (nil when untraced), the cost sink (always
 // non-nil — the slow-query log needs counters even for untraced
-// requests), and the canonical query fingerprint once resolved.
+// requests), the canonical query fingerprint once resolved, the
+// request ID (empty for direct Do callers), whether the caller asked
+// for an EXPLAIN plan, and the plan the dispatched op produced.
 type reqCtx struct {
-	tr   *obs.Trace
-	cost *obs.Cost
-	fp   string
+	tr      *obs.Trace
+	cost    *obs.Cost
+	fp      string
+	id      string
+	explain bool
+	plan    *wsdalg.Plan
 }
 
 func newReqCtx(tr *obs.Trace) *reqCtx {
@@ -156,26 +171,54 @@ func (s *Server) RequestID() string {
 	return fmt.Sprintf("%s-%d", s.idBase, s.idSeq.Add(1))
 }
 
-// maybeLogSlow writes one line per request that exceeded the configured
-// threshold: op, db, canonical query fingerprint, duration, outcome,
-// and the request's nonzero cost counters — enough to explain the
-// request without re-running it.
+// slowLogLine is the JSON shape of one slow-query log line. The
+// request_id field matches the X-Request-Id header the HTTP layer sent
+// back, so a client-observed slow call can be joined to its server-side
+// cost breakdown (and flight-recorder entry) by grepping one token.
+type slowLogLine struct {
+	Time      string           `json:"time"`
+	RequestID string           `json:"request_id,omitempty"`
+	Op        string           `json:"op"`
+	DB        string           `json:"db,omitempty"`
+	Fp        string           `json:"fp,omitempty"`
+	DurUS     int64            `json:"us"`
+	Status    int              `json:"status"`
+	Error     string           `json:"error,omitempty"`
+	ErrClass  string           `json:"error_class,omitempty"`
+	Plan      string           `json:"plan,omitempty"`
+	Cost      map[string]int64 `json:"cost,omitempty"`
+}
+
+// maybeLogSlow emits one JSON line per request that exceeded the
+// configured threshold: op, db, canonical query fingerprint, duration,
+// outcome, plan summary and the request's nonzero cost counters —
+// enough to explain the request without re-running it, and structured
+// so log pipelines need no bespoke parser.
 func (s *Server) maybeLogSlow(req *Request, rc *reqCtx, dur time.Duration, err error) {
 	if s.slowThreshold <= 0 || dur < s.slowThreshold || s.slowLog == nil {
 		return
 	}
 	s.metrics.slow.Inc()
-	fp := rc.fp
-	if fp == "" {
-		fp = "-"
+	line := slowLogLine{
+		Time:      time.Now().UTC().Format(time.RFC3339Nano),
+		RequestID: rc.id,
+		Op:        req.Op,
+		DB:        req.DB,
+		Fp:        rc.fp,
+		DurUS:     dur.Microseconds(),
+		Status:    200,
+		Plan:      planSummary(rc.plan),
+		Cost:      rc.cost.Counters(),
 	}
-	outcome := "ok"
 	if err != nil {
-		outcome = fmt.Sprintf("error=%q", err.Error())
+		line.Status = statusFor(err)
+		line.Error = err.Error()
+		line.ErrClass = errorClass(err)
 	}
-	line := fmt.Sprintf("pwd: slow query op=%s db=%s dur=%s %s fp=%q", req.Op, req.DB, dur, outcome, fp)
-	if c := rc.cost.String(); c != "" {
-		line += " cost: " + c
+	b, merr := json.Marshal(line)
+	if merr != nil {
+		return
 	}
-	fmt.Fprintln(s.slowLog, line)
+	b = append(b, '\n')
+	s.slowLog.Write(b)
 }

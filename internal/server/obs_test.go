@@ -130,7 +130,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	s := newTestServer(t, server.Config{Workers: 2})
 	hi := mustRead(t, hiQueryPath)
 	postQuery(t, s, "/query", &server.Request{DB: "sensors", Op: "cert-ans", Query: hi})
-	postQuery(t, s, "/query", &server.Request{DB: "sensors", Op: "cert-ans", Query: hi})
+	postQuery(t, s, "/query?explain=1", &server.Request{DB: "sensors", Op: "cert-ans", Query: hi})
 
 	rec := httptest.NewRecorder()
 	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
@@ -156,6 +156,11 @@ func TestMetricsEndpoint(t *testing.T) {
 		`pwd_db_answer_cache_hits_total{db="sensors"} 1`,
 		`pwd_db_answer_cache_misses_total{db="sensors"} 1`,
 		`pwd_db_answer_cache_entries{db="sensors"} 1`,
+		// The introspection families: one of the two queries asked for a
+		// plan, and both requests landed in the flight recorder.
+		`pwd_explain_total 1`,
+		`pwd_flight_records_total 2`,
+		`pwd_flight_entries 2`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)
@@ -218,16 +223,38 @@ func TestSlowQueryLog(t *testing.T) {
 		SlowQueryLog:       &buf,
 	})
 	hi := mustRead(t, hiQueryPath)
-	postQuery(t, s, "/query", &server.Request{DB: "sensors", Op: "cert-ans", Query: hi})
+	_, rec := postQuery(t, s, "/query", &server.Request{DB: "sensors", Op: "cert-ans", Query: hi})
 
-	out := buf.String()
-	if !strings.Contains(out, "pwd: slow query op=cert-ans db=sensors") {
-		t.Fatalf("slow-query log missing header line:\n%s", out)
+	// One JSON object per line, correlated to the HTTP response by
+	// request_id == X-Request-Id.
+	line := strings.TrimSpace(buf.String())
+	var entry struct {
+		Time      string           `json:"time"`
+		RequestID string           `json:"request_id"`
+		Op        string           `json:"op"`
+		DB        string           `json:"db"`
+		Fp        string           `json:"fp"`
+		DurUS     int64            `json:"us"`
+		Status    int              `json:"status"`
+		Plan      string           `json:"plan"`
+		Cost      map[string]int64 `json:"cost"`
 	}
-	if !strings.Contains(out, "fp=") || !strings.Contains(out, "cost:") {
-		t.Errorf("slow-query line missing fingerprint or cost counters:\n%s", out)
+	if err := json.Unmarshal([]byte(line), &entry); err != nil {
+		t.Fatalf("slow-query line is not one JSON object: %v\n%s", err, line)
 	}
-	if !strings.Contains(out, "cache_misses=1") {
-		t.Errorf("slow-query cost missing cache_misses:\n%s", out)
+	if entry.Op != "cert-ans" || entry.DB != "sensors" || entry.Status != 200 {
+		t.Errorf("slow-query line op/db/status = %q/%q/%d, want cert-ans/sensors/200", entry.Op, entry.DB, entry.Status)
+	}
+	if entry.Time == "" || entry.Fp == "" {
+		t.Errorf("slow-query line missing time or fingerprint:\n%s", line)
+	}
+	if got := rec.Header().Get("X-Request-Id"); entry.RequestID != got {
+		t.Errorf("slow-query request_id %q != X-Request-Id %q", entry.RequestID, got)
+	}
+	if entry.Cost["cache_misses"] != 1 {
+		t.Errorf("slow-query cost missing cache_misses=1:\n%s", line)
+	}
+	if !strings.Contains(entry.Plan, "components=") {
+		t.Errorf("slow-query plan summary missing components: %q", entry.Plan)
 	}
 }

@@ -86,6 +86,10 @@ type Config struct {
 	// SlowQueryLog receives slow-query lines (os.Stderr when nil and a
 	// threshold is set).
 	SlowQueryLog io.Writer
+	// FlightSize bounds the flight recorder, the ring of recently
+	// answered requests served at GET /debug/requests. 0 means 128; a
+	// negative value disables recording.
+	FlightSize int
 }
 
 const (
@@ -112,6 +116,7 @@ type Server struct {
 	metrics       *serverMetrics
 	slowThreshold time.Duration
 	slowLog       io.Writer
+	recorder      *flightRecorder
 	idBase        string
 	idSeq         atomic.Uint64
 }
@@ -139,6 +144,17 @@ type database struct {
 	// database's cache is churning).
 	ansHits   atomic.Int64
 	ansMisses atomic.Int64
+
+	// count memoizes wsd.Count().String() for the installed version so
+	// per-request explain records don't redo the big-int product.
+	count atomic.Pointer[countCache]
+}
+
+// countCache is one memoized world count, valid while the database is
+// still at the version it was computed against.
+type countCache struct {
+	version uint64
+	count   string
 }
 
 // dbView is an immutable snapshot of a database taken under its read
@@ -275,6 +291,7 @@ func New(cfg Config) *Server {
 		answers:       newLRU(cacheSize),
 		slowThreshold: cfg.SlowQueryThreshold,
 		slowLog:       slowLog,
+		recorder:      newFlightRecorder(cfg.FlightSize),
 		idBase:        fmt.Sprintf("%06x", rand.Int31n(1<<24)),
 	}
 	s.metrics = newServerMetrics(s)
@@ -542,12 +559,29 @@ type Response struct {
 	RequestID string           `json:"request_id,omitempty"`
 	Trace     *obs.SpanNode    `json:"trace,omitempty"`
 	Cost      map[string]int64 `json:"cost,omitempty"`
+	// Plan is the EXPLAIN/ANALYZE record attached on ?explain=1 (or
+	// CallOptions.Explain): per-operator estimates and actuals for
+	// evaluated queries, a summary probe plan for decomposition-native
+	// ops. A cached answer carries the plan recorded when its cache
+	// entry was evaluated, not a fresh one.
+	Plan *wsdalg.Plan `json:"plan,omitempty"`
+}
+
+// CallOptions modulate one Do call: an optional trace to record spans
+// and cost into, whether to attach an EXPLAIN plan to the response, and
+// the request ID to correlate the flight-recorder entry and slow-query
+// line with (the HTTP layer passes the X-Request-Id it minted; direct
+// callers may leave it empty).
+type CallOptions struct {
+	Trace     *obs.Trace
+	Explain   bool
+	RequestID string
 }
 
 // Do answers one request. It is the transport-independent core the HTTP
 // layer (and the benchmarks, and the difftest backend) call.
 func (s *Server) Do(req *Request) (*Response, error) {
-	return s.DoTraced(req, nil)
+	return s.DoCall(req, CallOptions{})
 }
 
 // DoTraced answers one request with an optional trace attached: spans
@@ -555,20 +589,110 @@ func (s *Server) Do(req *Request) (*Response, error) {
 // cost counters still accumulate into a request-local sink so the
 // slow-query log can report them).
 func (s *Server) DoTraced(req *Request, tr *obs.Trace) (*Response, error) {
-	rc := newReqCtx(tr)
+	return s.DoCall(req, CallOptions{Trace: tr})
+}
+
+// DoCall answers one request under explicit CallOptions. Every request
+// lands one entry in the flight recorder; failures additionally mark
+// the trace root with the error class so an error response still
+// carries a complete, annotated span tree.
+func (s *Server) DoCall(req *Request, opts CallOptions) (*Response, error) {
+	rc := newReqCtx(opts.Trace)
+	rc.explain = opts.Explain
+	rc.id = opts.RequestID
 	start := time.Now()
 	s.stats.Requests.Add(1)
 	op := s.metrics.op(req.Op)
 	s.metrics.requests[op].Inc()
+	if opts.Explain {
+		s.metrics.explain.Inc()
+	}
 	resp, err := s.dispatch(req, rc)
 	if err != nil {
 		s.stats.Errors.Add(1)
 		s.metrics.errors[op].Inc()
+		rc.tr.Root().SetError(errorClass(err))
 	}
 	dur := time.Since(start)
 	s.metrics.latency[op].Observe(dur.Seconds())
+	if rc.explain && resp != nil {
+		resp.Plan = rc.plan
+	}
+	s.recordFlight(req, rc, dur, err, resp)
 	s.maybeLogSlow(req, rc, dur, err)
 	return resp, err
+}
+
+// errorClass names an error for span annotations, flight records and
+// the slow-query log: the evaluator's refusal classes, the
+// representation-system limit, or the HTTP status family.
+func errorClass(err error) string {
+	if err == nil {
+		return ""
+	}
+	if errors.Is(err, wsd.ErrInfiniteRep) {
+		return "infinite_rep"
+	}
+	if c := wsdalg.ErrorClass(err); c != "error" {
+		return c
+	}
+	var se *Error
+	if errors.As(err, &se) {
+		return fmt.Sprintf("http_%d", se.Status)
+	}
+	return "error"
+}
+
+// recordFlight lands one entry in the flight recorder (no-op when
+// recording is disabled). Slow and failed requests keep a one-line plan
+// summary when evaluation produced one.
+func (s *Server) recordFlight(req *Request, rc *reqCtx, dur time.Duration, err error, resp *Response) {
+	if s.recorder == nil {
+		return
+	}
+	e := flightEntry{
+		id:     rc.id,
+		t:      time.Now(),
+		op:     req.Op,
+		db:     req.DB,
+		fp:     rc.fp,
+		dur:    dur,
+		status: 200,
+		cost:   rc.cost.Snapshot(),
+	}
+	if resp != nil {
+		e.version, e.cached, e.coalesced = resp.Version, resp.Cached, resp.Coalesced
+	}
+	if err != nil {
+		e.status, e.errMsg = statusFor(err), err.Error()
+	}
+	e.slow = s.slowThreshold > 0 && dur >= s.slowThreshold
+	if e.slow || err != nil {
+		e.plan = planSummary(rc.plan)
+	}
+	s.recorder.record(e)
+	s.metrics.flightRecords.Inc()
+}
+
+// planSummary compresses a plan to one line for ring slots and log
+// lines (the full tree stays behind ?explain=1 / pwq explain).
+func planSummary(p *wsdalg.Plan) string {
+	if p == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s components=%d", p.Query, p.Components)
+	if p.WorldCount != "" {
+		fmt.Fprintf(&b, " worlds=%s", p.WorldCount)
+	}
+	if p.Error != "" {
+		fmt.Fprintf(&b, " !%s", p.Error)
+	}
+	if n := p.Assemble; n != nil && n.Act.MergeSpace > 0 {
+		fmt.Fprintf(&b, " assemble_merge=%d", n.Act.MergeSpace)
+	}
+	fmt.Fprintf(&b, " us=%d", p.DurUS)
+	return b.String()
 }
 
 func (s *Server) dispatch(req *Request, rc *reqCtx) (*Response, error) {
@@ -583,26 +707,63 @@ func (s *Server) dispatch(req *Request, rc *reqCtx) (*Response, error) {
 		return nil, err
 	}
 	resp := &Response{DB: v.name, Op: req.Op, Version: v.version}
+	start := time.Now()
+	var out *Response
 	switch req.Op {
 	case "memb":
-		return s.opMemb(req, v, resp, rc)
+		out, err = s.opMemb(req, v, resp, rc)
 	case "uniq":
-		return s.opUniq(req, v, resp, rc)
+		out, err = s.opUniq(req, v, resp, rc)
 	case "poss", "cert":
-		return s.opPossCert(req, v, resp, rc)
+		out, err = s.opPossCert(req, v, resp, rc)
 	case "count":
-		return s.opCount(v, resp, rc)
+		out, err = s.opCount(v, resp, rc)
 	case "sample":
-		return s.opSample(req, v, resp, rc)
+		out, err = s.opSample(req, v, resp, rc)
 	case "poss-ans", "cert-ans":
-		return s.opAnswers(req, v, resp, rc)
+		out, err = s.opAnswers(req, v, resp, rc)
 	case "cont":
-		return s.opCont(req, v, resp, rc)
+		out, err = s.opCont(req, v, resp, rc)
 	case "":
 		return nil, badRequest("missing op")
 	default:
 		return nil, badRequest("unknown op %q", req.Op)
 	}
+	// Decomposition-native ops never run the evaluator; on explain they
+	// get a summary probe plan (input size, exact world count, wall
+	// time) so ?explain=1 is meaningful on every op. Evaluated paths
+	// already filled rc.plan with the real operator tree.
+	if err == nil && rc.explain && rc.plan == nil && v.wsd != nil {
+		rc.plan = probePlan(req.Op, v, time.Since(start))
+	}
+	return out, err
+}
+
+// probePlan is the explain record of a decomposition-native op that
+// answered straight off the resident WSD, with no algebra evaluation.
+func probePlan(op string, v dbView, dur time.Duration) *wsdalg.Plan {
+	return &wsdalg.Plan{
+		Query:      op,
+		Components: int64(v.wsd.Components()),
+		WorldCount: v.worldCount(),
+		DurUS:      dur.Microseconds(),
+	}
+}
+
+// worldCount is v.wsd.Count().String() memoized per installed version
+// (the decomposition snapshotted by a view never changes, so the count
+// computed once is good for every request until the next install).
+func (v dbView) worldCount() string {
+	if v.db != nil {
+		if c := v.db.count.Load(); c != nil && c.version == v.version {
+			return c.count
+		}
+	}
+	s := v.wsd.Count().String()
+	if v.db != nil {
+		v.db.count.Store(&countCache{version: v.version, count: s})
+	}
+	return s
 }
 
 // acquire blocks until an admission slot frees up. Heavy procedures —
@@ -728,7 +889,7 @@ func (s *Server) opCount(v dbView, resp *Response, rc *reqCtx) (*Response, error
 	if v.wsd != nil {
 		sp := rc.span("probe")
 		defer sp.End()
-		resp.Count = v.wsd.Count().String()
+		resp.Count = v.worldCount()
 		return resp, nil
 	}
 	key := cacheKey("count", v.name, v.version, "")
@@ -940,9 +1101,11 @@ func (s *Server) cachedEval(db *database, key string, rc *reqCtx, fn func() (any
 }
 
 // evalEntry is one cached answer decomposition plus the answer
-// instances read off it, derived at most once each.
+// instances read off it, derived at most once each, and the EXPLAIN
+// plan recorded by the evaluation that populated the entry.
 type evalEntry struct {
-	out *wsd.WSD
+	out  *wsd.WSD
+	plan *wsdalg.Plan
 
 	possOnce sync.Once
 	poss     *rel.Instance
@@ -992,16 +1155,23 @@ func (s *Server) opAnswers(req *Request, v dbView, resp *Response, rc *reqCtx) (
 			defer s.acquire(rc)()
 			sp := rc.span("eval")
 			defer sp.End()
-			out, err := wsdalg.EvalObserved(v.wsd, q, rc.cost)
+			// EvalPlanned over EvalObserved: the plan costs microseconds
+			// next to the evaluation it describes, and keeping it in the
+			// cache entry lets explain requests on cache hits answer
+			// without re-evaluating.
+			out, plan, err := wsdalg.EvalPlanned(v.wsd, q, rc.cost)
 			if err != nil {
+				sp.SetError(errorClass(err))
+				rc.plan = plan // partial, error-marked: flight/slow log still see it
 				return nil, err
 			}
-			return &evalEntry{out: out}, nil
+			return &evalEntry{out: out, plan: plan}, nil
 		})
 		if err != nil {
 			return nil, err
 		}
 		entry := val.(*evalEntry)
+		rc.plan = entry.plan
 		sp := rc.span("answers")
 		if req.Op == "poss-ans" {
 			inst, err = entry.possAnswers()

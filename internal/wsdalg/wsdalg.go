@@ -59,6 +59,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"pw/internal/algebra"
 	"pw/internal/cond"
@@ -118,10 +119,20 @@ func Eval(w *wsd.WSD, q query.Query) (*wsd.WSD, error) {
 // needed (the MaxMergeAlts headroom) into c. A nil c makes this exactly
 // Eval.
 func EvalObserved(w *wsd.WSD, q query.Query, c *obs.Cost) (*wsd.WSD, error) {
+	return evalCore(w, q, c, nil)
+}
+
+// evalCore is the shared body of EvalObserved and EvalPlanned: the
+// evaluation proper, with an optional plan to fill (nil plan = no plan
+// bookkeeping at all on the hot path).
+func evalCore(w *wsd.WSD, q query.Query, c *obs.Cost, pl *Plan) (*wsd.WSD, error) {
 	if err := Supported(q); err != nil {
 		return nil, err
 	}
 	c.Add(obs.EvalComponents, int64(w.Components()))
+	if pl != nil {
+		pl.Components = int64(w.Components())
+	}
 	if query.IsIdentity(q) {
 		return w.Clone(), nil
 	}
@@ -154,20 +165,32 @@ func EvalObserved(w *wsd.WSD, q query.Query, c *obs.Cost) (*wsd.WSD, error) {
 
 	ev := newEvaluator(w)
 	ev.cost = c
+	ev.plan = pl
 	type outPart struct {
 		rel string
 		p   part
 	}
 	var parts []outPart
 	for _, o := range a.Outs {
+		var outNode *PlanNode
+		if pl != nil {
+			outNode = &PlanNode{Op: "out", Detail: o.Name}
+			pl.Outs = append(pl.Outs, outNode)
+			ev.cur = outNode
+		}
 		d, err := ev.eval(o.Expr)
 		if err != nil {
+			outNode.markError(err)
 			return nil, fmt.Errorf("%s: %w", a.Label(), err)
+		}
+		if outNode != nil {
+			outNode.Act.Parts = int64(len(d.parts))
 		}
 		for _, p := range d.parts {
 			parts = append(parts, outPart{rel: o.Name, p: p})
 		}
 	}
+	ev.cur = nil
 	c.Add(obs.EvalParts, int64(len(parts)))
 
 	// Group correlated parts: parts sharing an origin component are
@@ -184,6 +207,14 @@ func EvalObserved(w *wsd.WSD, q query.Query, c *obs.Cost) (*wsd.WSD, error) {
 			uf.Union(int32(op.p.origins[0]), int32(o))
 		}
 	}
+	var asm *PlanNode
+	var asmStart time.Time
+	if pl != nil {
+		asm = &PlanNode{Op: "assemble"}
+		pl.Assemble = asm
+		ev.cur = asm
+		asmStart = time.Now()
+	}
 	groups := map[int32][]outPart{}
 	var order []int32
 	zero := make([]int, ev.n)
@@ -195,7 +226,11 @@ func EvalObserved(w *wsd.WSD, q query.Query, c *obs.Cost) (*wsd.WSD, error) {
 				alt = append(alt, wsd.Fact{Rel: op.rel, Args: rel.ResolveFact(t)})
 			}
 			if err := out.AddComponent(alt); err != nil {
+				asm.markError(err)
 				return nil, err
+			}
+			if asm != nil {
+				asm.Act.Parts++
 			}
 			continue
 		}
@@ -204,6 +239,27 @@ func EvalObserved(w *wsd.WSD, q query.Query, c *obs.Cost) (*wsd.WSD, error) {
 			order = append(order, r)
 		}
 		groups[r] = append(groups[r], op)
+	}
+
+	// Assembly estimate, before any group tabulates: each group sweeps
+	// the joint space of its merged origins (the template fast path
+	// skips the sweep entirely, which only makes the actual smaller).
+	if asm != nil {
+		asm.Est.Parts = asm.Act.Parts + int64(len(order))
+		var units []int
+		for _, r := range order {
+			var origins []int
+			for _, op := range groups[r] {
+				origins = mergeOrigins(origins, op.p.origins)
+			}
+			units = mergeOrigins(units, origins)
+			prod := ev.originsProduct(origins)
+			asm.Est.MergeSpace = satAdd(asm.Est.MergeSpace, prod)
+			if prod > asm.Est.MaxSpace {
+				asm.Est.MaxSpace = prod
+			}
+		}
+		asm.Est.Units = int64(len(units))
 	}
 
 	for _, r := range order {
@@ -217,8 +273,12 @@ func EvalObserved(w *wsd.WSD, q query.Query, c *obs.Cost) (*wsd.WSD, error) {
 		// decomposition size.
 		if len(group) == 1 {
 			if emitted, err := ev.emitTemplate(out, group[0].rel, &group[0].p); err != nil {
+				asm.markError(err)
 				return nil, err
 			} else if emitted {
+				if asm != nil {
+					asm.Act.Parts++
+				}
 				continue
 			}
 		}
@@ -229,6 +289,7 @@ func EvalObserved(w *wsd.WSD, q query.Query, c *obs.Cost) (*wsd.WSD, error) {
 		}
 		space, err := ev.space(origins)
 		if err != nil {
+			asm.markError(err)
 			return nil, err
 		}
 		alts := make([]wsd.Alt, 0, space)
@@ -243,14 +304,39 @@ func EvalObserved(w *wsd.WSD, q query.Query, c *obs.Cost) (*wsd.WSD, error) {
 			alts = append(alts, alt)
 		})
 		if err := out.AddComponent(alts...); err != nil {
+			asm.markError(err)
 			return nil, err
 		}
+		if asm != nil {
+			asm.Act.Parts++
+		}
+	}
+	if asm != nil {
+		asm.Act.DurUS = time.Since(asmStart).Microseconds()
+		ev.cur = nil
 	}
 	// The answer-side Normalize accounts to the same sink: its merges,
-	// splits and folds are part of this evaluation's cost.
+	// splits and folds are part of this evaluation's cost. When
+	// planning, the counter deltas around the call are the Normalize
+	// node's actuals.
+	var before obs.CostSnapshot
+	var normStart time.Time
+	if pl != nil {
+		before = c.Snapshot()
+		normStart = time.Now()
+	}
 	out.SetObsCost(c)
 	err := out.Normalize()
 	out.SetObsCost(nil)
+	if pl != nil {
+		after := c.Snapshot()
+		pl.Normalize = &NormalizeStats{
+			ComponentsMerged: after.Get(obs.NormComponentsMerged) - before.Get(obs.NormComponentsMerged),
+			VerticalSplits:   after.Get(obs.NormVerticalSplits) - before.Get(obs.NormVerticalSplits),
+			CertainFolds:     after.Get(obs.NormCertainFolds) - before.Get(obs.NormCertainFolds),
+			DurUS:            time.Since(normStart).Microseconds(),
+		}
+	}
 	return out, err
 }
 
@@ -413,6 +499,8 @@ type evaluator struct {
 	cells     [][]sym.ID // per unit: open-slot values (nil for tuple-level units)
 	scans     map[string][]part
 	cost      *obs.Cost // per-request sink (nil when untraced)
+	plan      *Plan     // plan under construction (nil when not explaining)
+	cur       *PlanNode // node receiving space() actuals right now
 }
 
 func newEvaluator(w *wsd.WSD) *evaluator {
@@ -450,8 +538,16 @@ func (ev *evaluator) space(origins []int) (int, error) {
 	}
 	// Every space() call is followed by an odometer sweep of exactly
 	// `space` joint alternatives, so this is also the tabulation count.
+	// The same numbers land on the current plan node, which is what
+	// makes plan-node actuals reconcile with the cost counters.
 	ev.cost.Max(obs.EvalMergeSpaceMax, int64(space))
 	ev.cost.Add(obs.EvalAltsTabulated, int64(space))
+	if ev.cur != nil {
+		ev.cur.Act.MergeSpace = satAdd(ev.cur.Act.MergeSpace, int64(space))
+		if int64(space) > ev.cur.Act.MaxSpace {
+			ev.cur.Act.MaxSpace = int64(space)
+		}
+	}
 	return space, nil
 }
 
@@ -534,15 +630,52 @@ func (ev *evaluator) unitOf(ci, slot int) int {
 	panic("wsdalg: no unit for component slot")
 }
 
-// eval evaluates one algebra expression to a decomposed relation. It
-// mirrors algebra.evalInst case by case, lifted from row sets to parts.
+// eval evaluates one algebra expression to a decomposed relation. When
+// a plan is being built it wraps evalExpr in a PlanNode: the node is
+// attached to its parent *before* the body runs (so an error retains
+// the partial subtree), receives space() actuals while it is current,
+// and is closed with parts/units/rows actuals and wall time afterwards.
+// Without a plan it is evalExpr with zero overhead.
 func (ev *evaluator) eval(e algebra.Expr) (dRel, error) {
+	if ev.plan == nil {
+		return ev.evalExpr(e)
+	}
+	node := &PlanNode{Op: opName(e), Detail: opDetail(e)}
+	parent := ev.cur
+	if parent != nil {
+		parent.Children = append(parent.Children, node)
+	}
+	ev.cur = node
+	start := time.Now()
+	d, err := ev.evalExpr(e)
+	node.Act.DurUS = time.Since(start).Microseconds()
+	ev.cur = parent
+	if err != nil {
+		node.markError(err)
+		return d, err
+	}
+	node.Act.Parts = int64(len(d.parts))
+	var units []int
+	for i := range d.parts {
+		units = mergeOrigins(units, d.parts[i].origins)
+	}
+	node.Act.Units = int64(len(units))
+	node.Act.Rows = actRows(&d)
+	return d, nil
+}
+
+// evalExpr is the operator dispatch. It mirrors algebra.evalInst case
+// by case, lifted from row sets to parts. Each case records its
+// estimate (via setEst, a no-op when not planning) from its inputs
+// before its own work runs.
+func (ev *evaluator) evalExpr(e algebra.Expr) (dRel, error) {
 	switch n := e.(type) {
 	case algebra.ConstRel:
 		cols, err := n.Schema()
 		if err != nil {
 			return dRel{}, err
 		}
+		ev.setEst(PlanStats{Parts: 1, Rows: int64(len(n.Rows))})
 		rows := make([]sym.Tuple, 0, len(n.Rows))
 		for _, r := range n.Rows {
 			rows = append(rows, rel.Fact(r).Intern())
@@ -572,6 +705,9 @@ func (ev *evaluator) eval(e algebra.Expr) (dRel, error) {
 			return dRel{}, fmt.Errorf("wsdalg: scan %s names %d columns, relation has arity %d",
 				n.Name, len(cols), ev.w.Schema()[ri].Arity)
 		}
+		if ev.cur != nil {
+			ev.setEst(ev.scanEst(n.Name))
+		}
 		return dRel{cols: cols, parts: ev.scanParts(n.Name)}, nil
 
 	case algebra.Project:
@@ -581,6 +717,9 @@ func (ev *evaluator) eval(e algebra.Expr) (dRel, error) {
 		}
 		if _, err := n.Schema(); err != nil {
 			return dRel{}, err
+		}
+		if ev.cur != nil {
+			ev.setEst(ev.drelStats(&in))
 		}
 		idx := make([]int, len(n.Cols))
 		for i, c := range n.Cols {
@@ -627,6 +766,9 @@ func (ev *evaluator) eval(e algebra.Expr) (dRel, error) {
 		if err != nil {
 			return dRel{}, err
 		}
+		if ev.cur != nil {
+			ev.setEst(ev.drelStats(&in))
+		}
 		out := dRel{cols: in.cols}
 	selParts:
 		for i := range in.parts {
@@ -672,6 +814,9 @@ func (ev *evaluator) eval(e algebra.Expr) (dRel, error) {
 		if err != nil {
 			return dRel{}, err
 		}
+		if ev.cur != nil {
+			ev.setEst(ev.drelStats(&in))
+		}
 		return dRel{cols: cols, parts: in.parts}, nil
 
 	case algebra.Join:
@@ -686,6 +831,9 @@ func (ev *evaluator) eval(e algebra.Expr) (dRel, error) {
 		cols, err := n.Schema()
 		if err != nil {
 			return dRel{}, err
+		}
+		if ev.cur != nil {
+			ev.setEst(ev.joinEst(&l, &r))
 		}
 		return ev.joinRels(l, r, cols)
 
@@ -704,7 +852,11 @@ func (ev *evaluator) eval(e algebra.Expr) (dRel, error) {
 		parts := make([]part, 0, len(l.parts)+len(r.parts))
 		parts = append(parts, l.parts...)
 		parts = append(parts, r.parts...)
-		return dRel{cols: l.cols, parts: parts}, nil
+		u := dRel{cols: l.cols, parts: parts}
+		if ev.cur != nil {
+			ev.setEst(ev.drelStats(&u))
+		}
+		return u, nil
 	}
 	return dRel{}, fmt.Errorf("wsdalg: unknown expression %T", e)
 }
