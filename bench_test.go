@@ -718,6 +718,69 @@ func BenchmarkWSDQuery_Join_1M(b *testing.B) {
 	benchWSDQuery(b, join, 1<<20)
 }
 
+// --- wsdalg: world-set algebra + planner on the same 2^20-world set ---
+
+// The three gated WSAlgebra probes exercise the compositional world-set
+// operators and the cost-based planner at the million-world scale:
+// a nested certain∘possible pipeline that collapses 2^20 worlds to one
+// certain answer without enumerating any of them, choice-of over the
+// 81-tuple possible-set (one answer world per support tuple), and a
+// σ-over-⋈ query through EvalOptimized, whose pushed form must be
+// priced strictly below the written one.
+
+func BenchmarkWSAlgebra_Possible_1M(b *testing.B) {
+	// certain(possible(σ[v=hi] S)): the possible-set of hi readings is a
+	// single world (40 tuples — both fact spellings of all 20 sensors);
+	// certain of a singleton world set is that world. Count pins the
+	// collapse to one answer world on every iteration.
+	q := query.NewAlgebra("hi-possible", query.Out{Name: "A",
+		Expr: algebra.Certain{E: algebra.Possible{
+			E: algebra.Where(algebra.Scan("S", "s", "v"),
+				algebra.EqP(algebra.Col("v"), algebra.Lit("hi"))),
+		}}})
+	benchWSDQuery(b, q, 1)
+}
+
+func BenchmarkWSAlgebra_ChoiceOf_1M(b *testing.B) {
+	// choiceof(possible(S)): the possible-set is one 81-tuple world (the
+	// hub fact plus four spellings per sensor); choice-of splits it into
+	// one singleton answer world per support tuple.
+	q := query.NewAlgebra("pick", query.Out{Name: "A",
+		Expr: algebra.ChoiceOf{E: algebra.Possible{E: algebra.Scan("S", "s", "v")}}})
+	benchWSDQuery(b, q, 81)
+}
+
+func BenchmarkWSAlgebra_Planned_1M(b *testing.B) {
+	// σ[lab=high] over the dimension-table join, written with the
+	// selection on top. The planner must push it below the join (onto the
+	// two-row constant side, leaving one row) and price the pushed form
+	// strictly below the written one; the probe runs the chosen plan.
+	q := query.NewAlgebra("high-labels", query.Out{Name: "A",
+		Expr: algebra.Project{
+			E: algebra.Where(
+				algebra.Join{
+					L: algebra.Scan("S", "s", "v"),
+					R: algebra.ConstRel{Cols: []string{"v", "lab"}, Rows: [][]string{{"lo", "low"}, {"hi", "high"}}},
+				},
+				algebra.EqP(algebra.Col("lab"), algebra.Lit("high"))),
+			Cols: []string{"s", "lab"},
+		}})
+	w := gen.MillionWorldWSD()
+	if _, info := wsdalg.Optimize(w, q); info == nil || info.ChosenCost >= info.NaiveCost {
+		b.Fatalf("planner must price the pushed form below the written one, got %+v", info)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, err := wsdalg.EvalOptimized(w, q, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c := out.Count(); !c.IsInt64() || c.Int64() != 1<<20 {
+			b.Fatalf("answer Count = %s, want 2^20", c)
+		}
+	}
+}
+
 // --- WSDAttr: the attribute-level decomposition on a 2^100-world set ---
 
 // The century grid (gen.CenturyWSD) is 100 independent per-field

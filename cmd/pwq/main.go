@@ -19,19 +19,22 @@
 // Files use the .pw format of internal/parse; -db accepts either
 // representation backend — a conditioned-table database (@table blocks)
 // or a world-set decomposition (@wsd block) — and -query/-query2 take
-// @query blocks (positive relational algebra, plus ≠ selections on the
-// table backend). On a decomposition the decision commands run the
-// native polynomial procedures and the query commands run the lifted
-// evaluator of internal/wsdalg — no world enumeration anywhere, so
-// cert-ans/poss-ans/cont answer on 10^6-world decompositions directly
-// on the factored form. On tables they run the decision engine, and
-// count/worlds enumerate the canonical domain.
+// @query blocks: the extended relational algebra, including ≠
+// selections, diff and the world-set operators possible/certain/
+// choiceof. On a decomposition the decision commands run the native
+// polynomial procedures and the query commands run the lifted evaluator
+// of internal/wsdalg — no world enumeration anywhere, so cert-ans/
+// poss-ans/cont answer on 10^6-world decompositions directly on the
+// factored form, world-set operators included. On tables they run the
+// decision engine, and count/worlds enumerate the canonical domain;
+// the world-set operators are not per-world maps, so on the table
+// backend they exit 2 with a clear message (compile to @wsd first).
 //
 // cont accepts any backend combination: the table side of a mixed pair
 // is compiled to a decomposition first (an infinite-rep subset side is
-// simply "no" against a finite superset). Queries with ≠ selections —
-// the non-positive fragment — stay unsupported on the decomposition
-// backend and exit 2 with a clear message.
+// simply "no" against a finite superset). A query whose answer
+// decomposition would blow past the entanglement guard exits 2 naming
+// the cause.
 //
 // update applies an @update program (-update, see internal/parse) to a
 // decomposition with the incremental renormalization engine and prints
@@ -56,8 +59,8 @@
 // (measured while it runs), assembly and normalization phases, the
 // world count of the answer and the run's cost counters. -json emits
 // the same record as one JSON object — the offline twin of the server's
-// ?explain=1. A refused query (≠ selections, entanglement) prints its
-// partial, error-annotated plan and exits 2.
+// ?explain=1. A refused query (entanglement, a non-algebra fragment)
+// prints its partial, error-annotated plan and exits 2.
 package main
 
 import (
@@ -304,7 +307,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fatal(stderr, err)
 		}
-		_, plan, evalErr := wsdalg.EvalPlanned(w, q, cost)
+		_, plan, evalErr := wsdalg.EvalOptimized(w, q, cost)
 		if *jsonOut {
 			enc := json.NewEncoder(stdout)
 			enc.SetIndent("", "  ")

@@ -53,6 +53,11 @@ func TestGolden(t *testing.T) {
 		{"cert_ans_wsd", []string{"cert-ans", "-db", data("sensors.pw"), "-query", data("sensors_sensors.pw")}},
 		{"poss_ans_wsd", []string{"poss-ans", "-db", data("sensors.pw"), "-query", data("sensors_hi.pw")}},
 		{"cert_ans_wsd_empty", []string{"cert-ans", "-db", data("sensors.pw"), "-query", data("sensors_hi.pw")}},
+		// The world-set algebra: what-if analysis over the 2^20 worlds —
+		// certain(possible(σ)) — and a native ≠ selection, both answered
+		// on the factored form.
+		{"cert_ans_wsd_whatif", []string{"cert-ans", "-db", data("sensors.pw"), "-query", data("sensors_whatif.pw")}},
+		{"poss_ans_wsd_notlo", []string{"poss-ans", "-db", data("sensors.pw"), "-query", data("sensors_not_lo.pw")}},
 		{"cert_ans_tables", []string{"cert-ans", "-db", data("personnel.pw"), "-query", data("personnel_names.pw")}},
 		{"poss_ans_tables", []string{"poss-ans", "-db", data("personnel.pw"), "-query", data("personnel_names.pw")}},
 		// The attribute-level backend: 2^100 worlds in ~100 template
@@ -153,15 +158,30 @@ func TestBadUsageExits2(t *testing.T) {
 	if code := run([]string{"cont", "-db", data("sensors.pw"), "-db2", data("sensors_hi.pw")}, &stdout, &stderr); code != 2 {
 		t.Errorf("@query file as -db2: exit %d, want 2", code)
 	}
-	// The non-positive (≠) fragment stays unsupported on the
-	// decomposition backend, with a clear message.
+	// ≠ selections now evaluate natively on the decomposition backend;
+	// the exit-2 refusals left are entanglement (a query whose answer
+	// decomposition cannot be built within MaxMergeAlts) and world-set
+	// operators on the per-world table engine.
 	stderr.Reset()
 	if code := run([]string{"cert-ans", "-db", data("sensors.pw"), "-query", data("sensors_not_lo.pw")},
-		&stdout, &stderr); code != 2 {
-		t.Errorf("≠ query on @wsd: exit %d, want 2", code)
+		&stdout, &stderr); code != 0 {
+		t.Errorf("≠ query on @wsd: exit %d, want 0 (native eval): %s", code, stderr.String())
 	}
-	if !strings.Contains(stderr.String(), "non-positive") {
-		t.Errorf("≠ rejection should name the fragment, got: %s", stderr.String())
+	stderr.Reset()
+	if code := run([]string{"cert-ans", "-db", data("sensors.pw"), "-query", data("sensors_pick.pw")},
+		&stdout, &stderr); code != 2 {
+		t.Errorf("entangled choiceof on @wsd: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "entangled") {
+		t.Errorf("entangled rejection should name the cause, got: %s", stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"poss-ans", "-db", data("personnel.pw"), "-query", data("personnel_possible.pw")},
+		&stdout, &stderr); code != 2 {
+		t.Errorf("world-set operator on tables: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "world-set") {
+		t.Errorf("world-set rejection should name the fragment, got: %s", stderr.String())
 	}
 	// A mixed cont whose @table superset has infinite rep cannot be
 	// compiled and is a structural error.
@@ -265,6 +285,7 @@ func TestExplainGolden(t *testing.T) {
 	}{
 		{"explain_sensors", []string{"explain", "-db", data("sensors.pw"), "-query", data("sensors_hi.pw")}},
 		{"explain_grid", []string{"explain", "-db", data("grid.pw"), "-query", data("grid_hi.pw")}},
+		{"explain_whatif", []string{"explain", "-db", data("sensors.pw"), "-query", data("sensors_whatif.pw")}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -315,14 +336,15 @@ func TestExplainGolden(t *testing.T) {
 		})
 	}
 
-	// A refused query still prints its error-annotated partial plan.
+	// A refused query still prints its error-annotated partial plan:
+	// the entangled choiceof stops at the blow-up with a !entangled node.
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"explain", "-db", data("sensors.pw"), "-query", data("sensors_not_lo.pw")},
+	if code := run([]string{"explain", "-db", data("sensors.pw"), "-query", data("sensors_pick.pw")},
 		&stdout, &stderr); code != 2 {
-		t.Fatalf("≠ explain: exit %d, want 2", code)
+		t.Fatalf("entangled explain: exit %d, want 2", code)
 	}
-	if !strings.Contains(stdout.String(), "!unsupported") {
-		t.Errorf("refused explain missing !unsupported marker:\n%s", stdout.String())
+	if !strings.Contains(stdout.String(), "!entangled") {
+		t.Errorf("refused explain missing !entangled marker:\n%s", stdout.String())
 	}
 	// Table-backed databases are a structural error.
 	if code := run([]string{"explain", "-db", data("personnel.pw"), "-query", data("personnel_names.pw")},

@@ -411,6 +411,15 @@ func (ir *instRows) add(t sym.Tuple) {
 	ir.rows = append(ir.rows, t)
 }
 
+func (ir *instRows) contains(t sym.Tuple) bool {
+	for _, i := range ir.seen[sym.HashIDs(t)] {
+		if ir.rows[i].Equal(t) {
+			return true
+		}
+	}
+	return false
+}
+
 // EvalInstance evaluates e on a complete-information instance, returning
 // the result's column names and facts (resolved to names at this boundary,
 // in canonical order).
@@ -481,19 +490,7 @@ func evalInst(e Expr, inst *rel.Instance) (*instRows, error) {
 		if _, err := n.Schema(); err != nil {
 			return nil, err
 		}
-		idx := make([]int, len(n.Cols))
-		for i, c := range n.Cols {
-			idx[i] = indexOf(in.cols, c)
-		}
-		out := newInstRows(n.Cols)
-		for _, f := range in.rows {
-			g := make(sym.Tuple, len(idx))
-			for i, j := range idx {
-				g[i] = f[j]
-			}
-			out.add(g)
-		}
-		return out, nil
+		return projectRows(in, n.Cols), nil
 
 	case Select:
 		in, err := evalInst(n.E, inst)
@@ -503,48 +500,7 @@ func evalInst(e Expr, inst *rel.Instance) (*instRows, error) {
 		if _, err := n.Schema(); err != nil {
 			return nil, err
 		}
-		// Resolve predicate operands once: a column index or an interned
-		// constant, so the row loop is pure ID comparison.
-		type resolved struct {
-			op           cond.Op
-			lIdx, rIdx   int
-			lConst, rCon sym.ID
-		}
-		preds := make([]resolved, len(n.Preds))
-		for i, p := range n.Preds {
-			preds[i] = resolved{op: p.Op, lIdx: -1, rIdx: -1}
-			if p.L.isConst {
-				preds[i].lConst = sym.Const(p.L.k)
-			} else {
-				preds[i].lIdx = indexOf(in.cols, p.L.col)
-			}
-			if p.R.isConst {
-				preds[i].rCon = sym.Const(p.R.k)
-			} else {
-				preds[i].rIdx = indexOf(in.cols, p.R.col)
-			}
-		}
-		out := newInstRows(in.cols)
-		for _, f := range in.rows {
-			ok := true
-			for _, p := range preds {
-				l, r := p.lConst, p.rCon
-				if p.lIdx >= 0 {
-					l = f[p.lIdx]
-				}
-				if p.rIdx >= 0 {
-					r = f[p.rIdx]
-				}
-				if (p.op == cond.Eq) != (l == r) {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				out.add(f)
-			}
-		}
-		return out, nil
+		return selectRows(in, n.Preds), nil
 
 	case Rename:
 		in, err := evalInst(n.E, inst)
@@ -555,11 +511,7 @@ func evalInst(e Expr, inst *rel.Instance) (*instRows, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := newInstRows(cols)
-		for _, f := range in.rows {
-			out.add(f)
-		}
-		return out, nil
+		return renameRows(in, cols), nil
 
 	case Join:
 		l, err := evalInst(n.L, inst)
@@ -574,50 +526,7 @@ func evalInst(e Expr, inst *rel.Instance) (*instRows, error) {
 		if err != nil {
 			return nil, err
 		}
-		// Positions of shared columns.
-		var lShared, rShared []int
-		var rExtra []int
-		for j, c := range r.cols {
-			if i := indexOf(l.cols, c); i >= 0 {
-				lShared = append(lShared, i)
-				rShared = append(rShared, j)
-			} else {
-				rExtra = append(rExtra, j)
-			}
-		}
-		// Hash the right side on shared-column IDs; probe hits are verified
-		// component-wise (the hash is a fingerprint, not an identity).
-		joinKey := func(t sym.Tuple, at []int) uint64 {
-			h := uint64(1469598103934665603)
-			for _, j := range at {
-				h ^= uint64(t[j])
-				h *= 1099511628211
-			}
-			return h
-		}
-		index := make(map[uint64][]sym.Tuple, len(r.rows))
-		for _, rf := range r.rows {
-			k := joinKey(rf, rShared)
-			index[k] = append(index[k], rf)
-		}
-		out := newInstRows(cols)
-		for _, lf := range l.rows {
-		probe:
-			for _, rf := range index[joinKey(lf, lShared)] {
-				for k := range lShared {
-					if lf[lShared[k]] != rf[rShared[k]] {
-						continue probe
-					}
-				}
-				g := make(sym.Tuple, 0, len(cols))
-				g = append(g, lf...)
-				for _, j := range rExtra {
-					g = append(g, rf[j])
-				}
-				out.add(g)
-			}
-		}
-		return out, nil
+		return joinRows(l, r, cols), nil
 
 	case Union:
 		l, err := evalInst(n.L, inst)
@@ -631,16 +540,177 @@ func evalInst(e Expr, inst *rel.Instance) (*instRows, error) {
 		if _, err := n.Schema(); err != nil {
 			return nil, err
 		}
-		out := newInstRows(l.cols)
-		for _, f := range l.rows {
-			out.add(f)
+		return unionRows(l, r), nil
+
+	case Diff:
+		l, err := evalInst(n.L, inst)
+		if err != nil {
+			return nil, err
 		}
-		for _, f := range r.rows {
-			out.add(f)
+		r, err := evalInst(n.R, inst)
+		if err != nil {
+			return nil, err
 		}
-		return out, nil
+		if _, err := n.Schema(); err != nil {
+			return nil, err
+		}
+		return diffRows(l, r), nil
+
+	case Possible, Certain, ChoiceOf:
+		return nil, fmt.Errorf("%w: %s", ErrWorldSetOp, e)
 	}
 	return nil, fmt.Errorf("algebra: unknown expression %T", e)
+}
+
+// Row-level kernels shared by single-instance evaluation and the explicit
+// world-set evaluator (worldset.go). Callers have already checked the
+// schema, so column lookups cannot fail.
+
+func projectRows(in *instRows, cols []string) *instRows {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		idx[i] = indexOf(in.cols, c)
+	}
+	out := newInstRows(cols)
+	for _, f := range in.rows {
+		g := make(sym.Tuple, len(idx))
+		for i, j := range idx {
+			g[i] = f[j]
+		}
+		out.add(g)
+	}
+	return out
+}
+
+func selectRows(in *instRows, npreds []Pred) *instRows {
+	// Resolve predicate operands once: a column index or an interned
+	// constant, so the row loop is pure ID comparison.
+	type resolved struct {
+		op           cond.Op
+		lIdx, rIdx   int
+		lConst, rCon sym.ID
+	}
+	preds := make([]resolved, len(npreds))
+	for i, p := range npreds {
+		preds[i] = resolved{op: p.Op, lIdx: -1, rIdx: -1}
+		if p.L.isConst {
+			preds[i].lConst = sym.Const(p.L.k)
+		} else {
+			preds[i].lIdx = indexOf(in.cols, p.L.col)
+		}
+		if p.R.isConst {
+			preds[i].rCon = sym.Const(p.R.k)
+		} else {
+			preds[i].rIdx = indexOf(in.cols, p.R.col)
+		}
+	}
+	out := newInstRows(in.cols)
+	for _, f := range in.rows {
+		ok := true
+		for _, p := range preds {
+			l, r := p.lConst, p.rCon
+			if p.lIdx >= 0 {
+				l = f[p.lIdx]
+			}
+			if p.rIdx >= 0 {
+				r = f[p.rIdx]
+			}
+			if (p.op == cond.Eq) != (l == r) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out.add(f)
+		}
+	}
+	return out
+}
+
+func renameRows(in *instRows, cols []string) *instRows {
+	out := newInstRows(cols)
+	for _, f := range in.rows {
+		out.add(f)
+	}
+	return out
+}
+
+func joinRows(l, r *instRows, cols []string) *instRows {
+	// Positions of shared columns.
+	var lShared, rShared []int
+	var rExtra []int
+	for j, c := range r.cols {
+		if i := indexOf(l.cols, c); i >= 0 {
+			lShared = append(lShared, i)
+			rShared = append(rShared, j)
+		} else {
+			rExtra = append(rExtra, j)
+		}
+	}
+	// Hash the right side on shared-column IDs; probe hits are verified
+	// component-wise (the hash is a fingerprint, not an identity).
+	joinKey := func(t sym.Tuple, at []int) uint64 {
+		h := uint64(1469598103934665603)
+		for _, j := range at {
+			h ^= uint64(t[j])
+			h *= 1099511628211
+		}
+		return h
+	}
+	index := make(map[uint64][]sym.Tuple, len(r.rows))
+	for _, rf := range r.rows {
+		k := joinKey(rf, rShared)
+		index[k] = append(index[k], rf)
+	}
+	out := newInstRows(cols)
+	for _, lf := range l.rows {
+	probe:
+		for _, rf := range index[joinKey(lf, lShared)] {
+			for k := range lShared {
+				if lf[lShared[k]] != rf[rShared[k]] {
+					continue probe
+				}
+			}
+			g := make(sym.Tuple, 0, len(cols))
+			g = append(g, lf...)
+			for _, j := range rExtra {
+				g = append(g, rf[j])
+			}
+			out.add(g)
+		}
+	}
+	return out
+}
+
+func unionRows(l, r *instRows) *instRows {
+	out := newInstRows(l.cols)
+	for _, f := range l.rows {
+		out.add(f)
+	}
+	for _, f := range r.rows {
+		out.add(f)
+	}
+	return out
+}
+
+func diffRows(l, r *instRows) *instRows {
+	out := newInstRows(l.cols)
+	for _, f := range l.rows {
+		if !r.contains(f) {
+			out.add(f)
+		}
+	}
+	return out
+}
+
+func intersectRows(l, r *instRows) *instRows {
+	out := newInstRows(l.cols)
+	for _, f := range l.rows {
+		if r.contains(f) {
+			out.add(f)
+		}
+	}
+	return out
 }
 
 // liftRows is the intermediate result of lifted evaluation: named columns
@@ -841,6 +911,18 @@ func evalLift(e Expr, d *table.Database) (*liftRows, error) {
 		out.rows = append(out.rows, r.rows...)
 		out.dedupe()
 		return out, nil
+
+	case Diff:
+		// Conditioned-table lifting covers the positive existential
+		// fragment (plus ≠ selections); difference needs universal
+		// conditions. Decomposition-native evaluation (internal/wsdalg)
+		// handles it instead.
+		return nil, fmt.Errorf("algebra: %s is outside the liftable fragment", e)
+
+	case Possible, Certain, ChoiceOf:
+		// Not per-world maps at all: only a world-set backend (a
+		// decomposition) can apply them.
+		return nil, fmt.Errorf("%w: %s needs a decomposition backend", ErrWorldSetOp, e)
 	}
 	return nil, fmt.Errorf("algebra: unknown expression %T", e)
 }

@@ -141,6 +141,30 @@ func CompileBackend(name string, domain func(*Case) []string) Backend {
 	}
 }
 
+// PlannedWSDBackend answers natively on the case's decomposition with
+// the cost-based planner in the loop: the query is rewritten by
+// wsdalg.Optimize before evaluation. Any divergence from the naive
+// WSDBackend (or the oracle) is a planner-equivalence bug.
+func PlannedWSDBackend() Backend {
+	return Backend{
+		Name: "wsdalg/planned",
+		Make: func(c *Case) (*Ops, error) {
+			if c.WSD == nil {
+				return nil, errors.New("case carries no decomposition")
+			}
+			if c.Update != nil {
+				return nil, errors.New("use UpdateBackend for cases that carry an update")
+			}
+			q := c.Q()
+			opt, info := wsdalg.Optimize(c.WSD, q)
+			if info != nil && info.ChosenCost > info.NaiveCost {
+				return nil, fmt.Errorf("planner chose a costlier plan: %d > %d", info.ChosenCost, info.NaiveCost)
+			}
+			return wsdOps(c.WSD, opt)
+		},
+	}
+}
+
 // wsdOps wires a decomposition (after pushing the case's query through
 // the lifted evaluator) into the full operation set.
 func wsdOps(w *wsd.WSD, q query.Query) (*Ops, error) {

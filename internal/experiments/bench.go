@@ -72,6 +72,13 @@ func benchProbes(workers int) []benchProbe {
 		{"WSDQuery_Select_1M", 1, probeWSDQuerySelect},
 		{"WSDQuery_Project_1M", 1, probeWSDQueryProject},
 		{"WSDQuery_Join_1M", 1, probeWSDQueryJoin},
+		// World-set algebra + planner on the same decomposition: the
+		// certain∘possible collapse, choice-of over the possible-set, and
+		// a σ-over-⋈ query through the cost-based planner (which must
+		// price its pushed form strictly below the written one).
+		{"WSAlgebra_Possible_1M", 1, probeWSAPossible},
+		{"WSAlgebra_ChoiceOf_1M", 1, probeWSAChoiceOf},
+		{"WSAlgebra_Planned_1M", 1, probeWSAPlanned},
 		// Attribute-level decomposition: the 2^100-world century grid —
 		// a world set the tuple-level alternative lists cannot even
 		// store — answered from the per-slot factored form.
@@ -203,6 +210,52 @@ func probeWSDQueryJoin(b *testing.B) {
 			Cols: []string{"s", "lab"},
 		}})
 	probeWSDQuery(b, q, 1<<20)
+}
+
+// The WSAlgebra probes mirror bench_test.go's gated trio: the
+// compositional world-set operators and the planner at 2^20 worlds,
+// answer counts asserted per iteration.
+
+func probeWSAPossible(b *testing.B) {
+	q := query.NewAlgebra("hi-possible", query.Out{Name: "A",
+		Expr: algebra.Certain{E: algebra.Possible{
+			E: algebra.Where(algebra.Scan("S", "s", "v"),
+				algebra.EqP(algebra.Col("v"), algebra.Lit("hi"))),
+		}}})
+	probeWSDQuery(b, q, 1)
+}
+
+func probeWSAChoiceOf(b *testing.B) {
+	q := query.NewAlgebra("pick", query.Out{Name: "A",
+		Expr: algebra.ChoiceOf{E: algebra.Possible{E: algebra.Scan("S", "s", "v")}}})
+	probeWSDQuery(b, q, 81)
+}
+
+func probeWSAPlanned(b *testing.B) {
+	q := query.NewAlgebra("high-labels", query.Out{Name: "A",
+		Expr: algebra.Project{
+			E: algebra.Where(
+				algebra.Join{
+					L: algebra.Scan("S", "s", "v"),
+					R: algebra.ConstRel{Cols: []string{"v", "lab"}, Rows: [][]string{{"lo", "low"}, {"hi", "high"}}},
+				},
+				algebra.EqP(algebra.Col("lab"), algebra.Lit("high"))),
+			Cols: []string{"s", "lab"},
+		}})
+	w := gen.MillionWorldWSD()
+	if _, info := wsdalg.Optimize(w, q); info == nil || info.ChosenCost >= info.NaiveCost {
+		b.Fatalf("planner must price the pushed form below the written one, got %+v", info)
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		out, _, err := wsdalg.EvalOptimized(w, q, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c := out.Count(); !c.IsInt64() || c.Int64() != 1<<20 {
+			b.Fatalf("answer Count = %s, want 2^20", c)
+		}
+	}
 }
 
 // probeWSDUpdate mirrors bench_test.go's benchWSDUpdate: one

@@ -15,6 +15,9 @@ var GatedProbes = []string{
 	"WSDQuery_Select_1M",
 	"WSDQuery_Project_1M",
 	"WSDQuery_Join_1M",
+	"WSAlgebra_Possible_1M",
+	"WSAlgebra_ChoiceOf_1M",
+	"WSAlgebra_Planned_1M",
 	"WSDAttr_Count_2p100",
 	"WSDAttr_Memb_2p100",
 	"WSDAttr_Query_2p100",

@@ -303,11 +303,49 @@ func RandomPositiveQuery(seed int64, schema table.Schema, consts, depth int) que
 	return q
 }
 
+// RandomWSAQuery generates a seeded world-set-algebra query: the
+// RandomPositiveQuery operator pool extended with ≠ selections,
+// difference, and the world-set operators possible/certain/choiceof
+// (nesting allowed — certain(possible(...)), choiceof under diff, and
+// so on). At most two choiceof occurrences appear per query: each one
+// multiplies the explicit oracle's answer-world count by the operand's
+// support size, and the differential suites expand those worlds
+// explicitly. Single-output by construction for the same reason. The
+// query is schema-valid by construction; a validation failure is a
+// generator bug and panics.
+func RandomWSAQuery(seed int64, schema table.Schema, consts, depth int) query.Algebra {
+	if len(schema) == 0 || consts < 1 || depth < 0 {
+		panic("gen: RandomWSAQuery needs a non-empty schema, consts >= 1, depth >= 0")
+	}
+	for _, r := range schema {
+		if r.Arity > len(queryColPool) {
+			panic(fmt.Sprintf("gen: RandomWSAQuery supports arity <= %d, got %s/%d",
+				len(queryColPool), r.Name, r.Arity))
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := &queryGen{rng: rng, schema: schema, consts: consts, wsa: true, choiceBudget: 2}
+	q := query.NewAlgebra(fmt.Sprintf("wsa%d", seed),
+		query.Out{Name: "A", Expr: g.expr(depth)})
+	for _, o := range q.Outs {
+		if _, err := o.Expr.Schema(); err != nil {
+			panic("gen: RandomWSAQuery built an invalid expression: " + err.Error())
+		}
+	}
+	return q
+}
+
 // queryGen holds the RandomPositiveQuery recursion state.
 type queryGen struct {
 	rng    *rand.Rand
 	schema table.Schema
 	consts int
+
+	// wsa widens the operator pool to ≠/diff/possible/certain/choiceof;
+	// choiceBudget caps choiceof occurrences (each one multiplies the
+	// explicit oracle's answer-world count).
+	wsa          bool
+	choiceBudget int
 }
 
 // scan picks a relation and names its columns with distinct pool names.
@@ -330,12 +368,18 @@ func (g *queryGen) cols(e algebra.Expr) []string {
 	return cs
 }
 
-// expr builds a random positive expression of at most the given height.
+// expr builds a random expression of at most the given height: the
+// positive operator pool, plus (for wsa generators) ≠ selections,
+// difference and the world-set operators.
 func (g *queryGen) expr(depth int) algebra.Expr {
 	if depth == 0 {
 		return g.scan()
 	}
-	switch g.rng.Intn(6) {
+	top := 6
+	if g.wsa {
+		top = 10
+	}
+	switch g.rng.Intn(top) {
 	case 0:
 		return g.scan()
 	case 1: // projection onto a non-empty column subset
@@ -361,7 +405,13 @@ func (g *queryGen) expr(depth int) algebra.Expr {
 			} else {
 				r = algebra.Lit(fmt.Sprintf("c%d", g.rng.Intn(g.consts)))
 			}
-			preds[i] = algebra.EqP(l, r)
+			if g.wsa && g.rng.Intn(3) == 0 {
+				// ≠ selections evaluate uniformly on decompositions;
+				// exercise them alongside equality.
+				preds[i] = algebra.NeqP(l, r)
+			} else {
+				preds[i] = algebra.EqP(l, r)
+			}
 		}
 		return algebra.Select{E: e, Preds: preds}
 	case 3: // rename one column to an unused pool name
@@ -385,6 +435,36 @@ func (g *queryGen) expr(depth int) algebra.Expr {
 		return algebra.Rename{E: e, From: []string{from}, To: []string{to}}
 	case 4: // natural join (shared pool names make it selective)
 		return algebra.Join{L: g.expr(depth - 1), R: g.expr(depth - 1)}
+	case 6: // possible: collapse the operand's worlds into their union
+		return algebra.Possible{E: g.expr(depth - 1)}
+	case 7: // certain: collapse into the intersection
+		return algebra.Certain{E: g.expr(depth - 1)}
+	case 8: // difference of two same-schema variants of one subtree
+		e := g.expr(depth - 1)
+		cs := g.cols(e)
+		var r algebra.Expr
+		if g.rng.Intn(2) == 0 {
+			r = algebra.Where(e, algebra.EqP(
+				algebra.Col(cs[g.rng.Intn(len(cs))]),
+				algebra.Lit(fmt.Sprintf("c%d", g.rng.Intn(g.consts)))))
+		} else {
+			rows := make([][]string, 1+g.rng.Intn(2))
+			for i := range rows {
+				row := make([]string, len(cs))
+				for j := range row {
+					row[j] = fmt.Sprintf("c%d", g.rng.Intn(g.consts))
+				}
+				rows[i] = row
+			}
+			r = algebra.ConstRel{Cols: append([]string(nil), cs...), Rows: rows}
+		}
+		return algebra.Diff{L: e, R: r}
+	case 9: // choiceof, while the budget lasts (certain otherwise)
+		if g.choiceBudget > 0 {
+			g.choiceBudget--
+			return algebra.ChoiceOf{E: g.expr(depth - 1)}
+		}
+		return algebra.Certain{E: g.expr(depth - 1)}
 	default: // union of two same-schema branches of one subtree
 		e := g.expr(depth - 1)
 		cs := g.cols(e)

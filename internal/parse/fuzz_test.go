@@ -135,6 +135,7 @@ func FuzzParseSource(f *testing.F) {
 	f.Add("@query\n  out: A = join(R(a b), S(b c))\n  out: B = union(R(a b), rename[a->x](R(x b)))\n")
 	f.Add("@query neq\n  out: A = select[#a != c0](R(a))\n")
 	f.Add("@query v\n  out: A = values[a b](x y; z w)\n")
+	f.Add("@query ws\n  out: A = certain(possible(R(a)))\n  out: B = diff(R(a), choiceof(R(a)))\n")
 	f.Add("@update\n  insert: R(a b)\n  delete: R(a *)\n")
 	f.Add("@update\n  update: R(* lo) set 2 = hi, 1 = x\n  assume-not: R(c d)\n")
 	f.Add("# only a comment\n")
@@ -165,6 +166,13 @@ func FuzzParseQuery(f *testing.F) {
 	f.Add("@query\n  out: A = rename[a->b](R(a))\n  out: B = select[#b = #b](R(b))\n")
 	f.Add("@query\n  out: A = union(values[a](x; y), R(a))\n")
 	f.Add("@query\n  out: A = join(join(R(a b), S(b c)), T(c d))\n")
+	// World-set algebra forms: possible/certain/choiceof/diff, nested and
+	// mixed with the relational operators.
+	f.Add("@query nested\n  out: A = certain(possible(select[#v = hi](Reading(s v))))\n")
+	f.Add("@query whatif\n  out: A = join(choiceof(possible(R(a b))), S(b c))\n")
+	f.Add("@query d\n  out: A = diff(possible(R(a)), certain(R(a)))\n")
+	f.Add("@query\n  out: A = choiceof(diff(R(a b), select[#a != x](R(a b))))\n")
+	f.Add("@query\n  out: A = possible(certain(possible(R(a))))\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		q, err := ParseQuery(strings.NewReader(input))
 		if err != nil {

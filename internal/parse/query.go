@@ -12,17 +12,21 @@
 //	       | rename[col->col, ...](EXPR)
 //	       | join(EXPR, EXPR)                   natural join
 //	       | union(EXPR, EXPR)
+//	       | diff(EXPR, EXPR)                   per-world set difference
+//	       | possible(EXPR)                     world-set union (certain rel)
+//	       | certain(EXPR)                      world-set intersection
+//	       | choiceof(EXPR)                     hypothetical what-if choice
 //	       | values[col col ...](v v ...; v v ...)
 //	OPND  := #col                               column reference
 //	       | NAME                               constant literal
 //
-// project/rename/join/union/select/values are reserved words in the
-// relation position. Identifiers extend to the next delimiter
-// (whitespace or one of ()[],;#=! or ->). ParseQuery validates the
-// query's schema on the way in; the printed form (PrintQuery) is
-// canonical and parse→print is a fixed point. Queries with ≠ selections
-// parse fine — whether a backend supports them is the engines'
-// decision, not the parser's.
+// project/rename/join/union/diff/possible/certain/choiceof/select/values
+// are reserved words in the relation position. Identifiers extend to the
+// next delimiter (whitespace or one of ()[],;#=! or ->). ParseQuery
+// validates the query's schema on the way in; the printed form
+// (PrintQuery) is canonical and parse→print is a fixed point. Queries
+// with ≠ selections or world-set operators parse fine — whether a
+// backend supports them is the engines' decision, not the parser's.
 package parse
 
 import (
@@ -300,7 +304,7 @@ func (p *exprParser) expr() (algebra.Expr, error) {
 		}
 		return algebra.Rename{E: e, From: from, To: to}, nil
 
-	case "join", "union":
+	case "join", "union", "diff":
 		if err := p.expect("("); err != nil {
 			return nil, err
 		}
@@ -318,10 +322,32 @@ func (p *exprParser) expr() (algebra.Expr, error) {
 		if err := p.expect(")"); err != nil {
 			return nil, err
 		}
-		if head == "join" {
+		switch head {
+		case "join":
 			return algebra.Join{L: l, R: r}, nil
+		case "diff":
+			return algebra.Diff{L: l, R: r}, nil
 		}
 		return algebra.Union{L: l, R: r}, nil
+
+	case "possible", "certain", "choiceof":
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		switch head {
+		case "possible":
+			return algebra.Possible{E: e}, nil
+		case "certain":
+			return algebra.Certain{E: e}, nil
+		}
+		return algebra.ChoiceOf{E: e}, nil
 
 	case "values":
 		if err := p.expect("["); err != nil {
@@ -449,12 +475,16 @@ func formatExpr(b *strings.Builder, e algebra.Expr) error {
 			return err
 		}
 		b.WriteString(")")
-	case algebra.Join, algebra.Union:
+	case algebra.Join, algebra.Union, algebra.Diff:
 		var l, r algebra.Expr
-		if j, ok := n.(algebra.Join); ok {
+		switch m := n.(type) {
+		case algebra.Join:
 			b.WriteString("join(")
-			l, r = j.L, j.R
-		} else {
+			l, r = m.L, m.R
+		case algebra.Diff:
+			b.WriteString("diff(")
+			l, r = m.L, m.R
+		default:
 			u := n.(algebra.Union)
 			b.WriteString("union(")
 			l, r = u.L, u.R
@@ -464,6 +494,23 @@ func formatExpr(b *strings.Builder, e algebra.Expr) error {
 		}
 		b.WriteString(", ")
 		if err := formatExpr(b, r); err != nil {
+			return err
+		}
+		b.WriteString(")")
+	case algebra.Possible, algebra.Certain, algebra.ChoiceOf:
+		var arg algebra.Expr
+		switch m := n.(type) {
+		case algebra.Possible:
+			b.WriteString("possible(")
+			arg = m.E
+		case algebra.Certain:
+			b.WriteString("certain(")
+			arg = m.E
+		default:
+			b.WriteString("choiceof(")
+			arg = n.(algebra.ChoiceOf).E
+		}
+		if err := formatExpr(b, arg); err != nil {
 			return err
 		}
 		b.WriteString(")")

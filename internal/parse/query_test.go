@@ -54,6 +54,12 @@ func TestParseQueryExprForms(t *testing.T) {
 		{"values[a b](x y; z w)", ""},
 		{"values[a]()", ""},
 		{"join(project[a](R(a b)), select[#a = c0](S(a)))", ""},
+		{"possible(R(a b))", ""},
+		{"certain(possible(select[#v = hi](Reading(s v))))", ""},
+		{"choiceof(possible(R(a b)))", ""},
+		{"diff(R(a b), S(a b))", ""},
+		{"join(choiceof(R(a b)), diff(S(b c), certain(S(b c))))", ""},
+		{"possible( certain( R(a) ) )", "possible(certain(R(a)))"},
 	}
 	for _, tc := range cases {
 		e, err := ParseQueryExpr(tc.src)
@@ -155,4 +161,45 @@ func TestParsedQueryFragment(t *testing.T) {
 		t.Error("algebra queries must be liftable")
 	}
 	var _ algebra.Expr = pos.Outs[0].Expr
+}
+
+// World-set operators parse, print canonically, and are flagged by the
+// query-level fragment predicates; per-instance evaluation refuses them.
+func TestParsedWorldSetQueryFragment(t *testing.T) {
+	ws, err := ParseQuery(strings.NewReader("@query\n  out: A = certain(possible(R(a)))\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Positive() {
+		t.Error("world-set query must not be positive")
+	}
+	if !query.HasWorldSetOps(ws) {
+		t.Error("HasWorldSetOps must flag possible/certain")
+	}
+	if _, err := query.Query(ws).Eval(rel.NewInstance()); err == nil {
+		t.Error("single-instance Eval must refuse world-set operators")
+	}
+	d, err := ParseQuery(strings.NewReader("@query\n  out: A = diff(R(a), S(a))\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if query.HasWorldSetOps(d) {
+		t.Error("diff alone is a per-world map, not a world-set operator")
+	}
+	if !query.HasExtendedOps(d) {
+		t.Error("HasExtendedOps must flag diff")
+	}
+	inst := rel.NewInstance()
+	r := inst.EnsureRelation("R", 1)
+	r.AddRow("x")
+	r.AddRow("y")
+	s := inst.EnsureRelation("S", 1)
+	s.AddRow("y")
+	out, err := query.Query(d).Eval(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := out.Relation("A"); a == nil || a.Len() != 1 || !a.Has(rel.Fact{"x"}) {
+		t.Fatalf("diff evaluated to %s, want A(x)", out)
+	}
 }

@@ -1,0 +1,117 @@
+package query
+
+import (
+	"fmt"
+
+	"pw/internal/algebra"
+	"pw/internal/rel"
+	"pw/internal/sym"
+)
+
+// HasWorldSetOps reports whether q uses the world-set algebra operators
+// (possible/certain/choiceof) anywhere. Such queries are not per-world
+// maps: Eval on a single instance refuses them, and decision procedures
+// that enumerate candidate worlds cannot apply them soundly.
+func HasWorldSetOps(q Query) bool {
+	a, ok := q.(Algebra)
+	if !ok {
+		return false
+	}
+	for _, o := range a.Outs {
+		if algebra.HasWorldSetOps(o.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+// HasExtendedOps reports whether q uses any operator beyond the positive
+// fragment with ≠ selections (world-set operators or diff).
+func HasExtendedOps(q Query) bool {
+	a, ok := q.(Algebra)
+	if !ok {
+		return false
+	}
+	for _, o := range a.Outs {
+		if algebra.HasExtendedOps(o.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+// maxAnswerWorlds bounds the explicit answer-world enumeration of
+// EvalOnWorldSet per input world; the oracle exists for harnesses and
+// small examples, not production evaluation.
+const maxAnswerWorlds = 1 << 16
+
+// EvalOnWorldSet evaluates q against an explicit world set under the
+// world-set algebra semantics, returning the answer worlds (with
+// duplicates possible; callers deduplicate by fingerprint). For queries
+// without world-set operators this is exactly per-world evaluation. For
+// algebra queries with them, each world contributes the cross product of
+// its outputs' choice branches, with possible/certain collapsed over the
+// whole world set.
+func EvalOnWorldSet(q Query, worlds []*rel.Instance) ([]*rel.Instance, error) {
+	a, ok := q.(Algebra)
+	if !ok || !HasWorldSetOps(q) {
+		out := make([]*rel.Instance, 0, len(worlds))
+		for _, w := range worlds {
+			r, err := q.Eval(w)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+		return out, nil
+	}
+	ev := algebra.NewWorldSetEval(worlds)
+	var out []*rel.Instance
+	for wi := range worlds {
+		type outBranches struct {
+			name     string
+			cols     []string
+			branches [][]sym.Tuple
+		}
+		obs := make([]outBranches, len(a.Outs))
+		combos := 1
+		for i, o := range a.Outs {
+			cols, bs, err := ev.Branches(o.Expr, wi)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Label(), err)
+			}
+			obs[i] = outBranches{name: o.Name, cols: cols, branches: bs}
+			combos *= len(bs)
+			if combos > maxAnswerWorlds {
+				return nil, fmt.Errorf("%s: answer-world count exceeds %d per input world", a.Label(), maxAnswerWorlds)
+			}
+		}
+		// Odometer over the outputs' independent choice axes: one answer
+		// world per joint branch choice.
+		choice := make([]int, len(obs))
+		for {
+			inst := rel.NewInstance()
+			for i, ob := range obs {
+				r := rel.NewRelation(ob.name, len(ob.cols))
+				for _, t := range ob.branches[choice[i]] {
+					r.Insert(t)
+				}
+				inst.AddRelation(r)
+			}
+			out = append(out, inst)
+			k := len(choice) - 1
+			for k >= 0 {
+				choice[k]++
+				if choice[k] < len(obs[k].branches) {
+					break
+				}
+				choice[k] = 0
+				k--
+			}
+			if k < 0 {
+				break
+			}
+		}
+	}
+	return out, nil
+}

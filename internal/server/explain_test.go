@@ -12,6 +12,7 @@ import (
 
 	"pw/internal/obs"
 	"pw/internal/server"
+	"pw/internal/wsdalg"
 )
 
 // postRaw POSTs one /query body and returns the recorder without
@@ -138,23 +139,25 @@ func TestFlightRecorderBound(t *testing.T) {
 	}
 }
 
-// TestTraceOnError is the error-path span-lifecycle regression: a query
-// outside the evaluable fragment (a != selection) is refused with 422,
-// and the ?trace=1 error body still carries the request ID, the
-// complete span tree with the refusal class annotated on the root and
-// the eval span, and the cost spent before the failure.
+// TestTraceOnError is the error-path regression for trace and explain
+// parity: a query whose choiceof axis entangles every sensor component
+// past the merge bound is refused with 422, and the ?trace=1&explain=1
+// error body still carries the request ID, the complete span tree with
+// the refusal class annotated on the root and the eval span, the cost
+// spent before the failure, and the partial plan with its !class node.
 func TestTraceOnError(t *testing.T) {
 	s := newTestServer(t, server.Config{Workers: 2})
-	neq := "@query neq\n  out: A = select[#value != hi](Reading(sensor value))\n"
-	rec := postRaw(t, s, "/query?trace=1", &server.Request{DB: "sensors", Op: "cert-ans", Query: neq})
+	pick := "@query pick\n  out: A = choiceof(Reading(sensor value))\n"
+	rec := postRaw(t, s, "/query?trace=1&explain=1", &server.Request{DB: "sensors", Op: "cert-ans", Query: pick})
 	if rec.Code != 422 {
-		t.Fatalf("!= query: HTTP %d, want 422: %s", rec.Code, rec.Body.String())
+		t.Fatalf("choiceof query: HTTP %d, want 422: %s", rec.Code, rec.Body.String())
 	}
 	var body struct {
 		Error     string           `json:"error"`
 		RequestID string           `json:"request_id"`
 		Trace     *obs.SpanNode    `json:"trace"`
 		Cost      map[string]int64 `json:"cost"`
+		Plan      *wsdalg.Plan     `json:"plan"`
 	}
 	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
 		t.Fatalf("decode error body: %v", err)
@@ -165,16 +168,16 @@ func TestTraceOnError(t *testing.T) {
 	if body.RequestID != rec.Header().Get("X-Request-Id") {
 		t.Errorf("error body request_id %q != X-Request-Id %q", body.RequestID, rec.Header().Get("X-Request-Id"))
 	}
-	if body.Trace.Error != "unsupported" {
-		t.Errorf("root span error = %q, want unsupported", body.Trace.Error)
+	if body.Trace.Error != "entangled" {
+		t.Errorf("root span error = %q, want entangled", body.Trace.Error)
 	}
 	var sawEval bool
 	var walk func(n *obs.SpanNode)
 	walk = func(n *obs.SpanNode) {
 		if n.Name == "eval" {
 			sawEval = true
-			if n.Error != "unsupported" {
-				t.Errorf("eval span error = %q, want unsupported", n.Error)
+			if n.Error != "entangled" {
+				t.Errorf("eval span error = %q, want entangled", n.Error)
 			}
 		}
 		for _, c := range n.Children {
@@ -187,5 +190,28 @@ func TestTraceOnError(t *testing.T) {
 	}
 	if body.Cost["parse_bytes"] == 0 {
 		t.Errorf("error body cost counters empty: %v", body.Cost)
+	}
+	if body.Plan == nil || body.Plan.Error != "entangled" {
+		t.Fatalf("422 explain body must carry the partial plan with its error class: %s", rec.Body.String())
+	}
+}
+
+// TestExplainOnErrorUntraced: the partial plan rides ?explain=1 even
+// without ?trace=1 — the two opt-ins are independent.
+func TestExplainOnErrorUntraced(t *testing.T) {
+	s := newTestServer(t, server.Config{Workers: 2})
+	pick := "@query pick\n  out: A = choiceof(Reading(sensor value))\n"
+	rec := postRaw(t, s, "/query?explain=1", &server.Request{DB: "sensors", Op: "cert-ans", Query: pick})
+	if rec.Code != 422 {
+		t.Fatalf("choiceof query: HTTP %d, want 422: %s", rec.Code, rec.Body.String())
+	}
+	var body struct {
+		Plan *wsdalg.Plan `json:"plan"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("decode error body: %v", err)
+	}
+	if body.Plan == nil || body.Plan.Error != "entangled" {
+		t.Fatalf("untraced 422 explain body misses the partial plan: %s", rec.Body.String())
 	}
 }

@@ -3,14 +3,17 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"io"
+	"log"
 	"net/http"
 	"net/http/pprof"
 	rpprof "runtime/pprof"
 	"strconv"
 
 	"pw/internal/obs"
+	"pw/internal/wsdalg"
 )
 
 // Handler returns the server's HTTP API:
@@ -118,6 +121,11 @@ type errorBody struct {
 	RequestID string           `json:"request_id,omitempty"`
 	Trace     *obs.SpanNode    `json:"trace,omitempty"`
 	Cost      map[string]int64 `json:"cost,omitempty"`
+	// Plan is the partial EXPLAIN plan of a failed ?explain=1 request:
+	// the operator tree up to and including the failing node, marked
+	// with its error class — the same record pwq explain prints on a
+	// refusal.
+	Plan *wsdalg.Plan `json:"plan,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -125,21 +133,30 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		// The status line is already on the wire; all that is left is
+		// to say why the body is truncated (client gone, marshal bug).
+		log.Printf("server: writeJSON: encode response: %v", err)
+	}
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
-// writeErrorTraced is writeError plus the trace context a ?trace=1
-// request earned: request ID, finished span tree, cost counters.
+// writeErrorTraced is writeError plus the context the request earned:
+// request ID, finished span tree and cost counters for ?trace=1, the
+// partial plan for ?explain=1.
 func writeErrorTraced(w http.ResponseWriter, status int, err error, tr *obs.Trace) {
 	body := errorBody{Error: err.Error()}
 	if tr != nil {
 		body.RequestID = tr.ID()
 		body.Trace = tr.Tree()
 		body.Cost = tr.Cost().Counters()
+	}
+	var pe *PlanError
+	if errors.As(err, &pe) {
+		body.Plan = pe.Plan
 	}
 	writeJSON(w, status, body)
 }

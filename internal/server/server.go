@@ -52,6 +52,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pw/internal/algebra"
 	"pw/internal/decide"
 	"pw/internal/gen"
 	"pw/internal/obs"
@@ -519,7 +520,7 @@ func statusFor(err error) int {
 		return se.Status
 	}
 	if errors.Is(err, wsdalg.ErrUnsupported) || errors.Is(err, wsdalg.ErrEntangled) ||
-		errors.Is(err, wsd.ErrInfiniteRep) {
+		errors.Is(err, wsd.ErrInfiniteRep) || errors.Is(err, algebra.ErrWorldSetOp) {
 		return 422
 	}
 	return 400
@@ -620,8 +621,24 @@ func (s *Server) DoCall(req *Request, opts CallOptions) (*Response, error) {
 	}
 	s.recordFlight(req, rc, dur, err, resp)
 	s.maybeLogSlow(req, rc, dur, err)
+	if err != nil && rc.explain && rc.plan != nil {
+		// ?explain=1 parity on the error path: the partial plan (error
+		// class marked at the failing node) rides the error the same
+		// way the span tree rides a traced failure.
+		err = &PlanError{Err: err, Plan: rc.plan}
+	}
 	return resp, err
 }
+
+// PlanError carries the partial EXPLAIN plan of a failed explain
+// request alongside the underlying error; errors.Is/As see through it.
+type PlanError struct {
+	Err  error
+	Plan *wsdalg.Plan
+}
+
+func (e *PlanError) Error() string { return e.Err.Error() }
+func (e *PlanError) Unwrap() error { return e.Err }
 
 // errorClass names an error for span annotations, flight records and
 // the slow-query log: the evaluator's refusal classes, the
@@ -1155,11 +1172,11 @@ func (s *Server) opAnswers(req *Request, v dbView, resp *Response, rc *reqCtx) (
 			defer s.acquire(rc)()
 			sp := rc.span("eval")
 			defer sp.End()
-			// EvalPlanned over EvalObserved: the plan costs microseconds
-			// next to the evaluation it describes, and keeping it in the
-			// cache entry lets explain requests on cache hits answer
-			// without re-evaluating.
-			out, plan, err := wsdalg.EvalPlanned(v.wsd, q, rc.cost)
+			// EvalOptimized over EvalObserved: planning plus the plan
+			// cost microseconds next to the evaluation they describe,
+			// and keeping the plan in the cache entry lets explain
+			// requests on cache hits answer without re-evaluating.
+			out, plan, err := wsdalg.EvalOptimized(v.wsd, q, rc.cost)
 			if err != nil {
 				sp.SetError(errorClass(err))
 				rc.plan = plan // partial, error-marked: flight/slow log still see it

@@ -309,11 +309,13 @@ func TestHTTPEndpoints(t *testing.T) {
 	}
 
 	// Error classification: bad request body, unknown database, and a
-	// query outside the decomposition fragment.
+	// query whose choiceof axis entangles every sensor component past
+	// the merge bound (≠ selections are evaluable natively these days,
+	// so entanglement is the canonical 422).
 	httpJSON(t, s, "POST", "/query", `{"nope":1}`, 400, nil)
 	httpJSON(t, s, "POST", "/query", `{"db":"ghost","op":"count"}`, 404, nil)
 	httpJSON(t, s, "POST", "/query",
-		`{"db":"sensors","op":"cert-ans","query":"@query q\n  out: Q = select[#v != hi](Reading(s v))\n"}`,
+		`{"db":"sensors","op":"cert-ans","query":"@query q\n  out: Q = choiceof(Reading(s v))\n"}`,
 		422, nil)
 	httpJSON(t, s, "POST", "/reload", "", 400, nil)
 	httpJSON(t, s, "POST", "/reload?db=ghost", "", 404, nil)

@@ -1,6 +1,9 @@
 package server
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // flightGroup coalesces concurrent calls with the same key into one
 // execution: the first caller runs fn, the rest block until it finishes
@@ -35,11 +38,35 @@ func (g *flightGroup) do(key string, fn func() (any, error)) (val any, err error
 	g.m[key] = c
 	g.mu.Unlock()
 
+	// fn may panic (or call runtime.Goexit, e.g. a test Fatalf inside a
+	// handler). Without this cleanup the key would stay in-flight
+	// forever and every later caller for it would block on a channel
+	// nobody will close. Unwind: fail the waiters with an error, free
+	// the key, and let the panic continue in the executing caller only.
+	normal := false
+	defer func() {
+		var r any
+		panicked := false
+		if !normal {
+			if r = recover(); r != nil {
+				panicked = true
+				c.err = fmt.Errorf("server: shared call panicked: %v", r)
+			} else {
+				// runtime.Goexit: unrecoverable, but the waiters still
+				// need an answer and the key must not wedge.
+				c.err = fmt.Errorf("server: shared call exited without returning")
+			}
+			c.val = nil
+		}
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+		if panicked {
+			panic(r)
+		}
+	}()
 	c.val, c.err = fn()
-
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
-	close(c.done)
+	normal = true
 	return c.val, c.err, false
 }

@@ -14,10 +14,12 @@ import (
 
 	"pw/internal/difftest"
 	"pw/internal/gen"
+	"pw/internal/query"
 	"pw/internal/sym"
 	"pw/internal/table"
 	"pw/internal/worlds"
 	"pw/internal/wsd"
+	"pw/internal/wsdalg"
 )
 
 // TestDifferentialWSDAlg is the primary suite: random mixed-granularity
@@ -55,6 +57,108 @@ func TestDifferentialWSDAlg(t *testing.T) {
 			difftest.ServerBackend("server", 2),
 		},
 	})
+}
+
+// TestDifferentialWSAlgebra is the world-set-algebra suite: seeded
+// decompositions under random queries drawn from the extended pool —
+// nested possible/certain, choiceof (≤2 occurrences), difference and ≠
+// selections — cross-validated against the explicit-worlds world-set
+// oracle. Three provenances answer each case: the native evaluator, the
+// re-factorized world list, and the evaluator behind the cost-based
+// planner (so every planner rewrite is checked for equivalence on every
+// case). The generator pre-screens refusals (entanglement on either
+// decomposition provenance, oracle answer-world blowups): refusal
+// behavior has its own tests; this suite is about agreement where the
+// fragment is decidable.
+func TestDifferentialWSAlgebra(t *testing.T) {
+	schema := table.Schema{{Name: "R", Arity: 2}}
+	difftest.Run(t, difftest.Config{
+		Tag:     "wsdalg-wsa",
+		Cases:   150,
+		MaxSeed: 20000,
+		Gen: func(seed int64) (*difftest.Case, bool) {
+			consts := 3 + int(seed)%3
+			w, err := gen.RandomWSD(seed, 3+int(seed)%2, 3, 2, consts)
+			if err != nil {
+				return nil, false
+			}
+			if !w.Count().IsInt64() || w.Count().Int64() > 120 {
+				return nil, false
+			}
+			q := gen.RandomWSAQuery(seed, schema, consts, 2+int(seed)%2)
+			if !query.HasExtendedOps(q) {
+				return nil, false // plain positive roll: TestDifferentialWSDAlg's ground
+			}
+			if _, err := wsdalg.Eval(w, q); err != nil {
+				return nil, false
+			}
+			ws := w.Expand(0)
+			if ans, err := query.EvalOnWorldSet(q, ws); err != nil || len(ans) > 1500 {
+				return nil, false
+			}
+			wf, err := wsd.FromWorlds(ws)
+			if err != nil {
+				return nil, false
+			}
+			if _, err := wsdalg.Eval(wf, q); err != nil {
+				return nil, false // the refactorized provenance entangles differently
+			}
+			return &difftest.Case{
+				Tag:    fmt.Sprintf("wsdalg-wsa seed %d (%s)", seed, q.Label()),
+				Worlds: ws,
+				WSD:    w,
+				Query:  q,
+			}, true
+		},
+		Backends: []difftest.Backend{
+			difftest.WSDBackend("wsdalg"),
+			difftest.FromWorldsBackend(),
+			difftest.PlannedWSDBackend(),
+		},
+	})
+}
+
+// TestPlannerNeverExceedsNaive is the planner property test: across
+// random world-set-algebra queries, the chosen plan's predicted cost
+// never exceeds the written (naive) form's, the chosen form still
+// evaluates wherever the naive form does, and both produce the same
+// world count. (Member-level equivalence is the differential suite's
+// PlannedWSDBackend.)
+func TestPlannerNeverExceedsNaive(t *testing.T) {
+	schema := table.Schema{{Name: "R", Arity: 2}}
+	checked := 0
+	for seed := int64(1); checked < 100 && seed < 8000; seed++ {
+		w, err := gen.RandomWSD(seed, 3+int(seed)%2, 3, 2, 4)
+		if err != nil || !w.Count().IsInt64() || w.Count().Int64() > 200 {
+			continue
+		}
+		q := gen.RandomWSAQuery(seed, schema, 4, 2+int(seed)%2)
+		opt, info := wsdalg.Optimize(w, q)
+		if info == nil {
+			t.Fatalf("seed %d: algebra query got no planning record", seed)
+		}
+		if info.ChosenCost > info.NaiveCost {
+			t.Fatalf("seed %d: chosen cost %d exceeds naive %d\nchosen: %s\nnaive:  %s",
+				seed, info.ChosenCost, info.NaiveCost, info.Chosen, info.Naive)
+		}
+		naive, err := wsdalg.Eval(w, q)
+		if err != nil {
+			continue // refused queries have their own coverage
+		}
+		got, err := wsdalg.Eval(w, opt)
+		if err != nil {
+			t.Fatalf("seed %d: chosen plan fails where the naive form succeeds: %v\nchosen: %s",
+				seed, err, info.Chosen)
+		}
+		if naive.Count().Cmp(got.Count()) != 0 {
+			t.Fatalf("seed %d: chosen plan answers %s worlds, naive %s\nchosen: %s\nnaive:  %s",
+				seed, got.Count(), naive.Count(), info.Chosen, info.Naive)
+		}
+		checked++
+	}
+	if checked < 100 {
+		t.Fatalf("only %d planner property cases within the seed budget", checked)
+	}
 }
 
 // smallDB mirrors the wsd crosscheck generator: one table of each kind

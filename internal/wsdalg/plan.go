@@ -33,6 +33,7 @@ import (
 	"pw/internal/algebra"
 	"pw/internal/obs"
 	"pw/internal/query"
+	"pw/internal/unionfind"
 	"pw/internal/wsd"
 )
 
@@ -87,6 +88,7 @@ type Plan struct {
 	WorldCount string           `json:"worlds,omitempty"`
 	Cost       map[string]int64 `json:"cost,omitempty"`
 	Error      string           `json:"error,omitempty"`
+	Planner    *PlannerInfo     `json:"planner,omitempty"`
 	DurUS      int64            `json:"us"`
 }
 
@@ -176,6 +178,14 @@ func opName(e algebra.Expr) string {
 		return "join"
 	case algebra.Union:
 		return "union"
+	case algebra.Diff:
+		return "diff"
+	case algebra.Possible:
+		return "possible"
+	case algebra.Certain:
+		return "certain"
+	case algebra.ChoiceOf:
+		return "choiceof"
 	}
 	return fmt.Sprintf("%T", e)
 }
@@ -293,6 +303,124 @@ func (ev *evaluator) joinEst(l, r *dRel) PlanStats {
 	return s
 }
 
+// possibleEst predicts possible(e): the support sweep tabulates each
+// template part's origin space (tabulated parts contribute their rows
+// directly, no sweep), and the result is a single certain part bounded
+// by the operand's total row bound.
+func (ev *evaluator) possibleEst(in *dRel) PlanStats {
+	s := PlanStats{Parts: 1}
+	for i := range in.parts {
+		p := &in.parts[i]
+		s.Rows = satAdd(s.Rows, ev.rowsUB(p))
+		if p.tmpl != nil {
+			prod := ev.originsProduct(p.origins)
+			s.MergeSpace = satAdd(s.MergeSpace, prod)
+			if prod > s.MaxSpace {
+				s.MaxSpace = prod
+			}
+		}
+	}
+	return s
+}
+
+// certainEst predicts certain(e) by mirroring the sub-decomposition
+// assembly certainRows runs: parts group by shared origins via the same
+// union-find, and each group sweeps its merged origin product (the
+// template fast path only makes the actual smaller).
+func (ev *evaluator) certainEst(in *dRel) PlanStats {
+	s := PlanStats{Parts: 1}
+	uf := unionfind.NewDense(ev.n)
+	for i := range in.parts {
+		o := in.parts[i].origins
+		for j := 1; j < len(o); j++ {
+			uf.Union(int32(o[0]), int32(o[j]))
+		}
+	}
+	groups := map[int32][]int{}
+	for i := range in.parts {
+		p := &in.parts[i]
+		s.Rows = satAdd(s.Rows, ev.rowsUB(p))
+		if len(p.origins) == 0 {
+			continue
+		}
+		r := uf.Find(int32(p.origins[0]))
+		groups[r] = mergeOrigins(groups[r], p.origins)
+	}
+	for _, origins := range groups {
+		prod := ev.originsProduct(origins)
+		s.MergeSpace = satAdd(s.MergeSpace, prod)
+		if prod > s.MaxSpace {
+			s.MaxSpace = prod
+		}
+	}
+	return s
+}
+
+// choiceEst predicts choiceof(e) once the support size is known: the
+// support sweep's share plus one tabulation over the operand's joint
+// origin space times the synthetic unit's |support| alternatives — the
+// exact space choiceRel sweeps, one row at most per joint choice.
+func (ev *evaluator) choiceEst(in *dRel, nSupport int) PlanStats {
+	s := ev.possibleEst(in)
+	if nSupport == 0 {
+		return s
+	}
+	var origins []int
+	for i := range in.parts {
+		origins = mergeOrigins(origins, in.parts[i].origins)
+	}
+	prod := satMul(ev.originsProduct(origins), int64(nSupport))
+	s.MergeSpace = satAdd(s.MergeSpace, prod)
+	if prod > s.MaxSpace {
+		s.MaxSpace = prod
+	}
+	s.Units = int64(len(origins)) + 1
+	s.Rows = prod
+	return s
+}
+
+// diffEst predicts l ∖ r: every left part re-tabulates over its origins
+// merged with all right-side origins, so MergeSpace is the exact sum of
+// those products, and each left part's row bound multiplies by the
+// subtrahend axes it did not already depend on (its value is repeated
+// across them).
+func (ev *evaluator) diffEst(l, r *dRel) PlanStats {
+	if len(l.parts) == 0 || len(r.parts) == 0 {
+		return ev.drelStats(l)
+	}
+	var rOrigins []int
+	for i := range r.parts {
+		rOrigins = mergeOrigins(rOrigins, r.parts[i].origins)
+	}
+	s := PlanStats{Parts: int64(len(l.parts))}
+	var units []int
+	for li := range l.parts {
+		lp := &l.parts[li]
+		origins := mergeOrigins(append([]int(nil), lp.origins...), rOrigins)
+		units = mergeOrigins(units, origins)
+		prod := ev.originsProduct(origins)
+		s.MergeSpace = satAdd(s.MergeSpace, prod)
+		if prod > s.MaxSpace {
+			s.MaxSpace = prod
+		}
+		var extra []int
+		for _, o := range rOrigins {
+			if !containsInt(lp.origins, o) {
+				extra = append(extra, o)
+			}
+		}
+		s.Rows = satAdd(s.Rows, satMul(ev.rowsUB(lp), ev.originsProduct(extra)))
+	}
+	s.Units = int64(len(units))
+	return s
+}
+
+// containsInt reports membership in a sorted int slice.
+func containsInt(sorted []int, x int) bool {
+	i := sort.SearchInts(sorted, x)
+	return i < len(sorted) && sorted[i] == x
+}
+
 // setEst records a node estimate on the current plan node (no-op when
 // not planning).
 func (ev *evaluator) setEst(s PlanStats) {
@@ -352,6 +480,14 @@ func (p *Plan) WriteText(w io.Writer) {
 		fmt.Fprintf(w, "  !%s", p.Error)
 	}
 	fmt.Fprintf(w, "  %dus\n", p.DurUS)
+	if pi := p.Planner; pi != nil {
+		fmt.Fprintf(w, "  planner  est_cost=%d naive_cost=%d", pi.ChosenCost, pi.NaiveCost)
+		if pi.Changed() {
+			fmt.Fprintf(w, "\n    chosen %s\n    naive  %s\n", pi.Chosen, pi.Naive)
+		} else {
+			io.WriteString(w, "  (kept written form)\n")
+		}
+	}
 	for _, o := range p.Outs {
 		writePlanNode(w, o, 1)
 	}

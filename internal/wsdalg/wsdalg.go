@@ -38,7 +38,22 @@
 //     lazily here, over their narrowed origins only — "only the joined
 //     slots" — which keeps the MaxMergeAlts pressure proportional to
 //     the fields a query actually correlates;
-//   - union concatenates part lists (no recombination at all).
+//   - union concatenates part lists (no recombination at all);
+//   - diff subtracts per world: each left part re-tabulates over its
+//     origins merged with every right-side origin (the subtrahend's
+//     value depends on all of them jointly), guarded by MaxMergeAlts —
+//     the "where decidable on the decomposition" rule;
+//   - the world-set operators (Koch's compositional algebra): possible
+//     collapses the operand into its support — the union of its value
+//     over every world, a certain origin-free part; certain assembles
+//     the operand's parts into a private sub-decomposition, normalizes
+//     it and reads off CertainFacts — the intersection over every
+//     world; choiceof appends a synthetic choice unit ranging over the
+//     operand's support and restricts the value to the chosen tuple in
+//     the worlds where it is available (empty stays empty, and in
+//     worlds where the chosen tuple is absent the value collapses onto
+//     a canonical available tuple — a duplicate of another choice's
+//     world, so the represented world set is exact).
 //
 // The final answer decomposition groups correlated parts (shared
 // origins) into components, one alternative per joint choice, and hands
@@ -50,9 +65,13 @@
 //
 // Every step is exact — parts tabulate per-choice values, never
 // approximations — so rep(Eval(D, q)) = q(rep(D)) world-for-world. The
-// supported fragment is positive existential algebra (no ≠ selections)
-// plus the identity query; Supported gates the entry points and the
-// CLIs turn its error into their "unsupported fragment" exit.
+// supported fragment is the full extended relational algebra of
+// internal/algebra — positive operators, ≠ selections, per-world
+// difference and the world-set operators — plus the identity query;
+// Supported gates the entry points (first-order and DATALOG queries
+// stay on the per-instance engines) and the CLIs turn its error into
+// their "unsupported fragment" exit. Blow-ups surface as ErrEntangled,
+// never as silent approximation.
 package wsdalg
 
 import (
@@ -73,10 +92,10 @@ import (
 )
 
 // ErrUnsupported marks queries outside the decomposition-evaluable
-// fragment (positive existential algebra and the identity query).
-// First-order and DATALOG queries, and algebra with ≠ selections, stay
-// on the per-instance engines.
-var ErrUnsupported = errors.New("query outside the positive-algebra fragment evaluable on decompositions")
+// fragment (relational algebra — including ≠ selections, diff and the
+// world-set operators — and the identity query). First-order and
+// DATALOG queries stay on the per-instance engines.
+var ErrUnsupported = errors.New("query outside the algebra fragment evaluable on decompositions")
 
 // ErrEntangled is wrapped by evaluation errors when a join or the final
 // component assembly would have to tabulate more than wsd.MaxMergeAlts
@@ -84,17 +103,16 @@ var ErrUnsupported = errors.New("query outside the positive-algebra fragment eva
 // build without degenerating into a world list.
 var ErrEntangled = errors.New("answer decomposition too entangled")
 
-// Supported reports whether q lies in the fragment Eval handles:
-// nil for the identity query and for positive (no ≠) relational-algebra
-// queries, an ErrUnsupported-wrapping error otherwise.
+// Supported reports whether q lies in the fragment Eval handles: nil
+// for the identity query and for relational-algebra queries (the whole
+// extended grammar — ≠ selections, diff and the world-set operators
+// evaluate natively; blow-ups are a per-evaluation ErrEntangled, not a
+// fragment refusal), an ErrUnsupported-wrapping error otherwise.
 func Supported(q query.Query) error {
-	switch a := q.(type) {
+	switch q.(type) {
 	case query.Identity:
 		return nil
 	case query.Algebra:
-		if !a.Positive() {
-			return fmt.Errorf("%w: %s uses != selections (non-positive algebra)", ErrUnsupported, a.Label())
-		}
 		return nil
 	default:
 		return fmt.Errorf("%w: %s is not a relational-algebra query", ErrUnsupported, q.Label())
@@ -166,11 +184,7 @@ func evalCore(w *wsd.WSD, q query.Query, c *obs.Cost, pl *Plan) (*wsd.WSD, error
 	ev := newEvaluator(w)
 	ev.cost = c
 	ev.plan = pl
-	type outPart struct {
-		rel string
-		p   part
-	}
-	var parts []outPart
+	var parts []taggedPart
 	for _, o := range a.Outs {
 		var outNode *PlanNode
 		if pl != nil {
@@ -187,17 +201,70 @@ func evalCore(w *wsd.WSD, q query.Query, c *obs.Cost, pl *Plan) (*wsd.WSD, error
 			outNode.Act.Parts = int64(len(d.parts))
 		}
 		for _, p := range d.parts {
-			parts = append(parts, outPart{rel: o.Name, p: p})
+			parts = append(parts, taggedPart{rel: o.Name, p: p})
 		}
 	}
 	ev.cur = nil
 	c.Add(obs.EvalParts, int64(len(parts)))
 
+	var asm *PlanNode
+	var asmStart time.Time
+	if pl != nil {
+		asm = &PlanNode{Op: "assemble"}
+		pl.Assemble = asm
+		ev.cur = asm
+		asmStart = time.Now()
+	}
+	if err := ev.assemble(out, parts, asm); err != nil {
+		return nil, err
+	}
+	if asm != nil {
+		asm.Act.DurUS = time.Since(asmStart).Microseconds()
+		ev.cur = nil
+	}
+	// The answer-side Normalize accounts to the same sink: its merges,
+	// splits and folds are part of this evaluation's cost. When
+	// planning, the counter deltas around the call are the Normalize
+	// node's actuals.
+	var before obs.CostSnapshot
+	var normStart time.Time
+	if pl != nil {
+		before = c.Snapshot()
+		normStart = time.Now()
+	}
+	out.SetObsCost(c)
+	err := out.Normalize()
+	out.SetObsCost(nil)
+	if pl != nil {
+		after := c.Snapshot()
+		pl.Normalize = &NormalizeStats{
+			ComponentsMerged: after.Get(obs.NormComponentsMerged) - before.Get(obs.NormComponentsMerged),
+			VerticalSplits:   after.Get(obs.NormVerticalSplits) - before.Get(obs.NormVerticalSplits),
+			CertainFolds:     after.Get(obs.NormCertainFolds) - before.Get(obs.NormCertainFolds),
+			DurUS:            time.Since(normStart).Microseconds(),
+		}
+	}
+	return out, err
+}
+
+// taggedPart is one answer part tagged with the output relation it
+// feeds — the unit of work the component assembly groups.
+type taggedPart struct {
+	rel string
+	p   part
+}
+
+// assemble groups correlated parts (shared origins) into components of
+// out, one alternative per joint choice. Origin-free parts (constant
+// rows) are certain; each becomes a single-alternative component of its
+// own and Normalize merges all certain components afterwards. It is the
+// shared tail of evalCore and of certain()'s private sub-decomposition;
+// asm (nil when not explaining) receives the assembly estimates and
+// actuals. Normalization is the caller's job.
+func (ev *evaluator) assemble(out *wsd.WSD, parts []taggedPart, asm *PlanNode) error {
 	// Group correlated parts: parts sharing an origin component are
 	// functions of the same input choice, so they must land in one
-	// answer component. Origin-free parts (constant rows) are certain;
-	// each becomes a single-alternative component of its own and
-	// Normalize merges all certain components afterwards.
+	// answer component.
 	uf := unionfind.NewDense(ev.n)
 	for _, op := range parts {
 		if len(op.p.origins) == 0 {
@@ -207,15 +274,7 @@ func evalCore(w *wsd.WSD, q query.Query, c *obs.Cost, pl *Plan) (*wsd.WSD, error
 			uf.Union(int32(op.p.origins[0]), int32(o))
 		}
 	}
-	var asm *PlanNode
-	var asmStart time.Time
-	if pl != nil {
-		asm = &PlanNode{Op: "assemble"}
-		pl.Assemble = asm
-		ev.cur = asm
-		asmStart = time.Now()
-	}
-	groups := map[int32][]outPart{}
+	groups := map[int32][]taggedPart{}
 	var order []int32
 	zero := make([]int, ev.n)
 	for _, op := range parts {
@@ -227,7 +286,7 @@ func evalCore(w *wsd.WSD, q query.Query, c *obs.Cost, pl *Plan) (*wsd.WSD, error
 			}
 			if err := out.AddComponent(alt); err != nil {
 				asm.markError(err)
-				return nil, err
+				return err
 			}
 			if asm != nil {
 				asm.Act.Parts++
@@ -274,7 +333,7 @@ func evalCore(w *wsd.WSD, q query.Query, c *obs.Cost, pl *Plan) (*wsd.WSD, error
 		if len(group) == 1 {
 			if emitted, err := ev.emitTemplate(out, group[0].rel, &group[0].p); err != nil {
 				asm.markError(err)
-				return nil, err
+				return err
 			} else if emitted {
 				if asm != nil {
 					asm.Act.Parts++
@@ -290,7 +349,7 @@ func evalCore(w *wsd.WSD, q query.Query, c *obs.Cost, pl *Plan) (*wsd.WSD, error
 		space, err := ev.space(origins)
 		if err != nil {
 			asm.markError(err)
-			return nil, err
+			return err
 		}
 		alts := make([]wsd.Alt, 0, space)
 		choice := make([]int, ev.n)
@@ -305,39 +364,13 @@ func evalCore(w *wsd.WSD, q query.Query, c *obs.Cost, pl *Plan) (*wsd.WSD, error
 		})
 		if err := out.AddComponent(alts...); err != nil {
 			asm.markError(err)
-			return nil, err
+			return err
 		}
 		if asm != nil {
 			asm.Act.Parts++
 		}
 	}
-	if asm != nil {
-		asm.Act.DurUS = time.Since(asmStart).Microseconds()
-		ev.cur = nil
-	}
-	// The answer-side Normalize accounts to the same sink: its merges,
-	// splits and folds are part of this evaluation's cost. When
-	// planning, the counter deltas around the call are the Normalize
-	// node's actuals.
-	var before obs.CostSnapshot
-	var normStart time.Time
-	if pl != nil {
-		before = c.Snapshot()
-		normStart = time.Now()
-	}
-	out.SetObsCost(c)
-	err := out.Normalize()
-	out.SetObsCost(nil)
-	if pl != nil {
-		after := c.Snapshot()
-		pl.Normalize = &NormalizeStats{
-			ComponentsMerged: after.Get(obs.NormComponentsMerged) - before.Get(obs.NormComponentsMerged),
-			VerticalSplits:   after.Get(obs.NormVerticalSplits) - before.Get(obs.NormVerticalSplits),
-			CertainFolds:     after.Get(obs.NormCertainFolds) - before.Get(obs.NormCertainFolds),
-			DurUS:            time.Since(normStart).Microseconds(),
-		}
-	}
-	return out, err
+	return nil
 }
 
 // emitTemplate recognizes a part that is exactly an answer-side
@@ -630,6 +663,19 @@ func (ev *evaluator) unitOf(ci, slot int) int {
 	panic("wsdalg: no unit for component slot")
 }
 
+// addUnit appends a synthetic choice unit — a fresh independent axis
+// that is not backed by any input component (choiceof's nondeterministic
+// pick). Safe mid-evaluation: choice vectors are sized per sweep and the
+// assembly's union-find is built after all units exist.
+func (ev *evaluator) addUnit(altCount int) int {
+	u := ev.n
+	ev.units = append(ev.units, unit{comp: -1, slot: -1})
+	ev.altCounts = append(ev.altCounts, altCount)
+	ev.cells = append(ev.cells, nil)
+	ev.n = len(ev.units)
+	return u
+}
+
 // eval evaluates one algebra expression to a decomposed relation. When
 // a plan is being built it wraps evalExpr in a PlanNode: the node is
 // attached to its parent *before* the body runs (so an error retains
@@ -760,8 +806,8 @@ func (ev *evaluator) evalExpr(e algebra.Expr) (dRel, error) {
 		}
 		// Resolve each predicate once to column indices / interned
 		// constants; alternatives are ground, so selection is an exact
-		// per-row ID comparison (the fragment gate has already excluded
-		// ≠, but the comparison handles both operators uniformly).
+		// per-row ID comparison — = and ≠ evaluate uniformly, which is
+		// why ≠ selections are decidable on decompositions.
 		preds, err := resolvePreds(n.Preds, in.cols)
 		if err != nil {
 			return dRel{}, err
@@ -857,8 +903,230 @@ func (ev *evaluator) evalExpr(e algebra.Expr) (dRel, error) {
 			ev.setEst(ev.drelStats(&u))
 		}
 		return u, nil
+
+	case algebra.Diff:
+		l, err := ev.eval(n.L)
+		if err != nil {
+			return dRel{}, err
+		}
+		r, err := ev.eval(n.R)
+		if err != nil {
+			return dRel{}, err
+		}
+		if _, err := n.Schema(); err != nil {
+			return dRel{}, err
+		}
+		if ev.cur != nil {
+			ev.setEst(ev.diffEst(&l, &r))
+		}
+		return ev.diffRels(&l, &r)
+
+	case algebra.Possible:
+		in, err := ev.eval(n.E)
+		if err != nil {
+			return dRel{}, err
+		}
+		if ev.cur != nil {
+			ev.setEst(ev.possibleEst(&in))
+		}
+		rows, err := ev.supportRows(&in)
+		if err != nil {
+			return dRel{}, err
+		}
+		if len(rows) == 0 {
+			return dRel{cols: in.cols}, nil
+		}
+		return dRel{cols: in.cols, parts: []part{{alts: [][]sym.Tuple{rows}}}}, nil
+
+	case algebra.Certain:
+		in, err := ev.eval(n.E)
+		if err != nil {
+			return dRel{}, err
+		}
+		if ev.cur != nil {
+			ev.setEst(ev.certainEst(&in))
+		}
+		rows, err := ev.certainRows(&in)
+		if err != nil {
+			return dRel{}, err
+		}
+		if len(rows) == 0 {
+			return dRel{cols: in.cols}, nil
+		}
+		return dRel{cols: in.cols, parts: []part{{alts: [][]sym.Tuple{rows}}}}, nil
+
+	case algebra.ChoiceOf:
+		in, err := ev.eval(n.E)
+		if err != nil {
+			return dRel{}, err
+		}
+		support, err := ev.supportRows(&in)
+		if err != nil {
+			return dRel{}, err
+		}
+		if ev.cur != nil {
+			ev.setEst(ev.choiceEst(&in, len(support)))
+		}
+		return ev.choiceRel(&in, support)
 	}
 	return dRel{}, fmt.Errorf("wsdalg: unknown expression %T", e)
+}
+
+// supportRows computes the support of a decomposed relation: the union
+// of its value over every world. Tabulated parts contribute all their
+// alternatives directly; template parts sweep their (MaxMergeAlts-
+// guarded) origin space — the support of a wide template genuinely is
+// its field product, so the guard bounds output size, not slack.
+func (ev *evaluator) supportRows(in *dRel) ([]sym.Tuple, error) {
+	var rows []sym.Tuple
+	choice := make([]int, ev.n)
+	for i := range in.parts {
+		p := &in.parts[i]
+		if p.tmpl == nil {
+			for _, alt := range p.alts {
+				rows = append(rows, alt...)
+			}
+			continue
+		}
+		if _, err := ev.space(p.origins); err != nil {
+			return nil, err
+		}
+		ev.odometer(p.origins, choice, func() {
+			rows = append(rows, p.at(choice, ev)...)
+		})
+	}
+	return sortDedupTuples(rows), nil
+}
+
+// certainRows computes the certain answer of a decomposed relation: the
+// intersection of its value over every world. The parts are assembled
+// into a private single-relation sub-decomposition and normalized —
+// Normalize's certain-fold is exactly the intersection computation —
+// and the certain facts are read back.
+func (ev *evaluator) certainRows(in *dRel) ([]sym.Tuple, error) {
+	if len(in.parts) == 0 {
+		return nil, nil
+	}
+	sub := wsd.New(table.Schema{{Name: "q", Arity: len(in.cols)}})
+	tp := make([]taggedPart, len(in.parts))
+	for i, p := range in.parts {
+		tp[i] = taggedPart{rel: "q", p: p}
+	}
+	if err := ev.assemble(sub, tp, nil); err != nil {
+		return nil, err
+	}
+	sub.SetObsCost(ev.cost)
+	err := sub.Normalize()
+	sub.SetObsCost(nil)
+	if err != nil {
+		return nil, err
+	}
+	var rows []sym.Tuple
+	for _, f := range sub.CertainFacts() {
+		rows = append(rows, f.Args.Intern())
+	}
+	return sortDedupTuples(rows), nil
+}
+
+// choiceRel builds choiceof(e): a fresh synthetic unit ranges over the
+// operand's support, and in each world the value is the chosen tuple
+// when the operand offers it there. In worlds where the chosen tuple is
+// absent the value collapses onto the first available tuple — a
+// duplicate of the world another choice already produces, so the
+// represented world set is exact — and an empty operand stays empty.
+func (ev *evaluator) choiceRel(in *dRel, support []sym.Tuple) (dRel, error) {
+	if len(support) == 0 {
+		return dRel{cols: in.cols}, nil
+	}
+	u := ev.addUnit(len(support))
+	var origins []int
+	for i := range in.parts {
+		origins = mergeOrigins(origins, in.parts[i].origins)
+	}
+	all := mergeOrigins(origins, []int{u})
+	space, err := ev.space(all)
+	if err != nil {
+		return dRel{}, err
+	}
+	alts := make([][]sym.Tuple, 0, space)
+	choice := make([]int, ev.n)
+	ev.odometer(all, choice, func() {
+		var avail []sym.Tuple
+		for i := range in.parts {
+			avail = append(avail, in.parts[i].at(choice, ev)...)
+		}
+		avail = sortDedupTuples(avail)
+		var rows []sym.Tuple
+		if len(avail) > 0 {
+			if t := support[choice[u]]; containsTuple(avail, t) {
+				rows = []sym.Tuple{t}
+			} else {
+				rows = []sym.Tuple{avail[0]}
+			}
+		}
+		alts = append(alts, rows)
+	})
+	return dRel{cols: in.cols, parts: []part{{origins: all, alts: alts}}}, nil
+}
+
+// diffRels computes the per-world set difference l ∖ r. Each left part
+// re-tabulates over its origins merged with every right-side origin —
+// the subtrahend's value depends on all of them jointly — guarded by
+// MaxMergeAlts; template left parts tabulate here, which is the "where
+// decidable on the decomposition" rule.
+func (ev *evaluator) diffRels(l, r *dRel) (dRel, error) {
+	if len(l.parts) == 0 || len(r.parts) == 0 {
+		return dRel{cols: l.cols, parts: l.parts}, nil
+	}
+	var rOrigins []int
+	for i := range r.parts {
+		rOrigins = mergeOrigins(rOrigins, r.parts[i].origins)
+	}
+	out := dRel{cols: l.cols}
+	choice := make([]int, ev.n)
+	for li := range l.parts {
+		lp := &l.parts[li]
+		origins := mergeOrigins(append([]int(nil), lp.origins...), rOrigins)
+		space, err := ev.space(origins)
+		if err != nil {
+			return dRel{}, err
+		}
+		alts := make([][]sym.Tuple, 0, space)
+		any := false
+		ev.odometer(origins, choice, func() {
+			var sub []sym.Tuple
+			for ri := range r.parts {
+				sub = append(sub, r.parts[ri].at(choice, ev)...)
+			}
+			rows := subtractRows(lp.at(choice, ev), sortDedupTuples(sub))
+			if len(rows) > 0 {
+				any = true
+			}
+			alts = append(alts, rows)
+		})
+		if any {
+			out.parts = append(out.parts, part{origins: origins, alts: alts})
+		}
+	}
+	return out, nil
+}
+
+// subtractRows returns ls minus the sorted set rs as a fresh sorted
+// duplicate-free slice (ls is shared with its part and never mutated).
+func subtractRows(ls, rs []sym.Tuple) []sym.Tuple {
+	var out []sym.Tuple
+	for _, t := range ls {
+		if !containsTuple(rs, t) {
+			out = append(out, t)
+		}
+	}
+	return sortDedupTuples(out)
+}
+
+// containsTuple reports membership in a sorted duplicate-free row set.
+func containsTuple(rows []sym.Tuple, t sym.Tuple) bool {
+	i := sort.Search(len(rows), func(i int) bool { return !tupleLess(rows[i], t) })
+	return i < len(rows) && rows[i].Equal(t)
 }
 
 // joinRels distributes the natural join over both unions of parts; each

@@ -221,10 +221,12 @@ func TestEvalConstAndEmptyAnswer(t *testing.T) {
 }
 
 func TestSupportedGate(t *testing.T) {
+	// The whole extended algebra — ≠ selections included — evaluates
+	// natively; only non-algebra queries are outside the fragment.
 	neq := query.NewAlgebra("neq", query.Out{Name: "A",
 		Expr: algebra.Where(algebra.Scan("R", "s", "v"), algebra.NeqP(algebra.Col("v"), algebra.Lit("hi")))})
-	if err := Supported(neq); !errors.Is(err, ErrUnsupported) {
-		t.Fatalf("non-positive algebra must be unsupported, got %v", err)
+	if err := Supported(neq); err != nil {
+		t.Fatalf("≠ selections evaluate on decompositions now, got %v", err)
 	}
 	foq := query.NewFO("fo", query.FOOut{Name: "A", Q: fo.Query{}})
 	if err := Supported(foq); !errors.Is(err, ErrUnsupported) {
@@ -234,7 +236,11 @@ func TestSupportedGate(t *testing.T) {
 		t.Fatalf("identity must be supported, got %v", err)
 	}
 	w := sensorsWSD(t)
-	if _, err := Eval(w, neq); !errors.Is(err, ErrUnsupported) {
+	got := checkEval(t, w, neq)
+	if got.Empty() {
+		t.Fatal("≠ selection answer world-set must be non-empty")
+	}
+	if _, err := Eval(w, foq); !errors.Is(err, ErrUnsupported) {
 		t.Fatalf("Eval must reject the unsupported fragment, got %v", err)
 	}
 }
